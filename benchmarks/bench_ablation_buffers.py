@@ -1,0 +1,97 @@
+"""E7 — the demo's parameter space: buffer size and timeout (§4).
+
+The demo lets users tune buffer size and timeout and observe the effect
+on rule executions and inference time.  This ablation sweeps both on a
+fixed workload and reports time + firing counts — small buffers fire
+many small rule executions (overhead), large buffers batch better but
+add latency; timeouts only matter for trickle streams.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.reasoner import ListSource, RateLimitedSource, Slider, StreamPump
+
+from _config import BENCH_SCALE, SLIDER_WORKERS, pedantic_once, register_summary
+
+BUFFER_SIZES = (1, 10, 50, 200, 1000, 10_000)
+TIMEOUTS = (0.005, 0.05, 0.5)
+
+_sweep: dict[int, dict[str, float]] = {}
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return load_dataset("subClassOf200", scale=1.0) + load_dataset(
+        "BSBM_100k", scale=BENCH_SCALE
+    )
+
+
+@pytest.mark.parametrize("buffer_size", BUFFER_SIZES)
+def test_buffer_size_sweep(benchmark, workload, buffer_size):
+    def run():
+        with Slider(
+            fragment="rhodf",
+            workers=SLIDER_WORKERS,
+            buffer_size=buffer_size,
+            timeout=0.05,
+        ) as reasoner:
+            reasoner.add(workload)
+            reasoner.flush()
+            executions = sum(m.stats()["executions"] for m in reasoner.modules)
+            return executions, reasoner.inferred_count
+
+    executions, inferred = pedantic_once(benchmark, run)
+    _sweep[buffer_size] = {
+        "seconds": benchmark.stats.stats.mean,
+        "executions": executions,
+        "inferred": inferred,
+    }
+    benchmark.extra_info.update(
+        {"buffer_size": buffer_size, "rule_executions": executions}
+    )
+    # Correctness must not depend on the parameter (demo's key lesson).
+    assert inferred == next(iter(_sweep.values()))["inferred"]
+
+
+@pytest.mark.parametrize("timeout", TIMEOUTS)
+def test_timeout_sweep_on_trickle_stream(benchmark, timeout):
+    """On a rate-limited stream, the timeout bounds inference latency."""
+    chain = load_dataset("subClassOf50", scale=1.0)
+
+    def run():
+        with Slider(
+            fragment="rhodf",
+            workers=SLIDER_WORKERS,
+            buffer_size=1_000_000,  # size never fires: timeout must
+            timeout=timeout,
+        ) as reasoner:
+            source = RateLimitedSource(ListSource(chain), rate=5_000)
+            StreamPump(reasoner, source, chunk_size=10).run()
+            reasoner.flush()
+            timeout_fires = sum(m.buffer.timeout_fires for m in reasoner.modules)
+            return timeout_fires, reasoner.inferred_count
+
+    timeout_fires, inferred = pedantic_once(benchmark, run)
+    benchmark.extra_info.update({"timeout": timeout, "timeout_fires": timeout_fires})
+    assert inferred == 1176  # subClassOf50's exact closure
+
+
+@register_summary
+def _buffer_sweep_table() -> str | None:
+    if not _sweep:
+        return None
+    lines = [
+        "",
+        "=== Buffer-size ablation (rhodf, chains + BSBM mix) ===",
+        f"{'buffer':>8} {'time':>9} {'rule executions':>16}",
+    ]
+    for buffer_size in BUFFER_SIZES:
+        if buffer_size in _sweep:
+            entry = _sweep[buffer_size]
+            lines.append(
+                f"{buffer_size:>8} {entry['seconds']:>8.3f}s {entry['executions']:>16.0f}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Ablation — dictionary encoding on/off (§2's Input Manager design).
+
+The paper maps "the expensive URIs to Longs" before anything touches the
+store.  The :class:`~repro.dictionary.IdentityDictionary` ablation runs
+the identical pipeline with term objects as their own ids: every store
+probe then hashes three term objects (string hashing + equality walks)
+instead of three small ints.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dictionary import IdentityDictionary, TermDictionary
+from repro.datasets import load_dataset
+from repro.reasoner import Slider
+
+from _config import BENCH_SCALE, pedantic_once, register_summary
+
+_results: dict[str, float] = {}
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return load_dataset("wikipedia", scale=BENCH_SCALE) + load_dataset(
+        "subClassOf200", scale=1.0
+    )
+
+
+@pytest.mark.parametrize("mode", ["encoded", "identity"])
+def test_dictionary_mode(benchmark, workload, mode):
+    def run():
+        dictionary = TermDictionary() if mode == "encoded" else IdentityDictionary()
+        with Slider(
+            fragment="rhodf",
+            workers=0,
+            timeout=None,
+            buffer_size=200,
+            dictionary=dictionary,
+        ) as reasoner:
+            reasoner.add(workload)
+            reasoner.flush()
+            return reasoner.inferred_count
+
+    inferred = pedantic_once(benchmark, run)
+    _results[mode] = benchmark.stats.stats.mean
+    benchmark.extra_info.update({"mode": mode, "inferred": inferred})
+    assert inferred > 0
+
+
+@register_summary
+def _dictionary_comparison() -> str | None:
+    if len(_results) < 2:
+        return None
+    lines = ["", "=== Dictionary-encoding ablation (wikipedia + chain, ρdf) ==="]
+    for mode, seconds in _results.items():
+        lines.append(f"{mode:>9}: {seconds:7.3f}s")
+    ratio = _results["identity"] / _results["encoded"]
+    lines.append(f"identity/encoded time ratio: {ratio:.2f}x")
+    return "\n".join(lines)

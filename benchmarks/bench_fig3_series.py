@@ -1,0 +1,73 @@
+"""E3 — Figure 3: the inference-time series over both fragments.
+
+Measures every plotted ontology (BSBM_5M omitted, as in the paper) for
+both systems and both fragments, then prints the ASCII rendering of the
+two-panel chart.  The benchmark table carries the raw series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Table1Row, render_figure3, run_batch, run_slider
+from repro.datasets import TABLE1_ORDER
+
+from _config import (
+    BENCH_SCALE,
+    SLIDER_BUFFER,
+    SLIDER_WORKERS,
+    pedantic_once,
+    register_summary,
+)
+
+#: Figure 3 plots all Table 1 ontologies except BSBM_5M.
+FIG3_DATASETS = tuple(name for name in TABLE1_ORDER if name != "BSBM_5M")
+
+_rows: dict[str, dict[str, Table1Row]] = {"rhodf": {}, "rdfs": {}}
+
+
+@pytest.mark.parametrize("fragment", ["rhodf", "rdfs"])
+@pytest.mark.parametrize("dataset", FIG3_DATASETS)
+def test_fig3_point(benchmark, fragment, dataset):
+    """One (ontology, fragment) point: both systems, one pass each."""
+
+    def measure_pair():
+        baseline = run_batch(dataset, fragment, BENCH_SCALE)
+        slider = run_slider(
+            dataset,
+            fragment,
+            BENCH_SCALE,
+            buffer_size=SLIDER_BUFFER,
+            workers=SLIDER_WORKERS,
+        )
+        return baseline, slider
+
+    baseline, slider = pedantic_once(benchmark, measure_pair)
+    _rows[fragment][dataset] = Table1Row(
+        dataset,
+        slider.input_count,
+        slider.inferred_count,
+        baseline.seconds,
+        slider.seconds,
+    )
+    benchmark.extra_info.update(
+        {
+            "dataset": dataset,
+            "fragment": fragment,
+            "baseline_seconds": baseline.seconds,
+            "slider_seconds": slider.seconds,
+        }
+    )
+    assert slider.inferred_count == baseline.inferred_count
+
+
+@register_summary
+def _render_figure3() -> str | None:
+    rhodf = [_rows["rhodf"][d] for d in FIG3_DATASETS if d in _rows["rhodf"]]
+    rdfs = [_rows["rdfs"][d] for d in FIG3_DATASETS if d in _rows["rdfs"]]
+    if not rhodf or not rdfs:
+        return None
+    return (
+        f"\n=== Figure 3 (scale={BENCH_SCALE:g}) ===\n"
+        + render_figure3(rhodf, rdfs)
+    )

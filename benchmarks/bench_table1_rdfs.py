@@ -1,0 +1,101 @@
+"""E2 — Table 1, RDFS half: Slider vs the batch baseline on 13 ontologies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import PAPER_TABLE1, gain_percent, run_batch, run_slider
+from repro.datasets import expected_rhodf_inferences
+
+from _config import (
+    BENCH_SCALE,
+    SLIDER_BUFFER,
+    SLIDER_WORKERS,
+    pedantic_once,
+    register_summary,
+    table1_datasets,
+)
+
+FRAGMENT = "rdfs"
+
+_measured: dict[str, dict[str, float]] = {}
+
+
+def _record(dataset: str, system: str, result) -> None:
+    _measured.setdefault(dataset, {})[system] = result.seconds
+    _measured[dataset][f"{system}_inferred"] = result.inferred_count
+
+
+@pytest.mark.parametrize("dataset", table1_datasets())
+def test_baseline_rdfs(benchmark, dataset):
+    result = pedantic_once(benchmark, run_batch, dataset, FRAGMENT, BENCH_SCALE)
+    _record(dataset, "batch", result)
+    paper = PAPER_TABLE1[dataset][FRAGMENT]
+    benchmark.extra_info.update(
+        {
+            "dataset": dataset,
+            "inferred": result.inferred_count,
+            "paper_inferred": paper[1],
+            "paper_owlim_seconds": paper[2],
+        }
+    )
+    assert result.inferred_count > 0  # RDFS infers on every Table 1 ontology
+
+
+@pytest.mark.parametrize("dataset", table1_datasets())
+def test_slider_rdfs(benchmark, dataset):
+    result = pedantic_once(
+        benchmark,
+        run_slider,
+        dataset,
+        FRAGMENT,
+        BENCH_SCALE,
+        buffer_size=SLIDER_BUFFER,
+        workers=SLIDER_WORKERS,
+    )
+    _record(dataset, "slider", result)
+    paper = PAPER_TABLE1[dataset][FRAGMENT]
+    benchmark.extra_info.update(
+        {
+            "dataset": dataset,
+            "inferred": result.inferred_count,
+            "paper_inferred": paper[1],
+            "paper_slider_seconds": paper[3],
+        }
+    )
+    batch_inferred = _measured.get(dataset, {}).get("batch_inferred")
+    if batch_inferred is not None:
+        assert result.inferred_count == batch_inferred
+    if dataset.startswith("subClassOf"):
+        # RDFS closure = ρdf closure + one Resource-typing per resource.
+        n = int(dataset[len("subClassOf"):])
+        assert result.inferred_count == expected_rhodf_inferences(n) + n + 2
+
+
+@register_summary
+def _summarize_table1_rdfs() -> str | None:
+    if not _measured:
+        return None
+    lines = [
+        "",
+        f"=== Table 1, RDFS (scale={BENCH_SCALE:g}) — measured vs paper gain ===",
+        f"{'ontology':<16} {'batch':>9} {'slider':>9} {'gain':>9} {'paper gain':>11}",
+    ]
+    gains = []
+    for dataset, values in _measured.items():
+        if "batch" not in values or "slider" not in values:
+            continue
+        gain = gain_percent(values["batch"], values["slider"])
+        gains.append(gain)
+        paper_gain = PAPER_TABLE1[dataset][FRAGMENT][4]
+        paper_text = f"{paper_gain:.2f}%" if paper_gain is not None else "-"
+        lines.append(
+            f"{dataset:<16} {values['batch']:>8.3f}s {values['slider']:>8.3f}s "
+            f"{gain:>8.2f}% {paper_text:>11}"
+        )
+    if gains:
+        lines.append(
+            f"{'Average':<16} {'':>9} {'':>9} "
+            f"{sum(gains) / len(gains):>8.2f}% {'36.08%':>11}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""E1 — Table 1, ρdf half: Slider vs the batch baseline on 13 ontologies.
+
+Regenerates, per ontology: input count, inferred count, baseline time,
+Slider time, and the Gain column.  The paper's numbers are printed next
+to each measurement for eyeballing; EXPERIMENTS.md records the analysis.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import PAPER_TABLE1, gain_percent, run_batch, run_slider
+
+from _config import (
+    BENCH_SCALE,
+    SLIDER_BUFFER,
+    SLIDER_WORKERS,
+    pedantic_once,
+    register_summary,
+    table1_datasets,
+)
+
+FRAGMENT = "rhodf"
+
+_measured: dict[str, dict[str, float]] = {}
+
+
+def _record(dataset: str, system: str, result) -> None:
+    _measured.setdefault(dataset, {})[system] = result.seconds
+    _measured[dataset][f"{system}_inferred"] = result.inferred_count
+
+
+@pytest.mark.parametrize("dataset", table1_datasets())
+def test_baseline_rhodf(benchmark, dataset):
+    result = pedantic_once(
+        benchmark, run_batch, dataset, FRAGMENT, BENCH_SCALE
+    )
+    _record(dataset, "batch", result)
+    paper = PAPER_TABLE1[dataset][FRAGMENT]
+    benchmark.extra_info.update(
+        {
+            "dataset": dataset,
+            "inferred": result.inferred_count,
+            "paper_inferred": paper[1],
+            "paper_owlim_seconds": paper[2],
+        }
+    )
+    assert result.inferred_count >= 0
+
+
+@pytest.mark.parametrize("dataset", table1_datasets())
+def test_slider_rhodf(benchmark, dataset):
+    result = pedantic_once(
+        benchmark,
+        run_slider,
+        dataset,
+        FRAGMENT,
+        BENCH_SCALE,
+        buffer_size=SLIDER_BUFFER,
+        workers=SLIDER_WORKERS,
+    )
+    _record(dataset, "slider", result)
+    paper = PAPER_TABLE1[dataset][FRAGMENT]
+    benchmark.extra_info.update(
+        {
+            "dataset": dataset,
+            "inferred": result.inferred_count,
+            "paper_inferred": paper[1],
+            "paper_slider_seconds": paper[3],
+        }
+    )
+    # Correctness guard: same closure as the batch baseline.
+    batch_inferred = _measured.get(dataset, {}).get("batch_inferred")
+    if batch_inferred is not None:
+        assert result.inferred_count == batch_inferred
+
+    # subClassOf chains have exact expected counts (Table 1 column).
+    if dataset.startswith("subClassOf"):
+        n = int(dataset[len("subClassOf"):])
+        assert result.inferred_count == (n - 1) * (n - 2) // 2
+
+
+@register_summary
+def _summarize_table1_rhodf() -> str | None:
+    """Render the measured half of Table 1 (after the sweeps)."""
+    if not _measured:
+        return None
+    lines = [
+        "",
+        f"=== Table 1, ρdf (scale={BENCH_SCALE:g}) — measured vs paper gain ===",
+        f"{'ontology':<16} {'batch':>9} {'slider':>9} {'gain':>9} {'paper gain':>11}",
+    ]
+    gains = []
+    for dataset, values in _measured.items():
+        if "batch" not in values or "slider" not in values:
+            continue
+        gain = gain_percent(values["batch"], values["slider"])
+        if values.get("slider_inferred"):
+            gains.append(gain)
+        paper_gain = PAPER_TABLE1[dataset][FRAGMENT][4]
+        paper_text = f"{paper_gain:.2f}%" if paper_gain is not None else "-"
+        lines.append(
+            f"{dataset:<16} {values['batch']:>8.3f}s {values['slider']:>8.3f}s "
+            f"{gain:>8.2f}% {paper_text:>11}"
+        )
+    if gains:
+        lines.append(
+            f"{'Average':<16} {'':>9} {'':>9} "
+            f"{sum(gains) / len(gains):>8.2f}% {'106.86%':>11}"
+        )
+    return "\n".join(lines)

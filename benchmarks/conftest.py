@@ -1,0 +1,8 @@
+"""Pytest hook point for the benchmark suite (helpers live in _config.py)."""
+
+from _config import emit_summaries
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Print each module's paper-vs-measured table after the bench table."""
+    emit_summaries(terminalreporter.write_line)

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Fragment customization: plug a domain-specific rule set into Slider.
+
+The paper's §1 claims Slider "allows to extend it to more complex
+fragments with a minimal effort": a fragment is just a rule factory, the
+dependency graph and routing are derived automatically from the rules'
+signatures.  This example builds a small *genealogy* fragment from
+scratch — nothing in it is RDFS — and runs it through the unchanged
+engine:
+
+  ancestor-trans   <x ancestorOf y> ∧ <y ancestorOf z> → <x ancestorOf z>
+  parent-ancestor  <x parentOf y>                      → <x ancestorOf y>
+  sibling-sym      <x siblingOf y>                     → <y siblingOf x>
+  uncle            <x siblingOf y> ∧ <y parentOf z>    → <x relativeOf z>
+
+Run:  python examples/custom_fragment.py
+"""
+
+from repro import Namespace, Slider, Triple
+from repro.reasoner import Fragment, JoinRule, Pattern, SingleRule, Var
+
+FAM = Namespace("http://example.org/family#")
+
+
+def build_genealogy_rules(vocab):
+    """Rule factory: receives the vocabulary, returns fresh rules.
+
+    Domain predicates are encoded through the same dictionary the engine
+    uses, so the rules speak integer ids like the built-in fragments.
+    """
+    encode = vocab.dictionary.encode
+    parent_of = encode(FAM.parentOf)
+    ancestor_of = encode(FAM.ancestorOf)
+    sibling_of = encode(FAM.siblingOf)
+    relative_of = encode(FAM.relativeOf)
+
+    x, y, z = Var("x"), Var("y"), Var("z")
+    return [
+        JoinRule(
+            "ancestor-trans",
+            Pattern(x, ancestor_of, y),
+            Pattern(y, ancestor_of, z),
+            head=Pattern(x, ancestor_of, z),
+        ),
+        SingleRule(
+            "parent-ancestor",
+            Pattern(x, parent_of, y),
+            head=Pattern(x, ancestor_of, y),
+        ),
+        SingleRule(
+            "sibling-sym",
+            Pattern(x, sibling_of, y),
+            head=Pattern(y, sibling_of, x),
+        ),
+        JoinRule(
+            "uncle",
+            Pattern(x, sibling_of, y),
+            Pattern(y, parent_of, z),
+            head=Pattern(x, relative_of, z),
+        ),
+    ]
+
+
+GENEALOGY = Fragment(
+    "genealogy",
+    build_genealogy_rules,
+    description="ancestry + sibling reasoning (custom fragment demo)",
+)
+
+
+def main() -> None:
+    with Slider(fragment=GENEALOGY, workers=2, buffer_size=4, timeout=0.01) as r:
+        # The engine derived the dependency graph from the signatures:
+        print("rules dependency graph (computed, not hand-wired):")
+        for rule in r.dependency_graph.rule_names():
+            print(f"  {rule:<16} -> {', '.join(r.dependency_graph.successors(rule))}")
+        print()
+
+        r.add(
+            [
+                Triple(FAM.grandpa, FAM.parentOf, FAM.dad),
+                Triple(FAM.dad, FAM.parentOf, FAM.me),
+                Triple(FAM.me, FAM.parentOf, FAM.kid),
+                Triple(FAM.uncle_bob, FAM.siblingOf, FAM.dad),
+            ]
+        )
+        r.flush()
+
+        expectations = [
+            ("grandpa ancestorOf kid (3-hop transitivity)",
+             Triple(FAM.grandpa, FAM.ancestorOf, FAM.kid)),
+            ("dad siblingOf uncle_bob (symmetry)",
+             Triple(FAM.dad, FAM.siblingOf, FAM.uncle_bob)),
+            ("uncle_bob relativeOf me (join rule)",
+             Triple(FAM.uncle_bob, FAM.relativeOf, FAM.me)),
+        ]
+        for label, triple in expectations:
+            status = "✓" if triple in r.graph else "✗"
+            print(f"  {status} {label}")
+
+        print()
+        print(f"{r.input_count} facts in, {r.inferred_count} relationships inferred:")
+        for triple in sorted(r.graph.triples(None, FAM.ancestorOf, None)):
+            print(f"  {triple.n3()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""The demo web interface's data layer (paper §4 / Figure 4), headless.
+
+Runs a traced inference over one of the benchmark ontologies, then:
+
+1 — Setup:     choose ontology / fragment / buffer size / timeout;
+2 — Run:       replay the recorded inference step by step through the
+               InferencePlayer (pause / seek / backwards all work);
+3 — Summarize: print the summary panel and write the standalone HTML
+               report (slider_report.html).
+
+Run:  python examples/demo_player.py [dataset] [buffer_size]
+"""
+
+import sys
+
+from repro.datasets import dataset_names, load_dataset
+from repro.demo import InferencePlayer, render_text, write_html_report
+from repro.reasoner import Slider, Trace
+
+
+def main() -> None:
+    dataset = sys.argv[1] if len(sys.argv) > 1 else "subClassOf100"
+    buffer_size = int(sys.argv[2]) if len(sys.argv) > 2 else 25
+    if dataset not in dataset_names():
+        raise SystemExit(f"unknown dataset {dataset!r}; pick one of {dataset_names()}")
+
+    config = {
+        "dataset": dataset,
+        "fragment": "rhodf",
+        "buffer_size": buffer_size,
+        "timeout": 0.05,
+        "workers": 2,
+    }
+    print(f"1 — Setup: {config}")
+
+    # 2 — Run, recording every module event.
+    trace = Trace()
+    with Slider(
+        fragment=config["fragment"],
+        buffer_size=config["buffer_size"],
+        timeout=config["timeout"],
+        workers=config["workers"],
+        trace=trace,
+    ) as reasoner:
+        reasoner.add(load_dataset(dataset, scale=0.02))
+        reasoner.flush()
+
+    print(f"2 — Run: recorded {len(trace)} trace events; replaying...")
+    player = InferencePlayer(trace)
+
+    # Scrub through the inference like the demo's slider bar: sample the
+    # store composition at 10 evenly spaced steps.
+    checkpoints = [len(player) * i // 10 for i in range(1, 11)]
+    print(f"   {'step':>6} {'explicit':>9} {'inferred':>9} {'store':>7}  last rules")
+    for checkpoint in checkpoints:
+        state = player.seek(checkpoint)
+        recent = ",".join(state.recent_rules[-3:]) or "-"
+        print(
+            f"   {state.step:>6} {state.explicit_in_store:>9} "
+            f"{state.inferred_in_store:>9} {state.store_size:>7}  {recent}"
+        )
+
+    # ... and the demo's step-backwards button:
+    player.seek(len(player))
+    player.step_back()
+    player.step_back()
+    print(f"   (stepped back twice: now at step {player.position})")
+
+    # 3 — Summarize.
+    print()
+    print("3 — Summarize:")
+    print(render_text(trace, config))
+    write_html_report(trace, "slider_report.html", config)
+    print("\nHTML report written to slider_report.html")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: incremental RDFS reasoning in a dozen lines.
+
+Builds a tiny pet-shop ontology, feeds it to Slider *incrementally*
+(schema first, facts later — order doesn't matter), and queries the
+materialized knowledge.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import IRI, Namespace, RDF, RDFS, Slider, Triple
+from repro.rdf import Literal
+from repro.store import select
+from repro.rdf.terms import Variable
+
+EX = Namespace("http://example.org/petshop#")
+
+
+def main() -> None:
+    with Slider(fragment="rdfs", workers=2, buffer_size=10, timeout=0.02) as reasoner:
+        # 1. Terminological knowledge (the TBox) ...
+        reasoner.add(
+            [
+                Triple(EX.Cat, RDFS.subClassOf, EX.Mammal),
+                Triple(EX.Dog, RDFS.subClassOf, EX.Mammal),
+                Triple(EX.Mammal, RDFS.subClassOf, EX.Animal),
+                Triple(EX.hasPet, RDFS.domain, EX.Person),
+                Triple(EX.hasPet, RDFS.range, EX.Animal),
+                Triple(EX.hasKitten, RDFS.subPropertyOf, EX.hasPet),
+            ]
+        )
+
+        # 2. ... assertional facts arrive later, as a stream would deliver
+        #    them.  No re-computation of anything already derived.
+        reasoner.add(
+            [
+                Triple(EX.tom, RDF.type, EX.Cat),
+                Triple(EX.alice, EX.hasKitten, EX.tom),
+                Triple(EX.alice, RDFS.label, Literal("Alice")),
+            ]
+        )
+
+        # 3. Wait for the fixpoint, then look at what was *not* said
+        #    explicitly but is now known.
+        reasoner.flush()
+
+        print(f"explicit triples : {reasoner.input_count}")
+        print(f"inferred triples : {reasoner.inferred_count}")
+        print()
+
+        checks = [
+            ("tom is an Animal", Triple(EX.tom, RDF.type, EX.Animal)),
+            ("alice hasPet tom (via subproperty)", Triple(EX.alice, EX.hasPet, EX.tom)),
+            ("alice is a Person (via domain)", Triple(EX.alice, RDF.type, EX.Person)),
+            ("tom is an Animal (via range too)", Triple(EX.tom, RDF.type, EX.Animal)),
+        ]
+        for label, triple in checks:
+            status = "✓" if triple in reasoner.graph else "✗"
+            print(f"  {status} {label}")
+
+        # 4. Query the closure with a conjunctive (BGP) query.
+        x = Variable("x")
+        animals = select(reasoner.graph, [x], [(x, RDF.type, EX.Animal)])
+        print()
+        print("all known animals:", ", ".join(str(row[0]) for row in sorted(animals)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Slider: an efficient incremental RDF reasoner — full reproduction.
+
+Reproduction of Chevalier, Subercaze, Gravier & Laforest, *Slider: an
+Efficient Incremental Reasoner*, ACM SIGMOD 2015.
+
+Quickstart::
+
+    from repro import Slider
+    from repro.rdf import IRI, RDF, RDFS, Triple
+
+    with Slider(fragment="rdfs") as reasoner:
+        reasoner.add([
+            Triple(IRI("http://ex/Cat"), RDFS.subClassOf, IRI("http://ex/Animal")),
+            Triple(IRI("http://ex/tom"), RDF.type, IRI("http://ex/Cat")),
+        ])
+        reasoner.flush()
+        assert Triple(IRI("http://ex/tom"), RDF.type, IRI("http://ex/Animal")) \
+            in reasoner.graph
+"""
+
+from .dictionary import EncodedTriple, TermDictionary
+from .rdf import OWL, RDF, RDFS, XSD, BNode, IRI, Literal, Namespace, Triple, Variable
+from .reasoner import (
+    Fragment,
+    JoinRule,
+    Pattern,
+    Rule,
+    SingleRule,
+    Slider,
+    SliderError,
+    Trace,
+    Var,
+    available_fragments,
+    get_fragment,
+    register_fragment,
+)
+from .store import Graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Slider",
+    "SliderError",
+    "Graph",
+    "TermDictionary",
+    "EncodedTriple",
+    "IRI",
+    "BNode",
+    "Literal",
+    "Variable",
+    "Triple",
+    "Namespace",
+    "RDF",
+    "RDFS",
+    "OWL",
+    "XSD",
+    "Fragment",
+    "get_fragment",
+    "register_fragment",
+    "available_fragments",
+    "Rule",
+    "SingleRule",
+    "JoinRule",
+    "Pattern",
+    "Var",
+    "Trace",
+]

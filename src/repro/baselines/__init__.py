@@ -1,0 +1,5 @@
+"""Batch materialization baselines (OWLIM-SE stand-ins and ablations)."""
+
+from .batch import BatchReasoner, BatchStats, SemiNaiveReasoner
+
+__all__ = ["BatchReasoner", "SemiNaiveReasoner", "BatchStats"]

@@ -1,0 +1,39 @@
+"""Benchmark harness: timed runs, gains, paper-style tables and charts."""
+
+from .harness import (
+    RunResult,
+    Table1Row,
+    clear_dataset_cache,
+    dataset_file,
+    gain_percent,
+    run_batch,
+    run_semi_naive,
+    run_slider,
+    run_table1,
+    run_table1_row,
+)
+from .tables import (
+    PAPER_TABLE1,
+    render_average_row,
+    render_figure3,
+    render_table1,
+    render_table1_half,
+)
+
+__all__ = [
+    "RunResult",
+    "Table1Row",
+    "run_slider",
+    "run_batch",
+    "run_semi_naive",
+    "run_table1",
+    "run_table1_row",
+    "gain_percent",
+    "dataset_file",
+    "clear_dataset_cache",
+    "PAPER_TABLE1",
+    "render_table1",
+    "render_table1_half",
+    "render_average_row",
+    "render_figure3",
+]

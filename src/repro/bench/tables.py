@@ -1,0 +1,149 @@
+"""Paper-style rendering: Table 1 and the Figure 3 ASCII chart.
+
+These renderers print the same rows/series the paper reports so a run of
+the benchmark harness can be eyeballed against the original numbers
+(recorded in ``EXPERIMENTS.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .harness import Table1Row
+
+__all__ = [
+    "render_table1_half",
+    "render_table1",
+    "render_figure3",
+    "render_average_row",
+    "PAPER_TABLE1",
+]
+
+#: The paper's Table 1, transcribed: dataset -> fragment ->
+#: (input, inferred, owlim_seconds, slider_seconds, gain_pct).
+#: ``None`` marks the wordnet/ρdf dashes (zero inferences, times omitted).
+PAPER_TABLE1: Mapping[str, Mapping[str, tuple]] = {
+    "BSBM_100k": {
+        "rhodf": (99914, 544, 9.907, 4.636, 113.69),
+        "rdfs": (99914, 33752, 7.487, 4.558, 64.25),
+    },
+    "BSBM_200k": {
+        "rhodf": (200007, 1102, 13.338, 6.059, 120.12),
+        "rdfs": (200007, 64492, 11.064, 6.198, 78.52),
+    },
+    "BSBM_500k": {
+        "rhodf": (500037, 4347, 23.595, 11.133, 111.93),
+        "rdfs": (500037, 157831, 20.580, 10.984, 87.36),
+    },
+    "BSBM_1M": {
+        "rhodf": (1000000, 8664, 39.364, 22.357, 76.07),
+        "rdfs": (1000000, 304065, 35.602, 22.192, 60.43),
+    },
+    "BSBM_5M": {
+        "rhodf": (5000000, 43212, 170.151, 126.292, 34.73),
+        "rdfs": (5000000, 1449107, 160.699, 127.037, 26.50),
+    },
+    "wikipedia": {
+        "rhodf": (458369, 191574, 18.802, 17.422, 7.92),
+        "rdfs": (458369, 555653, 17.186, 22.443, -23.42),
+    },
+    "wordnet": {
+        "rhodf": (473589, 0, None, None, None),
+        "rdfs": (473589, 321888, 15.075, 8.828, 70.77),
+    },
+    "subClassOf10": {
+        "rhodf": (20, 36, 3.507, 1.209, 190.05),
+        "rdfs": (20, 50, 1.423, 1.216, 16.99),
+    },
+    "subClassOf20": {
+        "rhodf": (40, 171, 3.730, 1.316, 183.41),
+        "rdfs": (40, 195, 1.536, 1.330, 15.53),
+    },
+    "subClassOf50": {
+        "rhodf": (100, 1176, 4.159, 1.615, 157.49),
+        "rdfs": (100, 1230, 1.865, 1.583, 17.78),
+    },
+    "subClassOf100": {
+        "rhodf": (200, 4851, 4.397, 1.827, 140.60),
+        "rdfs": (200, 4955, 2.242, 1.805, 24.21),
+    },
+    "subClassOf200": {
+        "rhodf": (400, 19701, 4.962, 2.210, 124.56),
+        "rdfs": (400, 19905, 2.837, 2.170, 30.69),
+    },
+    "subClassOf500": {
+        "rhodf": (1000, 124251, 9.862, 8.102, 21.72),
+        "rdfs": (1000, 124755, 7.584, 7.625, -0.54),
+    },
+}
+
+_HALF_HEADER = (
+    f"{'Ontology':<16} {'Input':>9} {'Inferred':>9} "
+    f"{'Baseline':>10} {'Slider':>10} {'Gain':>9}"
+)
+
+
+def _format_row(row: Table1Row) -> str:
+    return (
+        f"{row.dataset:<16} {row.input_count:>9} {row.inferred_count:>9} "
+        f"{row.baseline_seconds:>9.3f}s {row.slider_seconds:>9.3f}s "
+        f"{row.gain:>8.2f}%"
+    )
+
+
+def render_average_row(rows: Sequence[Table1Row]) -> str:
+    """The paper's 'Average' gain line (mean of per-row gains)."""
+    gains = [row.gain for row in rows if row.inferred_count > 0]
+    if not gains:
+        return f"{'Average':<16} {'':>9} {'':>9} {'':>10} {'':>10} {'n/a':>9}"
+    average = sum(gains) / len(gains)
+    return f"{'Average':<16} {'':>9} {'':>9} {'':>10} {'':>10} {average:>8.2f}%"
+
+
+def render_table1_half(rows: Sequence[Table1Row], fragment: str) -> str:
+    """Render one fragment's half of Table 1, with the average gain."""
+    lines = [f"--- {fragment} reasoning ---", _HALF_HEADER]
+    lines.extend(_format_row(row) for row in rows)
+    lines.append(render_average_row(rows))
+    return "\n".join(lines)
+
+
+def render_table1(
+    rhodf_rows: Sequence[Table1Row], rdfs_rows: Sequence[Table1Row]
+) -> str:
+    """Render the full Table 1 (both halves)."""
+    return (
+        render_table1_half(rhodf_rows, "ρdf")
+        + "\n\n"
+        + render_table1_half(rdfs_rows, "RDFS")
+    )
+
+
+def render_figure3(
+    rhodf_rows: Sequence[Table1Row],
+    rdfs_rows: Sequence[Table1Row],
+    width: int = 50,
+) -> str:
+    """ASCII rendering of Figure 3: per-ontology inference-time bars.
+
+    Two panels (RDFS on top, ρdf below, as in the paper), one pair of
+    bars per ontology: baseline (▒) and Slider (█).  BSBM_5M is omitted
+    "for the sake of clarity", as in the paper.
+    """
+    panels = []
+    for fragment, rows in (("RDFS", rdfs_rows), ("ρdf", rhodf_rows)):
+        plotted = [row for row in rows if row.dataset != "BSBM_5M"]
+        if not plotted:
+            panels.append(f"[{fragment}] (no data)")
+            continue
+        peak = max(
+            max(row.baseline_seconds, row.slider_seconds) for row in plotted
+        ) or 1.0
+        lines = [f"[{fragment}] inference time (lower is better)   ▒ baseline  █ slider"]
+        for row in plotted:
+            base_bar = "▒" * max(1, round(row.baseline_seconds / peak * width))
+            slider_bar = "█" * max(1, round(row.slider_seconds / peak * width))
+            lines.append(f"  {row.dataset:<16} {base_bar} {row.baseline_seconds:.3f}s")
+            lines.append(f"  {'':<16} {slider_bar} {row.slider_seconds:.3f}s")
+        panels.append("\n".join(lines))
+    return "\n\n".join(panels)

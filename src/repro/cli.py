@@ -1,0 +1,219 @@
+"""Command-line interface: ``slider-reason`` / ``python -m repro.cli``.
+
+Subcommands mirror the demo's three panels plus the benchmark harness:
+
+* ``reason``     — load files (or a named dataset), infer, dump/report.
+* ``bench``      — regenerate Table 1 / Figure 3 at a chosen scale.
+* ``demo``       — run a traced inference and write the HTML report.
+* ``fragments``  — list registered fragments.
+* ``datasets``   — list named benchmark ontologies.
+* ``depgraph``   — print a fragment's rules dependency graph (Figure 2).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .bench.harness import run_table1
+from .bench.tables import render_figure3, render_table1_half
+from .datasets.loader import DEFAULT_SCALE, dataset_names, dataset_spec, load_dataset
+from .demo.report import render_text, write_html_report
+from .reasoner.dependency import DependencyGraph
+from .reasoner.engine import Slider
+from .reasoner.fragments import available_fragments, get_fragment
+from .reasoner.trace import Trace, load_trace, save_trace
+from .reasoner.vocabulary import Vocabulary
+from .dictionary.encoder import TermDictionary
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="slider-reason",
+        description="Slider: an efficient incremental RDF reasoner (SIGMOD 2015 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    reason = subparsers.add_parser("reason", help="run inference over RDF files")
+    reason.add_argument("inputs", nargs="*", help=".nt / .ttl files to load")
+    reason.add_argument("--dataset", help="a named benchmark ontology instead of files")
+    reason.add_argument("--scale", type=float, default=DEFAULT_SCALE,
+                        help="size multiplier for --dataset (default %(default)s)")
+    _add_reasoner_options(reason)
+    reason.add_argument("--output", help="write the materialized graph as N-Triples")
+    reason.add_argument("--stats", action="store_true", help="print per-rule counters")
+
+    bench = subparsers.add_parser("bench", help="regenerate the paper's experiments")
+    bench.add_argument("--experiment", choices=("table1", "fig3"), default="table1")
+    bench.add_argument("--fragment", default="both",
+                       choices=("rhodf", "rdfs", "both"))
+    bench.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    bench.add_argument("--workers", type=int, default=2)
+    bench.add_argument("--datasets", nargs="*", default=None,
+                       help="restrict to these dataset names")
+
+    demo = subparsers.add_parser("demo", help="traced inference + HTML report")
+    demo.add_argument("--dataset", default="subClassOf100")
+    demo.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    _add_reasoner_options(demo)
+    demo.add_argument("--report", help="write the HTML report here")
+    demo.add_argument("--save-trace", help="persist the trace as JSON for replay")
+    demo.add_argument("--replay", help="replay a saved trace instead of running")
+
+    subparsers.add_parser("fragments", help="list registered fragments")
+    subparsers.add_parser("datasets", help="list named benchmark ontologies")
+
+    depgraph = subparsers.add_parser("depgraph", help="print a rules dependency graph")
+    depgraph.add_argument("--fragment", default="rhodf")
+    depgraph.add_argument("--dot", action="store_true", help="GraphViz output")
+    return parser
+
+
+def _add_reasoner_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--fragment", default="rhodf",
+                        help="rule fragment (default %(default)s)")
+    parser.add_argument("--buffer-size", type=int, default=50,
+                        help="triples per rule firing (default %(default)s)")
+    parser.add_argument("--timeout", type=float, default=0.05,
+                        help="buffer inactivity flush, seconds; 0 disables")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="rule thread-pool size; 0 = inline (default %(default)s)")
+
+
+def _make_reasoner(args, trace: Trace | None = None) -> Slider:
+    timeout = None if not args.timeout else args.timeout
+    return Slider(
+        fragment=args.fragment,
+        buffer_size=args.buffer_size,
+        timeout=timeout,
+        workers=args.workers,
+        trace=trace,
+    )
+
+
+def _cmd_reason(args) -> int:
+    if bool(args.inputs) == bool(args.dataset):
+        print("error: provide input files or --dataset (not both)", file=sys.stderr)
+        return 2
+    reasoner = _make_reasoner(args)
+    start = time.perf_counter()
+    if args.dataset:
+        reasoner.add(load_dataset(args.dataset, args.scale))
+    else:
+        for path in args.inputs:
+            reasoner.load(path)
+    reasoner.flush()
+    elapsed = time.perf_counter() - start
+    print(
+        f"{reasoner.input_count} explicit + {reasoner.inferred_count} inferred "
+        f"= {len(reasoner)} triples in {elapsed:.3f}s "
+        f"({reasoner.input_count / elapsed:,.0f} triples/s)"
+    )
+    if args.stats:
+        for rule, counters in sorted(reasoner.counters().items()):
+            print(
+                f"  {rule:<12} runs={counters['executions']:<6} "
+                f"derived={counters['derived']:<8} kept={counters['kept']:<8} "
+                f"fires={counters['size_fires']}+{counters['timeout_fires']}t"
+            )
+    if args.output:
+        written = reasoner.graph.dump_ntriples(args.output)
+        print(f"wrote {written} triples to {args.output}")
+    reasoner.close()
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    fragments = ("rhodf", "rdfs") if args.fragment == "both" else (args.fragment,)
+    halves = {}
+    for fragment in fragments:
+        rows = run_table1(fragment, datasets=args.datasets, scale=args.scale,
+                          workers=args.workers)
+        halves[fragment] = rows
+        print(render_table1_half(rows, "ρdf" if fragment == "rhodf" else fragment.upper()))
+        print()
+    if args.experiment == "fig3" and len(halves) == 2:
+        print(render_figure3(halves["rhodf"], halves["rdfs"]))
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    if args.replay:
+        trace, config = load_trace(args.replay)
+        print(f"replaying {len(trace)} recorded events from {args.replay}")
+    else:
+        trace = Trace()
+        reasoner = _make_reasoner(args, trace=trace)
+        reasoner.add(load_dataset(args.dataset, args.scale))
+        reasoner.flush()
+        reasoner.close()
+        config = {
+            "dataset": args.dataset,
+            "fragment": args.fragment,
+            "buffer_size": args.buffer_size,
+            "timeout": args.timeout,
+            "workers": args.workers,
+        }
+    print(render_text(trace, config))
+    if args.save_trace and not args.replay:
+        written = save_trace(trace, args.save_trace, config)
+        print(f"\ntrace ({written} events) written to {args.save_trace}")
+    if args.report:
+        write_html_report(trace, args.report, config)
+        print(f"\nHTML report written to {args.report}")
+    return 0
+
+
+def _cmd_fragments(_args) -> int:
+    for name in available_fragments():
+        fragment = get_fragment(name)
+        rules = fragment.rules(Vocabulary(TermDictionary()))
+        print(f"{name:<12} {len(rules):>3} rules  {fragment.description}")
+    return 0
+
+
+def _cmd_datasets(_args) -> int:
+    for name in dataset_names():
+        spec = dataset_spec(name)
+        scaled = "" if spec.scalable else "  (fixed size)"
+        print(f"{name:<16} paper size {spec.paper_size:>9,} triples{scaled}")
+    return 0
+
+
+def _cmd_depgraph(args) -> int:
+    fragment = get_fragment(args.fragment)
+    rules = fragment.rules(Vocabulary(TermDictionary()))
+    graph = DependencyGraph(rules)
+    if args.dot:
+        print(graph.to_dot())
+        return 0
+    print(f"rules dependency graph for {fragment.name} "
+          f"({len(rules)} rules, {len(graph.edges())} edges)")
+    universal = set(graph.universal_rules())
+    for name in graph.rule_names():
+        marker = " [universal input]" if name in universal else ""
+        successors = ", ".join(graph.successors(name)) or "-"
+        print(f"  {name:<12}{marker} -> {successors}")
+    return 0
+
+
+_COMMANDS = {
+    "reason": _cmd_reason,
+    "bench": _cmd_bench,
+    "demo": _cmd_demo,
+    "fragments": _cmd_fragments,
+    "datasets": _cmd_datasets,
+    "depgraph": _cmd_depgraph,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

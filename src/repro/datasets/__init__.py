@@ -1,0 +1,54 @@
+"""Benchmark ontology generators: BSBM-like, subClassOf chains, real-world."""
+
+from .bsbm import BSBM, BSBM_INST, PAPER_BSBM_SIZES, bsbm_tbox, generate_bsbm, iter_bsbm
+from .loader import (
+    DEFAULT_SCALE,
+    TABLE1_ORDER,
+    DatasetSpec,
+    dataset_names,
+    dataset_spec,
+    load_dataset,
+)
+from .realworld import (
+    PAPER_WIKIPEDIA_SIZE,
+    PAPER_WORDNET_SIZE,
+    generate_wikipedia,
+    generate_wordnet,
+    iter_wikipedia,
+    iter_wordnet,
+)
+from .subclass_chains import (
+    CHAIN_NS,
+    PAPER_CHAIN_SIZES,
+    chain_class,
+    expected_input_size,
+    expected_rhodf_inferences,
+    subclass_chain,
+)
+
+__all__ = [
+    "generate_bsbm",
+    "iter_bsbm",
+    "bsbm_tbox",
+    "BSBM",
+    "BSBM_INST",
+    "PAPER_BSBM_SIZES",
+    "generate_wikipedia",
+    "iter_wikipedia",
+    "generate_wordnet",
+    "iter_wordnet",
+    "PAPER_WIKIPEDIA_SIZE",
+    "PAPER_WORDNET_SIZE",
+    "subclass_chain",
+    "chain_class",
+    "expected_input_size",
+    "expected_rhodf_inferences",
+    "CHAIN_NS",
+    "PAPER_CHAIN_SIZES",
+    "DatasetSpec",
+    "load_dataset",
+    "dataset_names",
+    "dataset_spec",
+    "TABLE1_ORDER",
+    "DEFAULT_SCALE",
+]

@@ -1,0 +1,192 @@
+"""BSBM-like e-commerce ontology generator (paper §3, first category).
+
+The paper generates five ontologies (100k – 5M triples) with the Berlin
+SPARQL Benchmark tool.  The generator tool itself is Java and ships its
+own data; what the evaluation depends on is the *shape* of its output:
+
+* a large ABox of products, offers, reviews, vendors and persons whose
+  triples are mostly literal-valued (prices, ratings, labels, dates);
+* a small product-type hierarchy (TBox) so that only product-typing
+  triples trigger class inferences — giving the very low ρdf inference
+  yield of Table 1 (~0.5 % of input), while the RDFS yield (~30 %) is
+  dominated by ``<x type Resource>`` per distinct resource;
+* no ``rdfs:domain``/``rdfs:range`` declarations (the BSBM schema has
+  none), so ρdf inferences come from CAX-SCO/SCM-SCO alone.
+
+This module reproduces that shape deterministically (seeded PRNG, stable
+IRIs), with the entity mix calibrated so both yields land near the
+paper's:  products are rare (~1 per 250 triples, each contributing two
+class inferences), resources are ~30 % of triples.
+
+>>> triples = generate_bsbm(100_000)
+>>> len(triples)                     # within ~1 % of the target
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from ..rdf.namespaces import Namespace, RDF, RDFS, XSD
+from ..rdf.terms import IRI, Literal, Triple
+
+__all__ = [
+    "generate_bsbm",
+    "bsbm_tbox",
+    "BSBM",
+    "BSBM_INST",
+    "PAPER_BSBM_SIZES",
+]
+
+BSBM = Namespace("http://www4.wiwiss.fu-berlin.de/bizer/bsbm/v01/vocabulary/")
+BSBM_INST = Namespace("http://www4.wiwiss.fu-berlin.de/bizer/bsbm/v01/instances/")
+
+#: Target sizes of the paper's five generated ontologies.
+PAPER_BSBM_SIZES = {
+    "BSBM_100k": 100_000,
+    "BSBM_200k": 200_000,
+    "BSBM_500k": 500_000,
+    "BSBM_1M": 1_000_000,
+    "BSBM_5M": 5_000_000,
+}
+
+# Product-type tree fan-out: 1 root, LEVEL1 children, LEVEL2 leaves each.
+_LEVEL1 = 8
+_LEVEL2 = 4
+
+# Entity mix per product (calibrated against Table 1's yields).
+_OFFERS_PER_PRODUCT = 20
+_REVIEWS_PER_PRODUCT = 40
+_REVIEWS_PER_PERSON = 5
+_PRODUCTS_PER_PRODUCER = 10
+_PRODUCTS_PER_VENDOR = 10
+
+_COUNTRIES = ("US", "GB", "DE", "FR", "JP", "CN", "AT", "ES", "RU", "KR")
+
+_XSD_INT = XSD.integer
+_XSD_DATE = XSD.date
+
+
+def _integer(value: int) -> Literal:
+    return Literal(str(value), datatype=_XSD_INT)
+
+
+def _date(rng: random.Random) -> Literal:
+    return Literal(
+        f"200{rng.randint(5, 9)}-{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}",
+        datatype=_XSD_DATE,
+    )
+
+
+def bsbm_tbox() -> list[Triple]:
+    """The fixed schema: product-type tree and entity classes.
+
+    The tree has 1 + ``_LEVEL1`` + ``_LEVEL1 * _LEVEL2`` classes linked by
+    subClassOf; SCM-SCO closes the leaf → root hops (a constant number of
+    inferences), CAX-SCO lifts each product's leaf type to its two
+    ancestors.
+    """
+    triples: list[Triple] = []
+    root = BSBM.ProductType
+    triples.append(Triple(root, RDF.type, RDFS.Class))
+    for klass in (BSBM.Product, BSBM.Offer, BSBM.Review, BSBM.Person,
+                  BSBM.Producer, BSBM.Vendor):
+        triples.append(Triple(klass, RDF.type, RDFS.Class))
+    for i in range(_LEVEL1):
+        level1 = BSBM_INST[f"ProductType{i + 1}"]
+        triples.append(Triple(level1, RDF.type, RDFS.Class))
+        triples.append(Triple(level1, RDFS.subClassOf, root))
+        for j in range(_LEVEL2):
+            leaf = BSBM_INST[f"ProductType{i + 1}-{j + 1}"]
+            triples.append(Triple(leaf, RDF.type, RDFS.Class))
+            triples.append(Triple(leaf, RDFS.subClassOf, level1))
+    return triples
+
+
+def _leaf_types() -> list[IRI]:
+    return [
+        BSBM_INST[f"ProductType{i + 1}-{j + 1}"]
+        for i in range(_LEVEL1)
+        for j in range(_LEVEL2)
+    ]
+
+
+def _triples_per_product_bundle() -> int:
+    """Triples emitted per product incl. its offers/reviews/shares."""
+    product = 6
+    offers = _OFFERS_PER_PRODUCT * 4
+    reviews = _REVIEWS_PER_PRODUCT * 4
+    persons = (_REVIEWS_PER_PRODUCT // _REVIEWS_PER_PERSON) * 3
+    producer_share = 3 / _PRODUCTS_PER_PRODUCER
+    vendor_share = 3 / _PRODUCTS_PER_VENDOR
+    return int(product + offers + reviews + persons + producer_share + vendor_share)
+
+
+def iter_bsbm(target_triples: int, seed: int = 42) -> Iterator[Triple]:
+    """Stream a BSBM-like ontology of roughly ``target_triples`` triples.
+
+    Deterministic for a given (target, seed).  The TBox comes first (as
+    BSBM's own dumps do), then product bundles until the budget is spent.
+    """
+    if target_triples < 200:
+        raise ValueError(f"target too small for the BSBM shape: {target_triples}")
+    rng = random.Random(seed)
+    produced = 0
+    for triple in bsbm_tbox():
+        produced += 1
+        yield triple
+
+    leaves = _leaf_types()
+    bundle = _triples_per_product_bundle()
+    n_products = max(1, (target_triples - produced) // bundle)
+    person_counter = 0
+    review_counter = 0
+    offer_counter = 0
+
+    for p in range(1, n_products + 1):
+        product = BSBM_INST[f"Product{p}"]
+        producer = BSBM_INST[f"Producer{(p - 1) // _PRODUCTS_PER_PRODUCER + 1}"]
+        vendor = BSBM_INST[f"Vendor{(p - 1) // _PRODUCTS_PER_VENDOR + 1}"]
+        if (p - 1) % _PRODUCTS_PER_PRODUCER == 0:
+            yield Triple(producer, RDF.type, BSBM.Producer)
+            yield Triple(producer, RDFS.label, Literal(f"Producer {producer.value[-3:]}"))
+            yield Triple(producer, BSBM.country, Literal(rng.choice(_COUNTRIES)))
+        if (p - 1) % _PRODUCTS_PER_VENDOR == 0:
+            yield Triple(vendor, RDF.type, BSBM.Vendor)
+            yield Triple(vendor, RDFS.label, Literal(f"Vendor {vendor.value[-3:]}"))
+            yield Triple(vendor, BSBM.country, Literal(rng.choice(_COUNTRIES)))
+
+        yield Triple(product, RDF.type, rng.choice(leaves))
+        yield Triple(product, RDFS.label, Literal(f"Product {p}"))
+        yield Triple(product, BSBM.producer, producer)
+        yield Triple(product, BSBM.productPropertyNumeric1, _integer(rng.randint(1, 2000)))
+        yield Triple(product, BSBM.productPropertyNumeric2, _integer(rng.randint(1, 2000)))
+        yield Triple(product, BSBM.productPropertyTextual1, Literal(f"feature-{rng.randint(1, 500)}"))
+
+        for _ in range(_OFFERS_PER_PRODUCT):
+            offer_counter += 1
+            offer = BSBM_INST[f"Offer{offer_counter}"]
+            yield Triple(offer, RDF.type, BSBM.Offer)
+            yield Triple(offer, BSBM.product, product)
+            yield Triple(offer, BSBM.vendor, vendor)
+            yield Triple(offer, BSBM.price, _integer(rng.randint(10, 10_000)))
+
+        for r in range(_REVIEWS_PER_PRODUCT):
+            review_counter += 1
+            if r % _REVIEWS_PER_PERSON == 0:
+                person_counter += 1
+                person = BSBM_INST[f"Reviewer{person_counter}"]
+                yield Triple(person, RDF.type, BSBM.Person)
+                yield Triple(person, BSBM.country, Literal(rng.choice(_COUNTRIES)))
+                yield Triple(person, RDFS.label, Literal(f"Reviewer {person_counter}"))
+            review = BSBM_INST[f"Review{review_counter}"]
+            person = BSBM_INST[f"Reviewer{person_counter}"]
+            yield Triple(review, RDF.type, BSBM.Review)
+            yield Triple(review, BSBM.reviewFor, product)
+            yield Triple(review, BSBM.reviewer, person)
+            yield Triple(review, BSBM.rating1, _integer(rng.randint(1, 10)))
+
+
+def generate_bsbm(target_triples: int, seed: int = 42) -> list[Triple]:
+    """Materialize :func:`iter_bsbm` into a list."""
+    return list(iter_bsbm(target_triples, seed=seed))

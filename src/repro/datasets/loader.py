@@ -1,0 +1,124 @@
+"""Named dataset registry — the paper's 13-ontology benchmark suite.
+
+Maps the names of Table 1's rows to generator calls, with a global
+``scale`` knob: the paper ran JVM-scale sizes (100k – 5M triples); a
+pure-Python reproduction defaults to ``scale=0.05`` (5 %) so the full
+Table 1 sweep completes in minutes, and accepts ``scale=1.0`` to run the
+paper's exact sizes when given the time.  subClassOf chains are *not*
+scaled — they are small and their closure is the point.
+
+>>> from repro.datasets import load_dataset, dataset_names
+>>> triples = load_dataset("BSBM_100k", scale=0.05)   # ≈ 5 000 triples
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..rdf.terms import Triple
+from .bsbm import PAPER_BSBM_SIZES, generate_bsbm
+from .realworld import (
+    PAPER_WIKIPEDIA_SIZE,
+    PAPER_WORDNET_SIZE,
+    generate_wikipedia,
+    generate_wordnet,
+)
+from .subclass_chains import PAPER_CHAIN_SIZES, subclass_chain
+
+__all__ = [
+    "DatasetSpec",
+    "load_dataset",
+    "dataset_names",
+    "dataset_spec",
+    "TABLE1_ORDER",
+    "DEFAULT_SCALE",
+]
+
+#: Default size multiplier for the scalable (generated) ontologies.
+DEFAULT_SCALE = 0.05
+
+#: Row order of Table 1 / x-axis order of Figure 3.
+TABLE1_ORDER = (
+    "BSBM_100k",
+    "BSBM_200k",
+    "BSBM_500k",
+    "BSBM_1M",
+    "BSBM_5M",
+    "wikipedia",
+    "wordnet",
+    "subClassOf10",
+    "subClassOf20",
+    "subClassOf50",
+    "subClassOf100",
+    "subClassOf200",
+    "subClassOf500",
+)
+
+
+class DatasetSpec:
+    """One named ontology: how to generate it and its paper-reported size."""
+
+    __slots__ = ("name", "paper_size", "scalable", "_generator")
+
+    def __init__(
+        self,
+        name: str,
+        paper_size: int,
+        generator: Callable[[int], Sequence[Triple]],
+        scalable: bool = True,
+    ):
+        self.name = name
+        self.paper_size = paper_size
+        self.scalable = scalable
+        self._generator = generator
+
+    def generate(self, scale: float = DEFAULT_SCALE) -> list[Triple]:
+        """Generate the ontology at ``scale`` × the paper's size."""
+        if not 0 < scale <= 1:
+            raise ValueError(f"scale must be in (0, 1], got {scale}")
+        if not self.scalable:
+            return list(self._generator(self.paper_size))
+        target = max(200, int(self.paper_size * scale))
+        return list(self._generator(target))
+
+    def __repr__(self):
+        return f"DatasetSpec({self.name!r}, paper_size={self.paper_size})"
+
+
+def _build_registry() -> dict[str, DatasetSpec]:
+    registry: dict[str, DatasetSpec] = {}
+    for name, size in PAPER_BSBM_SIZES.items():
+        registry[name] = DatasetSpec(name, size, generate_bsbm)
+    registry["wikipedia"] = DatasetSpec("wikipedia", PAPER_WIKIPEDIA_SIZE, generate_wikipedia)
+    registry["wordnet"] = DatasetSpec("wordnet", PAPER_WORDNET_SIZE, generate_wordnet)
+    for n in PAPER_CHAIN_SIZES:
+        registry[f"subClassOf{n}"] = DatasetSpec(
+            f"subClassOf{n}",
+            2 * n - 1,
+            lambda _size, n=n: subclass_chain(n),
+            scalable=False,
+        )
+    return registry
+
+
+_REGISTRY = _build_registry()
+
+
+def dataset_names() -> list[str]:
+    """All registered dataset names in Table 1 order."""
+    return [name for name in TABLE1_ORDER if name in _REGISTRY]
+
+
+def dataset_spec(name: str) -> DatasetSpec:
+    """Look up a dataset spec; raises ``KeyError`` with the known names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {', '.join(dataset_names())}"
+        ) from None
+
+
+def load_dataset(name: str, scale: float = DEFAULT_SCALE) -> list[Triple]:
+    """Generate a named ontology (see :data:`TABLE1_ORDER`)."""
+    return dataset_spec(name).generate(scale)

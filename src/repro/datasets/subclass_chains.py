@@ -1,0 +1,66 @@
+"""The paper's subClassOf_n chain ontologies (§3, Equation 1).
+
+For a chain length ``n`` the ontology is::
+
+    <1, type, Class>
+    <i, type, Class>            i ∈ {2, 3, ..., n}
+    <i, subClassOf, i-1>        i ∈ {2, 3, ..., n}
+
+"These ontologies are easy to generate but provide the utmost practical
+interest due to their complexity": the chain of n classes yields a
+transitive closure of C(n-1, 2) unique subClassOf triples under ρdf,
+while naive iterative schemes perform O(n³) derivations to find them —
+the duplicates stress-test.
+"""
+
+from __future__ import annotations
+
+from ..rdf.namespaces import Namespace, RDF, RDFS
+from ..rdf.terms import IRI, Triple
+
+__all__ = [
+    "subclass_chain",
+    "chain_class",
+    "expected_rhodf_inferences",
+    "expected_input_size",
+    "CHAIN_NS",
+    "PAPER_CHAIN_SIZES",
+]
+
+CHAIN_NS = Namespace("http://slider.repro/chain#")
+
+#: Chain lengths used in Table 1 / Figure 3.
+PAPER_CHAIN_SIZES = (10, 20, 50, 100, 200, 500)
+
+
+def chain_class(index: int) -> IRI:
+    """The IRI of chain class ``index`` (1-based, as in Equation 1)."""
+    if index < 1:
+        raise ValueError(f"chain classes are numbered from 1, got {index}")
+    return CHAIN_NS[f"C{index}"]
+
+
+def subclass_chain(n: int) -> list[Triple]:
+    """Generate subClassOf_n exactly as Equation 1 defines it."""
+    if n < 1:
+        raise ValueError(f"chain length must be >= 1, got {n}")
+    triples = [Triple(chain_class(1), RDF.type, RDFS.Class)]
+    for i in range(2, n + 1):
+        triples.append(Triple(chain_class(i), RDF.type, RDFS.Class))
+        triples.append(Triple(chain_class(i), RDFS.subClassOf, chain_class(i - 1)))
+    return triples
+
+
+def expected_input_size(n: int) -> int:
+    """Number of explicit triples in subClassOf_n: 2n - 1."""
+    return 2 * n - 1
+
+
+def expected_rhodf_inferences(n: int) -> int:
+    """Unique ρdf inferences for subClassOf_n: C(n-1, 2).
+
+    The closure contains every (i, subClassOf, j) with i > j + 1 — the
+    paper's Table 1 column (36 for n=10, 171 for n=20, ... 124251 for
+    n=500).
+    """
+    return (n - 1) * (n - 2) // 2

@@ -1,0 +1,14 @@
+"""Demo layer: inference player and summary report (paper §4, Figure 4)."""
+
+from .player import InferencePlayer, ModuleState, PlayerState
+from .report import render_html, render_text, summarize, write_html_report
+
+__all__ = [
+    "InferencePlayer",
+    "PlayerState",
+    "ModuleState",
+    "summarize",
+    "render_text",
+    "render_html",
+    "write_html_report",
+]

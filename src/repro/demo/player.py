@@ -1,0 +1,228 @@
+"""The inference player (paper §4, panel 2).
+
+The demo web GUI lets users "pause the inference, go backwards, and
+replay any part of the inference", driven by a per-step log of module
+states.  :class:`InferencePlayer` provides exactly that over a recorded
+:class:`~repro.reasoner.trace.Trace`: play / pause / step forward /
+step backward / seek, with the full module state (the GUI's progress
+bars and three per-buffer counters) reconstructed at every step.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from ..reasoner.trace import Trace, TraceEvent
+
+__all__ = ["ModuleState", "PlayerState", "InferencePlayer"]
+
+
+class ModuleState:
+    """One rule module's counters at a point in the replay."""
+
+    __slots__ = ("rule", "size_fires", "timeout_fires", "executions",
+                 "derived", "kept")
+
+    def __init__(self, rule: str):
+        self.rule = rule
+        self.size_fires = 0      # GUI counter (i): times the buffer filled
+        self.timeout_fires = 0   # GUI counter (ii): forced flushes
+        self.executions = 0
+        self.derived = 0
+        self.kept = 0            # GUI counter (iii): triples inferred
+
+    def as_dict(self) -> dict[str, int | str]:
+        return {
+            "rule": self.rule,
+            "size_fires": self.size_fires,
+            "timeout_fires": self.timeout_fires,
+            "executions": self.executions,
+            "derived": self.derived,
+            "kept": self.kept,
+        }
+
+    def copy(self) -> "ModuleState":
+        clone = ModuleState(self.rule)
+        clone.size_fires = self.size_fires
+        clone.timeout_fires = self.timeout_fires
+        clone.executions = self.executions
+        clone.derived = self.derived
+        clone.kept = self.kept
+        return clone
+
+
+class PlayerState:
+    """Global reasoner state at one step of the replay.
+
+    Mirrors the GUI's progress bars: input consumed, store composition
+    (explicit green part vs inferred orange part), per-module counters,
+    and the ring of recently executed rules ("the thread pool is
+    represented by the last five executed rules").
+    """
+
+    RECENT_RULES = 5
+
+    def __init__(self):
+        self.step = 0
+        self.input_received = 0
+        self.input_new = 0
+        self.inferred_kept = 0
+        self.store_size = 0
+        self.flushes = 0
+        self.done = False
+        self.modules: dict[str, ModuleState] = {}
+        self.recent_rules: list[str] = []
+
+    @property
+    def explicit_in_store(self) -> int:
+        """The green part of the GUI's store bar."""
+        return self.input_new
+
+    @property
+    def inferred_in_store(self) -> int:
+        """The orange part of the GUI's store bar."""
+        return self.inferred_kept
+
+    def module(self, rule: str) -> ModuleState:
+        state = self.modules.get(rule)
+        if state is None:
+            state = ModuleState(rule)
+            self.modules[rule] = state
+        return state
+
+    def advance(self, event: TraceEvent) -> None:
+        """Fold one trace event into the state."""
+        kind = event.kind
+        payload = event.payload
+        if kind == "input":
+            self.input_received += payload["received"]
+            self.input_new += payload["new"]
+            self.store_size = payload["store_size"]
+        elif kind == "buffer_full":
+            self.module(payload["rule"]).size_fires += 1
+        elif kind == "buffer_timeout":
+            self.module(payload["rule"]).timeout_fires += 1
+        elif kind == "rule_start":
+            module = self.module(payload["rule"])
+            module.executions += 1
+            self.recent_rules.append(payload["rule"])
+            del self.recent_rules[: -self.RECENT_RULES]
+        elif kind == "rule_end":
+            module = self.module(payload["rule"])
+            module.derived += payload["derived"]
+            module.kept += payload["kept"]
+            self.inferred_kept += payload["kept"]
+        elif kind == "store":
+            self.store_size = payload["store_size"]
+        elif kind == "flush":
+            self.flushes += 1
+        elif kind == "done":
+            self.done = True
+            self.store_size = payload["store_size"]
+        self.step = event.seq + 1
+
+    def copy(self) -> "PlayerState":
+        clone = PlayerState()
+        clone.step = self.step
+        clone.input_received = self.input_received
+        clone.input_new = self.input_new
+        clone.inferred_kept = self.inferred_kept
+        clone.store_size = self.store_size
+        clone.flushes = self.flushes
+        clone.done = self.done
+        clone.modules = {name: module.copy() for name, module in self.modules.items()}
+        clone.recent_rules = list(self.recent_rules)
+        return clone
+
+    def as_dict(self) -> dict:
+        return {
+            "step": self.step,
+            "input_received": self.input_received,
+            "explicit": self.explicit_in_store,
+            "inferred": self.inferred_in_store,
+            "store_size": self.store_size,
+            "flushes": self.flushes,
+            "done": self.done,
+            "recent_rules": list(self.recent_rules),
+            "modules": {name: m.as_dict() for name, m in sorted(self.modules.items())},
+        }
+
+
+class InferencePlayer:
+    """Replayable view over a recorded inference trace.
+
+    >>> player = InferencePlayer(trace)
+    >>> player.seek(100).store_size
+    >>> player.step_forward()        # -> PlayerState at step 101
+    >>> player.step_back()           # -> back to 100
+    >>> for event, state in player.play():   # full replay
+    ...     ...
+    """
+
+    def __init__(self, trace: Trace):
+        self._events = trace.snapshot()
+        self._state = PlayerState()
+        self._position = 0  # number of events folded into _state
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def position(self) -> int:
+        return self._position
+
+    @property
+    def state(self) -> PlayerState:
+        return self._state.copy()
+
+    @property
+    def at_end(self) -> bool:
+        return self._position >= len(self._events)
+
+    def seek(self, step: int) -> PlayerState:
+        """Jump so that ``step`` events have been applied (clamped)."""
+        step = max(0, min(step, len(self._events)))
+        if step < self._position:
+            # The log is the source of truth; rebuild from the start
+            # (replays are demo-sized, and this keeps state exact).
+            self._state = PlayerState()
+            self._position = 0
+        while self._position < step:
+            self._state.advance(self._events[self._position])
+            self._position += 1
+        return self.state
+
+    def step_forward(self) -> PlayerState | None:
+        """Apply one event; ``None`` at the end of the log."""
+        if self.at_end:
+            return None
+        self._state.advance(self._events[self._position])
+        self._position += 1
+        return self.state
+
+    def step_back(self) -> PlayerState:
+        """Undo one event (by replaying the prefix)."""
+        return self.seek(self._position - 1)
+
+    def play(
+        self,
+        from_step: int = 0,
+        to_step: int | None = None,
+        on_step: Callable[[TraceEvent, PlayerState], None] | None = None,
+    ) -> Iterator[tuple[TraceEvent, PlayerState]]:
+        """Iterate (event, state-after-event) pairs over a step range."""
+        self.seek(from_step)
+        end = len(self._events) if to_step is None else min(to_step, len(self._events))
+        while self._position < end:
+            event = self._events[self._position]
+            state = self.step_forward()
+            if on_step is not None:
+                on_step(event, state)
+            yield event, state
+
+    def final_state(self) -> PlayerState:
+        """The state after the whole log (does not move the cursor)."""
+        saved = self._position
+        state = self.seek(len(self._events))
+        self.seek(saved)
+        return state

@@ -1,0 +1,180 @@
+"""The demo's summary panel (paper §4, panel 3 / Figure 4).
+
+Renders "proportion of triples from the ontology compared with the
+triples inferred, distribution by rule of the triples inferred, and
+number of time each rule has run", plus the quality/impact table —
+as plain text for terminals and as a self-contained HTML page.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from typing import Mapping
+
+from ..reasoner.trace import Trace
+from .player import InferencePlayer
+
+__all__ = ["summarize", "render_text", "render_html", "write_html_report"]
+
+
+def summarize(trace: Trace, config: Mapping | None = None) -> dict:
+    """Aggregate a trace into the demo's summary structure."""
+    state = InferencePlayer(trace).final_state()
+    total = state.store_size or 1
+    rules = sorted(
+        (module.as_dict() for module in state.modules.values()),
+        key=lambda row: (-row["kept"], row["rule"]),
+    )
+    return {
+        "config": dict(config or {}),
+        "steps": state.step,
+        "input_received": state.input_received,
+        "explicit": state.explicit_in_store,
+        "inferred": state.inferred_in_store,
+        "store_size": state.store_size,
+        "explicit_pct": 100.0 * state.explicit_in_store / total,
+        "inferred_pct": 100.0 * state.inferred_in_store / total,
+        "rule_executions": sum(row["executions"] for row in rules),
+        "size_fires": sum(row["size_fires"] for row in rules),
+        "timeout_fires": sum(row["timeout_fires"] for row in rules),
+        "duplicates_filtered": sum(row["derived"] - row["kept"] for row in rules),
+        "rules": rules,
+        "done": state.done,
+    }
+
+
+def _bar(fraction: float, width: int = 30, fill: str = "█") -> str:
+    return fill * max(0, round(fraction * width))
+
+
+def render_text(trace: Trace, config: Mapping | None = None) -> str:
+    """Terminal rendering of the summary panel."""
+    summary = summarize(trace, config)
+    lines = ["=== Slider inference summary ==="]
+    if summary["config"]:
+        settings = ", ".join(f"{k}={v}" for k, v in sorted(summary["config"].items()))
+        lines.append(f"configuration: {settings}")
+    total = summary["store_size"] or 1
+    lines.append(
+        f"store: {summary['store_size']} triples "
+        f"({summary['explicit']} explicit / {summary['inferred']} inferred)"
+    )
+    lines.append(
+        f"  explicit {_bar(summary['explicit'] / total)} {summary['explicit_pct']:.1f}%"
+    )
+    lines.append(
+        f"  inferred {_bar(summary['inferred'] / total, fill='▒')} {summary['inferred_pct']:.1f}%"
+    )
+    lines.append(
+        f"rule executions: {summary['rule_executions']} "
+        f"({summary['size_fires']} size-fired, {summary['timeout_fires']} timeout-fired); "
+        f"duplicates filtered: {summary['duplicates_filtered']}"
+    )
+    lines.append("")
+    lines.append(f"{'rule':<12} {'runs':>6} {'derived':>9} {'kept':>9}  share of inferences")
+    peak = max((row["kept"] for row in summary["rules"]), default=0) or 1
+    inferred_total = summary["inferred"] or 1
+    for row in summary["rules"]:
+        share = row["kept"] / inferred_total * 100.0
+        lines.append(
+            f"{row['rule']:<12} {row['executions']:>6} {row['derived']:>9} "
+            f"{row['kept']:>9}  {_bar(row['kept'] / peak, width=24)} {share:.1f}%"
+        )
+    return "\n".join(lines)
+
+
+_HTML_TEMPLATE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>Slider inference report</title>
+<style>
+  body {{ font-family: system-ui, sans-serif; margin: 2rem; color: #222; }}
+  h1 {{ font-size: 1.4rem; }}  h2 {{ font-size: 1.1rem; margin-top: 2rem; }}
+  table {{ border-collapse: collapse; margin-top: .5rem; }}
+  th, td {{ border: 1px solid #ccc; padding: .3rem .7rem; text-align: right; }}
+  th {{ background: #f0f0f0; }}  td.rule {{ text-align: left; font-family: monospace; }}
+  .bar {{ display: inline-block; height: .8rem; background: #e67e22; vertical-align: middle; }}
+  .bar.explicit {{ background: #27ae60; }}
+  .storebar {{ width: 100%; background: #eee; height: 1.2rem; }}
+  .storebar div {{ height: 100%; float: left; }}
+  .legend {{ font-size: .85rem; color: #555; }}
+</style>
+</head>
+<body>
+<h1>Slider inference report</h1>
+<p class="legend">{config}</p>
+<h2>Triple store composition</h2>
+<div class="storebar">
+  <div class="bar explicit" style="width:{explicit_pct:.1f}%"></div>
+  <div class="bar" style="width:{inferred_pct:.1f}%"></div>
+</div>
+<p class="legend">{store_size} triples — {explicit} explicit
+({explicit_pct:.1f}%, green) / {inferred} inferred ({inferred_pct:.1f}%, orange)</p>
+<h2>Inference quality &amp; parameter impact</h2>
+<table>
+<tr><th>rule executions</th><th>size-fired</th><th>timeout-fired</th>
+<th>duplicates filtered</th><th>trace steps</th></tr>
+<tr><td>{rule_executions}</td><td>{size_fires}</td><td>{timeout_fires}</td>
+<td>{duplicates_filtered}</td><td>{steps}</td></tr>
+</table>
+<h2>Distribution by rule</h2>
+<table>
+<tr><th>rule</th><th>runs</th><th>derived</th><th>kept</th><th>share</th></tr>
+{rule_rows}
+</table>
+<script type="application/json" id="summary">{summary_json}</script>
+</body>
+</html>
+"""
+
+
+def render_html(trace: Trace, config: Mapping | None = None) -> str:
+    """Self-contained HTML rendering of the summary panel."""
+    summary = summarize(trace, config)
+    inferred_total = summary["inferred"] or 1
+    rows = []
+    for row in summary["rules"]:
+        share = row["kept"] / inferred_total * 100.0
+        rows.append(
+            "<tr><td class=\"rule\">{rule}</td><td>{runs}</td><td>{derived}</td>"
+            "<td>{kept}</td><td><span class=\"bar\" style=\"width:{width:.0f}px\"></span>"
+            " {share:.1f}%</td></tr>".format(
+                rule=html.escape(row["rule"]),
+                runs=row["executions"],
+                derived=row["derived"],
+                kept=row["kept"],
+                width=120.0 * row["kept"] / inferred_total,
+                share=share,
+            )
+        )
+    config_text = ", ".join(
+        f"{html.escape(str(k))}={html.escape(str(v))}"
+        for k, v in sorted((config or {}).items())
+    )
+    return _HTML_TEMPLATE.format(
+        config=config_text or "default configuration",
+        explicit=summary["explicit"],
+        inferred=summary["inferred"],
+        explicit_pct=summary["explicit_pct"],
+        inferred_pct=summary["inferred_pct"],
+        store_size=summary["store_size"],
+        rule_executions=summary["rule_executions"],
+        size_fires=summary["size_fires"],
+        timeout_fires=summary["timeout_fires"],
+        duplicates_filtered=summary["duplicates_filtered"],
+        steps=summary["steps"],
+        rule_rows="\n".join(rows),
+        # \u-escape angle brackets so user-supplied config values cannot
+        # break out of the <script> block.
+        summary_json=json.dumps(summary, indent=1)
+        .replace("<", "\\u003c")
+        .replace(">", "\\u003e"),
+    )
+
+
+def write_html_report(trace: Trace, path, config: Mapping | None = None) -> None:
+    """Write :func:`render_html` output to a file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_html(trace, config))

@@ -1,0 +1,19 @@
+"""Term ↔ integer dictionary encoding (the input manager's dictionary)."""
+
+from .encoder import (
+    KIND_BNODE,
+    KIND_IRI,
+    KIND_LITERAL,
+    EncodedTriple,
+    IdentityDictionary,
+    TermDictionary,
+)
+
+__all__ = [
+    "TermDictionary",
+    "IdentityDictionary",
+    "EncodedTriple",
+    "KIND_IRI",
+    "KIND_BNODE",
+    "KIND_LITERAL",
+]

@@ -1,0 +1,48 @@
+"""RDF data model and I/O substrate.
+
+Everything the reasoner consumes or produces is expressed with the types in
+this package: :class:`~repro.rdf.terms.IRI`, :class:`~repro.rdf.terms.BNode`,
+:class:`~repro.rdf.terms.Literal`, :class:`~repro.rdf.terms.Triple`, the
+vocabulary helpers in :mod:`~repro.rdf.namespaces`, and the N-Triples /
+Turtle parsers and serializers.
+"""
+
+from .namespaces import OWL, RDF, RDFS, XSD, Namespace, split_iri
+from .ntriples import (
+    NTriplesError,
+    iter_ntriples,
+    parse_ntriples,
+    parse_ntriples_file,
+    serialize_ntriples,
+    write_ntriples,
+    write_ntriples_file,
+)
+from .terms import BNode, IRI, Literal, Term, Triple, Variable, term_sort_key
+from .turtle import TurtleError, parse_turtle, parse_turtle_file, serialize_turtle
+
+__all__ = [
+    "IRI",
+    "BNode",
+    "Literal",
+    "Variable",
+    "Term",
+    "Triple",
+    "term_sort_key",
+    "Namespace",
+    "RDF",
+    "RDFS",
+    "OWL",
+    "XSD",
+    "split_iri",
+    "NTriplesError",
+    "iter_ntriples",
+    "parse_ntriples",
+    "parse_ntriples_file",
+    "serialize_ntriples",
+    "write_ntriples",
+    "write_ntriples_file",
+    "TurtleError",
+    "parse_turtle",
+    "parse_turtle_file",
+    "serialize_turtle",
+]

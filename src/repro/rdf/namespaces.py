@@ -1,0 +1,90 @@
+"""Standard vocabularies and the :class:`Namespace` helper.
+
+A :class:`Namespace` makes building IRIs ergonomic::
+
+    EX = Namespace("http://example.org/")
+    EX.alice          # IRI('http://example.org/alice')
+    EX["bob-1"]       # IRI('http://example.org/bob-1')
+
+Pre-built vocabularies cover the terms used by the ρdf / RDFS / OWL-Horst
+rule sets and the dataset generators: :data:`RDF`, :data:`RDFS`,
+:data:`OWL`, :data:`XSD`, plus the BSBM-like namespaces used by
+:mod:`repro.datasets.bsbm`.
+"""
+
+from __future__ import annotations
+
+from .terms import IRI
+
+__all__ = [
+    "Namespace",
+    "RDF",
+    "RDFS",
+    "OWL",
+    "XSD",
+    "split_iri",
+    "WELL_KNOWN_PREFIXES",
+]
+
+
+class Namespace:
+    """A base IRI that mints terms via attribute or item access."""
+
+    def __init__(self, base: str):
+        if not isinstance(base, str) or not base:
+            raise ValueError("namespace base must be a non-empty string")
+        self._base = base
+
+    @property
+    def base(self) -> str:
+        return self._base
+
+    def term(self, local: str) -> IRI:
+        return IRI(self._base + local)
+
+    def __getattr__(self, local: str) -> IRI:
+        if local.startswith("_"):
+            raise AttributeError(local)
+        return self.term(local)
+
+    def __getitem__(self, local: str) -> IRI:
+        return self.term(local)
+
+    def __contains__(self, iri) -> bool:
+        return isinstance(iri, IRI) and iri.value.startswith(self._base)
+
+    def __eq__(self, other):
+        return isinstance(other, Namespace) and other._base == self._base
+
+    def __hash__(self):
+        return hash(self._base)
+
+    def __repr__(self):
+        return f"Namespace({self._base!r})"
+
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+OWL = Namespace("http://www.w3.org/2002/07/owl#")
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+
+WELL_KNOWN_PREFIXES: dict[str, str] = {
+    "rdf": RDF.base,
+    "rdfs": RDFS.base,
+    "owl": OWL.base,
+    "xsd": XSD.base,
+}
+
+
+def split_iri(iri: IRI) -> tuple[str, str]:
+    """Split an IRI into (namespace, local name) at the last ``#`` or ``/``.
+
+    >>> split_iri(IRI("http://example.org/ns#width"))
+    ('http://example.org/ns#', 'width')
+    """
+    value = iri.value
+    for separator in ("#", "/", ":"):
+        index = value.rfind(separator)
+        if index != -1 and index + 1 < len(value):
+            return value[: index + 1], value[index + 1 :]
+    return value, ""

@@ -1,0 +1,392 @@
+"""Turtle parser and serializer (pragmatic subset of W3C Turtle).
+
+Supported syntax — everything the library's own serializer emits plus the
+constructs found in the ontologies the paper evaluates on:
+
+* ``@prefix`` / ``@base`` directives (and SPARQL-style ``PREFIX`` / ``BASE``),
+* prefixed names and relative IRIs resolved against the base,
+* the ``a`` keyword for ``rdf:type``,
+* predicate lists (``;``) and object lists (``,``),
+* anonymous blank nodes ``[ ... ]`` with nested predicate-object lists,
+* RDF collections ``( ... )`` expanded to ``rdf:first``/``rdf:rest`` chains,
+* numeric (integer / decimal / double), boolean, plain, language-tagged,
+  typed, and long (``\"\"\"...\"\"\"``) literals.
+
+Not supported (rejected with a clear error): ``@forAll``/``@forSome`` and
+other Notation3 extensions.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from .namespaces import RDF, XSD, WELL_KNOWN_PREFIXES
+from .terms import BNode, IRI, Literal, Term, Triple
+
+__all__ = ["TurtleError", "parse_turtle", "parse_turtle_file", "serialize_turtle"]
+
+
+class TurtleError(ValueError):
+    """Raised on malformed Turtle input."""
+
+    def __init__(self, message: str, line_number: int | None = None):
+        if line_number is not None:
+            message = f"{message} at line {line_number}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+# Token kinds
+_TOKEN_SPEC = [
+    ("COMMENT", r"#[^\n]*"),
+    ("LONG_STRING", r'"""(?:[^"\\]|\\.|"(?!""))*"""'),
+    ("STRING", r'"(?:[^"\\\n]|\\.)*"'),
+    ("IRIREF", r"<[^<>\"{}|^`\\\x00-\x20]*>"),
+    ("PREFIX_DIRECTIVE", r"@prefix\b|PREFIX\b"),
+    ("BASE_DIRECTIVE", r"@base\b|BASE\b"),
+    ("LANGTAG", r"@[A-Za-z]+(?:-[A-Za-z0-9]+)*"),
+    ("DOUBLE", r"[+-]?(?:\d+\.\d*|\.\d+|\d+)[eE][+-]?\d+"),
+    ("DECIMAL", r"[+-]?\d*\.\d+"),
+    ("INTEGER", r"[+-]?\d+"),
+    ("HATHAT", r"\^\^"),
+    ("BNODE", r"_:[A-Za-z0-9_][A-Za-z0-9_.-]*"),
+    # PNAME must come after directives so '@prefix' wins; allow empty prefix ":x"
+    ("PNAME", r"[A-Za-z_][A-Za-z0-9_.-]*:[A-Za-z0-9_][A-Za-z0-9_.%-]*|:[A-Za-z0-9_][A-Za-z0-9_.%-]*|[A-Za-z_][A-Za-z0-9_.-]*:|:"),
+    ("KEYWORD_A", r"a\b"),
+    ("BOOLEAN", r"true\b|false\b"),
+    ("LBRACKET", r"\["),
+    ("RBRACKET", r"\]"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("SEMICOLON", r";"),
+    ("COMMA", r","),
+    ("DOT", r"\."),
+    ("WS", r"[ \t\r\n]+"),
+]
+_TOKEN_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC), re.DOTALL)
+
+_STRING_ESCAPES = {
+    "t": "\t", "b": "\b", "n": "\n", "r": "\r", "f": "\f",
+    '"': '"', "'": "'", "\\": "\\",
+}
+
+
+class _Token:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind: str, text: str, line: int):
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+    def __repr__(self):
+        return f"_Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+def _tokenize(text: str) -> Iterator[_Token]:
+    pos = 0
+    line = 1
+    length = len(text)
+    while pos < length:
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise TurtleError(f"unexpected character {text[pos]!r}", line)
+        kind = match.lastgroup
+        token_text = match.group()
+        if kind not in ("WS", "COMMENT"):
+            yield _Token(kind, token_text, line)
+        line += token_text.count("\n")
+        pos = match.end()
+    yield _Token("EOF", "", line)
+
+
+def _unescape_string(raw: str, line: int) -> str:
+    result: list[str] = []
+    index = 0
+    while index < len(raw):
+        char = raw[index]
+        if char != "\\":
+            result.append(char)
+            index += 1
+            continue
+        index += 1
+        if index >= len(raw):
+            raise TurtleError("dangling escape in string", line)
+        escape_char = raw[index]
+        index += 1
+        if escape_char in _STRING_ESCAPES:
+            result.append(_STRING_ESCAPES[escape_char])
+        elif escape_char in ("u", "U"):
+            width = 4 if escape_char == "u" else 8
+            digits = raw[index : index + width]
+            if len(digits) < width:
+                raise TurtleError(f"invalid \\{escape_char} escape", line)
+            try:
+                result.append(chr(int(digits, 16)))
+            except ValueError as exc:
+                raise TurtleError(f"invalid \\{escape_char} escape", line) from exc
+            index += width
+        else:
+            raise TurtleError(f"invalid escape \\{escape_char}", line)
+    return "".join(result)
+
+
+class _TurtleParser:
+    def __init__(self, text: str, base: str | None = None):
+        self.tokens = list(_tokenize(text))
+        self.index = 0
+        self.base = base or ""
+        self.prefixes: dict[str, str] = {}
+        self.triples: list[Triple] = []
+        self._anon_counter = 0
+
+    # --- token plumbing ---------------------------------------------------
+    def peek(self) -> _Token:
+        return self.tokens[self.index]
+
+    def next(self) -> _Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect(self, kind: str) -> _Token:
+        token = self.next()
+        if token.kind != kind:
+            raise TurtleError(f"expected {kind}, found {token.kind} ({token.text!r})", token.line)
+        return token
+
+    # --- grammar ----------------------------------------------------------
+    def parse(self) -> list[Triple]:
+        while self.peek().kind != "EOF":
+            token = self.peek()
+            if token.kind == "PREFIX_DIRECTIVE":
+                self._parse_prefix()
+            elif token.kind == "BASE_DIRECTIVE":
+                self._parse_base()
+            else:
+                self._parse_statement()
+        return self.triples
+
+    def _parse_prefix(self) -> None:
+        directive = self.next()
+        pname = self.expect("PNAME")
+        if not pname.text.endswith(":"):
+            raise TurtleError(f"malformed prefix declaration {pname.text!r}", pname.line)
+        iri_token = self.expect("IRIREF")
+        self.prefixes[pname.text[:-1]] = self._resolve(iri_token.text[1:-1])
+        if directive.text.startswith("@"):
+            self.expect("DOT")
+
+    def _parse_base(self) -> None:
+        directive = self.next()
+        iri_token = self.expect("IRIREF")
+        self.base = self._resolve(iri_token.text[1:-1])
+        if directive.text.startswith("@"):
+            self.expect("DOT")
+
+    def _parse_statement(self) -> None:
+        subject = self._parse_subject()
+        self._parse_predicate_object_list(subject)
+        self.expect("DOT")
+
+    def _parse_subject(self):
+        token = self.peek()
+        if token.kind == "IRIREF":
+            return self._iri_from_token(self.next())
+        if token.kind == "PNAME":
+            return self._expand_pname(self.next())
+        if token.kind == "BNODE":
+            return BNode(self.next().text[2:])
+        if token.kind == "LBRACKET":
+            return self._parse_anon_bnode()
+        if token.kind == "LPAREN":
+            return self._parse_collection()
+        raise TurtleError(f"cannot start a statement with {token.kind} ({token.text!r})", token.line)
+
+    def _parse_predicate_object_list(self, subject) -> None:
+        while True:
+            predicate = self._parse_predicate()
+            while True:
+                obj = self._parse_object()
+                self.triples.append(Triple(subject, predicate, obj))
+                if self.peek().kind == "COMMA":
+                    self.next()
+                    continue
+                break
+            if self.peek().kind == "SEMICOLON":
+                while self.peek().kind == "SEMICOLON":
+                    self.next()
+                if self.peek().kind in ("DOT", "RBRACKET"):
+                    return  # trailing semicolon
+                continue
+            return
+
+    def _parse_predicate(self) -> IRI:
+        token = self.next()
+        if token.kind == "KEYWORD_A":
+            return RDF.type
+        if token.kind == "IRIREF":
+            return self._iri_from_token(token)
+        if token.kind == "PNAME":
+            iri = self._expand_pname(token)
+            if not isinstance(iri, IRI):
+                raise TurtleError("predicate must be an IRI", token.line)
+            return iri
+        raise TurtleError(f"expected predicate, found {token.kind} ({token.text!r})", token.line)
+
+    def _parse_object(self) -> Term:
+        token = self.peek()
+        if token.kind == "IRIREF":
+            return self._iri_from_token(self.next())
+        if token.kind == "PNAME":
+            return self._expand_pname(self.next())
+        if token.kind == "BNODE":
+            return BNode(self.next().text[2:])
+        if token.kind == "LBRACKET":
+            return self._parse_anon_bnode()
+        if token.kind == "LPAREN":
+            return self._parse_collection()
+        if token.kind in ("STRING", "LONG_STRING"):
+            return self._parse_literal()
+        if token.kind == "INTEGER":
+            return Literal(self.next().text, datatype=XSD.integer)
+        if token.kind == "DECIMAL":
+            return Literal(self.next().text, datatype=XSD.decimal)
+        if token.kind == "DOUBLE":
+            return Literal(self.next().text, datatype=XSD.double)
+        if token.kind == "BOOLEAN":
+            return Literal(self.next().text, datatype=XSD.boolean)
+        raise TurtleError(f"expected object, found {token.kind} ({token.text!r})", token.line)
+
+    def _parse_literal(self) -> Literal:
+        token = self.next()
+        raw = token.text[3:-3] if token.kind == "LONG_STRING" else token.text[1:-1]
+        lexical = _unescape_string(raw, token.line)
+        follower = self.peek()
+        if follower.kind == "LANGTAG":
+            self.next()
+            return Literal(lexical, language=follower.text[1:])
+        if follower.kind == "HATHAT":
+            self.next()
+            datatype_token = self.next()
+            if datatype_token.kind == "IRIREF":
+                datatype = self._iri_from_token(datatype_token)
+            elif datatype_token.kind == "PNAME":
+                datatype = self._expand_pname(datatype_token)
+            else:
+                raise TurtleError("expected datatype IRI after ^^", datatype_token.line)
+            return Literal(lexical, datatype=datatype)
+        return Literal(lexical)
+
+    def _parse_anon_bnode(self) -> BNode:
+        self.expect("LBRACKET")
+        self._anon_counter += 1
+        node = BNode(f"anon{self._anon_counter}")
+        if self.peek().kind != "RBRACKET":
+            self._parse_predicate_object_list(node)
+        self.expect("RBRACKET")
+        return node
+
+    def _parse_collection(self):
+        open_token = self.expect("LPAREN")
+        items: list[Term] = []
+        while self.peek().kind != "RPAREN":
+            if self.peek().kind == "EOF":
+                raise TurtleError("unterminated collection", open_token.line)
+            items.append(self._parse_object())
+        self.expect("RPAREN")
+        if not items:
+            return RDF.nil
+        head: Term = RDF.nil
+        for item in reversed(items):
+            self._anon_counter += 1
+            cell = BNode(f"list{self._anon_counter}")
+            self.triples.append(Triple(cell, RDF.first, item))
+            self.triples.append(Triple(cell, RDF.rest, head))
+            head = cell
+        return head
+
+    # --- term helpers -------------------------------------------------------
+    def _resolve(self, iri_text: str) -> str:
+        if re.match(r"^[A-Za-z][A-Za-z0-9+.-]*:", iri_text):
+            return iri_text  # already absolute
+        if not self.base:
+            raise TurtleError(f"relative IRI {iri_text!r} with no @base in scope")
+        if iri_text.startswith("#") or not iri_text:
+            return self.base.split("#")[0] + iri_text
+        return re.sub(r"[^/]*$", "", self.base) + iri_text
+
+    def _iri_from_token(self, token: _Token) -> IRI:
+        try:
+            return IRI(self._resolve(token.text[1:-1]))
+        except ValueError as exc:
+            raise TurtleError(str(exc), token.line) from exc
+
+    def _expand_pname(self, token: _Token) -> IRI:
+        prefix, _, local = token.text.partition(":")
+        namespace = self.prefixes.get(prefix)
+        if namespace is None:
+            namespace = WELL_KNOWN_PREFIXES.get(prefix)
+        if namespace is None:
+            raise TurtleError(f"undeclared prefix {prefix!r}", token.line)
+        local = local.replace("%", "%25") if "%" in local and "%25" not in local else local
+        return IRI(namespace + local)
+
+
+def parse_turtle(text: str, base: str | None = None) -> list[Triple]:
+    """Parse a Turtle document into a list of triples."""
+    return _TurtleParser(text, base=base).parse()
+
+
+def parse_turtle_file(path, base: str | None = None) -> list[Triple]:
+    """Parse a Turtle file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_turtle(handle.read(), base=base)
+
+
+def serialize_turtle(triples, prefixes: dict[str, str] | None = None) -> str:
+    """Serialize triples to Turtle, grouping by subject and predicate.
+
+    ``prefixes`` maps prefix label → namespace IRI; well-known prefixes are
+    always available.  Terms outside all namespaces are written as full
+    IRIs.
+    """
+    all_prefixes = dict(WELL_KNOWN_PREFIXES)
+    if prefixes:
+        all_prefixes.update(prefixes)
+    # Longest namespace first so the most specific prefix wins.
+    by_length = sorted(all_prefixes.items(), key=lambda item: -len(item[1]))
+
+    def compact(term: Term) -> str:
+        if isinstance(term, IRI):
+            for label, namespace in by_length:
+                if term.value.startswith(namespace):
+                    local = term.value[len(namespace):]
+                    if re.match(r"^[A-Za-z0-9_][A-Za-z0-9_.-]*$", local):
+                        return f"{label}:{local}"
+            return term.n3()
+        return term.n3()
+
+    used: set[str] = set()
+    body_lines: list[str] = []
+    by_subject: dict[Term, dict[IRI, list[Term]]] = {}
+    for triple in sorted(triples):
+        by_subject.setdefault(triple.subject, {}).setdefault(triple.predicate, []).append(triple.object)
+
+    for subject, predicate_map in by_subject.items():
+        parts: list[str] = []
+        for predicate, objects in predicate_map.items():
+            predicate_text = "a" if predicate == RDF.type else compact(predicate)
+            object_text = ", ".join(compact(obj) for obj in objects)
+            parts.append(f"{predicate_text} {object_text}")
+        body_lines.append(f"{compact(subject)} " + " ;\n    ".join(parts) + " .")
+
+    body = "\n".join(body_lines)
+    for label, namespace in sorted(all_prefixes.items()):
+        if f"{label}:" in body:
+            used.add(label)
+    header = "".join(
+        f"@prefix {label}: <{all_prefixes[label]}> .\n" for label in sorted(used)
+    )
+    return header + ("\n" if header and body else "") + body + ("\n" if body else "")

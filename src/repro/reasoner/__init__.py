@@ -1,0 +1,71 @@
+"""The Slider reasoner: rules, fragments, pipeline, engine, streams."""
+
+from .adaptive import AdaptiveBufferController, RuleYield
+from .buffers import TripleBuffer
+from .dependency import DependencyGraph, build_routing_table
+from .distributor import Distributor
+from .engine import Slider, SliderError
+from .fragments import (
+    Fragment,
+    UnknownFragmentError,
+    available_fragments,
+    get_fragment,
+    register_fragment,
+)
+from .input_manager import InputManager
+from .modules import RuleModule
+from .retraction import dred_retract
+from .rules import JoinRule, Pattern, Rule, RuleViolation, SingleRule, Var
+from .stream import (
+    FileSource,
+    GeneratorSource,
+    ListSource,
+    RateLimitedSource,
+    StreamPump,
+    StreamSource,
+    merge_sources,
+)
+from .trace import NullTrace, Trace, TraceEvent, load_trace, save_trace
+from .vocabulary import Vocabulary
+from .window import CountWindow, TimeWindow, WindowedReasoner
+
+__all__ = [
+    "Slider",
+    "SliderError",
+    "AdaptiveBufferController",
+    "RuleYield",
+    "Fragment",
+    "get_fragment",
+    "register_fragment",
+    "available_fragments",
+    "UnknownFragmentError",
+    "Rule",
+    "SingleRule",
+    "JoinRule",
+    "Pattern",
+    "Var",
+    "RuleViolation",
+    "Vocabulary",
+    "DependencyGraph",
+    "build_routing_table",
+    "TripleBuffer",
+    "RuleModule",
+    "Distributor",
+    "InputManager",
+    "Trace",
+    "TraceEvent",
+    "NullTrace",
+    "save_trace",
+    "load_trace",
+    "dred_retract",
+    "WindowedReasoner",
+    "CountWindow",
+    "TimeWindow",
+    "StreamSource",
+    "ListSource",
+    "FileSource",
+    "GeneratorSource",
+    "RateLimitedSource",
+    "StreamPump",
+    "merge_sources",
+]

@@ -1,0 +1,170 @@
+"""Run-time adaptive scheduling (the paper's second future-work item).
+
+The conclusion announces "a just-in-time optimisation of the rules
+execution's scheduling — migrating from 'static' plans produced by
+traditional optimizers to run-time dynamic plans ... learning from
+ontologies structures and previously executed runs".
+
+This module implements that idea for the knob the architecture exposes:
+**per-rule buffer capacity**.  The static plan gives every rule the same
+buffer size; at run time the relative value of firing a rule early is
+wildly skewed — on a BSBM-like stream, cax-sco fires usefully all the
+time while prp-dom never produces anything.  The controller learns each
+rule's *yield* (kept triples per consumed triple) online and retunes:
+
+* **productive rules** get *smaller* buffers — their output feeds other
+  rules, so propagating it sooner shortens derivation chains;
+* **inert rules** get *larger* buffers — each firing is overhead, so
+  amortize it over more triples.
+
+Capacities move by a damping factor per adjustment window and are
+clamped to ``[min_capacity, max_capacity]``, so a rule that suddenly
+becomes productive (schema arriving late) recovers quickly — the
+recency-weighted yield makes old observations fade.
+
+Usage::
+
+    controller = AdaptiveBufferController(min_capacity=16, max_capacity=4096)
+    reasoner = Slider(fragment="rdfs", adaptive=controller)
+
+Correctness is untouched: capacity only affects *when* batches fire, and
+the engine's completeness argument is capacity-independent (tests pin
+this down).
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["AdaptiveBufferController", "RuleYield"]
+
+
+class RuleYield:
+    """Recency-weighted statistics for one rule."""
+
+    __slots__ = ("consumed", "kept", "firings")
+
+    def __init__(self):
+        self.consumed = 0.0
+        self.kept = 0.0
+        self.firings = 0
+
+    def observe(self, consumed: int, kept: int, decay: float) -> None:
+        self.consumed = self.consumed * decay + consumed
+        self.kept = self.kept * decay + kept
+        self.firings += 1
+
+    @property
+    def yield_rate(self) -> float:
+        """Kept triples per consumed triple (recency-weighted)."""
+        return self.kept / self.consumed if self.consumed else 0.0
+
+
+class AdaptiveBufferController:
+    """Learns per-rule yields and retunes buffer capacities online.
+
+    Parameters
+    ----------
+    min_capacity / max_capacity:
+        Clamp range for any buffer.
+    target_yield:
+        The yield at which a rule keeps its current capacity.  Rules
+        above it shrink toward ``min_capacity``; rules below grow toward
+        ``max_capacity``.
+    adjust_every:
+        Number of observed firings (across all rules) between
+        adjustment passes.
+    decay:
+        Recency weight applied to past observations at each firing
+        (1.0 = plain cumulative averages, never forgets).
+    damping:
+        Fraction of the way a capacity moves toward its target per
+        adjustment pass (1.0 = jump straight to the target).
+    """
+
+    def __init__(
+        self,
+        min_capacity: int = 8,
+        max_capacity: int = 8192,
+        target_yield: float = 0.1,
+        adjust_every: int = 32,
+        decay: float = 0.9,
+        damping: float = 0.5,
+    ):
+        if not 1 <= min_capacity <= max_capacity:
+            raise ValueError(
+                f"need 1 <= min_capacity <= max_capacity, got {min_capacity}..{max_capacity}"
+            )
+        if not 0 < target_yield:
+            raise ValueError(f"target_yield must be positive, got {target_yield}")
+        if adjust_every < 1:
+            raise ValueError(f"adjust_every must be >= 1, got {adjust_every}")
+        if not 0 < decay <= 1:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        if not 0 < damping <= 1:
+            raise ValueError(f"damping must be in (0, 1], got {damping}")
+        self.min_capacity = min_capacity
+        self.max_capacity = max_capacity
+        self.target_yield = target_yield
+        self.adjust_every = adjust_every
+        self.decay = decay
+        self.damping = damping
+        self._lock = threading.Lock()
+        self._stats: dict[str, RuleYield] = {}
+        self._since_adjust = 0
+        self.adjustments = 0  # demo/trace counter
+
+    # --- engine integration -------------------------------------------------
+    def attach(self, modules) -> None:
+        """Called once by the engine with its rule modules."""
+        self._modules = list(modules)
+        with self._lock:
+            for module in self._modules:
+                self._stats.setdefault(module.rule.name, RuleYield())
+
+    def observe(self, rule_name: str, consumed: int, kept: int) -> bool:
+        """Record one firing; returns True when an adjustment pass ran."""
+        with self._lock:
+            stats = self._stats.setdefault(rule_name, RuleYield())
+            stats.observe(consumed, kept, self.decay)
+            self._since_adjust += 1
+            if self._since_adjust < self.adjust_every:
+                return False
+            self._since_adjust = 0
+            self._adjust_locked()
+            return True
+
+    def _adjust_locked(self) -> None:
+        self.adjustments += 1
+        for module in self._modules:
+            stats = self._stats[module.rule.name]
+            if not stats.firings:
+                continue
+            buffer = module.buffer
+            current = buffer.capacity
+            if stats.yield_rate >= self.target_yield:
+                # Productive: shrink proportionally to how far above
+                # target the yield sits (min halving per pass).
+                target = max(self.min_capacity, current // 2)
+            else:
+                # Inert: grow; fully idle rules head for the max.
+                growth = 2 if stats.yield_rate > 0 else 4
+                target = min(self.max_capacity, current * growth)
+            adjusted = round(current + (target - current) * self.damping)
+            buffer.capacity = max(self.min_capacity, min(self.max_capacity, adjusted))
+
+    # --- inspection -----------------------------------------------------------
+    def yields(self) -> dict[str, float]:
+        """Current recency-weighted yield per rule."""
+        with self._lock:
+            return {name: stats.yield_rate for name, stats in self._stats.items()}
+
+    def capacities(self) -> dict[str, int]:
+        """Current buffer capacity per rule."""
+        return {module.rule.name: module.buffer.capacity for module in self._modules}
+
+    def __repr__(self):
+        return (
+            f"<AdaptiveBufferController adjustments={self.adjustments} "
+            f"range=[{self.min_capacity}, {self.max_capacity}]>"
+        )

@@ -1,0 +1,129 @@
+"""Per-rule triple buffers (paper §2, "Buffers").
+
+Each rule module owns one buffer.  The input manager and the distributors
+push triples into it; when the buffer reaches its configured size it
+*fires* — the accumulated batch is handed to a new rule-module instance on
+the thread pool.  An inactive buffer is force-flushed after a timeout so
+slow streams still make progress ("the timeout defines after how long an
+inactive buffer is forced to flush and throw a rule execution").
+
+The buffer never blocks producers: pushing into a full buffer immediately
+yields the batch to fire, and accumulation restarts empty.  Counters for
+size-fires, timeout-fires and buffered totals feed the demo GUI's three
+per-buffer counters.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Iterable
+
+from ..dictionary.encoder import EncodedTriple
+
+__all__ = ["TripleBuffer"]
+
+
+class TripleBuffer:
+    """A bounded accumulation buffer for one rule.
+
+    ``capacity`` is the paper's *buffer size* parameter: the number of
+    triples needed to fire a rule execution.  ``clock`` is injectable for
+    deterministic timeout tests.
+    """
+
+    def __init__(
+        self,
+        rule_name: str,
+        capacity: int = 50,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if capacity < 1:
+            raise ValueError(f"buffer capacity must be >= 1, got {capacity}")
+        self.rule_name = rule_name
+        self.capacity = capacity
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._items: list[EncodedTriple] = []
+        self._last_activity = clock()
+        # Demo counters: (i) size fires, (ii) timeout fires, (iii) is kept
+        # by the module/distributor (triples inferred by the rule).
+        self.size_fires = 0
+        self.timeout_fires = 0
+        self.total_buffered = 0
+
+    def put(self, triple: EncodedTriple) -> list[EncodedTriple] | None:
+        """Add one triple; returns a batch iff the buffer just filled."""
+        with self._lock:
+            self._items.append(triple)
+            self.total_buffered += 1
+            self._last_activity = self._clock()
+            if len(self._items) >= self.capacity:
+                return self._take_locked(timeout=False)
+            return None
+
+    def put_many(self, triples: Iterable[EncodedTriple]) -> list[list[EncodedTriple]]:
+        """Add many triples; returns every full batch produced on the way."""
+        batches: list[list[EncodedTriple]] = []
+        with self._lock:
+            for triple in triples:
+                self._items.append(triple)
+                self.total_buffered += 1
+                if len(self._items) >= self.capacity:
+                    batches.append(self._take_locked(timeout=False))
+            if triples:
+                self._last_activity = self._clock()
+        return batches
+
+    def drain(self) -> list[EncodedTriple]:
+        """Take whatever is buffered (an explicit flush); may be empty."""
+        with self._lock:
+            if not self._items:
+                return []
+            return self._take_locked(timeout=False, count_fire=False)
+
+    def flush_if_stale(self, timeout: float) -> list[EncodedTriple] | None:
+        """Timeout path: flush iff non-empty and inactive for ``timeout`` s."""
+        with self._lock:
+            if not self._items:
+                return None
+            if self._clock() - self._last_activity < timeout:
+                return None
+            return self._take_locked(timeout=True)
+
+    def _take_locked(self, timeout: bool, count_fire: bool = True) -> list[EncodedTriple]:
+        batch = self._items
+        self._items = []
+        self._last_activity = self._clock()
+        if count_fire:
+            if timeout:
+                self.timeout_fires += 1
+            else:
+                self.size_fires += 1
+        return batch
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def idle_seconds(self) -> float:
+        """Seconds since the last put/flush (used by the timeout sweeper)."""
+        with self._lock:
+            return self._clock() - self._last_activity
+
+    def counters(self) -> dict[str, int]:
+        """The demo GUI's per-buffer counters."""
+        with self._lock:
+            return {
+                "size_fires": self.size_fires,
+                "timeout_fires": self.timeout_fires,
+                "total_buffered": self.total_buffered,
+                "pending": len(self._items),
+            }
+
+    def __repr__(self):
+        return (
+            f"<TripleBuffer {self.rule_name} {len(self)}/{self.capacity} "
+            f"fires={self.size_fires}+{self.timeout_fires}t>"
+        )

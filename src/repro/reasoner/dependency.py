@@ -1,0 +1,140 @@
+"""The rules dependency graph (paper §2.3, Figure 2).
+
+At initialization Slider computes, from the rules' input/output predicate
+signatures alone, a directed graph with an edge A → B whenever a triple
+produced by rule A can feed rule B.  The engine uses it to wire each
+rule's distributor to the buffers of its dependent rules; the demo uses
+it for visualization; tests assert the ρdf graph matches Figure 2.
+
+Edge rule: A → B iff
+
+* B has *universal input* (it accepts any predicate), or
+* A's output predicate is unknown (``None``) — it could produce anything
+  relevant — or
+* A's known output predicates intersect B's input predicates.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .rules import Rule
+
+__all__ = ["DependencyGraph", "build_routing_table"]
+
+
+class DependencyGraph:
+    """Directed dependency graph over a rule set.
+
+    >>> graph = DependencyGraph(rules)
+    >>> graph.successors("scm-sco")        # who consumes its output
+    ['cax-sco', 'scm-sco', ...]
+    """
+
+    def __init__(self, rules: Sequence[Rule]):
+        self._rules = {rule.name: rule for rule in rules}
+        if len(self._rules) != len(rules):
+            raise ValueError("duplicate rule names in fragment")
+        self._edges: dict[str, list[str]] = {name: [] for name in self._rules}
+        for producer in rules:
+            produced = producer.output_predicates
+            for consumer in rules:
+                if self._feeds(produced, consumer):
+                    self._edges[producer.name].append(consumer.name)
+        for successors in self._edges.values():
+            successors.sort()
+
+    @staticmethod
+    def _feeds(produced: frozenset[int] | None, consumer: Rule) -> bool:
+        consumed = consumer.input_predicates
+        if consumed is None:
+            return True  # universal input accepts everything
+        if produced is None:
+            return True  # unknown output may produce anything
+        return bool(produced & consumed)
+
+    # --- queries ------------------------------------------------------------
+    def rule_names(self) -> list[str]:
+        return sorted(self._rules)
+
+    def rule(self, name: str) -> Rule:
+        return self._rules[name]
+
+    def successors(self, name: str) -> list[str]:
+        """Rules that can consume ``name``'s output."""
+        return list(self._edges[name])
+
+    def predecessors(self, name: str) -> list[str]:
+        """Rules whose output can feed ``name``."""
+        return sorted(
+            producer for producer, consumers in self._edges.items() if name in consumers
+        )
+
+    def edges(self) -> list[tuple[str, str]]:
+        """All edges as (producer, consumer) pairs, sorted."""
+        return sorted(
+            (producer, consumer)
+            for producer, consumers in self._edges.items()
+            for consumer in consumers
+        )
+
+    def universal_rules(self) -> list[str]:
+        """Rules with universal input (the paper's "Universal Input" box)."""
+        return sorted(
+            name for name, rule in self._rules.items() if rule.input_predicates is None
+        )
+
+    def has_cycle_through(self, name: str) -> bool:
+        """Whether ``name`` can (transitively) feed itself.
+
+        Self-feeding rules (e.g. scm-sco) are what makes reasoning iterate
+        to a fixpoint; acyclic rules fire at most once per input triple.
+        """
+        stack = list(self._edges[name])
+        visited: set[str] = set()
+        while stack:
+            current = stack.pop()
+            if current == name:
+                return True
+            if current in visited:
+                continue
+            visited.add(current)
+            stack.extend(self._edges[current])
+        return False
+
+    def to_dot(self) -> str:
+        """GraphViz rendering (the demo's Figure 2 view)."""
+        lines = ["digraph rules {", "  rankdir=LR;"]
+        for name in self.rule_names():
+            shape = "doubleoctagon" if self._rules[name].input_predicates is None else "box"
+            lines.append(f'  "{name}" [shape={shape}];')
+        for producer, consumer in self.edges():
+            lines.append(f'  "{producer}" -> "{consumer}";')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return f"<DependencyGraph {len(self._rules)} rules, {len(self.edges())} edges>"
+
+
+def build_routing_table(
+    rules: Sequence[Rule],
+) -> tuple[Mapping[int, tuple[int, ...]], tuple[int, ...]]:
+    """Predicate-id → rule-index routing, plus the universal rule indices.
+
+    A triple with predicate ``p`` must be offered to
+    ``routing.get(p, ()) + universal``.  This is the "each module accepts
+    the triples according to configured rules' predicates" dispatch of the
+    paper, shared by the input manager and every distributor.
+    """
+    routing: dict[int, list[int]] = {}
+    universal: list[int] = []
+    for index, rule in enumerate(rules):
+        inputs = rule.input_predicates
+        if inputs is None:
+            universal.append(index)
+            continue
+        for predicate in inputs:
+            routing.setdefault(predicate, []).append(index)
+    frozen = {predicate: tuple(indices) for predicate, indices in routing.items()}
+    return frozen, tuple(universal)

@@ -1,0 +1,67 @@
+"""Distributors (paper §2, "Distributors").
+
+Each rule has a distributor with three tasks: collect the triples the
+rule inferred, add them to the triple store, and dispatch the *new* ones
+(duplicates are dropped by the store's hash indexes) to the buffers of
+dependent rules.  The dependent-buffer list comes from the rules
+dependency graph at initialization; actual dispatch is by predicate, so
+a triple only reaches the dependents whose input signature matches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..dictionary.encoder import EncodedTriple
+from ..store.vertical import VerticalTripleStore
+from .modules import RuleModule
+from .trace import NullTrace
+
+__all__ = ["Distributor"]
+
+DispatchFn = Callable[[Sequence[EncodedTriple]], None]
+
+
+class Distributor:
+    """Collects one rule's inferences and feeds dependents.
+
+    ``dispatch`` is provided by the engine: it routes a batch of
+    *already-stored, known-new* triples to every matching buffer and
+    schedules any rule firings that result.  ``dependents`` is kept for
+    introspection (it is the paper's per-distributor buffer list).
+    """
+
+    def __init__(
+        self,
+        module: RuleModule,
+        store: VerticalTripleStore,
+        dispatch: DispatchFn,
+        dependents: Sequence[str],
+        trace=None,
+    ):
+        self.module = module
+        self.store = store
+        self.dispatch = dispatch
+        self.dependents = tuple(dependents)
+        self.trace = trace if trace is not None else NullTrace()
+
+    def collect(self, derived: Sequence[EncodedTriple]) -> list[EncodedTriple]:
+        """Insert derived triples; dispatch and return the new ones."""
+        if not derived:
+            return []
+        new_triples = self.store.add_all(derived)
+        self.module.record_kept(len(new_triples))
+        if self.trace.enabled:
+            self.trace.record(
+                "store",
+                rule=self.module.rule.name,
+                derived=len(derived),
+                kept=len(new_triples),
+                store_size=len(self.store),
+            )
+        if new_triples:
+            self.dispatch(new_triples)
+        return new_triples
+
+    def __repr__(self):
+        return f"<Distributor {self.module.rule.name} -> {list(self.dependents)}>"

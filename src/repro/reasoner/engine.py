@@ -1,0 +1,520 @@
+"""The Slider engine: the paper's architecture, end to end (Figure 1).
+
+:class:`Slider` wires together every component of the paper's §2:
+
+* an :class:`~repro.reasoner.input_manager.InputManager` encoding and
+  storing incoming triples,
+* one :class:`~repro.reasoner.buffers.TripleBuffer` +
+  :class:`~repro.reasoner.modules.RuleModule` +
+  :class:`~repro.reasoner.distributor.Distributor` per rule of the
+  configured fragment,
+* a predicate routing table and the rules dependency graph
+  (:mod:`~repro.reasoner.dependency`),
+* a thread pool executing rule-module instances (``workers=0`` selects a
+  deterministic inline executor for tests and single-threaded use),
+* an optional timeout sweeper flushing stale buffers, and
+* an optional :class:`~repro.reasoner.trace.Trace` feeding the demo.
+
+Completeness invariant
+----------------------
+
+Every triple is inserted into the store *before* it is routed to any
+buffer, and every routed triple is eventually part of a firing.  For any
+rule body pair (t₁, t₂), whichever triple is routed last is processed by
+a firing that runs strictly after both are stored — so the two-sided join
+of :meth:`~repro.reasoner.rules.JoinRule.apply` finds the other side.
+:meth:`Slider.flush` drains all buffers and waits for quiescence, after
+which the store holds the full fixpoint (tests verify equality with the
+batch baselines' closure).
+
+>>> from repro import Slider
+>>> reasoner = Slider(fragment="rhodf", workers=0)
+>>> reasoner.add(triples)      # incremental — call as data arrives
+>>> reasoner.flush()           # barrier: wait for the fixpoint
+>>> len(reasoner)              # explicit + implicit triples
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, Sequence
+
+from ..dictionary.encoder import EncodedTriple, TermDictionary
+from ..rdf.terms import Triple
+from ..store.graph import Graph
+from ..store.vertical import VerticalTripleStore
+from .adaptive import AdaptiveBufferController
+from .buffers import TripleBuffer
+from .dependency import DependencyGraph, build_routing_table
+from .distributor import Distributor
+from .fragments import Fragment, get_fragment
+from .input_manager import InputManager
+from .modules import RuleModule
+from .retraction import dred_retract
+from .trace import NullTrace, Trace
+from .vocabulary import Vocabulary
+
+__all__ = ["Slider", "SliderError"]
+
+# Causes a firing can have; surfaced in trace events and counters.
+_CAUSE_SIZE = "size"
+_CAUSE_TIMEOUT = "timeout"
+_CAUSE_FLUSH = "flush"
+
+
+class SliderError(RuntimeError):
+    """A rule-module instance failed; carries the underlying cause."""
+
+
+class _InlineExecutor:
+    """Synchronous executor: runs tasks in submission order, iteratively.
+
+    Tasks submitted while another task runs are queued, not recursed into,
+    so arbitrarily deep derivation chains cannot overflow the stack.
+    Deterministic: single thread, FIFO order.
+    """
+
+    def __init__(self):
+        self._queue: deque = deque()
+        self._draining = False
+
+    def submit(self, fn, *args) -> None:
+        self._queue.append((fn, args))
+        if self._draining:
+            return
+        self._draining = True
+        try:
+            while self._queue:
+                task, task_args = self._queue.popleft()
+                task(*task_args)
+        finally:
+            self._draining = False
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._queue.clear()
+
+
+class Slider:
+    """The incremental reasoner.
+
+    Parameters
+    ----------
+    fragment:
+        Fragment name (``"rhodf"``, ``"rdfs"``, ``"rdfs-full"``,
+        ``"owl-horst"``) or a :class:`~repro.reasoner.fragments.Fragment`.
+    buffer_size:
+        Triples needed to fire a rule execution (paper demo parameter).
+    timeout:
+        Seconds of buffer inactivity before a forced flush; ``None``
+        disables the sweeper (an explicit :meth:`flush` still drains).
+    workers:
+        Thread-pool size; ``0`` runs rule modules inline (deterministic).
+    trace:
+        A :class:`~repro.reasoner.trace.Trace` to record events into, or
+        ``None`` for no tracing.
+    routing:
+        ``"predicate"`` (default) routes triples only to rules whose
+        input signature matches, via the dependency-graph-derived table;
+        ``"broadcast"`` offers every triple to every rule — the ablation
+        for the paper's routing design (§2.3).
+    adaptive:
+        An :class:`~repro.reasoner.adaptive.AdaptiveBufferController`
+        (or ``True`` for one with default settings) enabling run-time
+        buffer retuning — the paper's future-work "just-in-time
+        optimisation of the rules execution's scheduling".  ``None``
+        (default) keeps the static plan.
+    dictionary / store:
+        Optionally share pre-existing substrate instances (e.g. to reason
+        over an already-loaded :class:`~repro.store.graph.Graph`).
+    """
+
+    def __init__(
+        self,
+        fragment: str | Fragment = "rhodf",
+        buffer_size: int = 50,
+        timeout: float | None = 0.05,
+        workers: int = 4,
+        trace: Trace | None = None,
+        dictionary: TermDictionary | None = None,
+        store: VerticalTripleStore | None = None,
+        routing: str = "predicate",
+        adaptive: "AdaptiveBufferController | bool | None" = None,
+    ):
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive or None, got {timeout}")
+        if routing not in ("predicate", "broadcast"):
+            raise ValueError(f"routing must be 'predicate' or 'broadcast', got {routing!r}")
+        self.fragment = fragment if isinstance(fragment, Fragment) else get_fragment(fragment)
+        self.dictionary = dictionary if dictionary is not None else TermDictionary()
+        self.store = store if store is not None else VerticalTripleStore()
+        self.vocab = Vocabulary(self.dictionary)
+        self.trace = trace if trace is not None else NullTrace()
+        self.buffer_size = buffer_size
+        self.timeout = timeout
+        self.workers = workers
+
+        self.rules = self.fragment.rules(self.vocab)
+        self.dependency_graph = DependencyGraph(self.rules)
+        self.routing = routing
+        if routing == "broadcast":
+            self._routing, self._universal = {}, tuple(range(len(self.rules)))
+        else:
+            self._routing, self._universal = build_routing_table(self.rules)
+        # Lazy activation for universal rules: while a rule's constant
+        # body predicates have no stored triples, only triples carrying
+        # one of those predicates are delivered to it (they activate the
+        # rule; everything else is already in the store and will be found
+        # by the activating triple's own half-join).
+        self._activation: dict[int, frozenset[int] | None] = {
+            # getattr: duck-typed custom rules without the property are
+            # treated as always-active (the conservative choice).
+            index: getattr(self.rules[index], "activation_predicates", None)
+            for index in self._universal
+        }
+        self.modules: list[RuleModule] = [
+            RuleModule(rule, TripleBuffer(rule.name, capacity=buffer_size))
+            for rule in self.rules
+        ]
+        self.distributors: list[Distributor] = [
+            Distributor(
+                module,
+                self.store,
+                dispatch=self._dispatch,
+                dependents=self.dependency_graph.successors(module.rule.name),
+                trace=self.trace,
+            )
+            for module in self.modules
+        ]
+        self.input_manager = InputManager(
+            self.dictionary, self.store, dispatch=self._dispatch, trace=self.trace
+        )
+        if adaptive is True:
+            adaptive = AdaptiveBufferController()
+        self.adaptive = adaptive or None
+        if self.adaptive is not None:
+            self.adaptive.attach(self.modules)
+
+        self._pending = 0
+        self._idle = threading.Condition()
+        self._errors: list[BaseException] = []
+        self._closed = False
+        if workers == 0:
+            self._executor = _InlineExecutor()
+        else:
+            self._executor = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="slider-rule"
+            )
+        self._sweeper: threading.Thread | None = None
+        self._sweeper_stop = threading.Event()
+        if timeout is not None and workers > 0:
+            self._sweeper = threading.Thread(
+                target=self._sweep_timeouts, name="slider-sweeper", daemon=True
+            )
+            self._sweeper.start()
+
+        # Explicit baseline for the input/inferred split (demo panel 3).
+        self._axiom_count = 0
+        axioms = self.fragment.axioms()
+        if axioms:
+            self._axiom_count = self.input_manager.add(axioms)
+
+    # --- public API ---------------------------------------------------------
+    def add(self, triples: Iterable[Triple] | Triple) -> int:
+        """Feed explicit triples (incremental). Returns how many were new."""
+        self._check_open()
+        if isinstance(triples, Triple):
+            triples = (triples,)
+        return self.input_manager.add(triples)
+
+    def add_encoded(self, encoded: Sequence[EncodedTriple]) -> int:
+        """Feed already-encoded triples (zero-copy fast path)."""
+        self._check_open()
+        return self.input_manager.add_encoded(encoded)
+
+    def load(self, path) -> int:
+        """Load an N-Triples (``.nt``) or Turtle (``.ttl``) file."""
+        from ..rdf.ntriples import parse_ntriples_file
+        from ..rdf.turtle import parse_turtle_file
+
+        text_path = str(path)
+        if text_path.endswith((".ttl", ".turtle")):
+            return self.add(parse_turtle_file(path))
+        return self.add(parse_ntriples_file(path))
+
+    def flush(self) -> None:
+        """Barrier: force-fire every buffer and wait for quiescence.
+
+        On return the store contains the complete fixpoint of everything
+        added so far.  Raises :class:`SliderError` if any rule module
+        failed.
+        """
+        self._check_open()
+        if self.trace.enabled:
+            self.trace.record("flush")
+        while True:
+            fired = False
+            for index, module in enumerate(self.modules):
+                batch = module.buffer.drain()
+                if batch:
+                    fired = True
+                    self._schedule(index, batch, _CAUSE_FLUSH)
+            self._wait_idle()
+            self._raise_errors()
+            if not fired and all(len(m.buffer) == 0 for m in self.modules):
+                break
+        if self.trace.enabled:
+            self.trace.record("done", store_size=len(self.store))
+
+    def create_input_manager(self) -> InputManager:
+        """A fresh input manager wired to this engine.
+
+        "Multiple instances of input manager allows to retrieve data
+        from various sources" (§2): each source thread can own one, with
+        independent received/accepted statistics; they all feed the same
+        store and buffers.  Note the per-manager ``explicit`` sets —
+        retraction consults the *primary* manager, so assertions made
+        through secondary managers are merged into it.
+        """
+        self._check_open()
+        manager = InputManager(
+            self.dictionary, self.store, dispatch=self._dispatch, trace=self.trace
+        )
+        manager.explicit = self.input_manager.explicit  # shared assertion set
+        return manager
+
+    def retract(self, triples: Iterable[Triple] | Triple) -> int:
+        """Remove asserted triples *and* everything that depended on them.
+
+        Implements DRed (see :mod:`repro.reasoner.retraction`): the
+        retracted assertions and their no-longer-supported consequences
+        leave the store; consequences that are still derivable another
+        way survive.  Returns the number of triples actually deleted
+        (after re-derivation).
+
+        Limitation: fragments with *stateful* rules (the OWL-Horst
+        transitivity registry) do not support retraction of the triples
+        feeding that state — the built-in ``rhodf``/``rdfs`` fragments
+        are fully supported.
+        """
+        self._check_open()
+        self.flush()  # retraction is defined against a complete closure
+        if isinstance(triples, Triple):
+            triples = (triples,)
+        encoded = [self.dictionary.encode_triple(t) for t in triples]
+        deleted, rederived = dred_retract(
+            self.store,
+            self.rules,
+            self.vocab,
+            self.input_manager.explicit,
+            encoded,
+            redispatch=self._dispatch,
+        )
+        self.flush()  # propagate consequences of the re-derived seeds
+        if self.trace.enabled:
+            self.trace.record(
+                "retract",
+                requested=len(encoded),
+                deleted=deleted,
+                rederived=rederived,
+                store_size=len(self.store),
+            )
+        return deleted - rederived
+
+    def reinfer(self) -> None:
+        """Route every stored triple through the rules once, then flush.
+
+        Use this to reason over a store that was populated *outside* the
+        engine (e.g. a shared :class:`~repro.store.graph.Graph`): adding
+        a triple that is already stored is a no-op by design, so
+        pre-existing triples never reach the buffers otherwise.
+        """
+        self._check_open()
+        snapshot = list(self.store)
+        if snapshot:
+            self._dispatch(snapshot)
+        self.flush()
+
+    def materialize(self, triples: Iterable[Triple]) -> int:
+        """Convenience: add + flush.  Returns the number of new triples."""
+        new = self.add(triples)
+        self.flush()
+        return new
+
+    def close(self) -> None:
+        """Flush outstanding work and release the thread pool."""
+        if self._closed:
+            return
+        try:
+            self.flush()
+        finally:
+            self._closed = True
+            self._sweeper_stop.set()
+            if self._sweeper is not None:
+                self._sweeper.join(timeout=2.0)
+            self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "Slider":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:  # don't mask the original error with a flush failure
+            self._closed = True
+            self._sweeper_stop.set()
+            self._executor.shutdown(wait=False)
+
+    # --- inspection ----------------------------------------------------------
+    def __len__(self) -> int:
+        """Total stored triples (explicit + axioms + inferred)."""
+        return len(self.store)
+
+    @property
+    def graph(self) -> Graph:
+        """Term-level view over the reasoner's dictionary + store."""
+        return Graph(self.dictionary, self.store)
+
+    @property
+    def input_count(self) -> int:
+        """Live asserted triples (excluding fragment axioms).
+
+        Counted from the assertion set, so retraction is reflected.
+        """
+        return len(self.input_manager.explicit) - self._axiom_count
+
+    @property
+    def inferred_count(self) -> int:
+        """Live derived triples (store minus assertions and axioms)."""
+        return len(self.store) - len(self.input_manager.explicit)
+
+    def counters(self) -> dict[str, dict[str, int]]:
+        """Per-rule counters (demo GUI): buffer + module statistics."""
+        merged: dict[str, dict[str, int]] = {}
+        for module in self.modules:
+            stats = module.stats()
+            stats.update(module.buffer.counters())
+            merged[module.rule.name] = stats
+        return merged
+
+    def module(self, rule_name: str) -> RuleModule:
+        """The module for one rule (raises ``KeyError`` if absent)."""
+        for candidate in self.modules:
+            if candidate.rule.name == rule_name:
+                return candidate
+        raise KeyError(rule_name)
+
+    def __repr__(self):
+        return (
+            f"<Slider fragment={self.fragment.name!r} rules={len(self.rules)} "
+            f"store={len(self.store)} workers={self.workers}>"
+        )
+
+    # --- internals -----------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SliderError("reasoner is closed")
+        self._raise_errors()
+
+    def _raise_errors(self) -> None:
+        if self._errors:
+            cause = self._errors[0]
+            raise SliderError(f"rule module failed: {cause!r}") from cause
+
+    def _dispatch(self, triples: Sequence[EncodedTriple]) -> None:
+        """Route new stored triples to every matching rule buffer.
+
+        Dispatch is the concatenation of the predicate routing table and
+        the universal-input rules (paper Figure 2's "Universal Input").
+        """
+        routing = self._routing
+        if routing:
+            per_rule: dict[int, list[EncodedTriple]] = {}
+            for triple in triples:
+                targets = routing.get(triple[1])
+                if targets:
+                    for index in targets:
+                        per_rule.setdefault(index, []).append(triple)
+            for index, batch in per_rule.items():
+                self._deliver(index, batch)
+        has_predicate = self.store.has_predicate
+        for index in self._universal:
+            activation = self._activation.get(index)
+            if activation is None or any(has_predicate(p) for p in activation):
+                self._deliver(index, triples)
+                continue
+            activating = [t for t in triples if t[1] in activation]
+            if activating:
+                self._deliver(index, activating)
+
+    def _deliver(self, index: int, batch: Sequence[EncodedTriple]) -> None:
+        buffer = self.modules[index].buffer
+        for full_batch in buffer.put_many(batch):
+            if self.trace.enabled:
+                self.trace.record(
+                    "buffer_full",
+                    rule=self.modules[index].rule.name,
+                    size=len(full_batch),
+                )
+            self._schedule(index, full_batch, _CAUSE_SIZE)
+
+    def _schedule(self, index: int, batch: list[EncodedTriple], cause: str) -> None:
+        with self._idle:
+            self._pending += 1
+        self._executor.submit(self._run_module, index, batch, cause)
+
+    def _run_module(self, index: int, batch: list[EncodedTriple], cause: str) -> None:
+        """One rule-module instance (one unit of thread-pool work)."""
+        try:
+            module = self.modules[index]
+            if self.trace.enabled:
+                self.trace.record(
+                    "rule_start", rule=module.rule.name, size=len(batch), cause=cause
+                )
+            derived = module.execute(self.store, batch, self.vocab)
+            kept = self.distributors[index].collect(derived)
+            if self.trace.enabled:
+                self.trace.record(
+                    "rule_end",
+                    rule=module.rule.name,
+                    derived=len(derived),
+                    kept=len(kept),
+                )
+            if self.adaptive is not None:
+                adjusted = self.adaptive.observe(
+                    module.rule.name, len(batch), len(kept)
+                )
+                if adjusted and self.trace.enabled:
+                    self.trace.record(
+                        "adapt",
+                        adjustments=self.adaptive.adjustments,
+                        capacities=self.adaptive.capacities(),
+                    )
+        except BaseException as error:  # surfaced at the next flush/add
+            self._errors.append(error)
+        finally:
+            with self._idle:
+                self._pending -= 1
+                if self._pending == 0:
+                    self._idle.notify_all()
+
+    def _wait_idle(self) -> None:
+        with self._idle:
+            while self._pending > 0:
+                self._idle.wait()
+
+    def _sweep_timeouts(self) -> None:
+        """Background sweeper: flush buffers inactive beyond the timeout."""
+        interval = max(self.timeout / 4.0, 0.005)
+        while not self._sweeper_stop.wait(interval):
+            for index, module in enumerate(self.modules):
+                batch = module.buffer.flush_if_stale(self.timeout)
+                if batch:
+                    if self.trace.enabled:
+                        self.trace.record(
+                            "buffer_timeout", rule=module.rule.name, size=len(batch)
+                        )
+                    self._schedule(index, batch, _CAUSE_TIMEOUT)

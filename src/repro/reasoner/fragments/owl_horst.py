@@ -1,0 +1,207 @@
+"""An OWL-Horst-style extension fragment (the paper's "future work").
+
+The paper's conclusion plans "more complex inference rules, in order to
+implement reasoning over a more complex fragment".  This module provides
+that extension: the pD* (ter Horst) property-reasoning core layered on
+top of RDFS — transitivity, symmetry, inverses, owl:sameAs equality and
+equivalence of classes/properties.  All rules fit the same one- or
+two-pattern shape the pipeline executes, which demonstrates the
+fragment-agnostic claim: nothing in the engine changes.
+
+Rules (names follow the OWL 2 RL profile tables where they exist):
+
+=========  =========================================================
+prp-trp    <p type TransitiveProperty> routes p-triples through a
+           dedicated transitivity join: <x p y> ∧ <y p z> → <x p z>
+prp-symp   <p type SymmetricProperty> ∧ <x p y> → <y p x>
+prp-inv1   <p inverseOf q> ∧ <x p y> → <y q x>
+prp-inv2   <p inverseOf q> ∧ <x q y> → <y p x>
+eq-sym     <x sameAs y> → <y sameAs x>
+eq-trans   <x sameAs y> ∧ <y sameAs z> → <x sameAs z>
+eq-rep-s   <x sameAs y> ∧ <x p o> → <y p o>
+eq-rep-o   <x sameAs y> ∧ <s p x> → <s p y>
+scm-eqc1   <c1 equivalentClass c2> → <c1 subClassOf c2>
+scm-eqc1i  <c1 equivalentClass c2> → <c2 subClassOf c1>
+scm-eqp1   <p1 equivalentProperty p2> → <p1 subPropertyOf p2>
+scm-eqp1i  <p1 equivalentProperty p2> → <p2 subPropertyOf p1>
+=========  =========================================================
+
+``prp-trp`` needs a *three*-pattern body in its textbook form; here it is
+decomposed into the standard two-pattern encoding used by streaming
+reasoners: a :class:`TransitivityRule` holds the set of known transitive
+properties (maintained from ``<p type TransitiveProperty>`` triples) and
+performs the two-sided join only for those predicates.
+"""
+
+from __future__ import annotations
+
+from ...dictionary.encoder import EncodedTriple
+from ..rules import JoinRule, Pattern, Rule, SingleRule, Var
+from ..vocabulary import Vocabulary
+from . import rdfs as rdfs_fragment
+
+__all__ = ["build_rules", "TransitivityRule", "RULE_NAMES"]
+
+RULE_NAMES = (
+    "prp-trp",
+    "prp-symp",
+    "prp-inv1",
+    "prp-inv2",
+    "eq-sym",
+    "eq-trans",
+    "eq-rep-s",
+    "eq-rep-o",
+    "scm-eqc1",
+    "scm-eqc1i",
+    "scm-eqp1",
+    "scm-eqp1i",
+)
+
+
+class TransitivityRule(Rule):
+    """prp-trp: transitive closure restricted to declared transitive props.
+
+    The body would be ``<p type TransitiveProperty> ∧ <x p y> ∧ <y p z>``;
+    since the pipeline executes two-pattern joins, this rule keeps its own
+    registry of transitive property ids (updated whenever it sees a
+    declaration triple) and runs the ``<x p y> ∧ <y p z>`` join per
+    registered property.  It has universal input: a data triple for a
+    property declared transitive *later* is still handled, because the
+    declaration's arrival triggers a full re-join for that property from
+    the store.
+    """
+
+    def __init__(self, vocab: Vocabulary):
+        x, y, z = Var("x"), Var("y"), Var("z")
+        p = Var("p")
+        # Declarative metadata only; apply() is hand-written.
+        super().__init__(
+            "prp-trp",
+            head=Pattern(x, p, z),
+            body=(Pattern(x, p, y), Pattern(y, p, z)),
+        )
+        self._declaration = Pattern(p, vocab.type, vocab.transitive_property)
+        self._vocab = vocab
+        self._transitive: set[int] = set()
+
+    @property
+    def transitive_properties(self) -> frozenset[int]:
+        """Snapshot of the property ids currently known to be transitive."""
+        return frozenset(self._transitive)
+
+    def apply(self, store, new_triples, vocab) -> list[EncodedTriple]:
+        out: list[EncodedTriple] = []
+        seen: set[EncodedTriple] = set()
+        # First absorb new declarations; each newly-declared property gets
+        # a full self-join over the store (its triples may predate the
+        # declaration).
+        for subject, predicate, obj in new_triples:
+            if (
+                predicate == self._vocab.type
+                and obj == self._vocab.transitive_property
+                and subject not in self._transitive
+            ):
+                self._transitive.add(subject)
+                self._full_join(store, subject, out, seen)
+        # Then the incremental two-sided join for known transitive props.
+        for triple in new_triples:
+            subject, predicate, obj = triple
+            if predicate not in self._transitive:
+                continue
+            for farther in store.objects(predicate, obj):
+                self._push((subject, predicate, farther), out, seen)
+            for nearer in store.subjects(predicate, subject):
+                self._push((nearer, predicate, obj), out, seen)
+        return out
+
+    def _full_join(self, store, predicate: int, out, seen) -> None:
+        pairs = store.pairs_for_predicate(predicate)
+        by_subject: dict[int, list[int]] = {}
+        for subject, obj in pairs:
+            by_subject.setdefault(subject, []).append(obj)
+        for subject, obj in pairs:
+            for farther in by_subject.get(obj, ()):
+                self._push((subject, predicate, farther), out, seen)
+
+    def _push(self, triple: EncodedTriple, out, seen) -> None:
+        if triple not in seen:
+            seen.add(triple)
+            out.append(triple)
+
+
+def build_rules(vocab: Vocabulary) -> list[Rule]:
+    """RDFS (practical) plus the OWL-Horst property/equality rules."""
+    x, y, z = Var("x"), Var("y"), Var("z")
+    s, o = Var("s"), Var("o")
+    c1, c2 = Var("c1"), Var("c2")
+    p, q = Var("p"), Var("q")
+    p1, p2 = Var("p1"), Var("p2")
+
+    rules: list[Rule] = rdfs_fragment.build_rules(vocab)
+    rules.extend(
+        [
+            TransitivityRule(vocab),
+            JoinRule(
+                "prp-symp",
+                Pattern(p, vocab.type, vocab.symmetric_property),
+                Pattern(x, p, y),
+                head=Pattern(y, p, x),
+            ),
+            JoinRule(
+                "prp-inv1",
+                Pattern(p, vocab.inverse_of, q),
+                Pattern(x, p, y),
+                head=Pattern(y, q, x),
+            ),
+            JoinRule(
+                "prp-inv2",
+                Pattern(p, vocab.inverse_of, q),
+                Pattern(x, q, y),
+                head=Pattern(y, p, x),
+            ),
+            SingleRule(
+                "eq-sym",
+                Pattern(x, vocab.same_as, y),
+                head=Pattern(y, vocab.same_as, x),
+            ),
+            JoinRule(
+                "eq-trans",
+                Pattern(x, vocab.same_as, y),
+                Pattern(y, vocab.same_as, z),
+                head=Pattern(x, vocab.same_as, z),
+            ),
+            JoinRule(
+                "eq-rep-s",
+                Pattern(x, vocab.same_as, y),
+                Pattern(x, p, o),
+                head=Pattern(y, p, o),
+            ),
+            JoinRule(
+                "eq-rep-o",
+                Pattern(x, vocab.same_as, y),
+                Pattern(s, p, x),
+                head=Pattern(s, p, y),
+            ),
+            SingleRule(
+                "scm-eqc1",
+                Pattern(c1, vocab.equivalent_class, c2),
+                head=Pattern(c1, vocab.sub_class_of, c2),
+            ),
+            SingleRule(
+                "scm-eqc1i",
+                Pattern(c1, vocab.equivalent_class, c2),
+                head=Pattern(c2, vocab.sub_class_of, c1),
+            ),
+            SingleRule(
+                "scm-eqp1",
+                Pattern(p1, vocab.equivalent_property, p2),
+                head=Pattern(p1, vocab.sub_property_of, p2),
+            ),
+            SingleRule(
+                "scm-eqp1i",
+                Pattern(p1, vocab.equivalent_property, p2),
+                head=Pattern(p2, vocab.sub_property_of, p1),
+            ),
+        ]
+    )
+    return rules

@@ -1,0 +1,81 @@
+"""The input manager (paper §2, "Input Manager").
+
+It receives term-level triples from any number of sources, registers
+their terms in the dictionary ("maps the expensive URIs to Longs"),
+pushes the encoded triples into the triple store, and hands the *new*
+ones to the engine's dispatcher for buffering.  Multiple input managers
+(or one shared from many threads) may feed the same engine concurrently;
+all state they touch is thread-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterable, Sequence
+
+from ..dictionary.encoder import EncodedTriple, TermDictionary
+from ..rdf.terms import Triple
+from ..store.vertical import VerticalTripleStore
+from .trace import NullTrace
+
+__all__ = ["InputManager"]
+
+
+class InputManager:
+    """Encodes, stores, and forwards incoming explicit triples."""
+
+    def __init__(
+        self,
+        dictionary: TermDictionary,
+        store: VerticalTripleStore,
+        dispatch: Callable[[Sequence[EncodedTriple]], None],
+        trace=None,
+    ):
+        self.dictionary = dictionary
+        self.store = store
+        self.dispatch = dispatch
+        self.trace = trace if trace is not None else NullTrace()
+        self._lock = threading.Lock()
+        self.received = 0  # triples offered by sources
+        self.accepted = 0  # triples that were new to the store
+        # Which stored triples were *asserted* (vs derived).  Retraction
+        # needs this distinction: an explicitly asserted triple survives
+        # the over-deletion of a derivation that also produces it.
+        self.explicit: set[EncodedTriple] = set()
+
+    def add(self, triples: Iterable[Triple]) -> int:
+        """Ingest term-level triples; returns how many were new."""
+        encoded = [self.dictionary.encode_triple(triple) for triple in triples]
+        return self.add_encoded(encoded)
+
+    def add_encoded(self, encoded: Sequence[EncodedTriple]) -> int:
+        """Ingest already-encoded triples; returns how many were new.
+
+        Triples are stored *before* they are dispatched to buffers — the
+        ordering the pipeline's completeness argument depends on (a rule
+        firing always finds every earlier triple in the store).
+        """
+        if not encoded:
+            return 0
+        new_triples = self.store.add_all(encoded)
+        with self._lock:
+            self.received += len(encoded)
+            self.accepted += len(new_triples)
+            self.explicit.update(encoded)
+        if self.trace.enabled:
+            self.trace.record(
+                "input",
+                received=len(encoded),
+                new=len(new_triples),
+                store_size=len(self.store),
+            )
+        if new_triples:
+            self.dispatch(new_triples)
+        return len(new_triples)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {"received": self.received, "accepted": self.accepted}
+
+    def __repr__(self):
+        return f"<InputManager received={self.received} accepted={self.accepted}>"

@@ -1,0 +1,398 @@
+"""The rule framework: declarative patterns and Algorithm 1's rule body.
+
+A rule body is one or two triple *patterns*; the head is a triple
+*template*.  Pattern terms are either an ``int`` (a constant term id,
+normally a vocabulary predicate) or a :class:`Var`.  For example the
+paper's running example CAX-SCO (``<c1 subClassOf c2> ∧ <x type c1> →
+<x type c2>``) is declared as::
+
+    JoinRule(
+        "cax-sco",
+        Pattern(Var("c1"), vocab.sub_class_of, Var("c2")),
+        Pattern(Var("x"), vocab.type, Var("c1")),
+        head=Pattern(Var("x"), vocab.type, Var("c2")),
+    )
+
+:meth:`JoinRule.apply` implements the paper's Algorithm 1 verbatim but
+generalized to any two-pattern body: it joins the *new* triples matching
+pattern 1 against the *store* side of pattern 2, and vice versa.  Because
+the input manager and distributors insert every triple into the store
+before routing it to buffers, this two-sided delta join is complete: for
+any pair of triples satisfying the body, whichever member is routed last
+finds the other already in the store.
+
+Rules advertise their *input predicates* (the constant predicate ids of
+their body patterns; ``None`` means universal — the rule must see every
+triple) and *output predicates* (the head's constant predicate id, or
+``None`` when the head predicate is a variable).  The dependency graph
+and the routing table are computed from these signatures alone, which is
+what makes the reasoner fragment agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..dictionary.encoder import EncodedTriple
+from ..store.vertical import VerticalTripleStore
+from .vocabulary import Vocabulary
+
+__all__ = [
+    "Var",
+    "Pattern",
+    "Rule",
+    "SingleRule",
+    "JoinRule",
+    "RuleViolation",
+]
+
+
+class Var:
+    """A named variable inside a rule pattern."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name or not isinstance(name, str):
+            raise ValueError("variable name must be a non-empty string")
+        self.name = name
+
+    def __eq__(self, other):
+        return isinstance(other, Var) and other.name == self.name
+
+    def __hash__(self):
+        return hash(("Var", self.name))
+
+    def __repr__(self):
+        return f"?{self.name}"
+
+
+PatternTerm = "int | Var"
+
+
+class Pattern:
+    """One triple pattern/template: each slot a constant id or a variable.
+
+    Constants are normally ``int`` term ids; under the dictionary-free
+    ablation (:class:`~repro.dictionary.IdentityDictionary`) they are the
+    term objects themselves.  Anything that is not a :class:`Var` and is
+    hashable is treated as a constant.
+    """
+
+    __slots__ = ("subject", "predicate", "object")
+
+    def __init__(self, subject, predicate, object):
+        for slot, value in (("subject", subject), ("predicate", predicate), ("object", object)):
+            if isinstance(value, (str, float, type(None))) or (
+                not isinstance(value, (int, Var)) and not hasattr(value, "n3")
+            ):
+                raise TypeError(
+                    f"pattern {slot} must be a term id, an RDF term, or Var, got {value!r}"
+                )
+        self.subject = subject
+        self.predicate = predicate
+        self.object = object
+
+    def __iter__(self):
+        yield self.subject
+        yield self.predicate
+        yield self.object
+
+    def variables(self) -> set[str]:
+        """Names of all variables occurring in the pattern."""
+        return {slot.name for slot in self if isinstance(slot, Var)}
+
+    def matches(self, triple: EncodedTriple, binding: dict[str, int]) -> dict[str, int] | None:
+        """Try to match ``triple`` against this pattern under ``binding``.
+
+        Returns the extended binding, or ``None`` on mismatch.  The input
+        binding is never mutated.
+        """
+        extended = None
+        for slot, value in zip(self, triple):
+            if not isinstance(slot, Var):
+                if slot != value:
+                    return None
+                continue
+            bound = binding.get(slot.name)
+            if extended is not None:
+                bound = extended.get(slot.name, bound)
+            if bound is None:
+                if extended is None:
+                    extended = dict(binding)
+                extended[slot.name] = value
+            elif bound != value:
+                return None
+        return binding if extended is None else extended
+
+    def lookup_key(self, binding: dict[str, int]) -> tuple[int | None, int | None, int | None]:
+        """The (s, p, o) store-lookup pattern under ``binding`` (None = wildcard)."""
+        key = []
+        for slot in self:
+            if isinstance(slot, Var):
+                key.append(binding.get(slot.name))
+            else:
+                key.append(slot)
+        return tuple(key)
+
+    def instantiate(self, binding: dict[str, int]) -> EncodedTriple:
+        """Build a concrete triple from the template; raises on unbound vars."""
+        out = []
+        for slot in self:
+            if isinstance(slot, Var):
+                value = binding.get(slot.name)
+                if value is None:
+                    raise RuleViolation(f"unbound head variable ?{slot.name}")
+                out.append(value)
+            else:
+                out.append(slot)
+        return tuple(out)
+
+    def __repr__(self):
+        return f"({self.subject!r} {self.predicate!r} {self.object!r})"
+
+
+class RuleViolation(RuntimeError):
+    """Raised when a rule is declared or instantiated inconsistently."""
+
+
+class Rule:
+    """Base class for inference rules.
+
+    Subclasses must set :attr:`name`, :attr:`head`, :attr:`body`
+    (a sequence of patterns) and implement :meth:`apply`.
+    """
+
+    name: str
+    head: Pattern
+    body: Sequence[Pattern]
+
+    def __init__(self, name: str, head: Pattern, body: Sequence[Pattern]):
+        if not name:
+            raise RuleViolation("rule needs a name")
+        head_vars = head.variables()
+        body_vars = set()
+        for pattern in body:
+            body_vars |= pattern.variables()
+        unbound = head_vars - body_vars
+        if unbound:
+            raise RuleViolation(
+                f"rule {name}: head variables {sorted(unbound)} never bound by the body"
+            )
+        self.name = name
+        self.head = head
+        self.body = tuple(body)
+
+    # --- signatures -------------------------------------------------------
+    @property
+    def input_predicates(self) -> frozenset[int] | None:
+        """Constant predicate ids this rule consumes; ``None`` = universal.
+
+        A rule is universal as soon as *any* body pattern has a variable
+        predicate: it must then be offered every triple.
+        """
+        predicates = set()
+        for pattern in self.body:
+            if isinstance(pattern.predicate, Var):
+                return None
+            predicates.add(pattern.predicate)
+        return frozenset(predicates)
+
+    @property
+    def activation_predicates(self) -> frozenset[int] | None:
+        """Constant predicate ids anywhere in the body; ``None`` if none.
+
+        For a *universal-input* rule this is its lazy-activation set: as
+        long as every activation predicate's partition is empty, a data
+        triple cannot complete the body, so the engine may skip buffering
+        it — only triples carrying an activation predicate (which make
+        the rule "live") must always be delivered.  A body with no
+        constant predicate at all (e.g. rdfs4a) returns ``None``: such a
+        rule can fire on anything and must see everything.
+        """
+        predicates = set()
+        for pattern in self.body:
+            if not isinstance(pattern.predicate, Var):
+                predicates.add(pattern.predicate)
+        return frozenset(predicates) if predicates else None
+
+    @property
+    def output_predicates(self) -> frozenset[int] | None:
+        """Constant predicate ids this rule can produce; ``None`` = unknown."""
+        if isinstance(self.head.predicate, Var):
+            return None
+        return frozenset({self.head.predicate})
+
+    def accepts(self, predicate: int) -> bool:
+        """Whether a triple with this predicate is relevant to the body."""
+        inputs = self.input_predicates
+        return inputs is None or predicate in inputs
+
+    # --- evaluation -------------------------------------------------------
+    def apply(
+        self,
+        store: VerticalTripleStore,
+        new_triples: Sequence[EncodedTriple],
+        vocab: Vocabulary,
+    ) -> list[EncodedTriple]:
+        """Derive consequences of ``new_triples`` w.r.t. the store."""
+        raise NotImplementedError
+
+    # --- head guards -----------------------------------------------------
+    def _emit(
+        self,
+        binding: dict[str, int],
+        vocab: Vocabulary,
+        out: list[EncodedTriple],
+        seen: set[EncodedTriple],
+    ) -> None:
+        """Instantiate the head under RDF well-formedness guards.
+
+        Inferred triples must be valid RDF: literals cannot be subjects or
+        predicates, and blank nodes cannot be predicates.  Rules like
+        rdfs3/rdfs4b would otherwise type literals as resources.
+        """
+        triple = self.head.instantiate(binding)
+        if triple in seen:
+            return
+        subject, predicate, obj = triple
+        is_literal = vocab.dictionary.is_literal
+        if is_literal(subject) or is_literal(predicate):
+            return
+        seen.add(triple)
+        out.append(triple)
+
+    def __repr__(self):
+        body = " ∧ ".join(repr(p) for p in self.body)
+        return f"<Rule {self.name}: {body} → {self.head!r}>"
+
+
+class SingleRule(Rule):
+    """A rule with a one-pattern body, e.g. rdfs6: ``<p type Property> →
+    <p subPropertyOf p>``."""
+
+    def __init__(self, name: str, pattern: Pattern, head: Pattern):
+        super().__init__(name, head, (pattern,))
+        self.pattern = pattern
+
+    def apply(self, store, new_triples, vocab) -> list[EncodedTriple]:
+        out: list[EncodedTriple] = []
+        seen: set[EncodedTriple] = set()
+        empty: dict[str, int] = {}
+        for triple in new_triples:
+            binding = self.pattern.matches(triple, empty)
+            if binding is not None:
+                self._emit(binding, vocab, out, seen)
+        return out
+
+
+class JoinRule(Rule):
+    """A rule with a two-pattern body — the general case of Algorithm 1.
+
+    The two body patterns must share at least one variable (the join), and
+    every head variable must be bound by the body (checked by the base
+    class).
+    """
+
+    def __init__(self, name: str, left: Pattern, right: Pattern, head: Pattern):
+        super().__init__(name, head, (left, right))
+        self.left = left
+        self.right = right
+        if not (left.variables() & right.variables()) and not self._ground_join():
+            raise RuleViolation(f"rule {name}: body patterns share no variable")
+
+    def _ground_join(self) -> bool:
+        # A cartesian body (no shared variable) is legal only if one side
+        # is fully ground; no built-in fragment needs it, but custom rules
+        # might declare e.g. an activation pattern.
+        return not self.left.variables() or not self.right.variables()
+
+    def apply(self, store, new_triples, vocab) -> list[EncodedTriple]:
+        out: list[EncodedTriple] = []
+        seen: set[EncodedTriple] = set()
+        self._half_join(store, new_triples, self.left, self.right, vocab, out, seen)
+        self._half_join(store, new_triples, self.right, self.left, vocab, out, seen)
+        return out
+
+    def _half_join(
+        self,
+        store: VerticalTripleStore,
+        new_triples: Sequence[EncodedTriple],
+        new_side: Pattern,
+        store_side: Pattern,
+        vocab: Vocabulary,
+        out: list[EncodedTriple],
+        seen: set[EncodedTriple],
+    ) -> None:
+        """One direction of Algorithm 1: new triples × stored partners.
+
+        Short-circuit: when the stored side has a constant predicate with
+        an empty partition, no probe can succeed — skip the whole sweep.
+        This is safe, not just fast: if a matching stored-side triple
+        arrives later, *its* half-join (the other direction) re-joins it
+        against the store, which by then contains today's new triples.
+        """
+        store_predicate = store_side.predicate
+        if not isinstance(store_predicate, Var) and not store.has_predicate(store_predicate):
+            return
+        new_predicate = new_side.predicate
+        if not isinstance(new_predicate, Var):
+            # C-speed pre-filter: only triples with the right predicate
+            # can match, and most batches are dominated by others.
+            new_triples = [t for t in new_triples if t[1] == new_predicate]
+            if not new_triples:
+                return
+        empty: dict[str, int] = {}
+        for triple in new_triples:
+            binding = new_side.matches(triple, empty)
+            if binding is None:
+                continue
+            subject, predicate, obj = store_side.lookup_key(binding)
+            for partner in store.match(subject, predicate, obj):
+                merged = store_side.matches(partner, binding)
+                if merged is not None:
+                    self._emit(merged, vocab, out, seen)
+
+    def derive_all(
+        self, store: VerticalTripleStore, vocab: Vocabulary
+    ) -> list[EncodedTriple]:
+        """Full (non-incremental) evaluation of the body against the store.
+
+        This is the "commonly used iterative rules scheme" of the naive
+        baseline, so — unlike the pipeline's :meth:`apply` — it does NOT
+        deduplicate its output: every successful body instantiation is
+        materialized and duplicate elimination is left to the store.  On
+        the subClassOf chains this is exactly the O(n³) derivations for
+        an O(n²) closure that the paper cites; the length of the returned
+        list is the baseline's work metric.
+        """
+        out: list[EncodedTriple] = []
+        is_literal = vocab.dictionary.is_literal
+        head = self.head
+        subject, predicate, obj = self.left.lookup_key({})
+        empty: dict[str, int] = {}
+        for triple in store.match(subject, predicate, obj):
+            binding = self.left.matches(triple, empty)
+            if binding is None:
+                continue
+            s2, p2, o2 = self.right.lookup_key(binding)
+            for partner in store.match(s2, p2, o2):
+                merged = self.right.matches(partner, binding)
+                if merged is None:
+                    continue
+                derived = head.instantiate(merged)
+                if is_literal(derived[0]) or is_literal(derived[1]):
+                    continue  # same well-formedness guards as _emit
+                out.append(derived)
+        return out
+
+
+def derive_all(rule: Rule, store: VerticalTripleStore, vocab: Vocabulary) -> list[EncodedTriple]:
+    """Full evaluation of any rule against the whole store.
+
+    ``JoinRule`` has a specialized implementation; single-pattern rules
+    reuse :meth:`Rule.apply` with the store contents as the "new" side.
+    """
+    if isinstance(rule, JoinRule):
+        return rule.derive_all(store, vocab)
+    return rule.apply(store, list(store), vocab)

@@ -1,0 +1,199 @@
+"""Data-stream support (paper §1, "Data Stream Support").
+
+Slider's :meth:`~repro.reasoner.engine.Slider.add` is already incremental;
+this module supplies the sources and pumps that turn files, collections
+and generators into *streams* — optionally rate-controlled — and drive
+them into an engine, possibly from several threads at once ("the
+parallelisation of parsing and reasoning process on multiple data
+sources at the same time").
+
+>>> from repro.reasoner.stream import ListSource, StreamPump
+>>> pump = StreamPump(reasoner, ListSource(triples), chunk_size=100)
+>>> pump.run()              # blocking replay
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Iterable, Iterator, Sequence
+
+from ..rdf.ntriples import iter_ntriples
+from ..rdf.terms import Triple
+
+__all__ = [
+    "StreamSource",
+    "ListSource",
+    "FileSource",
+    "GeneratorSource",
+    "RateLimitedSource",
+    "StreamPump",
+    "merge_sources",
+]
+
+
+class StreamSource:
+    """Anything that yields triples in arrival order."""
+
+    def __iter__(self) -> Iterator[Triple]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:  # optional; pumps use it for progress only
+        raise TypeError(f"{type(self).__name__} has no known length")
+
+
+class ListSource(StreamSource):
+    """A finite, re-iterable stream over an in-memory collection."""
+
+    def __init__(self, triples: Sequence[Triple]):
+        self._triples = list(triples)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+
+class FileSource(StreamSource):
+    """Streams an N-Triples file line by line (constant memory)."""
+
+    def __init__(self, path):
+        self.path = path
+
+    def __iter__(self) -> Iterator[Triple]:
+        with open(self.path, "r", encoding="utf-8") as handle:
+            yield from iter_ntriples(handle)
+
+
+class GeneratorSource(StreamSource):
+    """Wraps a generator *factory* so the source stays re-iterable."""
+
+    def __init__(self, factory: Callable[[], Iterable[Triple]]):
+        self._factory = factory
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._factory())
+
+
+class RateLimitedSource(StreamSource):
+    """Replays an underlying source at ``rate`` triples/second.
+
+    Pacing uses absolute deadlines, so a slow consumer downstream does
+    not shift the schedule: the source catches up instead of drifting.
+    """
+
+    def __init__(
+        self,
+        source: StreamSource,
+        rate: float,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.source = source
+        self.rate = rate
+        self._sleep = sleep
+        self._clock = clock
+
+    def __iter__(self) -> Iterator[Triple]:
+        interval = 1.0 / self.rate
+        start = self._clock()
+        for count, triple in enumerate(self.source):
+            deadline = start + count * interval
+            delay = deadline - self._clock()
+            if delay > 0:
+                self._sleep(delay)
+            yield triple
+
+    def __len__(self) -> int:
+        return len(self.source)
+
+
+def merge_sources(*sources: StreamSource) -> StreamSource:
+    """Round-robin interleave several sources into one stream."""
+
+    def interleave() -> Iterator[Triple]:
+        iterators = [iter(source) for source in sources]
+        while iterators:
+            alive = []
+            for iterator in iterators:
+                try:
+                    yield next(iterator)
+                except StopIteration:
+                    continue
+                alive.append(iterator)
+            iterators = alive
+
+    return GeneratorSource(interleave)
+
+
+class StreamPump:
+    """Drives a source into a reasoner in fixed-size chunks.
+
+    One pump per source; several pumps can feed one engine concurrently
+    via :meth:`start` (each pump then owns a thread, mirroring the
+    paper's multiple input managers).
+    """
+
+    def __init__(
+        self,
+        reasoner,
+        source: StreamSource,
+        chunk_size: int = 256,
+        on_chunk: Callable[[int], None] | None = None,
+    ):
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.reasoner = reasoner
+        self.source = source
+        self.chunk_size = chunk_size
+        self.on_chunk = on_chunk
+        self.delivered = 0
+        self._thread: threading.Thread | None = None
+        self._error: BaseException | None = None
+
+    def run(self) -> int:
+        """Blocking replay; returns the number of triples delivered."""
+        chunk: list[Triple] = []
+        for triple in self.source:
+            chunk.append(triple)
+            if len(chunk) >= self.chunk_size:
+                self._deliver(chunk)
+                chunk = []
+        if chunk:
+            self._deliver(chunk)
+        return self.delivered
+
+    def _deliver(self, chunk: list[Triple]) -> None:
+        self.reasoner.add(chunk)
+        self.delivered += len(chunk)
+        if self.on_chunk is not None:
+            self.on_chunk(len(chunk))
+
+    # --- threaded operation --------------------------------------------------
+    def start(self) -> "StreamPump":
+        """Run in a background thread; :meth:`join` to wait."""
+        if self._thread is not None:
+            raise RuntimeError("pump already started")
+        self._thread = threading.Thread(target=self._run_safely, name="slider-pump")
+        self._thread.start()
+        return self
+
+    def _run_safely(self) -> None:
+        try:
+            self.run()
+        except BaseException as error:
+            self._error = error
+
+    def join(self, timeout: float | None = None) -> int:
+        """Wait for a started pump; re-raises any pump-thread error."""
+        if self._thread is None:
+            raise RuntimeError("pump was never started")
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise TimeoutError("pump did not finish in time")
+        if self._error is not None:
+            raise self._error
+        return self.delivered

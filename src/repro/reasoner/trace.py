@@ -1,0 +1,191 @@
+"""Inference trace recording (the data layer behind the demo GUI).
+
+The paper's demo "ran the reasoner and logged the state of all the
+modules of Slider at each step of the process", enabling an *inference
+player* with pause/backwards/replay.  :class:`Trace` is that log: an
+append-only, thread-safe sequence of :class:`TraceEvent` records emitted
+by the engine's components.  :mod:`repro.demo.player` reconstructs module
+state at any step from it; :mod:`repro.demo.report` renders the summary
+panel.
+
+Event kinds
+-----------
+
+==================  =====================================================
+``input``           a batch of explicit triples entered the input manager
+``route``           a triple batch was routed to a rule's buffer
+``buffer_full``     a buffer reached its size limit and fired (counter i)
+``buffer_timeout``  a buffer was flushed by timeout (counter ii)
+``rule_start``      a rule-module instance began executing
+``rule_end``        it finished: derived / kept-after-dedup counts (iii)
+``store``           store size snapshot after a write batch
+``flush``           an explicit flush/quiescence barrier was requested
+``done``            the engine reached quiescence
+==================  =====================================================
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Callable, Iterator
+
+__all__ = ["TraceEvent", "Trace", "NullTrace", "save_trace", "load_trace"]
+
+
+class TraceEvent:
+    """One recorded step: sequence number, wall-clock time, kind, payload."""
+
+    __slots__ = ("seq", "timestamp", "kind", "payload")
+
+    def __init__(self, seq: int, timestamp: float, kind: str, payload: dict[str, Any]):
+        self.seq = seq
+        self.timestamp = timestamp
+        self.kind = kind
+        self.payload = payload
+
+    def __repr__(self):
+        details = ", ".join(f"{k}={v!r}" for k, v in sorted(self.payload.items()))
+        return f"<TraceEvent #{self.seq} {self.kind} {details}>"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation."""
+        return {
+            "seq": self.seq,
+            "timestamp": self.timestamp,
+            "kind": self.kind,
+            **self.payload,
+        }
+
+
+class Trace:
+    """Thread-safe append-only event log.
+
+    The engine records through :meth:`record`; readers iterate a snapshot
+    (never the live list).  A ``clock`` injectable makes tests
+    deterministic.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic):
+        self._events: list[TraceEvent] = []
+        self._lock = threading.Lock()
+        self._clock = clock
+        self._start = clock()
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def record(self, kind: str, **payload: Any) -> TraceEvent:
+        """Append one event; returns it (tests use the return value)."""
+        with self._lock:
+            event = TraceEvent(
+                seq=len(self._events),
+                timestamp=self._clock() - self._start,
+                kind=kind,
+                payload=payload,
+            )
+            self._events.append(event)
+            return event
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.snapshot())
+
+    def __getitem__(self, index: int) -> TraceEvent:
+        with self._lock:
+            return self._events[index]
+
+    def snapshot(self) -> list[TraceEvent]:
+        """A consistent copy of all events recorded so far."""
+        with self._lock:
+            return list(self._events)
+
+    def events_of(self, kind: str) -> list[TraceEvent]:
+        """All events of one kind."""
+        return [event for event in self.snapshot() if event.kind == kind]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self._start = self._clock()
+
+
+def save_trace(trace: "Trace", path, config: dict | None = None) -> int:
+    """Persist a trace (and optional run configuration) as JSON.
+
+    The paper's demo pre-records runs for "24 configurations ... 264
+    different scenarios" and replays them later; this is that storage
+    format.  Returns the number of events written.
+    """
+    events = trace.snapshot()
+    payload = {
+        "format": "slider-trace/1",
+        "config": dict(config or {}),
+        "events": [event.to_dict() for event in events],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+    return len(events)
+
+
+def load_trace(path) -> tuple["Trace", dict]:
+    """Load a trace saved by :func:`save_trace`.
+
+    Returns ``(trace, config)``.  The reconstructed trace preserves
+    sequence numbers, timestamps, kinds and payloads, so the player and
+    reports behave exactly as on the live object.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("format") != "slider-trace/1":
+        raise ValueError(f"{path}: not a slider trace file")
+    trace = Trace()
+    with trace._lock:
+        for data in payload["events"]:
+            event_payload = {
+                key: value
+                for key, value in data.items()
+                if key not in ("seq", "timestamp", "kind")
+            }
+            trace._events.append(
+                TraceEvent(
+                    seq=data["seq"],
+                    timestamp=data["timestamp"],
+                    kind=data["kind"],
+                    payload=event_payload,
+                )
+            )
+    return trace, payload.get("config", {})
+
+
+class NullTrace:
+    """A disabled trace: every record call is a no-op.
+
+    The engine always talks to a trace object; benchmarks use this one so
+    tracing costs nothing on the hot path.
+    """
+
+    enabled = False
+
+    def record(self, kind: str, **payload: Any) -> None:
+        return None
+
+    def __len__(self) -> int:
+        return 0
+
+    def __iter__(self):
+        return iter(())
+
+    def snapshot(self) -> list:
+        return []
+
+    def events_of(self, kind: str) -> list:
+        return []
+
+    def clear(self) -> None:
+        return None

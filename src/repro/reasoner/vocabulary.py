@@ -1,0 +1,86 @@
+"""Encoded vocabulary: well-known term ids for the rule sets.
+
+Rules operate exclusively in integer space (see :mod:`repro.dictionary`),
+so every fragment needs the ids of the RDF/RDFS/OWL vocabulary terms it
+mentions.  :class:`Vocabulary` pre-registers those terms in a
+:class:`~repro.dictionary.TermDictionary` and exposes their ids as plain
+attributes; rule factories receive a vocabulary and bake the ids into
+their patterns.
+
+Pre-registration also guarantees the vocabulary ids are stable and small,
+which keeps the routing table compact.
+"""
+
+from __future__ import annotations
+
+from ..dictionary.encoder import TermDictionary
+from ..rdf.namespaces import OWL, RDF, RDFS
+
+__all__ = ["Vocabulary"]
+
+
+class Vocabulary:
+    """Integer ids of the schema vocabulary, bound to one dictionary.
+
+    >>> vocab = Vocabulary(TermDictionary())
+    >>> vocab.dictionary.decode(vocab.type)
+    IRI('http://www.w3.org/1999/02/22-rdf-syntax-ns#type')
+    """
+
+    __slots__ = (
+        "dictionary",
+        # RDF
+        "type",
+        "property",
+        # RDFS
+        "sub_class_of",
+        "sub_property_of",
+        "domain",
+        "range",
+        "resource",
+        "literal",
+        "datatype",
+        "class_",
+        "container_membership_property",
+        "member",
+        # OWL (Horst-style extension fragment)
+        "same_as",
+        "equivalent_class",
+        "equivalent_property",
+        "inverse_of",
+        "transitive_property",
+        "symmetric_property",
+        "functional_property",
+        "inverse_functional_property",
+    )
+
+    def __init__(self, dictionary: TermDictionary):
+        self.dictionary = dictionary
+        encode = dictionary.encode
+        # RDF
+        self.type = encode(RDF.type)
+        self.property = encode(RDF.Property)
+        # RDFS
+        self.sub_class_of = encode(RDFS.subClassOf)
+        self.sub_property_of = encode(RDFS.subPropertyOf)
+        self.domain = encode(RDFS.domain)
+        self.range = encode(RDFS.range)
+        self.resource = encode(RDFS.Resource)
+        self.literal = encode(RDFS.Literal)
+        self.datatype = encode(RDFS.Datatype)
+        self.class_ = encode(RDFS.Class)
+        self.container_membership_property = encode(RDFS.ContainerMembershipProperty)
+        self.member = encode(RDFS.member)
+        # OWL
+        self.same_as = encode(OWL.sameAs)
+        self.equivalent_class = encode(OWL.equivalentClass)
+        self.equivalent_property = encode(OWL.equivalentProperty)
+        self.inverse_of = encode(OWL.inverseOf)
+        self.transitive_property = encode(OWL.TransitiveProperty)
+        self.symmetric_property = encode(OWL.SymmetricProperty)
+        self.functional_property = encode(OWL.FunctionalProperty)
+        self.inverse_functional_property = encode(OWL.InverseFunctionalProperty)
+
+    def is_literal(self, term_id: int) -> bool:
+        """True iff ``term_id`` denotes a literal (rule guard helper)."""
+        return self.dictionary.is_literal(term_id)

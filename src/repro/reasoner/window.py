@@ -1,0 +1,170 @@
+"""Sliding-window stream reasoning (C-SPARQL-style, built on DRed).
+
+The paper positions Slider against stream reasoners that "limit the
+amount of data in the knowledge base by eliminating former triples"
+(§5).  :class:`WindowedReasoner` provides that mode of operation on top
+of the Slider engine: assertions carry an arrival index (or timestamp),
+and once they fall out of the window they are retracted *with their
+no-longer-supported consequences* via
+:func:`~repro.reasoner.retraction.dred_retract` — so the closure always
+reflects exactly the triples currently in the window plus the immutable
+*background knowledge*.
+
+Two window policies:
+
+* :class:`CountWindow` — keep the most recent ``size`` assertions;
+* :class:`TimeWindow` — keep assertions younger than ``duration``
+  seconds (clock injectable for deterministic tests).
+
+>>> window = WindowedReasoner(CountWindow(1000), fragment="rhodf")
+>>> window.load_background(schema_triples)     # never expires
+>>> window.extend(stream_chunk)                # slides automatically
+>>> window.reasoner.graph                      # closure of window ∪ background
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Iterable
+
+from ..rdf.terms import Triple
+from .engine import Slider
+
+__all__ = ["WindowedReasoner", "CountWindow", "TimeWindow"]
+
+
+class CountWindow:
+    """Keep the newest ``size`` streamed assertions."""
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError(f"window size must be >= 1, got {size}")
+        self.size = size
+
+    def expired(self, entries: deque, now: float) -> list[Triple]:
+        overflow = len(entries) - self.size
+        return [entries[i][1] for i in range(overflow)] if overflow > 0 else []
+
+    def __repr__(self):
+        return f"CountWindow({self.size})"
+
+
+class TimeWindow:
+    """Keep assertions younger than ``duration`` seconds."""
+
+    def __init__(self, duration: float):
+        if duration <= 0:
+            raise ValueError(f"window duration must be positive, got {duration}")
+        self.duration = duration
+
+    def expired(self, entries: deque, now: float) -> list[Triple]:
+        cutoff = now - self.duration
+        return [triple for stamp, triple in entries if stamp <= cutoff]
+
+    def __repr__(self):
+        return f"TimeWindow({self.duration}s)"
+
+
+class WindowedReasoner:
+    """Maintains the closure of a sliding window over a triple stream.
+
+    Background knowledge (ontology/TBox) loaded through
+    :meth:`load_background` is permanent; streamed assertions expire by
+    the window policy.  The closure is maintained incrementally in both
+    directions: additions through the normal Slider pipeline, expiry
+    through DRed retraction.
+    """
+
+    def __init__(
+        self,
+        window: CountWindow | TimeWindow,
+        fragment: str = "rhodf",
+        clock: Callable[[], float] = time.monotonic,
+        **slider_options,
+    ):
+        slider_options.setdefault("workers", 0)
+        slider_options.setdefault("timeout", None)
+        self.window = window
+        self.reasoner = Slider(fragment=fragment, **slider_options)
+        self._clock = clock
+        self._entries: deque[tuple[float, Triple]] = deque()
+        self._background: set[Triple] = set()
+        self.expired_total = 0
+
+    # --- ingestion -----------------------------------------------------------
+    def load_background(self, triples: Iterable[Triple]) -> int:
+        """Add permanent knowledge (never expires)."""
+        triples = list(triples)
+        self._background.update(triples)
+        return self.reasoner.add(triples)
+
+    def extend(self, triples: Iterable[Triple]) -> int:
+        """Stream new assertions in; slide the window; return expiry count.
+
+        Duplicates of background knowledge are ignored (they would
+        otherwise expire knowledge meant to be permanent); re-streamed
+        duplicates of a live windowed triple refresh its position.
+        """
+        now = self._clock()
+        streamed = [t for t in triples if t not in self._background]
+        live = {triple for _, triple in self._entries}
+        for triple in streamed:
+            if triple in live:
+                self._remove_entry(triple)
+            self._entries.append((now, triple))
+        self.reasoner.add(streamed)
+        return self.slide()
+
+    def _remove_entry(self, triple: Triple) -> None:
+        for index, (_, existing) in enumerate(self._entries):
+            if existing == triple:
+                del self._entries[index]
+                return
+
+    # --- expiry -----------------------------------------------------------------
+    def slide(self) -> int:
+        """Retract whatever the policy says has expired; returns count."""
+        expired = self.window.expired(self._entries, self._clock())
+        if not expired:
+            return 0
+        expired_set = set(expired)
+        self._entries = deque(
+            (stamp, triple)
+            for stamp, triple in self._entries
+            if triple not in expired_set
+        )
+        self.reasoner.retract(expired)
+        self.expired_total += len(expired)
+        return len(expired)
+
+    # --- inspection ----------------------------------------------------------
+    def __len__(self) -> int:
+        """Triples currently in the window (streamed assertions only)."""
+        return len(self._entries)
+
+    @property
+    def graph(self):
+        """Closure of window ∪ background (a live Graph view)."""
+        return self.reasoner.graph
+
+    def flush(self) -> None:
+        self.reasoner.flush()
+
+    def close(self) -> None:
+        self.reasoner.close()
+
+    def __enter__(self) -> "WindowedReasoner":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.reasoner.__exit__(exc_type, exc, tb)
+
+    def __repr__(self):
+        return (
+            f"<WindowedReasoner {self.window!r} live={len(self)} "
+            f"expired={self.expired_total} store={len(self.reasoner)}>"
+        )

@@ -1,0 +1,17 @@
+"""Triple store substrate: vertical partitioning, RW locking, BGP queries."""
+
+from .graph import Graph
+from .locks import ReentrantReadWriteLock
+from .query import TriplePattern, ask, construct, select, solve
+from .vertical import VerticalTripleStore
+
+__all__ = [
+    "Graph",
+    "ReentrantReadWriteLock",
+    "VerticalTripleStore",
+    "TriplePattern",
+    "solve",
+    "select",
+    "ask",
+    "construct",
+]

@@ -1,0 +1,152 @@
+"""Basic graph pattern (BGP) query evaluation over a :class:`Graph`.
+
+The demo lets users "retrieve the original ontology" and inspect inferred
+data; this module provides the query layer for that: conjunctive triple
+patterns with :class:`~repro.rdf.terms.Variable` terms, evaluated with a
+selectivity-ordered nested-index-loop join (the classic strategy for
+vertically-partitioned stores — each pattern probes the predicate
+partition directly).
+
+>>> from repro.rdf import IRI, Variable
+>>> x = Variable("x")
+>>> # solve(graph, [(x, RDF.type, EX.Product)]) -> [{x: ...}, ...]
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Union
+
+from ..rdf.terms import Term, Triple, Variable
+from .graph import Graph
+
+__all__ = ["TriplePattern", "solve", "select", "ask", "construct"]
+
+PatternTerm = Union[Term, Variable]
+TriplePattern = tuple[PatternTerm, PatternTerm, PatternTerm]
+Binding = dict[Variable, Term]
+
+
+def _pattern_variables(pattern: TriplePattern) -> set[Variable]:
+    return {term for term in pattern if isinstance(term, Variable)}
+
+
+def _estimate_cost(graph: Graph, pattern: TriplePattern, bound: set[Variable]) -> tuple[int, int]:
+    """Join-ordering key: fewer free variables first, then more selective.
+
+    Returns (number of unbound variables, crude cardinality estimate).
+    """
+    free = [term for term in pattern if isinstance(term, Variable) and term not in bound]
+    predicate = pattern[1]
+    if isinstance(predicate, Variable):
+        # Variable predicate (even when join-bound, the value is unknown
+        # at planning time): assume the worst case, a full scan.
+        cardinality = len(graph)
+    else:
+        predicate_id = graph.dictionary.lookup(predicate)
+        cardinality = 0 if predicate_id is None else graph.store.count_predicate(predicate_id)
+    return (len(free), cardinality)
+
+
+def _substitute(pattern: TriplePattern, binding: Binding) -> TriplePattern:
+    return tuple(
+        binding.get(term, term) if isinstance(term, Variable) else term
+        for term in pattern
+    )  # type: ignore[return-value]
+
+
+def _match_pattern(graph: Graph, pattern: TriplePattern) -> Iterator[tuple[Triple, Binding]]:
+    """Match one (possibly variable-containing) pattern against the graph."""
+    subject, predicate, obj = pattern
+    lookup = (
+        None if isinstance(subject, Variable) else subject,
+        None if isinstance(predicate, Variable) else predicate,
+        None if isinstance(obj, Variable) else obj,
+    )
+    for triple in graph.triples(*lookup):
+        binding: Binding = {}
+        consistent = True
+        for pattern_term, value in zip(pattern, triple):
+            if isinstance(pattern_term, Variable):
+                previous = binding.get(pattern_term)
+                if previous is None:
+                    binding[pattern_term] = value
+                elif previous != value:
+                    consistent = False
+                    break
+        if consistent:
+            yield triple, binding
+
+
+def solve(graph: Graph, patterns: Sequence[TriplePattern]) -> list[Binding]:
+    """Evaluate a conjunction of triple patterns; return all solutions.
+
+    Each solution maps every variable in the BGP to a concrete term.
+    Patterns are greedily reordered by selectivity at each join step.
+    """
+    if not patterns:
+        return [{}]
+    remaining = list(patterns)
+    solutions: list[Binding] = [{}]
+    bound: set[Variable] = set()
+    while remaining:
+        remaining.sort(key=lambda p: _estimate_cost(graph, p, bound))
+        pattern = remaining.pop(0)
+        next_solutions: list[Binding] = []
+        for solution in solutions:
+            concrete = _substitute(pattern, solution)
+            for _, binding in _match_pattern(graph, concrete):
+                merged = dict(solution)
+                merged.update(binding)
+                next_solutions.append(merged)
+        solutions = next_solutions
+        if not solutions:
+            return []
+        bound |= _pattern_variables(pattern)
+    return solutions
+
+
+def select(
+    graph: Graph,
+    variables: Sequence[Variable],
+    patterns: Sequence[TriplePattern],
+    distinct: bool = True,
+) -> list[tuple[Term, ...]]:
+    """SPARQL-SELECT-like projection of BGP solutions onto ``variables``."""
+    rows = [
+        tuple(solution[variable] for variable in variables)
+        for solution in solve(graph, patterns)
+    ]
+    if distinct:
+        seen: set[tuple[Term, ...]] = set()
+        unique_rows = []
+        for row in rows:
+            if row not in seen:
+                seen.add(row)
+                unique_rows.append(row)
+        return unique_rows
+    return rows
+
+
+def ask(graph: Graph, patterns: Sequence[TriplePattern]) -> bool:
+    """SPARQL-ASK: does at least one solution exist?"""
+    return bool(solve(graph, patterns))
+
+
+def construct(
+    graph: Graph,
+    template: Sequence[TriplePattern],
+    patterns: Sequence[TriplePattern],
+) -> list[Triple]:
+    """SPARQL-CONSTRUCT: instantiate ``template`` for every solution."""
+    results: list[Triple] = []
+    seen: set[Triple] = set()
+    for solution in solve(graph, patterns):
+        for pattern in template:
+            subject, predicate, obj = _substitute(pattern, solution)
+            if isinstance(subject, Variable) or isinstance(predicate, Variable) or isinstance(obj, Variable):
+                continue  # unbound template variable: skip (per SPARQL)
+            triple = Triple(subject, predicate, obj)
+            if triple not in seen:
+                seen.add(triple)
+                results.append(triple)
+    return results

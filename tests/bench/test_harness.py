@@ -1,0 +1,93 @@
+"""Tests for the benchmark harness (timing, gains, Table 1 rows)."""
+
+import pytest
+
+from repro.bench import (
+    Table1Row,
+    dataset_file,
+    gain_percent,
+    run_batch,
+    run_semi_naive,
+    run_slider,
+    run_table1,
+    run_table1_row,
+)
+from repro.datasets import expected_rhodf_inferences
+
+
+class TestGainFormula:
+    def test_paper_example(self):
+        """OWLIM 9.907s vs Slider 4.636s => 113.69 % (Table 1, row 1)."""
+        assert gain_percent(9.907, 4.636) == pytest.approx(113.69, abs=0.01)
+
+    def test_negative_gain_when_slider_slower(self):
+        """The wikipedia/RDFS row: 17.186 vs 22.443 => -23.42 %."""
+        assert gain_percent(17.186, 22.443) == pytest.approx(-23.42, abs=0.01)
+
+    def test_zero_slider_time(self):
+        assert gain_percent(1.0, 0.0) == float("inf")
+
+
+class TestDatasetFiles:
+    def test_file_written_and_cached(self):
+        first = dataset_file("subClassOf10", scale=1.0)
+        second = dataset_file("subClassOf10", scale=1.0)
+        assert first == second
+        assert first.exists()
+        assert first.suffix == ".nt"
+
+    def test_different_scales_get_different_files(self):
+        a = dataset_file("BSBM_100k", scale=0.01)
+        b = dataset_file("BSBM_100k", scale=0.02)
+        assert a != b
+
+
+class TestRuns:
+    def test_run_slider_measures_and_counts(self):
+        result = run_slider("subClassOf20", "rhodf", workers=0, timeout=None)
+        assert result.system == "slider"
+        assert result.seconds > 0
+        assert result.input_count == 39
+        assert result.inferred_count == expected_rhodf_inferences(20)
+        assert result.throughput > 0
+
+    def test_run_batch_measures_and_counts(self):
+        result = run_batch("subClassOf20", "rhodf")
+        assert result.system == "batch"
+        assert result.inferred_count == expected_rhodf_inferences(20)
+        assert result.extra["rounds"] >= 2
+
+    def test_run_semi_naive(self):
+        result = run_semi_naive("subClassOf20", "rhodf")
+        assert result.system == "semi-naive"
+        assert result.inferred_count == expected_rhodf_inferences(20)
+
+    def test_systems_agree_on_counts(self):
+        slider = run_slider("subClassOf10", "rdfs", workers=0, timeout=None)
+        batch = run_batch("subClassOf10", "rdfs")
+        assert slider.inferred_count == batch.inferred_count
+        assert slider.input_count == batch.input_count
+
+    def test_as_dict(self):
+        result = run_slider("subClassOf10", "rhodf", workers=0, timeout=None)
+        data = result.as_dict()
+        assert data["dataset"] == "subClassOf10"
+        assert data["fragment"] == "rhodf"
+        assert "throughput" in data
+
+
+class TestTable1:
+    def test_single_row(self):
+        row = run_table1_row("subClassOf20", "rhodf", workers=0)
+        assert row.dataset == "subClassOf20"
+        assert row.inferred_count == expected_rhodf_inferences(20)
+        assert row.baseline_seconds > 0 and row.slider_seconds > 0
+
+    def test_row_gain_consistent_with_times(self):
+        row = Table1Row("x", 10, 5, baseline_seconds=2.0, slider_seconds=1.0)
+        assert row.gain == pytest.approx(100.0)
+
+    def test_run_table1_subset(self):
+        rows = run_table1("rhodf", datasets=["subClassOf10", "subClassOf20"], workers=0)
+        assert [row.dataset for row in rows] == ["subClassOf10", "subClassOf20"]
+        assert all(row.slider_seconds > 0 for row in rows)

@@ -1,0 +1,88 @@
+"""Tests for the paper-style table / chart renderers."""
+
+import pytest
+
+from repro.bench import (
+    PAPER_TABLE1,
+    Table1Row,
+    render_average_row,
+    render_figure3,
+    render_table1,
+    render_table1_half,
+)
+
+
+@pytest.fixture
+def rows():
+    return [
+        Table1Row("subClassOf10", 19, 36, baseline_seconds=0.30, slider_seconds=0.10),
+        Table1Row("wordnet", 9000, 0, baseline_seconds=0.50, slider_seconds=0.40),
+        Table1Row("BSBM_5M", 5000, 40, baseline_seconds=2.0, slider_seconds=1.0),
+    ]
+
+
+class TestPaperTranscription:
+    def test_all_thirteen_rows(self):
+        assert len(PAPER_TABLE1) == 13
+
+    def test_headline_row_values(self):
+        inputs, inferred, owlim, slider, gain = PAPER_TABLE1["BSBM_100k"]["rhodf"]
+        assert (inputs, inferred) == (99914, 544)
+        assert (owlim, slider, gain) == (9.907, 4.636, 113.69)
+
+    def test_wordnet_rhodf_marked_absent(self):
+        _, inferred, owlim, slider, gain = PAPER_TABLE1["wordnet"]["rhodf"]
+        assert inferred == 0
+        assert owlim is None and slider is None and gain is None
+
+    def test_paper_averages(self):
+        """The transcribed per-row gains average to the paper's headline
+        numbers (106.86 % for ρdf, 36.08 % for RDFS)."""
+        for fragment, expected in (("rhodf", 106.86), ("rdfs", 36.08)):
+            gains = [
+                values[fragment][4]
+                for values in PAPER_TABLE1.values()
+                if values[fragment][4] is not None
+            ]
+            assert sum(gains) / len(gains) == pytest.approx(expected, abs=0.05)
+
+    def test_overall_average_matches_abstract(self):
+        """ρdf and RDFS averages combine to the abstract's 71.47 %."""
+        assert (106.86 + 36.08) / 2 == pytest.approx(71.47, abs=0.01)
+
+
+class TestRenderers:
+    def test_half_contains_all_rows_and_average(self, rows):
+        text = render_table1_half(rows, "ρdf")
+        assert "subClassOf10" in text
+        assert "wordnet" in text
+        assert "Average" in text
+
+    def test_average_skips_zero_inference_rows(self, rows):
+        text = render_average_row(rows)
+        # wordnet (0 inferred) excluded: mean of 200% and 100%
+        assert "150.00%" in text
+
+    def test_average_handles_no_rows(self):
+        assert "n/a" in render_average_row([])
+
+    def test_full_table_has_both_halves(self, rows):
+        text = render_table1(rows, rows)
+        assert text.count("Average") == 2
+        assert "ρdf" in text and "RDFS" in text
+
+    def test_figure3_omits_bsbm5m(self, rows):
+        chart = render_figure3(rows, rows)
+        assert "BSBM_5M" not in chart
+        assert "subClassOf10" in chart
+
+    def test_figure3_has_two_panels(self, rows):
+        chart = render_figure3(rows, rows)
+        assert "[RDFS]" in chart and "[ρdf]" in chart
+
+    def test_figure3_empty_rows(self):
+        assert "(no data)" in render_figure3([], [])
+
+    def test_gain_column_formats_sign(self, rows):
+        text = render_table1_half(rows, "ρdf")
+        assert "200.00%" in text  # subClassOf10 gain

@@ -1,0 +1,99 @@
+"""Shared fixtures and helpers for the whole test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import BatchReasoner, SemiNaiveReasoner
+from repro.rdf import IRI, Literal, Namespace, RDF, RDFS, Triple
+from repro.reasoner import Slider
+
+EX = Namespace("http://example.org/")
+
+
+@pytest.fixture
+def ex():
+    """The shared example namespace."""
+    return EX
+
+
+def make_chain(n: int) -> list[Triple]:
+    """A bare subClassOf chain C1 <- C2 <- ... <- Cn (no type triples)."""
+    return [
+        Triple(EX[f"C{i}"], RDFS.subClassOf, EX[f"C{i - 1}"]) for i in range(2, n + 1)
+    ]
+
+
+def small_ontology() -> list[Triple]:
+    """A tiny ontology exercising every ρdf rule at least once."""
+    return [
+        # class hierarchy + instance
+        Triple(EX.Cat, RDFS.subClassOf, EX.Feline),
+        Triple(EX.Feline, RDFS.subClassOf, EX.Animal),
+        Triple(EX.tom, RDF.type, EX.Cat),
+        # property hierarchy + instance
+        Triple(EX.hasPet, RDFS.subPropertyOf, EX.keeps),
+        Triple(EX.keeps, RDFS.subPropertyOf, EX.interactsWith),
+        Triple(EX.alice, EX.hasPet, EX.tom),
+        # domain / range
+        Triple(EX.keeps, RDFS.domain, EX.Person),
+        Triple(EX.keeps, RDFS.range, EX.Animal),
+    ]
+
+
+def random_ontology(seed: int, size: int = 60, universe: int = 20) -> list[Triple]:
+    """A random mixed ontology (schema + instance triples)."""
+    rng = random.Random(seed)
+    predicates = [
+        RDFS.subClassOf,
+        RDFS.subPropertyOf,
+        RDFS.domain,
+        RDFS.range,
+        RDF.type,
+        EX.knows,
+        EX.likes,
+        EX.near,
+    ]
+    triples = []
+    for _ in range(size):
+        predicate = rng.choice(predicates)
+        subject = EX[f"n{rng.randint(0, universe)}"]
+        if predicate == RDF.type and rng.random() < 0.2:
+            obj = rng.choice([RDFS.Class, RDFS.Datatype])
+        elif rng.random() < 0.1:
+            obj = Literal(f"value {rng.randint(0, 9)}")
+        else:
+            obj = EX[f"n{rng.randint(0, universe)}"]
+        triples.append(Triple(subject, predicate, obj))
+    return triples
+
+
+def closure_with_slider(triples, fragment: str, **kwargs) -> set[Triple]:
+    """Materialize with the pipeline engine; return the closure set."""
+    options = {"workers": 0, "timeout": None, "buffer_size": 10}
+    options.update(kwargs)
+    reasoner = Slider(fragment=fragment, **options)
+    try:
+        reasoner.add(triples)
+        reasoner.flush()
+        return set(reasoner.graph)
+    finally:
+        reasoner.close()
+
+
+def closure_with_batch(triples, fragment: str) -> set[Triple]:
+    """Materialize with the naive-iteration baseline; return the closure."""
+    reasoner = BatchReasoner(fragment=fragment)
+    reasoner.add(triples)
+    reasoner.materialize()
+    return set(reasoner.graph)
+
+
+def closure_with_semi_naive(triples, fragment: str) -> set[Triple]:
+    """Materialize with the semi-naive baseline; return the closure."""
+    reasoner = SemiNaiveReasoner(fragment=fragment)
+    reasoner.add(triples)
+    reasoner.materialize()
+    return set(reasoner.graph)

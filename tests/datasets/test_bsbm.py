@@ -1,0 +1,81 @@
+"""Tests for the BSBM-like generator: shape, determinism, yields."""
+
+import pytest
+
+from repro.baselines import SemiNaiveReasoner
+from repro.datasets import BSBM, bsbm_tbox, generate_bsbm, iter_bsbm
+from repro.rdf import RDF, RDFS, Triple
+
+
+class TestTBox:
+    def test_tree_shape(self):
+        tbox = bsbm_tbox()
+        sco = [t for t in tbox if t.predicate == RDFS.subClassOf]
+        assert len(sco) == 8 + 8 * 4  # level-1 + leaf links
+        roots = {t.object for t in sco if t.object == BSBM.ProductType}
+        assert roots == {BSBM.ProductType}
+
+    def test_no_domain_range_declarations(self):
+        """BSBM's schema has none — this keeps the ρdf yield low."""
+        tbox = bsbm_tbox()
+        assert not any(t.predicate in (RDFS.domain, RDFS.range) for t in tbox)
+
+    def test_deterministic(self):
+        assert bsbm_tbox() == bsbm_tbox()
+
+
+class TestGenerator:
+    def test_target_size_approximated(self):
+        triples = generate_bsbm(10_000)
+        assert 0.9 * 10_000 <= len(triples) <= 1.1 * 10_000
+
+    def test_deterministic_for_seed(self):
+        assert generate_bsbm(3_000, seed=1) == generate_bsbm(3_000, seed=1)
+
+    def test_different_seeds_differ(self):
+        assert generate_bsbm(3_000, seed=1) != generate_bsbm(3_000, seed=2)
+
+    def test_no_duplicate_triples(self):
+        triples = generate_bsbm(5_000)
+        assert len(triples) == len(set(triples))
+
+    def test_iter_matches_list(self):
+        assert list(iter_bsbm(2_000)) == generate_bsbm(2_000)
+
+    def test_rejects_tiny_target(self):
+        with pytest.raises(ValueError):
+            generate_bsbm(50)
+
+    def test_every_product_has_leaf_type(self):
+        triples = generate_bsbm(3_000)
+        products = {
+            t.subject for t in triples if "Product" in t.subject.value
+            and t.subject.value.split("Product")[-1].isdigit()
+        }
+        typed = {
+            t.subject
+            for t in triples
+            if t.predicate == RDF.type and "ProductType" in t.object.value
+        }
+        assert products
+        assert products <= typed
+
+
+class TestPaperYields:
+    """Table 1 shape: ρdf yield ~0.5-1.5 %, RDFS yield ~25-40 %."""
+
+    @pytest.fixture(scope="class")
+    def triples(self):
+        return generate_bsbm(8_000)
+
+    def test_rhodf_yield_is_low(self, triples):
+        reasoner = SemiNaiveReasoner(fragment="rhodf")
+        reasoner.materialize_triples(triples)
+        yield_pct = reasoner.inferred_count / reasoner.input_count * 100
+        assert 0.2 <= yield_pct <= 3.0
+
+    def test_rdfs_yield_is_resource_dominated(self, triples):
+        reasoner = SemiNaiveReasoner(fragment="rdfs")
+        reasoner.materialize_triples(triples)
+        yield_pct = reasoner.inferred_count / reasoner.input_count * 100
+        assert 20 <= yield_pct <= 45

@@ -1,0 +1,67 @@
+"""Tests for the subClassOf chain generator (paper Equation 1)."""
+
+import pytest
+
+from repro.datasets import (
+    chain_class,
+    expected_input_size,
+    expected_rhodf_inferences,
+    subclass_chain,
+)
+from repro.rdf import RDF, RDFS, Triple
+
+from ..conftest import closure_with_slider
+
+
+class TestEquationOne:
+    def test_structure_for_n3(self):
+        triples = set(subclass_chain(3))
+        assert triples == {
+            Triple(chain_class(1), RDF.type, RDFS.Class),
+            Triple(chain_class(2), RDF.type, RDFS.Class),
+            Triple(chain_class(2), RDFS.subClassOf, chain_class(1)),
+            Triple(chain_class(3), RDF.type, RDFS.Class),
+            Triple(chain_class(3), RDFS.subClassOf, chain_class(2)),
+        }
+
+    @pytest.mark.parametrize("n", [1, 2, 10, 50, 500])
+    def test_size_formula(self, n):
+        assert len(subclass_chain(n)) == expected_input_size(n) == 2 * n - 1
+
+    def test_single_class_chain(self):
+        assert subclass_chain(1) == [Triple(chain_class(1), RDF.type, RDFS.Class)]
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            subclass_chain(0)
+        with pytest.raises(ValueError):
+            chain_class(0)
+
+    def test_deterministic(self):
+        assert subclass_chain(20) == subclass_chain(20)
+
+
+class TestPaperInferredCounts:
+    """Table 1's ρdf 'Inferred' column is exactly C(n-1, 2)."""
+
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(10, 36), (20, 171), (50, 1176), (100, 4851), (200, 19701), (500, 124251)],
+    )
+    def test_formula_matches_table1(self, n, expected):
+        assert expected_rhodf_inferences(n) == expected
+
+    @pytest.mark.parametrize("n", [10, 20, 50])
+    def test_reasoner_reproduces_formula(self, n):
+        closure = closure_with_slider(subclass_chain(n), "rhodf")
+        inferred = len(closure) - expected_input_size(n)
+        assert inferred == expected_rhodf_inferences(n)
+
+    def test_rdfs_surplus_is_linear(self):
+        """RDFS adds ≈ n Resource-typings over ρdf (paper: n + 4)."""
+        n = 20
+        chain = subclass_chain(n)
+        rhodf = closure_with_slider(chain, "rhodf")
+        rdfs = closure_with_slider(chain, "rdfs")
+        surplus = len(rdfs) - len(rhodf)
+        assert n <= surplus <= n + 4

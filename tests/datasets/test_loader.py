@@ -1,0 +1,59 @@
+"""Tests for the named-dataset registry."""
+
+import pytest
+
+from repro.datasets import (
+    DEFAULT_SCALE,
+    TABLE1_ORDER,
+    dataset_names,
+    dataset_spec,
+    load_dataset,
+)
+
+
+class TestRegistry:
+    def test_all_thirteen_paper_ontologies_registered(self):
+        names = dataset_names()
+        assert len(names) == 13
+        assert names == list(TABLE1_ORDER)
+
+    def test_spec_lookup(self):
+        spec = dataset_spec("BSBM_100k")
+        assert spec.paper_size == 100_000
+        assert spec.scalable
+
+    def test_chains_not_scalable(self):
+        spec = dataset_spec("subClassOf100")
+        assert not spec.scalable
+        assert spec.paper_size == 199
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(KeyError, match="BSBM_100k"):
+            dataset_spec("nope")
+
+
+class TestLoading:
+    def test_scale_shrinks_generated_sets(self):
+        small = load_dataset("BSBM_100k", scale=0.01)
+        assert 700 <= len(small) <= 1_300
+
+    def test_chains_ignore_scale(self):
+        assert len(load_dataset("subClassOf50", scale=0.01)) == 99
+        assert len(load_dataset("subClassOf50", scale=1.0)) == 99
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            load_dataset("BSBM_100k", scale=0)
+        with pytest.raises(ValueError):
+            load_dataset("BSBM_100k", scale=1.5)
+
+    def test_default_scale_is_five_percent(self):
+        assert DEFAULT_SCALE == 0.05
+
+    @pytest.mark.parametrize("name", ["wikipedia", "wordnet", "BSBM_100k"])
+    def test_deterministic_per_name(self, name):
+        assert load_dataset(name, 0.01) == load_dataset(name, 0.01)
+
+    def test_tiny_scale_clamped_to_minimum(self):
+        triples = load_dataset("BSBM_5M", scale=0.00001)
+        assert len(triples) >= 150

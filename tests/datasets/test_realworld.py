@@ -1,0 +1,72 @@
+"""Tests for the Wikipedia-like and WordNet-like generators."""
+
+import pytest
+
+from repro.baselines import SemiNaiveReasoner
+from repro.datasets import generate_wikipedia, generate_wordnet
+from repro.rdf import RDF, RDFS
+
+
+class TestWikipedia:
+    @pytest.fixture(scope="class")
+    def triples(self):
+        return generate_wikipedia(9_000)
+
+    def test_target_size(self, triples):
+        assert 0.9 * 9_000 <= len(triples) <= 1.1 * 9_000
+
+    def test_deterministic(self):
+        assert generate_wikipedia(2_000) == generate_wikipedia(2_000)
+
+    def test_is_a_dag_with_multi_parents(self, triples):
+        parents: dict = {}
+        for t in triples:
+            if t.predicate == RDFS.subClassOf:
+                parents.setdefault(t.subject, set()).add(t.object)
+        assert parents, "no category hierarchy generated"
+        assert any(len(p) > 1 for p in parents.values()), "expected a DAG, got a tree"
+
+    def test_articles_have_types(self, triples):
+        typed = [t for t in triples if t.predicate == RDF.type]
+        assert len(typed) > len(triples) * 0.2
+
+    def test_rhodf_yield_matches_paper_shape(self, triples):
+        """Paper: 191 574 / 458 369 ≈ 41.8 % under ρdf."""
+        reasoner = SemiNaiveReasoner(fragment="rhodf")
+        reasoner.materialize_triples(triples)
+        yield_pct = reasoner.inferred_count / reasoner.input_count * 100
+        assert 25 <= yield_pct <= 60
+
+
+class TestWordnet:
+    @pytest.fixture(scope="class")
+    def triples(self):
+        return generate_wordnet(9_000)
+
+    def test_target_size(self, triples):
+        assert 0.85 * 9_000 <= len(triples) <= 1.15 * 9_000
+
+    def test_deterministic(self):
+        assert generate_wordnet(2_000) == generate_wordnet(2_000)
+
+    def test_no_rdfs_vocabulary_in_rule_positions(self, triples):
+        """The crucial wordnet property: zero ρdf inferences (Table 1)."""
+        forbidden = {RDFS.subClassOf, RDFS.subPropertyOf, RDFS.domain, RDFS.range, RDF.type}
+        assert not any(t.predicate in forbidden for t in triples)
+
+    def test_rhodf_infers_exactly_nothing(self, triples):
+        reasoner = SemiNaiveReasoner(fragment="rhodf")
+        reasoner.materialize_triples(triples)
+        assert reasoner.inferred_count == 0
+
+    def test_rdfs_yield_is_resource_typing(self, triples):
+        """Paper: 321 888 / 473 589 ≈ 68 % under RDFS."""
+        reasoner = SemiNaiveReasoner(fragment="rdfs")
+        reasoner.materialize_triples(triples)
+        yield_pct = reasoner.inferred_count / reasoner.input_count * 100
+        assert 50 <= yield_pct <= 85
+        # ... and every inference is an <x type Resource> triple.
+        inferred = set(reasoner.graph) - set(triples)
+        assert all(
+            t.predicate == RDF.type and t.object == RDFS.Resource for t in inferred
+        )

@@ -1,0 +1,68 @@
+"""Edge cases for the demo layer: empty runs, zero-inference runs."""
+
+from repro.demo import InferencePlayer, render_html, render_text, summarize
+from repro.rdf import Triple
+from repro.reasoner import Slider, Trace
+
+from ..conftest import EX
+
+
+def traced_run(triples):
+    trace = Trace(clock=lambda: 0.0)
+    with Slider(
+        fragment="rhodf", workers=0, timeout=None, buffer_size=5, trace=trace
+    ) as reasoner:
+        reasoner.add(triples)
+        reasoner.flush()
+    return trace
+
+
+class TestEmptyTrace:
+    def test_summarize_empty(self):
+        trace = Trace(clock=lambda: 0.0)
+        summary = summarize(trace)
+        assert summary["store_size"] == 0
+        assert summary["rules"] == []
+        assert not summary["done"]
+
+    def test_render_text_empty(self):
+        assert "Slider inference summary" in render_text(Trace(clock=lambda: 0.0))
+
+    def test_render_html_empty(self):
+        assert "<!DOCTYPE html>" in render_html(Trace(clock=lambda: 0.0))
+
+    def test_player_empty(self):
+        player = InferencePlayer(Trace(clock=lambda: 0.0))
+        assert len(player) == 0
+        assert player.at_end
+        assert player.step_forward() is None
+        assert player.final_state().store_size == 0
+
+
+class TestZeroInferenceRun:
+    def test_summary_with_no_inferences(self):
+        trace = traced_run([Triple(EX.a, EX.p, EX.b)])
+        summary = summarize(trace)
+        assert summary["explicit"] == 1
+        assert summary["inferred"] == 0
+        assert summary["inferred_pct"] == 0.0
+
+    def test_text_report_handles_zero_division(self):
+        trace = traced_run([Triple(EX.a, EX.p, EX.b)])
+        text = render_text(trace)
+        assert "0.0%" in text
+
+    def test_html_report_handles_zero_division(self):
+        trace = traced_run([Triple(EX.a, EX.p, EX.b)])
+        assert "<!DOCTYPE html>" in render_html(trace)
+
+
+class TestFlushOnlyTrace:
+    def test_flush_without_data(self):
+        trace = Trace(clock=lambda: 0.0)
+        with Slider(fragment="rhodf", workers=0, timeout=None, trace=trace) as r:
+            r.flush()
+            r.flush()
+        state = InferencePlayer(trace).final_state()
+        assert state.flushes == 3  # two explicit + close()
+        assert state.done

@@ -1,0 +1,117 @@
+"""Tests for the inference player (demo panel 2)."""
+
+import pytest
+
+from repro.demo import InferencePlayer
+from repro.reasoner import Slider, Trace
+
+from ..conftest import make_chain
+
+
+@pytest.fixture
+def trace():
+    recorded = Trace(clock=lambda: 0.0)
+    with Slider(
+        fragment="rhodf", workers=0, timeout=None, buffer_size=4, trace=recorded
+    ) as reasoner:
+        reasoner.add(make_chain(12))
+        reasoner.flush()
+    return recorded
+
+
+class TestReplay:
+    def test_player_covers_whole_trace(self, trace):
+        player = InferencePlayer(trace)
+        assert len(player) == len(trace)
+        assert player.position == 0
+
+    def test_final_state_matches_engine_results(self, trace):
+        final = InferencePlayer(trace).final_state()
+        assert final.done
+        assert final.input_new == 11
+        assert final.inferred_in_store == 12 * 11 // 2 - 11
+        assert final.store_size == final.explicit_in_store + final.inferred_in_store
+
+    def test_step_forward_applies_one_event(self, trace):
+        player = InferencePlayer(trace)
+        state = player.step_forward()
+        assert state.step == 1
+        assert player.position == 1
+
+    def test_step_back_undoes(self, trace):
+        player = InferencePlayer(trace)
+        player.seek(10)
+        forward = player.state
+        player.step_forward()
+        back = player.step_back()
+        assert back.as_dict() == forward.as_dict()
+
+    def test_seek_is_deterministic(self, trace):
+        player = InferencePlayer(trace)
+        a = player.seek(15).as_dict()
+        player.seek(3)
+        b = player.seek(15).as_dict()
+        assert a == b
+
+    def test_seek_clamps(self, trace):
+        player = InferencePlayer(trace)
+        player.seek(10_000)
+        assert player.at_end
+        player.seek(-5)
+        assert player.position == 0
+
+    def test_play_iterates_range(self, trace):
+        player = InferencePlayer(trace)
+        steps = list(player.play(from_step=0, to_step=5))
+        assert len(steps) == 5
+        events, states = zip(*steps)
+        assert [e.seq for e in events] == list(range(5))
+        assert states[-1].step == 5
+
+    def test_play_callback(self, trace):
+        player = InferencePlayer(trace)
+        seen = []
+        list(player.play(on_step=lambda event, state: seen.append(event.kind)))
+        assert len(seen) == len(trace)
+
+    def test_step_forward_at_end_returns_none(self, trace):
+        player = InferencePlayer(trace)
+        player.seek(len(trace))
+        assert player.step_forward() is None
+
+    def test_final_state_does_not_move_cursor(self, trace):
+        player = InferencePlayer(trace)
+        player.seek(5)
+        player.final_state()
+        assert player.position == 5
+
+
+class TestStateAccounting:
+    def test_monotone_store_size(self, trace):
+        player = InferencePlayer(trace)
+        sizes = [state.store_size for _, state in player.play()]
+        assert sizes == sorted(sizes)
+
+    def test_module_counters_accumulate(self, trace):
+        final = InferencePlayer(trace).final_state()
+        scm_sco = final.modules["scm-sco"]
+        assert scm_sco.executions > 0
+        assert scm_sco.kept == 12 * 11 // 2 - 11
+        assert scm_sco.derived >= scm_sco.kept
+
+    def test_recent_rules_ring_is_bounded(self, trace):
+        final = InferencePlayer(trace).final_state()
+        assert 0 < len(final.recent_rules) <= 5
+
+    def test_state_copy_is_independent(self, trace):
+        player = InferencePlayer(trace)
+        player.seek(5)
+        state = player.state
+        player.seek(10)
+        assert state.step == 5
+
+    def test_as_dict_round_trips_counts(self, trace):
+        final = InferencePlayer(trace).final_state()
+        data = final.as_dict()
+        assert data["inferred"] == final.inferred_in_store
+        assert set(data["modules"]) == set(final.modules)

@@ -1,0 +1,84 @@
+"""Tests for the demo summary report (demo panel 3)."""
+
+import json
+
+import pytest
+
+from repro.demo import render_html, render_text, summarize, write_html_report
+from repro.reasoner import Slider, Trace
+
+from ..conftest import make_chain
+
+
+@pytest.fixture(scope="module")
+def trace():
+    recorded = Trace(clock=lambda: 0.0)
+    with Slider(
+        fragment="rhodf", workers=0, timeout=None, buffer_size=5, trace=recorded
+    ) as reasoner:
+        reasoner.add(make_chain(10))
+        reasoner.flush()
+    return recorded
+
+
+class TestSummarize:
+    def test_store_composition(self, trace):
+        summary = summarize(trace)
+        assert summary["explicit"] == 9
+        assert summary["inferred"] == 10 * 9 // 2 - 9
+        assert summary["store_size"] == summary["explicit"] + summary["inferred"]
+        assert summary["explicit_pct"] + summary["inferred_pct"] == pytest.approx(100)
+
+    def test_rules_sorted_by_contribution(self, trace):
+        summary = summarize(trace)
+        kepts = [row["kept"] for row in summary["rules"]]
+        assert kepts == sorted(kepts, reverse=True)
+        assert summary["rules"][0]["rule"] == "scm-sco"
+
+    def test_config_echoed(self, trace):
+        summary = summarize(trace, config={"buffer_size": 5})
+        assert summary["config"] == {"buffer_size": 5}
+
+    def test_duplicates_accounted(self, trace):
+        summary = summarize(trace)
+        assert summary["duplicates_filtered"] >= 0
+        total_derived = sum(r["derived"] for r in summary["rules"])
+        assert summary["duplicates_filtered"] == total_derived - summary["inferred"]
+
+
+class TestTextReport:
+    def test_contains_key_sections(self, trace):
+        text = render_text(trace, config={"fragment": "rhodf"})
+        assert "Slider inference summary" in text
+        assert "fragment=rhodf" in text
+        assert "scm-sco" in text
+        assert "duplicates filtered" in text
+
+    def test_percentages_rendered(self, trace):
+        text = render_text(trace)
+        assert "%" in text
+
+
+class TestHtmlReport:
+    def test_well_formed_and_self_contained(self, trace):
+        html_text = render_html(trace, config={"dataset": "chain"})
+        assert html_text.startswith("<!DOCTYPE html>")
+        assert "</html>" in html_text
+        assert "scm-sco" in html_text
+        assert "dataset=chain" in html_text
+
+    def test_embeds_machine_readable_summary(self, trace):
+        html_text = render_html(trace)
+        start = html_text.index('id="summary">') + len('id="summary">')
+        end = html_text.index("</script>", start)
+        payload = json.loads(html_text[start:end])
+        assert payload["explicit"] == 9
+
+    def test_config_values_escaped(self, trace):
+        html_text = render_html(trace, config={"note": "<script>alert(1)</script>"})
+        assert "<script>alert(1)</script>" not in html_text
+
+    def test_write_to_file(self, trace, tmp_path):
+        path = tmp_path / "report.html"
+        write_html_report(trace, path)
+        assert path.read_text().startswith("<!DOCTYPE html>")

@@ -1,0 +1,145 @@
+"""Unit + property tests for the term dictionary."""
+
+import threading
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dictionary import KIND_BNODE, KIND_IRI, KIND_LITERAL, TermDictionary
+from repro.rdf import BNode, IRI, Literal, Triple
+
+
+class TestBasics:
+    def test_ids_are_dense_from_zero(self):
+        d = TermDictionary()
+        assert d.encode(IRI("http://a")) == 0
+        assert d.encode(IRI("http://b")) == 1
+
+    def test_encode_is_idempotent(self):
+        d = TermDictionary()
+        a = d.encode(IRI("http://a"))
+        assert d.encode(IRI("http://a")) == a
+        assert len(d) == 1
+
+    def test_decode_inverts_encode(self):
+        d = TermDictionary()
+        term = Literal("x", language="en")
+        assert d.decode(d.encode(term)) == term
+
+    def test_lookup_does_not_assign(self):
+        d = TermDictionary()
+        assert d.lookup(IRI("http://a")) is None
+        assert len(d) == 0
+
+    def test_decode_unknown_raises(self):
+        with pytest.raises(KeyError):
+            TermDictionary().decode(0)
+
+    def test_contains(self):
+        d = TermDictionary()
+        d.encode(IRI("http://a"))
+        assert IRI("http://a") in d
+        assert IRI("http://b") not in d
+
+    def test_preregister(self):
+        d = TermDictionary(preregister=[IRI("http://a"), IRI("http://b")])
+        assert d.lookup(IRI("http://a")) == 0
+        assert d.lookup(IRI("http://b")) == 1
+
+    def test_rejects_non_term(self):
+        with pytest.raises(TypeError):
+            TermDictionary().encode("not a term")
+
+
+class TestKinds:
+    def test_kind_tags(self):
+        d = TermDictionary()
+        i = d.encode(IRI("http://a"))
+        b = d.encode(BNode("b"))
+        l = d.encode(Literal("x"))
+        assert d.kind(i) == KIND_IRI
+        assert d.kind(b) == KIND_BNODE
+        assert d.kind(l) == KIND_LITERAL
+
+    def test_is_literal(self):
+        d = TermDictionary()
+        assert d.is_literal(d.encode(Literal("x")))
+        assert not d.is_literal(d.encode(IRI("http://a")))
+
+    def test_kind_unknown_raises(self):
+        with pytest.raises(KeyError):
+            TermDictionary().kind(5)
+
+
+class TestTriples:
+    def test_triple_round_trip(self):
+        d = TermDictionary()
+        triple = Triple(IRI("http://s"), IRI("http://p"), Literal("o"))
+        assert d.decode_triple(d.encode_triple(triple)) == triple
+
+    def test_shared_terms_share_ids(self):
+        d = TermDictionary()
+        t1 = d.encode_triple(Triple(IRI("http://s"), IRI("http://p"), IRI("http://s")))
+        assert t1[0] == t1[2]
+
+    def test_bulk_round_trip(self):
+        d = TermDictionary()
+        triples = [
+            Triple(IRI(f"http://s{i}"), IRI("http://p"), Literal(str(i)))
+            for i in range(50)
+        ]
+        encoded = list(d.encode_triples(triples))
+        assert list(d.decode_triples(encoded)) == triples
+
+    def test_snapshot_terms_indexable_by_id(self):
+        d = TermDictionary()
+        term = IRI("http://a")
+        term_id = d.encode(term)
+        assert d.snapshot_terms()[term_id] == term
+
+
+class TestConcurrency:
+    def test_parallel_encoding_is_consistent(self):
+        d = TermDictionary()
+        terms = [IRI(f"http://t{i % 50}") for i in range(2000)]
+        results: dict[int, list[int]] = {}
+
+        def worker(worker_id: int):
+            results[worker_id] = [d.encode(t) for t in terms]
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Every thread must agree on every term's id.
+        first = results[0]
+        for worker_id in range(1, 8):
+            assert results[worker_id] == first
+        assert len(d) == 50
+
+
+# --- properties --------------------------------------------------------------
+
+_terms = st.one_of(
+    st.builds(IRI, st.from_regex(r"http://t/[a-z0-9]{1,8}", fullmatch=True)),
+    st.builds(Literal, st.text(max_size=10)),
+    st.builds(BNode, st.from_regex(r"[a-z][a-z0-9]{0,6}", fullmatch=True)),
+)
+
+
+@given(st.lists(_terms, max_size=50))
+def test_encode_decode_identity(terms):
+    d = TermDictionary()
+    ids = [d.encode(t) for t in terms]
+    assert [d.decode(i) for i in ids] == terms
+
+
+@given(st.lists(_terms, max_size=50))
+def test_ids_dense_and_bijective(terms):
+    d = TermDictionary()
+    for t in terms:
+        d.encode(t)
+    assert len(d) == len(set(terms))
+    decoded = [d.decode(i) for i in range(len(d))]
+    assert len(set(decoded)) == len(decoded)

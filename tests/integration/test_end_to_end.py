@@ -1,0 +1,100 @@
+"""Integration tests: full pipelines across module boundaries."""
+
+import pytest
+
+from repro import Graph, Slider
+from repro.baselines import BatchReasoner
+from repro.bench import gain_percent, run_table1_row
+from repro.datasets import load_dataset, subclass_chain
+from repro.demo import InferencePlayer, summarize
+from repro.rdf import RDF, RDFS, Triple, Variable, parse_ntriples_file
+from repro.reasoner import ListSource, StreamPump, Trace
+from repro.store import select
+
+from ..conftest import EX
+
+
+class TestFileToClosureToQuery:
+    def test_load_reason_query_dump(self, tmp_path):
+        """The full user journey: file -> closure -> SPARQL-ish -> file."""
+        source = tmp_path / "zoo.nt"
+        Graph_ = Graph()
+        Graph_.add_all(
+            [
+                Triple(EX.Cat, RDFS.subClassOf, EX.Mammal),
+                Triple(EX.Mammal, RDFS.subClassOf, EX.Animal),
+                Triple(EX.tom, RDF.type, EX.Cat),
+                Triple(EX.rex, RDF.type, EX.Dog),
+                Triple(EX.Dog, RDFS.subClassOf, EX.Mammal),
+            ]
+        )
+        Graph_.dump_ntriples(source)
+
+        with Slider(fragment="rhodf", workers=2, buffer_size=2, timeout=0.01) as r:
+            r.load(source)
+            r.flush()
+            x = Variable("x")
+            animals = select(r.graph, [x], [(x, RDF.type, EX.Animal)])
+            assert {row[0] for row in animals} == {EX.tom, EX.rex}
+
+            target = tmp_path / "closure.nt"
+            r.graph.dump_ntriples(target)
+        reloaded = set(parse_ntriples_file(target))
+        assert Triple(EX.tom, RDF.type, EX.Animal) in reloaded
+
+
+class TestStreamedScenario:
+    def test_stream_with_live_queries(self):
+        """Stream chunks in, query between chunks — knowledge only grows."""
+        chain = subclass_chain(30)
+        sizes = []
+        with Slider(fragment="rhodf", workers=2, buffer_size=10, timeout=0.01) as r:
+            pump = StreamPump(r, ListSource(chain), chunk_size=10)
+            for _ in range(6):
+                # run() consumes everything; emulate partial delivery:
+                pass
+            for start in range(0, len(chain), 10):
+                r.add(chain[start : start + 10])
+                r.flush()
+                sizes.append(len(r))
+        assert sizes == sorted(sizes)
+        assert sizes[-1] == 59 + (30 - 1) * (30 - 2) // 2
+
+
+class TestTracedRunMatchesEngineCounters:
+    def test_player_and_counters_agree(self):
+        trace = Trace(clock=lambda: 0.0)
+        with Slider(
+            fragment="rdfs", workers=0, timeout=None, buffer_size=8, trace=trace
+        ) as r:
+            r.add(load_dataset("subClassOf50", scale=1.0))
+            r.flush()
+            engine_counters = r.counters()
+            inferred = r.inferred_count
+        final = InferencePlayer(trace).final_state()
+        assert final.inferred_in_store == inferred
+        for rule, module_state in final.modules.items():
+            assert module_state.kept == engine_counters[rule]["kept"]
+            assert module_state.executions == engine_counters[rule]["executions"]
+        summary = summarize(trace)
+        assert summary["inferred"] == inferred
+
+
+class TestSliderVsBaselineOnRealDatasets:
+    @pytest.mark.parametrize("name", ["BSBM_100k", "wikipedia", "wordnet"])
+    def test_closures_match_on_generated_ontologies(self, name):
+        triples = load_dataset(name, scale=0.005)
+        with Slider(fragment="rdfs", workers=2, buffer_size=64, timeout=0.01) as r:
+            r.add(triples)
+            r.flush()
+            slider_result = set(r.graph)
+        baseline = BatchReasoner(fragment="rdfs")
+        baseline.materialize_triples(triples)
+        assert slider_result == set(baseline.graph)
+
+
+class TestBenchmarkRoundTrip:
+    def test_table1_row_end_to_end(self):
+        row = run_table1_row("subClassOf50", "rhodf", workers=0)
+        assert row.inferred_count == 1176  # the paper's exact count
+        assert row.gain == gain_percent(row.baseline_seconds, row.slider_seconds)

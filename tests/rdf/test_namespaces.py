@@ -1,0 +1,75 @@
+"""Unit tests for namespaces and vocabulary helpers."""
+
+import pytest
+
+from repro.rdf import IRI, Namespace, OWL, RDF, RDFS, XSD, split_iri
+from repro.rdf.namespaces import WELL_KNOWN_PREFIXES
+
+
+class TestNamespace:
+    def test_attribute_access(self):
+        ns = Namespace("http://ex/")
+        assert ns.alice == IRI("http://ex/alice")
+
+    def test_item_access_for_awkward_names(self):
+        ns = Namespace("http://ex/")
+        assert ns["item-1"] == IRI("http://ex/item-1")
+
+    def test_term_method(self):
+        assert Namespace("http://ex/").term("x") == IRI("http://ex/x")
+
+    def test_contains(self):
+        ns = Namespace("http://ex/")
+        assert ns.alice in ns
+        assert IRI("http://other/") not in ns
+
+    def test_underscore_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            Namespace("http://ex/")._private
+
+    def test_equality(self):
+        assert Namespace("http://ex/") == Namespace("http://ex/")
+        assert Namespace("http://ex/") != Namespace("http://other/")
+
+    def test_rejects_empty_base(self):
+        with pytest.raises(ValueError):
+            Namespace("")
+
+    def test_base_property(self):
+        assert Namespace("http://ex/").base == "http://ex/"
+
+
+class TestStandardVocabularies:
+    def test_rdf_type(self):
+        assert RDF.type.value == "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+
+    def test_rdfs_subclassof(self):
+        assert RDFS.subClassOf.value == "http://www.w3.org/2000/01/rdf-schema#subClassOf"
+
+    def test_owl_sameas(self):
+        assert OWL.sameAs.value == "http://www.w3.org/2002/07/owl#sameAs"
+
+    def test_xsd_integer(self):
+        assert XSD.integer.value == "http://www.w3.org/2001/XMLSchema#integer"
+
+    def test_well_known_prefixes_cover_all_four(self):
+        assert set(WELL_KNOWN_PREFIXES) == {"rdf", "rdfs", "owl", "xsd"}
+
+
+class TestSplitIri:
+    @pytest.mark.parametrize(
+        "iri,expected",
+        [
+            ("http://ex/ns#width", ("http://ex/ns#", "width")),
+            ("http://ex/people/alice", ("http://ex/people/", "alice")),
+            ("urn:isbn:12345", ("urn:isbn:", "12345")),
+        ],
+    )
+    def test_split(self, iri, expected):
+        assert split_iri(IRI(iri)) == expected
+
+    def test_no_separator_returns_whole(self):
+        # ':' terminal, no local part
+        namespace, local = split_iri(IRI("nolocalpart:"))
+        assert namespace == "nolocalpart:"
+        assert local == ""

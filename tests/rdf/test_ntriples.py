@@ -1,0 +1,144 @@
+"""Unit tests for the N-Triples parser and serializer."""
+
+import pytest
+
+from repro.rdf import (
+    BNode,
+    IRI,
+    Literal,
+    NTriplesError,
+    Triple,
+    XSD,
+    iter_ntriples,
+    parse_ntriples,
+    parse_ntriples_file,
+    serialize_ntriples,
+    write_ntriples_file,
+)
+
+
+class TestParsing:
+    def test_simple_triple(self):
+        (triple,) = parse_ntriples("<http://s> <http://p> <http://o> .")
+        assert triple == Triple(IRI("http://s"), IRI("http://p"), IRI("http://o"))
+
+    def test_plain_literal(self):
+        (triple,) = parse_ntriples('<http://s> <http://p> "hello" .')
+        assert triple.object == Literal("hello")
+
+    def test_language_literal(self):
+        (triple,) = parse_ntriples('<http://s> <http://p> "bonjour"@fr .')
+        assert triple.object == Literal("bonjour", language="fr")
+
+    def test_typed_literal(self):
+        line = '<http://s> <http://p> "42"^^<http://www.w3.org/2001/XMLSchema#integer> .'
+        (triple,) = parse_ntriples(line)
+        assert triple.object == Literal("42", datatype=XSD.integer)
+
+    def test_bnode_subject_and_object(self):
+        (triple,) = parse_ntriples("_:a <http://p> _:b .")
+        assert triple.subject == BNode("a")
+        assert triple.object == BNode("b")
+
+    def test_string_escapes(self):
+        (triple,) = parse_ntriples(r'<http://s> <http://p> "a\tb\nc\"d\\e" .')
+        assert triple.object.lexical == 'a\tb\nc"d\\e'
+
+    def test_unicode_escapes(self):
+        (triple,) = parse_ntriples(r'<http://s> <http://p> "café \U0001F600" .')
+        assert triple.object.lexical == "café 😀"
+
+    def test_iri_unicode_escape(self):
+        (triple,) = parse_ntriples(r"<http://s/café> <http://p> <http://o> .")
+        assert triple.subject == IRI("http://s/café")
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = "\n# a comment\n  \n<http://s> <http://p> <http://o> . # trailing\n"
+        assert len(parse_ntriples(text)) == 1
+
+    def test_multiple_lines(self):
+        text = "<http://s> <http://p> <http://o1> .\n<http://s> <http://p> <http://o2> .\n"
+        assert len(parse_ntriples(text)) == 2
+
+    def test_whitespace_tolerance(self):
+        (triple,) = parse_ntriples("  <http://s>\t<http://p>   <http://o>  .  ")
+        assert triple.subject == IRI("http://s")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "<http://s> <http://p> <http://o>",  # missing dot
+            "<http://s> <http://p> .",  # missing object
+            '"literal" <http://p> <http://o> .',  # literal subject
+            "<http://s> _:b <http://o> .",  # bnode predicate
+            "<http://s> <http://p> <http://o> . extra",  # trailing junk
+            "<http://s <http://p> <http://o> .",  # unterminated IRI
+            '<http://s> <http://p> "unterminated .',  # unterminated literal
+            r'<http://s> <http://p> "bad\q" .',  # unknown escape
+            r'<http://s> <http://p> "bad\u12" .',  # short \u escape
+        ],
+    )
+    def test_malformed_lines_raise(self, bad):
+        with pytest.raises(NTriplesError):
+            parse_ntriples(bad)
+
+    def test_error_carries_line_number(self):
+        text = "<http://s> <http://p> <http://o> .\nbroken line\n"
+        with pytest.raises(NTriplesError) as info:
+            parse_ntriples(text)
+        assert info.value.line_number == 2
+        assert "line 2" in str(info.value)
+
+
+class TestIterParsing:
+    def test_lazy_over_lines(self):
+        lines = iter(["<http://s> <http://p> <http://o> .", "# comment"])
+        assert len(list(iter_ntriples(lines))) == 1
+
+    def test_streaming_large_input(self):
+        lines = (f"<http://s{i}> <http://p> <http://o> ." for i in range(1000))
+        count = sum(1 for _ in iter_ntriples(lines))
+        assert count == 1000
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        triples = [
+            Triple(IRI("http://s"), IRI("http://p"), Literal("x", language="en")),
+            Triple(BNode("b"), IRI("http://p"), Literal("1", datatype=XSD.integer)),
+            Triple(IRI("http://s"), IRI("http://q"), IRI("http://o")),
+        ]
+        text = serialize_ntriples(triples)
+        assert set(parse_ntriples(text)) == set(triples)
+
+    def test_sorted_output_is_deterministic(self):
+        triples = [
+            Triple(IRI("http://b"), IRI("http://p"), IRI("http://o")),
+            Triple(IRI("http://a"), IRI("http://p"), IRI("http://o")),
+        ]
+        text = serialize_ntriples(triples, sort=True)
+        assert text.index("http://a") < text.index("http://b")
+
+    def test_escapes_survive_round_trip(self):
+        original = Triple(IRI("http://s"), IRI("http://p"), Literal('tricky "\n\t\\ value'))
+        (parsed,) = parse_ntriples(serialize_ntriples([original]))
+        assert parsed == original
+
+
+class TestFileIO:
+    def test_write_then_parse_file(self, tmp_path):
+        triples = [
+            Triple(IRI(f"http://s{i}"), IRI("http://p"), Literal(str(i)))
+            for i in range(25)
+        ]
+        path = tmp_path / "data.nt"
+        written = write_ntriples_file(triples, path)
+        assert written == 25
+        assert set(parse_ntriples_file(path)) == set(triples)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.nt"
+        path.write_text("")
+        assert parse_ntriples_file(path) == []

@@ -1,0 +1,102 @@
+"""Property-based tests for the RDF substrate (hypothesis).
+
+Invariants: serialization round-trips, term total ordering, hashing
+consistency.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rdf import (
+    BNode,
+    IRI,
+    Literal,
+    Triple,
+    parse_ntriples,
+    serialize_ntriples,
+    term_sort_key,
+)
+
+# --- strategies --------------------------------------------------------------
+
+_iri_char = st.characters(
+    codec="utf-8",
+    exclude_characters='<>"{}|^`\\',
+    exclude_categories=("Cs", "Cc", "Zs", "Zl", "Zp"),
+)
+
+iris = st.builds(
+    IRI,
+    st.builds(
+        lambda suffix: "http://ex/" + suffix,
+        st.text(_iri_char, min_size=0, max_size=12),
+    ),
+)
+
+bnodes = st.builds(
+    BNode,
+    st.from_regex(r"[A-Za-z0-9_][A-Za-z0-9_.-]{0,8}", fullmatch=True).filter(
+        lambda s: not s.endswith(".")
+    ),
+)
+
+_lexicals = st.text(
+    st.characters(codec="utf-8", exclude_categories=("Cs",)), max_size=20
+)
+_languages = st.from_regex(r"[a-z]{2,3}(-[a-z0-9]{1,4})?", fullmatch=True)
+
+plain_literals = st.builds(Literal, _lexicals)
+language_literals = st.builds(Literal, _lexicals, language=_languages)
+typed_literals = st.builds(Literal, _lexicals, datatype=iris)
+literals = st.one_of(plain_literals, language_literals, typed_literals)
+
+subjects = st.one_of(iris, bnodes)
+objects = st.one_of(iris, bnodes, literals)
+triples = st.builds(Triple, subjects, iris, objects)
+terms = st.one_of(iris, bnodes, literals)
+
+
+# --- round-trip properties ----------------------------------------------------
+
+
+@given(st.lists(triples, max_size=30))
+@settings(max_examples=200)
+def test_ntriples_round_trip(items):
+    """parse(serialize(T)) == set(T) for arbitrary triples."""
+    text = serialize_ntriples(items)
+    assert set(parse_ntriples(text)) == set(items)
+
+
+@given(triples)
+def test_single_triple_line_round_trip(triple):
+    (parsed,) = parse_ntriples(triple.n3())
+    assert parsed == triple
+
+
+# --- ordering / hashing properties ---------------------------------------------
+
+
+@given(terms, terms)
+def test_equal_terms_have_equal_hash(a, b):
+    if a == b:
+        assert hash(a) == hash(b)
+
+
+@given(st.lists(terms, min_size=1, max_size=20))
+def test_sort_key_is_total_order(items):
+    ordered = sorted(items, key=term_sort_key)
+    keys = [term_sort_key(t) for t in ordered]
+    assert keys == sorted(keys)
+
+
+@given(st.lists(triples, min_size=1, max_size=20))
+def test_triple_sorting_is_stable_total_order(items):
+    ordered = sorted(items)
+    assert sorted(ordered) == ordered
+    assert set(ordered) == set(items)
+
+
+@given(triples)
+def test_triple_equality_implies_same_n3(triple):
+    clone = Triple(triple.subject, triple.predicate, triple.object)
+    assert clone == triple
+    assert clone.n3() == triple.n3()

@@ -1,0 +1,144 @@
+"""Unit tests for the Turtle-subset parser and serializer."""
+
+import pytest
+
+from repro.rdf import (
+    BNode,
+    IRI,
+    Literal,
+    RDF,
+    RDFS,
+    Triple,
+    TurtleError,
+    XSD,
+    parse_turtle,
+    parse_turtle_file,
+    serialize_turtle,
+)
+
+
+class TestBasicParsing:
+    def test_full_iris(self):
+        (triple,) = parse_turtle("<http://s> <http://p> <http://o> .")
+        assert triple == Triple(IRI("http://s"), IRI("http://p"), IRI("http://o"))
+
+    def test_prefixed_names(self):
+        text = "@prefix ex: <http://ex/> .\nex:a ex:p ex:b ."
+        (triple,) = parse_turtle(text)
+        assert triple.subject == IRI("http://ex/a")
+
+    def test_well_known_prefixes_predeclared(self):
+        (triple,) = parse_turtle("<http://s> rdfs:label \"x\" .")
+        assert triple.predicate == RDFS.label
+
+    def test_a_keyword(self):
+        (triple,) = parse_turtle("<http://s> a <http://C> .")
+        assert triple.predicate == RDF.type
+
+    def test_object_list_commas(self):
+        triples = parse_turtle("<http://s> <http://p> <http://a>, <http://b> .")
+        assert {t.object for t in triples} == {IRI("http://a"), IRI("http://b")}
+
+    def test_predicate_object_list_semicolons(self):
+        triples = parse_turtle(
+            "<http://s> <http://p> <http://a> ; <http://q> <http://b> ."
+        )
+        assert {(t.predicate, t.object) for t in triples} == {
+            (IRI("http://p"), IRI("http://a")),
+            (IRI("http://q"), IRI("http://b")),
+        }
+
+    def test_base_resolution(self):
+        text = "@base <http://ex/dir/> .\n<rel> <http://p> <http://o> ."
+        (triple,) = parse_turtle(text)
+        assert triple.subject == IRI("http://ex/dir/rel")
+
+    def test_comments(self):
+        triples = parse_turtle("# comment\n<http://s> <http://p> <http://o> . # end")
+        assert len(triples) == 1
+
+
+class TestLiterals:
+    def test_plain(self):
+        (triple,) = parse_turtle('<http://s> <http://p> "hi" .')
+        assert triple.object == Literal("hi")
+
+    def test_language(self):
+        (triple,) = parse_turtle('<http://s> <http://p> "hi"@en-GB .')
+        assert triple.object == Literal("hi", language="en-GB")
+
+    def test_typed_with_prefixed_datatype(self):
+        (triple,) = parse_turtle('<http://s> <http://p> "5"^^xsd:integer .')
+        assert triple.object == Literal("5", datatype=XSD.integer)
+
+    def test_integer_shorthand(self):
+        (triple,) = parse_turtle("<http://s> <http://p> 42 .")
+        assert triple.object == Literal("42", datatype=XSD.integer)
+
+    def test_decimal_shorthand(self):
+        (triple,) = parse_turtle("<http://s> <http://p> 3.14 .")
+        assert triple.object == Literal("3.14", datatype=XSD.decimal)
+
+    def test_boolean_shorthand(self):
+        (triple,) = parse_turtle("<http://s> <http://p> true .")
+        assert triple.object == Literal("true", datatype=XSD.boolean)
+
+    def test_long_string(self):
+        (triple,) = parse_turtle('<http://s> <http://p> """multi\nline""" .')
+        assert triple.object.lexical == "multi\nline"
+
+
+class TestBlankNodes:
+    def test_labelled(self):
+        (triple,) = parse_turtle("_:x <http://p> _:y .")
+        assert triple.subject == BNode("x")
+        assert triple.object == BNode("y")
+
+    def test_anonymous(self):
+        triples = parse_turtle("[] <http://p> <http://o> .")
+        assert isinstance(triples[0].subject, BNode)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "ex:a ex:p ex:b .",  # undeclared prefix
+            "<http://s> <http://p> .",  # missing object
+            "<http://s> <http://p> <http://o>",  # missing dot
+            "@prefix ex <http://ex/> .",  # malformed prefix decl
+        ],
+    )
+    def test_malformed_raises(self, bad):
+        with pytest.raises(TurtleError):
+            parse_turtle(bad)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        triples = [
+            Triple(IRI("http://ex/a"), RDF.type, IRI("http://ex/C")),
+            Triple(IRI("http://ex/a"), RDFS.label, Literal("a label")),
+            Triple(IRI("http://ex/a"), RDFS.label, Literal("etikett", language="de")),
+            Triple(IRI("http://ex/b"), IRI("http://ex/p"), Literal("7", datatype=XSD.integer)),
+        ]
+        text = serialize_turtle(triples, prefixes={"ex": "http://ex/"})
+        assert set(parse_turtle(text)) == set(triples)
+
+    def test_uses_a_for_rdf_type(self):
+        triples = [Triple(IRI("http://ex/a"), RDF.type, IRI("http://ex/C"))]
+        assert " a " in serialize_turtle(triples, prefixes={"ex": "http://ex/"})
+
+    def test_declares_only_used_prefixes(self):
+        triples = [Triple(IRI("http://ex/a"), IRI("http://ex/p"), IRI("http://ex/b"))]
+        text = serialize_turtle(triples, prefixes={"ex": "http://ex/"})
+        assert "@prefix ex:" in text
+        assert "@prefix owl:" not in text
+
+
+class TestFileIO:
+    def test_parse_file(self, tmp_path):
+        path = tmp_path / "data.ttl"
+        path.write_text("@prefix ex: <http://ex/> .\nex:a ex:p ex:b .\n")
+        (triple,) = parse_turtle_file(path)
+        assert triple.object == IRI("http://ex/b")

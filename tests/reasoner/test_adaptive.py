@@ -1,0 +1,154 @@
+"""Tests for run-time adaptive buffer scheduling (paper future work)."""
+
+import pytest
+
+from repro.rdf import RDF, RDFS, Triple
+from repro.reasoner import AdaptiveBufferController, Slider
+from repro.reasoner.adaptive import RuleYield
+
+from ..conftest import EX, make_chain, random_ontology
+
+
+def adaptive_slider(controller=None, **kwargs):
+    options = {
+        "fragment": "rhodf",
+        "workers": 0,
+        "timeout": None,
+        "buffer_size": 32,
+        "adaptive": controller if controller is not None else True,
+    }
+    options.update(kwargs)
+    return Slider(**options)
+
+
+class TestRuleYield:
+    def test_yield_rate(self):
+        stats = RuleYield()
+        stats.observe(consumed=10, kept=5, decay=1.0)
+        assert stats.yield_rate == 0.5
+
+    def test_decay_forgets_history(self):
+        stats = RuleYield()
+        stats.observe(consumed=100, kept=100, decay=0.5)  # productive past
+        for _ in range(20):
+            stats.observe(consumed=100, kept=0, decay=0.5)  # inert present
+        assert stats.yield_rate < 0.01
+
+    def test_zero_consumed(self):
+        assert RuleYield().yield_rate == 0.0
+
+
+class TestControllerValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_capacity": 0},
+            {"min_capacity": 100, "max_capacity": 10},
+            {"target_yield": 0},
+            {"adjust_every": 0},
+            {"decay": 0},
+            {"decay": 1.5},
+            {"damping": 0},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            AdaptiveBufferController(**kwargs)
+
+
+class TestAdaptation:
+    def test_inert_rules_grow_buffers(self):
+        controller = AdaptiveBufferController(
+            min_capacity=4, max_capacity=1024, adjust_every=8
+        )
+        with adaptive_slider(controller) as reasoner:
+            # One domain declaration activates prp-dom (lazy activation);
+            # the instance stream then keeps it busy deriving nothing —
+            # an inert rule whose buffer should grow away from the default.
+            reasoner.add([Triple(EX.irrelevant, RDFS.domain, EX.Nothing)])
+            reasoner.add(
+                [Triple(EX[f"s{i}"], EX.knows, EX[f"o{i}"]) for i in range(800)]
+            )
+            reasoner.flush()
+            capacities = controller.capacities()
+        assert controller.adjustments > 0
+        assert capacities["prp-dom"] > 32
+
+    def test_productive_rules_shrink_buffers_while_active(self):
+        """scm-sco's buffer shrinks during the productive phase of a
+        chain closure.  (Once the fixpoint nears, every rule becomes
+        inert and regrows — so the assertion is on the trajectory, via
+        the recorded adapt events, not the final state.)"""
+        from repro.reasoner import Trace
+
+        trace = Trace(clock=lambda: 0.0)
+        controller = AdaptiveBufferController(
+            min_capacity=4, max_capacity=1024, adjust_every=4
+        )
+        with adaptive_slider(controller, buffer_size=64, trace=trace) as reasoner:
+            reasoner.add(make_chain(120))
+            reasoner.flush()
+        observed = [
+            event.payload["capacities"]["scm-sco"]
+            for event in trace.events_of("adapt")
+        ]
+        assert observed, "no adjustments recorded"
+        assert min(observed) < 64  # shrank while productive
+
+    def test_capacities_stay_clamped(self):
+        controller = AdaptiveBufferController(
+            min_capacity=8, max_capacity=128, adjust_every=2
+        )
+        with adaptive_slider(controller) as reasoner:
+            reasoner.add(random_ontology(3, size=300))
+            reasoner.flush()
+            for capacity in controller.capacities().values():
+                assert 8 <= capacity <= 128
+
+    def test_yields_exposed(self):
+        controller = AdaptiveBufferController(adjust_every=4)
+        with adaptive_slider(controller) as reasoner:
+            reasoner.add(make_chain(40))
+            reasoner.flush()
+            yields = controller.yields()
+        assert yields["scm-sco"] > 0
+        assert yields["prp-dom"] == 0.0
+
+
+class TestCorrectnessUnderAdaptation:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_closure_identical_to_static_plan(self, seed):
+        triples = random_ontology(seed, size=120)
+        with adaptive_slider() as adaptive:
+            adaptive.add(triples)
+            adaptive.flush()
+            adaptive_result = set(adaptive.graph)
+        with Slider(fragment="rhodf", workers=0, timeout=None) as static:
+            static.add(triples)
+            static.flush()
+            assert adaptive_result == set(static.graph)
+
+    def test_threaded_adaptive_closure(self):
+        chain = make_chain(40)
+        with Slider(
+            fragment="rhodf", workers=3, buffer_size=8, timeout=0.01, adaptive=True
+        ) as reasoner:
+            reasoner.add(chain)
+            reasoner.flush()
+            assert reasoner.inferred_count == 40 * 39 // 2 - 39
+
+    def test_adaptive_true_builds_default_controller(self):
+        with adaptive_slider(True) as reasoner:
+            assert isinstance(reasoner.adaptive, AdaptiveBufferController)
+
+    def test_trace_records_adaptations(self):
+        from repro.reasoner import Trace
+
+        trace = Trace(clock=lambda: 0.0)
+        controller = AdaptiveBufferController(adjust_every=4)
+        with adaptive_slider(controller, trace=trace) as reasoner:
+            reasoner.add(make_chain(60))
+            reasoner.flush()
+        events = trace.events_of("adapt")
+        assert events
+        assert "capacities" in events[0].payload

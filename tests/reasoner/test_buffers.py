@@ -1,0 +1,152 @@
+"""Unit tests for the per-rule triple buffers."""
+
+import threading
+
+import pytest
+
+from repro.reasoner import TripleBuffer
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestCapacityFires:
+    def test_put_below_capacity_buffers(self):
+        buffer = TripleBuffer("r", capacity=3)
+        assert buffer.put((1, 1, 1)) is None
+        assert buffer.put((2, 2, 2)) is None
+        assert len(buffer) == 2
+
+    def test_put_at_capacity_fires(self):
+        buffer = TripleBuffer("r", capacity=3)
+        buffer.put((1, 1, 1))
+        buffer.put((2, 2, 2))
+        batch = buffer.put((3, 3, 3))
+        assert batch == [(1, 1, 1), (2, 2, 2), (3, 3, 3)]
+        assert len(buffer) == 0
+        assert buffer.size_fires == 1
+
+    def test_put_many_yields_all_full_batches(self):
+        buffer = TripleBuffer("r", capacity=2)
+        batches = buffer.put_many([(i, i, i) for i in range(5)])
+        assert len(batches) == 2
+        assert len(buffer) == 1
+        assert buffer.size_fires == 2
+
+    def test_capacity_one_fires_every_put(self):
+        buffer = TripleBuffer("r", capacity=1)
+        assert buffer.put((1, 1, 1)) == [(1, 1, 1)]
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            TripleBuffer("r", capacity=0)
+
+
+class TestDrain:
+    def test_drain_returns_everything(self):
+        buffer = TripleBuffer("r", capacity=10)
+        buffer.put_many([(1, 1, 1), (2, 2, 2)])
+        assert buffer.drain() == [(1, 1, 1), (2, 2, 2)]
+        assert len(buffer) == 0
+
+    def test_drain_empty_is_empty(self):
+        assert TripleBuffer("r").drain() == []
+
+    def test_drain_does_not_count_as_fire(self):
+        buffer = TripleBuffer("r", capacity=10)
+        buffer.put((1, 1, 1))
+        buffer.drain()
+        assert buffer.size_fires == 0
+        assert buffer.timeout_fires == 0
+
+
+class TestTimeout:
+    def test_stale_buffer_flushes(self, clock):
+        buffer = TripleBuffer("r", capacity=10, clock=clock)
+        buffer.put((1, 1, 1))
+        clock.advance(0.2)
+        batch = buffer.flush_if_stale(timeout=0.1)
+        assert batch == [(1, 1, 1)]
+        assert buffer.timeout_fires == 1
+
+    def test_fresh_buffer_not_flushed(self, clock):
+        buffer = TripleBuffer("r", capacity=10, clock=clock)
+        buffer.put((1, 1, 1))
+        clock.advance(0.05)
+        assert buffer.flush_if_stale(timeout=0.1) is None
+        assert len(buffer) == 1
+
+    def test_empty_buffer_never_times_out(self, clock):
+        buffer = TripleBuffer("r", capacity=10, clock=clock)
+        clock.advance(10)
+        assert buffer.flush_if_stale(timeout=0.1) is None
+        assert buffer.timeout_fires == 0
+
+    def test_activity_resets_staleness(self, clock):
+        buffer = TripleBuffer("r", capacity=10, clock=clock)
+        buffer.put((1, 1, 1))
+        clock.advance(0.08)
+        buffer.put((2, 2, 2))  # refreshes last activity
+        clock.advance(0.08)
+        assert buffer.flush_if_stale(timeout=0.1) is None
+
+    def test_idle_seconds(self, clock):
+        buffer = TripleBuffer("r", clock=clock)
+        buffer.put((1, 1, 1))
+        clock.advance(0.5)
+        assert buffer.idle_seconds == pytest.approx(0.5)
+
+
+class TestCounters:
+    def test_counters_snapshot(self, clock):
+        buffer = TripleBuffer("r", capacity=2, clock=clock)
+        buffer.put_many([(i, i, i) for i in range(5)])
+        clock.advance(1)
+        buffer.flush_if_stale(timeout=0.5)
+        counters = buffer.counters()
+        assert counters == {
+            "size_fires": 2,
+            "timeout_fires": 1,
+            "total_buffered": 5,
+            "pending": 0,
+        }
+
+
+class TestConcurrency:
+    def test_every_triple_fired_exactly_once(self):
+        buffer = TripleBuffer("r", capacity=7)
+        collected: list = []
+        lock = threading.Lock()
+        n_threads, per_thread = 6, 500
+
+        def producer(base: int):
+            for i in range(per_thread):
+                batch = buffer.put((base + i, 0, 0))
+                if batch:
+                    with lock:
+                        collected.extend(batch)
+
+        threads = [
+            threading.Thread(target=producer, args=(t * per_thread,))
+            for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        collected.extend(buffer.drain())
+        assert len(collected) == n_threads * per_thread
+        assert len({c[0] for c in collected}) == n_threads * per_thread

@@ -1,0 +1,120 @@
+"""Property-based closure tests — the repository's strongest invariants.
+
+For arbitrary generated ontologies, all four evaluation engines must
+produce exactly the same closure:
+
+* Slider, inline (deterministic single-thread pipeline);
+* Slider, threaded with tiny buffers (maximum interleaving);
+* the naive-iteration batch baseline;
+* the semi-naive batch baseline.
+
+Plus the closure laws: idempotence, monotonicity, and superset-of-input.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.rdf import RDF, RDFS, Literal, Triple
+from repro.reasoner import Slider
+
+from ..conftest import (
+    EX,
+    closure_with_batch,
+    closure_with_semi_naive,
+    closure_with_slider,
+)
+
+_SCHEMA_PREDICATES = [RDFS.subClassOf, RDFS.subPropertyOf, RDFS.domain, RDFS.range]
+_DATA_PREDICATES = [RDF.type, EX.knows, EX.likes, EX.near]
+
+_nodes = st.integers(min_value=0, max_value=12).map(lambda i: EX[f"n{i}"])
+_class_objects = st.one_of(
+    _nodes, st.sampled_from([RDFS.Class, RDFS.Datatype, RDFS.Resource])
+)
+_literals = st.integers(min_value=0, max_value=3).map(lambda i: Literal(f"v{i}"))
+
+_schema_triples = st.builds(
+    Triple, _nodes, st.sampled_from(_SCHEMA_PREDICATES), _nodes
+)
+_type_triples = st.builds(
+    Triple, _nodes, st.just(RDF.type), _class_objects
+)
+_data_triples = st.builds(
+    Triple,
+    _nodes,
+    st.sampled_from(_DATA_PREDICATES[1:]),
+    st.one_of(_nodes, _literals),
+)
+
+ontologies = st.lists(
+    st.one_of(_schema_triples, _type_triples, _data_triples),
+    max_size=50,
+)
+
+_SLOW = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(ontologies, st.sampled_from(["rhodf", "rdfs"]))
+@_SLOW
+def test_all_engines_agree(triples, fragment):
+    inline = closure_with_slider(triples, fragment)
+    threaded = closure_with_slider(
+        triples, fragment, workers=3, buffer_size=2, timeout=0.005
+    )
+    batch = closure_with_batch(triples, fragment)
+    semi = closure_with_semi_naive(triples, fragment)
+    assert inline == batch == semi == threaded
+
+
+@given(ontologies)
+@_SLOW
+def test_closure_is_idempotent(triples):
+    once = closure_with_slider(triples, "rhodf")
+    twice = closure_with_slider(sorted(once), "rhodf")
+    assert twice == once
+
+
+@given(ontologies)
+@_SLOW
+def test_closure_contains_input(triples):
+    closure = closure_with_slider(triples, "rhodf")
+    assert set(triples) <= closure
+
+
+@given(ontologies, _schema_triples)
+@_SLOW
+def test_closure_is_monotone(triples, extra):
+    smaller = closure_with_slider(triples, "rhodf")
+    larger = closure_with_slider(triples + [extra], "rhodf")
+    assert smaller <= larger
+
+
+@given(ontologies)
+@_SLOW
+def test_incremental_order_independence(triples):
+    """Feeding triples in reverse order yields the same fixpoint."""
+    forward = closure_with_slider(triples, "rhodf")
+    backward = closure_with_slider(list(reversed(triples)), "rhodf")
+    assert forward == backward
+
+
+@given(ontologies)
+@_SLOW
+def test_chunked_incremental_equals_oneshot(triples):
+    oneshot = closure_with_slider(triples, "rdfs")
+    with Slider(fragment="rdfs", workers=0, timeout=None, buffer_size=5) as reasoner:
+        for start in range(0, len(triples), 7):
+            reasoner.add(triples[start : start + 7])
+            reasoner.flush()
+        chunked = set(reasoner.graph)
+    assert chunked == oneshot
+
+
+@given(ontologies)
+@_SLOW
+def test_no_literal_subjects_ever(triples):
+    closure = closure_with_slider(triples, "rdfs")
+    assert all(not isinstance(t.subject, Literal) for t in closure)

@@ -1,0 +1,114 @@
+"""Tests for the rules dependency graph — including the paper's Figure 2."""
+
+import pytest
+
+from repro.dictionary import TermDictionary
+from repro.reasoner import DependencyGraph, Vocabulary, build_routing_table
+from repro.reasoner.fragments import get_fragment
+
+
+@pytest.fixture
+def rhodf_rules():
+    return get_fragment("rhodf").rules(Vocabulary(TermDictionary()))
+
+
+@pytest.fixture
+def graph(rhodf_rules):
+    return DependencyGraph(rhodf_rules)
+
+
+class TestFigure2:
+    """The ρdf dependency graph must match the paper's Figure 2."""
+
+    def test_universal_input_rules(self, graph):
+        assert graph.universal_rules() == ["prp-dom", "prp-rng", "prp-spo1"]
+
+    def test_scm_sco_feeds_cax_sco(self, graph):
+        """The paper's worked example: 'the directed edge from rule
+        SCM-SCO to CAX-SCO depicts that output of first rule, a
+        subclassOf relation, can be used as an input for second rule'."""
+        assert "cax-sco" in graph.successors("scm-sco")
+
+    def test_scm_sco_feeds_itself(self, graph):
+        assert "scm-sco" in graph.successors("scm-sco")
+        assert graph.has_cycle_through("scm-sco")
+
+    def test_scm_spo_feeds_the_spo_consumers(self, graph):
+        successors = set(graph.successors("scm-spo"))
+        assert {"scm-spo", "scm-dom2", "scm-rng2", "prp-spo1"} <= successors
+
+    def test_cax_sco_does_not_feed_scm_sco(self, graph):
+        """cax-sco emits type triples, which scm-sco cannot consume."""
+        assert "scm-sco" not in graph.successors("cax-sco")
+
+    def test_everyone_feeds_universal_rules(self, graph):
+        for producer in graph.rule_names():
+            successors = set(graph.successors(producer))
+            assert {"prp-dom", "prp-rng", "prp-spo1"} <= successors
+
+    def test_prp_spo1_feeds_everything(self, graph):
+        """prp-spo1's output predicate is unknown, so it may feed any rule."""
+        assert set(graph.successors("prp-spo1")) == set(graph.rule_names())
+
+    def test_scm_dom2_feeds_prp_dom_transitively(self, graph):
+        # scm-dom2 emits domain triples; prp-dom has universal input so the
+        # edge is present; the meaningful path is domain -> typing.
+        assert "prp-dom" in graph.successors("scm-dom2")
+
+    def test_predecessors_inverse_of_successors(self, graph):
+        for producer in graph.rule_names():
+            for consumer in graph.successors(producer):
+                assert producer in graph.predecessors(consumer)
+
+
+class TestGraphMechanics:
+    def test_rule_lookup(self, graph):
+        assert graph.rule("cax-sco").name == "cax-sco"
+
+    def test_edges_sorted_pairs(self, graph):
+        edges = graph.edges()
+        assert edges == sorted(edges)
+        assert all(len(edge) == 2 for edge in edges)
+
+    def test_duplicate_rule_names_rejected(self, rhodf_rules):
+        with pytest.raises(ValueError):
+            DependencyGraph(rhodf_rules + [rhodf_rules[0]])
+
+    def test_to_dot(self, graph):
+        dot = graph.to_dot()
+        assert dot.startswith("digraph")
+        assert '"scm-sco" -> "cax-sco";' in dot
+        assert "doubleoctagon" in dot  # universal rules marked
+
+    def test_acyclic_rule_detection(self):
+        rules = get_fragment("rdfs").rules(Vocabulary(TermDictionary()))
+        graph = DependencyGraph(rules)
+        # rdfs11 (subclass transitivity) feeds itself...
+        assert graph.has_cycle_through("rdfs11")
+
+
+class TestRoutingTable:
+    def test_universal_rules_listed_separately(self, rhodf_rules):
+        routing, universal = build_routing_table(rhodf_rules)
+        universal_names = {rhodf_rules[i].name for i in universal}
+        assert universal_names == {"prp-dom", "prp-rng", "prp-spo1"}
+
+    def test_predicates_route_to_accepting_rules(self, rhodf_rules):
+        vocab_dict = TermDictionary()
+        vocab = Vocabulary(vocab_dict)
+        rules = get_fragment("rhodf").rules(vocab)
+        routing, universal = build_routing_table(rules)
+        sco_rules = {rules[i].name for i in routing[vocab.sub_class_of]}
+        assert sco_rules == {"cax-sco", "scm-sco"}
+        spo_rules = {rules[i].name for i in routing[vocab.sub_property_of]}
+        assert spo_rules == {"scm-spo", "scm-dom2", "scm-rng2"}
+
+    def test_routing_covers_every_non_universal_rule(self, rhodf_rules):
+        routing, universal = build_routing_table(rhodf_rules)
+        routed = {index for indices in routing.values() for index in indices}
+        expected = set(range(len(rhodf_rules))) - set(universal)
+        assert routed == expected
+
+    def test_unknown_predicate_routes_nowhere(self, rhodf_rules):
+        routing, universal = build_routing_table(rhodf_rules)
+        assert routing.get(999_999) is None

@@ -1,0 +1,116 @@
+"""Concurrency tests: the threaded pipeline must match the inline one."""
+
+import threading
+
+import pytest
+
+from repro.rdf import RDF, RDFS, Triple
+from repro.reasoner import Slider
+
+from ..conftest import EX, make_chain, random_ontology, small_ontology
+
+
+def threaded_closure(triples, **kwargs):
+    options = {
+        "fragment": "rhodf",
+        "workers": 4,
+        "buffer_size": 3,
+        "timeout": 0.01,
+    }
+    options.update(kwargs)
+    with Slider(**options) as reasoner:
+        reasoner.add(triples)
+        reasoner.flush()
+        return set(reasoner.graph)
+
+
+def inline_closure(triples, fragment="rhodf"):
+    with Slider(fragment=fragment, workers=0, timeout=None) as reasoner:
+        reasoner.add(triples)
+        reasoner.flush()
+        return set(reasoner.graph)
+
+
+class TestThreadedEqualsInline:
+    @pytest.mark.parametrize("workers", [1, 2, 4, 8])
+    def test_chain_closure(self, workers):
+        chain = make_chain(20)
+        assert threaded_closure(chain, workers=workers) == inline_closure(chain)
+
+    @pytest.mark.parametrize("buffer_size", [1, 2, 7, 50, 100_000])
+    def test_buffer_size_does_not_change_result(self, buffer_size):
+        ontology = small_ontology()
+        assert threaded_closure(ontology, buffer_size=buffer_size) == inline_closure(
+            ontology
+        )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_ontologies(self, seed):
+        ontology = random_ontology(seed, size=80)
+        assert threaded_closure(ontology) == inline_closure(ontology)
+
+    @pytest.mark.parametrize("fragment", ["rhodf", "rdfs", "owl-horst"])
+    def test_fragments_under_threads(self, fragment):
+        ontology = small_ontology()
+        assert threaded_closure(ontology, fragment=fragment) == inline_closure(
+            ontology, fragment=fragment
+        )
+
+
+class TestConcurrentProducers:
+    def test_many_threads_feeding_one_engine(self):
+        chain = make_chain(30)
+        chunks = [chain[i::4] for i in range(4)]
+        with Slider(fragment="rhodf", workers=4, buffer_size=5, timeout=0.01) as r:
+            threads = [
+                threading.Thread(target=r.add, args=(chunk,)) for chunk in chunks
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+            r.flush()
+            result = set(r.graph)
+        assert result == inline_closure(chain)
+
+    def test_interleaved_add_and_flush(self):
+        chain = make_chain(25)
+        with Slider(fragment="rhodf", workers=2, buffer_size=4, timeout=0.01) as r:
+            for i in range(0, len(chain), 5):
+                r.add(chain[i : i + 5])
+                if i % 10 == 0:
+                    r.flush()
+            r.flush()
+            assert set(r.graph) == inline_closure(chain)
+
+
+class TestTimeoutSweeper:
+    def test_timeout_fires_stale_buffers(self):
+        """A buffer below capacity must still be processed via timeout."""
+        import time
+
+        with Slider(
+            fragment="rhodf", workers=2, buffer_size=1_000_000, timeout=0.02
+        ) as r:
+            r.add(
+                [
+                    Triple(EX.Cat, RDFS.subClassOf, EX.Animal),
+                    Triple(EX.tom, RDF.type, EX.Cat),
+                ]
+            )
+            deadline = time.monotonic() + 5.0
+            expected = Triple(EX.tom, RDF.type, EX.Animal)
+            while time.monotonic() < deadline:
+                if expected in r.graph:
+                    break
+                time.sleep(0.01)
+            assert expected in r.graph  # inferred with NO explicit flush
+            timeout_fires = sum(
+                m.buffer.timeout_fires for m in r.modules
+            )
+            assert timeout_fires >= 1
+
+    def test_inline_mode_has_no_sweeper(self):
+        reasoner = Slider(fragment="rhodf", workers=0, timeout=0.01)
+        assert reasoner._sweeper is None
+        reasoner.close()

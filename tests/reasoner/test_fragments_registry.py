@@ -1,0 +1,118 @@
+"""Tests for the fragment registry and custom-fragment support."""
+
+import pytest
+
+from repro.dictionary import TermDictionary
+from repro.rdf import RDF, RDFS, Triple
+from repro.reasoner import (
+    Fragment,
+    JoinRule,
+    Pattern,
+    Slider,
+    Var,
+    Vocabulary,
+    available_fragments,
+    get_fragment,
+    register_fragment,
+)
+from repro.reasoner.fragments import UnknownFragmentError, _REGISTRY
+
+from ..conftest import EX
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        names = available_fragments()
+        assert {"rhodf", "rdfs", "rdfs-full", "owl-horst"} <= set(names)
+
+    def test_lookup_case_insensitive(self):
+        assert get_fragment("RDFS").name == "rdfs"
+
+    @pytest.mark.parametrize("alias", ["ρdf", "pdf", "rho-df"])
+    def test_rhodf_aliases(self, alias):
+        assert get_fragment(alias).name == "rhodf"
+
+    def test_unknown_raises_with_suggestions(self):
+        with pytest.raises(UnknownFragmentError) as info:
+            get_fragment("owl2-full")
+        assert "rhodf" in str(info.value)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_fragment(Fragment("rhodf", lambda vocab: []))
+
+    def test_overwrite_flag(self):
+        original = get_fragment("rhodf")
+        replacement = Fragment("rhodf", original._build_rules)
+        try:
+            assert register_fragment(replacement, overwrite=True) is replacement
+            assert get_fragment("rhodf") is replacement
+        finally:
+            _REGISTRY["rhodf"] = original
+
+
+class TestCustomFragment:
+    def test_custom_rules_run_in_the_engine(self):
+        """The paper's 'Fragment's Customization': plug in a new rule."""
+
+        def build(vocab):
+            friend = vocab.dictionary.encode(EX.friendOf)
+            return [
+                JoinRule(
+                    "friend-symmetric-ish",
+                    Pattern(Var("x"), friend, Var("y")),
+                    Pattern(Var("y"), friend, Var("z")),
+                    head=Pattern(Var("x"), friend, Var("z")),
+                )
+            ]
+
+        fragment = Fragment("friends", build, description="demo custom fragment")
+        with Slider(fragment=fragment, workers=0, timeout=None) as reasoner:
+            reasoner.add(
+                [
+                    Triple(EX.a, EX.friendOf, EX.b),
+                    Triple(EX.b, EX.friendOf, EX.c),
+                ]
+            )
+            reasoner.flush()
+            assert Triple(EX.a, EX.friendOf, EX.c) in reasoner.graph
+
+    def test_custom_axioms_seeded(self):
+        fragment = Fragment(
+            "with-axioms",
+            lambda vocab: [],
+            axioms=lambda: [Triple(EX.root, RDF.type, RDFS.Class)],
+        )
+        with Slider(fragment=fragment, workers=0, timeout=None) as reasoner:
+            reasoner.flush()
+            assert Triple(EX.root, RDF.type, RDFS.Class) in reasoner.graph
+            assert reasoner.input_count == 0  # axioms are not user input
+
+    def test_duplicate_rule_names_rejected(self):
+        def build(vocab):
+            rule = JoinRule(
+                "dup",
+                Pattern(Var("a"), vocab.sub_class_of, Var("b")),
+                Pattern(Var("b"), vocab.sub_class_of, Var("c")),
+                head=Pattern(Var("a"), vocab.sub_class_of, Var("c")),
+            )
+            twin = JoinRule(
+                "dup",
+                Pattern(Var("a"), vocab.sub_class_of, Var("b")),
+                Pattern(Var("b"), vocab.sub_class_of, Var("c")),
+                head=Pattern(Var("a"), vocab.sub_class_of, Var("c")),
+            )
+            return [rule, twin]
+
+        fragment = Fragment("dups", build)
+        with pytest.raises(ValueError, match="duplicate rule names"):
+            fragment.rules(Vocabulary(TermDictionary()))
+
+    def test_fragment_needs_name(self):
+        with pytest.raises(ValueError):
+            Fragment("", lambda vocab: [])
+
+    def test_engine_accepts_fragment_instance(self):
+        fragment = get_fragment("rhodf")
+        with Slider(fragment=fragment, workers=0, timeout=None) as reasoner:
+            assert reasoner.fragment is fragment

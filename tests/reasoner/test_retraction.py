@@ -1,0 +1,148 @@
+"""Tests for DRed retraction: delete-and-rederive correctness."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.rdf import RDF, RDFS, Triple
+from repro.reasoner import Slider
+
+from ..conftest import EX, closure_with_slider, make_chain
+
+
+def fresh(**kwargs) -> Slider:
+    options = {"fragment": "rhodf", "workers": 0, "timeout": None, "buffer_size": 8}
+    options.update(kwargs)
+    return Slider(**options)
+
+
+class TestBasicRetraction:
+    def test_retract_explicit_triple(self):
+        with fresh() as r:
+            triple = Triple(EX.a, RDFS.subClassOf, EX.b)
+            r.materialize([triple])
+            r.retract(triple)
+            assert triple not in r.graph
+            assert len(r) == 0
+            assert r.input_count == 0
+
+    def test_consequences_removed(self):
+        with fresh() as r:
+            r.materialize(
+                [
+                    Triple(EX.Cat, RDFS.subClassOf, EX.Animal),
+                    Triple(EX.tom, RDF.type, EX.Cat),
+                ]
+            )
+            assert Triple(EX.tom, RDF.type, EX.Animal) in r.graph
+            r.retract(Triple(EX.tom, RDF.type, EX.Cat))
+            assert Triple(EX.tom, RDF.type, EX.Animal) not in r.graph
+            assert Triple(EX.Cat, RDFS.subClassOf, EX.Animal) in r.graph
+
+    def test_alternative_support_survives(self):
+        """A consequence derivable two ways survives losing one."""
+        with fresh() as r:
+            r.materialize(
+                [
+                    Triple(EX.tom, RDF.type, EX.Cat),
+                    Triple(EX.Cat, RDFS.subClassOf, EX.Animal),
+                    Triple(EX.tom, RDF.type, EX.Pet),
+                    Triple(EX.Pet, RDFS.subClassOf, EX.Animal),
+                ]
+            )
+            r.retract(Triple(EX.tom, RDF.type, EX.Cat))
+            # tom is still an Animal via Pet.
+            assert Triple(EX.tom, RDF.type, EX.Animal) in r.graph
+
+    def test_explicit_assertion_immune_to_overdelete(self):
+        """An asserted triple survives retraction of a rule derivation
+        that also produces it."""
+        with fresh() as r:
+            r.materialize(
+                [
+                    Triple(EX.Cat, RDFS.subClassOf, EX.Animal),
+                    Triple(EX.tom, RDF.type, EX.Cat),
+                    Triple(EX.tom, RDF.type, EX.Animal),  # ALSO asserted
+                ]
+            )
+            r.retract(Triple(EX.tom, RDF.type, EX.Cat))
+            assert Triple(EX.tom, RDF.type, EX.Animal) in r.graph
+
+    def test_retract_absent_triple_is_noop(self):
+        with fresh() as r:
+            r.materialize(make_chain(5))
+            size = len(r)
+            assert r.retract(Triple(EX.never, EX.was, EX.there)) == 0
+            assert len(r) == size
+
+    def test_retract_middle_of_chain(self):
+        with fresh() as r:
+            r.materialize(make_chain(10))  # C2 ⊑ C1, ..., C10 ⊑ C9
+            r.retract(Triple(EX.C6, RDFS.subClassOf, EX.C5))
+            # Everything crossing the cut is gone ...
+            assert Triple(EX.C10, RDFS.subClassOf, EX.C1) not in r.graph
+            assert Triple(EX.C6, RDFS.subClassOf, EX.C5) not in r.graph
+            # ... both sides of the cut survive intact.
+            assert Triple(EX.C5, RDFS.subClassOf, EX.C1) in r.graph
+            assert Triple(EX.C10, RDFS.subClassOf, EX.C6) in r.graph
+
+    def test_add_after_retract(self):
+        with fresh() as r:
+            link = Triple(EX.C6, RDFS.subClassOf, EX.C5)
+            r.materialize(make_chain(10))
+            full = set(r.graph)
+            r.retract(link)
+            r.materialize([link])
+            assert set(r.graph) == full
+
+    def test_counts_reflect_retraction(self):
+        with fresh() as r:
+            r.materialize(make_chain(8))
+            r.retract(Triple(EX.C8, RDFS.subClassOf, EX.C7))
+            assert r.input_count == 6
+            assert r.inferred_count == 7 * 6 // 2 - 6
+            assert len(r) == r.input_count + r.inferred_count
+
+
+class TestAgainstRecomputation:
+    """The gold standard: retract(B) ≡ closure(A \\ B) from scratch."""
+
+    @pytest.mark.parametrize("fragment", ["rhodf", "rdfs"])
+    def test_chain_cut_equals_recomputation(self, fragment):
+        chain = make_chain(12)
+        removed = [chain[4], chain[9]]
+        with fresh(fragment=fragment) as r:
+            r.materialize(chain)
+            r.retract(removed)
+            incremental = set(r.graph)
+        remaining = [t for t in chain if t not in removed]
+        assert incremental == closure_with_slider(remaining, fragment)
+
+    def test_retract_everything(self):
+        ontology = make_chain(8)
+        with fresh() as r:
+            r.materialize(ontology)
+            r.retract(ontology)
+            assert len(r) == 0
+
+
+# --- property test -------------------------------------------------------------
+
+_nodes = st.integers(min_value=0, max_value=8).map(lambda i: EX[f"n{i}"])
+_predicates = st.sampled_from(
+    [RDFS.subClassOf, RDFS.subPropertyOf, RDFS.domain, RDFS.range, RDF.type, EX.knows]
+)
+_ontologies = st.lists(
+    st.builds(Triple, _nodes, _predicates, _nodes), min_size=1, max_size=30
+)
+
+
+@given(_ontologies, st.data())
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_dred_equals_recomputation(triples, data):
+    removed = data.draw(st.lists(st.sampled_from(triples), max_size=6))
+    with fresh(fragment="rdfs") as r:
+        r.materialize(triples)
+        r.retract(removed)
+        incremental = set(r.graph)
+    remaining = [t for t in triples if t not in set(removed)]
+    assert incremental == closure_with_slider(remaining, "rdfs")

@@ -1,0 +1,135 @@
+"""Tests for stream sources and pumps."""
+
+import pytest
+
+from repro.rdf import RDFS, Triple, write_ntriples_file
+from repro.reasoner import (
+    FileSource,
+    GeneratorSource,
+    ListSource,
+    RateLimitedSource,
+    Slider,
+    StreamPump,
+    merge_sources,
+)
+
+from ..conftest import EX, make_chain
+
+
+class TestSources:
+    def test_list_source_reiterable(self):
+        source = ListSource(make_chain(5))
+        assert list(source) == list(source)
+        assert len(source) == 4
+
+    def test_file_source_streams_file(self, tmp_path):
+        path = tmp_path / "s.nt"
+        write_ntriples_file(make_chain(10), path)
+        assert set(FileSource(path)) == set(make_chain(10))
+
+    def test_generator_source_reiterable(self):
+        source = GeneratorSource(lambda: iter(make_chain(4)))
+        assert list(source) == list(source)
+
+    def test_merge_round_robin(self):
+        a = ListSource(make_chain(3))  # 2 triples
+        b = ListSource(
+            [Triple(EX.x, EX.p, EX.y), Triple(EX.x, EX.p, EX.z), Triple(EX.x, EX.p, EX.w)]
+        )
+        merged = list(merge_sources(a, b))
+        assert len(merged) == 5
+        assert merged[0] in set(a)
+        assert merged[1] in set(b)
+
+
+class TestRateLimiting:
+    def test_rate_controls_pacing(self):
+        sleeps: list[float] = []
+        clock = {"now": 0.0}
+
+        def fake_sleep(seconds):
+            sleeps.append(seconds)
+            clock["now"] += seconds
+
+        def fake_clock():
+            return clock["now"]
+
+        source = RateLimitedSource(
+            ListSource(make_chain(11)),  # 10 triples
+            rate=100.0,
+            sleep=fake_sleep,
+            clock=fake_clock,
+        )
+        assert len(list(source)) == 10
+        # 10 triples at 100/s: the replay spans ~0.09s of schedule.
+        assert sum(sleeps) == pytest.approx(0.09, abs=0.02)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            RateLimitedSource(ListSource([]), rate=0)
+
+
+class TestPump:
+    def test_blocking_run_delivers_everything(self):
+        chain = make_chain(30)
+        with Slider(fragment="rhodf", workers=0, timeout=None) as reasoner:
+            pump = StreamPump(reasoner, ListSource(chain), chunk_size=7)
+            delivered = pump.run()
+            reasoner.flush()
+            assert delivered == len(chain)
+            assert reasoner.input_count == len(chain)
+            assert reasoner.inferred_count == 30 * 29 // 2 - 29
+
+    def test_chunk_callback(self):
+        chunks: list[int] = []
+        with Slider(fragment="rhodf", workers=0, timeout=None) as reasoner:
+            pump = StreamPump(
+                reasoner, ListSource(make_chain(11)), chunk_size=4, on_chunk=chunks.append
+            )
+            pump.run()
+        assert chunks == [4, 4, 2]
+
+    def test_threaded_pumps_feed_one_engine(self):
+        chain = make_chain(40)
+        half1, half2 = chain[::2], chain[1::2]
+        with Slider(fragment="rhodf", workers=2, buffer_size=5, timeout=0.01) as r:
+            pumps = [
+                StreamPump(r, ListSource(half1), chunk_size=3).start(),
+                StreamPump(r, ListSource(half2), chunk_size=3).start(),
+            ]
+            total = sum(p.join(timeout=30) for p in pumps)
+            r.flush()
+            assert total == len(chain)
+            assert r.inferred_count == 40 * 39 // 2 - 39
+
+    def test_join_before_start_raises(self):
+        with Slider(fragment="rhodf", workers=0, timeout=None) as reasoner:
+            pump = StreamPump(reasoner, ListSource([]))
+            with pytest.raises(RuntimeError):
+                pump.join()
+
+    def test_pump_error_propagates_on_join(self):
+        class Broken:
+            def __iter__(self):
+                raise IOError("stream died")
+
+        with Slider(fragment="rhodf", workers=0, timeout=None) as reasoner:
+            pump = StreamPump(reasoner, Broken()).start()
+            with pytest.raises(IOError, match="stream died"):
+                pump.join(timeout=10)
+
+    def test_rejects_bad_chunk_size(self):
+        with Slider(fragment="rhodf", workers=0, timeout=None) as reasoner:
+            with pytest.raises(ValueError):
+                StreamPump(reasoner, ListSource([]), chunk_size=0)
+
+    def test_incremental_stream_yields_same_closure_as_batch(self):
+        chain = make_chain(25)
+        with Slider(fragment="rhodf", workers=0, timeout=None) as streamed:
+            StreamPump(streamed, ListSource(chain), chunk_size=1).run()
+            streamed.flush()
+            streamed_result = set(streamed.graph)
+        with Slider(fragment="rhodf", workers=0, timeout=None) as batched:
+            batched.add(chain)
+            batched.flush()
+            assert streamed_result == set(batched.graph)

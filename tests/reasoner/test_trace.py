@@ -1,0 +1,103 @@
+"""Tests for trace recording."""
+
+import threading
+
+from repro.reasoner.trace import NullTrace, Trace
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestTrace:
+    def test_record_assigns_sequence_numbers(self):
+        trace = Trace(clock=FakeClock())
+        first = trace.record("input", received=1)
+        second = trace.record("store", kept=2)
+        assert (first.seq, second.seq) == (0, 1)
+
+    def test_timestamps_relative_to_start(self):
+        clock = FakeClock()
+        trace = Trace(clock=clock)
+        clock.now = 101.5
+        event = trace.record("input")
+        assert event.timestamp == 1.5
+
+    def test_payload_preserved(self):
+        trace = Trace(clock=FakeClock())
+        event = trace.record("rule_end", rule="cax-sco", derived=5, kept=3)
+        assert event.payload == {"rule": "cax-sco", "derived": 5, "kept": 3}
+
+    def test_to_dict_flattens(self):
+        trace = Trace(clock=FakeClock())
+        event = trace.record("input", received=4)
+        data = event.to_dict()
+        assert data["kind"] == "input"
+        assert data["received"] == 4
+        assert data["seq"] == 0
+
+    def test_snapshot_is_a_copy(self):
+        trace = Trace(clock=FakeClock())
+        trace.record("input")
+        snapshot = trace.snapshot()
+        trace.record("done")
+        assert len(snapshot) == 1
+        assert len(trace) == 2
+
+    def test_events_of_filters(self):
+        trace = Trace(clock=FakeClock())
+        trace.record("input")
+        trace.record("store")
+        trace.record("input")
+        assert len(trace.events_of("input")) == 2
+        assert trace.events_of("missing") == []
+
+    def test_indexing(self):
+        trace = Trace(clock=FakeClock())
+        trace.record("input")
+        assert trace[0].kind == "input"
+
+    def test_clear_resets(self):
+        clock = FakeClock()
+        trace = Trace(clock=clock)
+        trace.record("input")
+        clock.now = 105.0
+        trace.clear()
+        event = trace.record("input")
+        assert len(trace) == 1
+        assert event.seq == 0
+        assert event.timestamp == 0.0
+
+    def test_thread_safety_sequences_unique(self):
+        trace = Trace()
+
+        def worker():
+            for _ in range(500):
+                trace.record("input")
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        sequences = [event.seq for event in trace]
+        assert sorted(sequences) == list(range(2000))
+
+    def test_enabled_flag(self):
+        assert Trace().enabled is True
+
+
+class TestNullTrace:
+    def test_all_operations_noop(self):
+        trace = NullTrace()
+        assert trace.record("anything", x=1) is None
+        assert len(trace) == 0
+        assert list(trace) == []
+        assert trace.snapshot() == []
+        assert trace.events_of("input") == []
+        trace.clear()
+        assert trace.enabled is False

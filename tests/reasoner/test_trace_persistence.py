@@ -1,0 +1,92 @@
+"""Tests for trace save/load (the demo's pre-recorded scenarios)."""
+
+import json
+
+import pytest
+
+from repro.demo import InferencePlayer, summarize
+from repro.reasoner import Slider, Trace, load_trace, save_trace
+
+from ..conftest import make_chain
+
+
+@pytest.fixture
+def recorded():
+    trace = Trace(clock=lambda: 0.0)
+    with Slider(
+        fragment="rhodf", workers=0, timeout=None, buffer_size=5, trace=trace
+    ) as reasoner:
+        reasoner.add(make_chain(15))
+        reasoner.flush()
+    return trace
+
+
+class TestRoundTrip:
+    def test_save_returns_event_count(self, recorded, tmp_path):
+        path = tmp_path / "run.trace.json"
+        assert save_trace(recorded, path) == len(recorded)
+
+    def test_events_survive_round_trip(self, recorded, tmp_path):
+        path = tmp_path / "run.trace.json"
+        save_trace(recorded, path, config={"dataset": "chain15"})
+        loaded, config = load_trace(path)
+        assert config == {"dataset": "chain15"}
+        assert len(loaded) == len(recorded)
+        for original, restored in zip(recorded, loaded):
+            assert restored.seq == original.seq
+            assert restored.kind == original.kind
+            assert restored.timestamp == original.timestamp
+            assert restored.payload == original.payload
+
+    def test_player_on_loaded_trace_matches_live(self, recorded, tmp_path):
+        path = tmp_path / "run.trace.json"
+        save_trace(recorded, path)
+        loaded, _ = load_trace(path)
+        live_final = InferencePlayer(recorded).final_state().as_dict()
+        replayed_final = InferencePlayer(loaded).final_state().as_dict()
+        assert replayed_final == live_final
+
+    def test_summary_on_loaded_trace(self, recorded, tmp_path):
+        path = tmp_path / "run.trace.json"
+        save_trace(recorded, path)
+        loaded, _ = load_trace(path)
+        assert summarize(loaded) == summarize(recorded)
+
+
+class TestFormat:
+    def test_file_is_plain_json(self, recorded, tmp_path):
+        path = tmp_path / "run.trace.json"
+        save_trace(recorded, path)
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "slider-trace/1"
+        assert isinstance(payload["events"], list)
+
+    def test_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"something": "else"}')
+        with pytest.raises(ValueError, match="not a slider trace"):
+            load_trace(path)
+
+
+class TestCliIntegration:
+    def test_demo_save_then_replay(self, capsys, tmp_path):
+        from repro.cli import main
+
+        trace_path = tmp_path / "demo.trace.json"
+        assert main(
+            [
+                "demo",
+                "--dataset", "subClassOf20",
+                "--workers", "0",
+                "--timeout", "0",
+                "--save-trace", str(trace_path),
+            ]
+        ) == 0
+        first = capsys.readouterr().out
+        assert "trace (" in first
+        assert trace_path.exists()
+
+        assert main(["demo", "--replay", str(trace_path)]) == 0
+        second = capsys.readouterr().out
+        assert "replaying" in second
+        assert "171" in second  # the chain's inferred count, from the replay

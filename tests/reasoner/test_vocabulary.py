@@ -1,0 +1,52 @@
+"""Unit tests for the encoded vocabulary."""
+
+from repro.dictionary import TermDictionary
+from repro.rdf import OWL, RDF, RDFS, Literal
+from repro.reasoner import Vocabulary
+
+
+class TestVocabulary:
+    def test_ids_decode_to_expected_terms(self):
+        dictionary = TermDictionary()
+        vocab = Vocabulary(dictionary)
+        assert dictionary.decode(vocab.type) == RDF.type
+        assert dictionary.decode(vocab.sub_class_of) == RDFS.subClassOf
+        assert dictionary.decode(vocab.sub_property_of) == RDFS.subPropertyOf
+        assert dictionary.decode(vocab.domain) == RDFS.domain
+        assert dictionary.decode(vocab.range) == RDFS.range
+        assert dictionary.decode(vocab.resource) == RDFS.Resource
+        assert dictionary.decode(vocab.same_as) == OWL.sameAs
+        assert dictionary.decode(vocab.transitive_property) == OWL.TransitiveProperty
+
+    def test_ids_are_distinct(self):
+        vocab = Vocabulary(TermDictionary())
+        ids = [
+            vocab.type, vocab.property, vocab.sub_class_of, vocab.sub_property_of,
+            vocab.domain, vocab.range, vocab.resource, vocab.literal,
+            vocab.datatype, vocab.class_, vocab.container_membership_property,
+            vocab.member, vocab.same_as, vocab.equivalent_class,
+            vocab.equivalent_property, vocab.inverse_of,
+            vocab.transitive_property, vocab.symmetric_property,
+            vocab.functional_property, vocab.inverse_functional_property,
+        ]
+        assert len(set(ids)) == len(ids)
+
+    def test_reuses_existing_dictionary_entries(self):
+        dictionary = TermDictionary()
+        pre_existing = dictionary.encode(RDF.type)
+        vocab = Vocabulary(dictionary)
+        assert vocab.type == pre_existing
+
+    def test_two_vocabularies_on_same_dictionary_agree(self):
+        dictionary = TermDictionary()
+        a = Vocabulary(dictionary)
+        b = Vocabulary(dictionary)
+        assert a.type == b.type
+        assert a.sub_class_of == b.sub_class_of
+
+    def test_is_literal_helper(self):
+        dictionary = TermDictionary()
+        vocab = Vocabulary(dictionary)
+        literal_id = dictionary.encode(Literal("x"))
+        assert vocab.is_literal(literal_id)
+        assert not vocab.is_literal(vocab.type)

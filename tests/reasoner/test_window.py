@@ -1,0 +1,121 @@
+"""Tests for sliding-window stream reasoning."""
+
+import pytest
+
+from repro.rdf import RDF, RDFS, Triple
+from repro.reasoner import CountWindow, TimeWindow, WindowedReasoner
+
+from ..conftest import EX, closure_with_slider
+
+
+def typed(i: int) -> Triple:
+    return Triple(EX[f"item{i}"], RDF.type, EX.Event)
+
+
+SCHEMA = [
+    Triple(EX.Event, RDFS.subClassOf, EX.Thing),
+    Triple(EX.about, RDFS.domain, EX.Event),
+]
+
+
+class TestPolicies:
+    def test_count_window_validation(self):
+        with pytest.raises(ValueError):
+            CountWindow(0)
+
+    def test_time_window_validation(self):
+        with pytest.raises(ValueError):
+            TimeWindow(0)
+
+
+class TestCountWindow:
+    def test_oldest_expire_first(self):
+        with WindowedReasoner(CountWindow(3), fragment="rhodf") as window:
+            window.load_background(SCHEMA)
+            window.extend([typed(1), typed(2), typed(3)])
+            assert len(window) == 3
+            expired = window.extend([typed(4), typed(5)])
+            assert expired == 2
+            assert typed(1) not in window.graph
+            assert typed(2) not in window.graph
+            assert typed(3) in window.graph
+            assert typed(5) in window.graph
+
+    def test_consequences_expire_with_their_support(self):
+        with WindowedReasoner(CountWindow(2), fragment="rhodf") as window:
+            window.load_background(SCHEMA)
+            window.extend([typed(1)])
+            lifted = Triple(EX.item1, RDF.type, EX.Thing)
+            window.flush()
+            assert lifted in window.graph
+            window.extend([typed(2), typed(3)])  # item1 falls out
+            assert lifted not in window.graph
+
+    def test_background_never_expires(self):
+        with WindowedReasoner(CountWindow(1), fragment="rhodf") as window:
+            window.load_background(SCHEMA)
+            for i in range(10):
+                window.extend([typed(i)])
+            assert SCHEMA[0] in window.graph
+            assert len(window) == 1
+
+    def test_streaming_background_duplicate_ignored(self):
+        with WindowedReasoner(CountWindow(1), fragment="rhodf") as window:
+            window.load_background(SCHEMA)
+            window.extend([SCHEMA[0], typed(1)])  # schema triple re-streamed
+            window.extend([typed(2)])  # would expire the schema if counted
+            assert SCHEMA[0] in window.graph
+
+    def test_restreamed_triple_refreshes_position(self):
+        with WindowedReasoner(CountWindow(2), fragment="rhodf") as window:
+            window.extend([typed(1), typed(2)])
+            window.extend([typed(1)])  # refresh item1: now newest
+            window.extend([typed(3)])  # expires item2, not item1
+            assert typed(1) in window.graph
+            assert typed(2) not in window.graph
+
+
+class TestTimeWindow:
+    def test_age_based_expiry(self):
+        clock = {"now": 0.0}
+        with WindowedReasoner(
+            TimeWindow(10.0), fragment="rhodf", clock=lambda: clock["now"]
+        ) as window:
+            window.load_background(SCHEMA)
+            window.extend([typed(1)])
+            clock["now"] = 5.0
+            window.extend([typed(2)])
+            clock["now"] = 11.0
+            expired = window.slide()  # item1 is 11s old, item2 is 6s old
+            assert expired == 1
+            assert typed(1) not in window.graph
+            assert typed(2) in window.graph
+
+    def test_nothing_expires_within_duration(self):
+        clock = {"now": 0.0}
+        with WindowedReasoner(
+            TimeWindow(100.0), fragment="rhodf", clock=lambda: clock["now"]
+        ) as window:
+            window.extend([typed(i) for i in range(20)])
+            clock["now"] = 50.0
+            assert window.slide() == 0
+            assert len(window) == 20
+
+
+class TestClosureInvariant:
+    def test_window_closure_equals_fresh_closure(self):
+        """After arbitrary sliding, the store holds exactly
+        closure(background ∪ live-window)."""
+        with WindowedReasoner(CountWindow(4), fragment="rdfs") as window:
+            window.load_background(SCHEMA)
+            for batch_start in range(0, 12, 3):
+                window.extend([typed(i) for i in range(batch_start, batch_start + 3)])
+            window.flush()
+            live = [triple for _, triple in window._entries]
+            expected = closure_with_slider(SCHEMA + live, "rdfs")
+            assert set(window.graph) == expected
+
+    def test_expired_counter(self):
+        with WindowedReasoner(CountWindow(2), fragment="rhodf") as window:
+            window.extend([typed(i) for i in range(7)])
+            assert window.expired_total == 5

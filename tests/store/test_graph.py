@@ -1,0 +1,103 @@
+"""Unit tests for the term-level Graph wrapper."""
+
+import pytest
+
+from repro.rdf import IRI, Literal, RDF, RDFS, Triple
+from repro.store import Graph
+
+from ..conftest import EX
+
+
+@pytest.fixture
+def graph():
+    return Graph()
+
+
+@pytest.fixture
+def filled(graph):
+    graph.add_all(
+        [
+            Triple(EX.a, RDF.type, EX.C),
+            Triple(EX.b, RDF.type, EX.C),
+            Triple(EX.a, RDFS.label, Literal("a")),
+            Triple(EX.C, RDFS.subClassOf, EX.D),
+        ]
+    )
+    return graph
+
+
+class TestMutation:
+    def test_add_new(self, graph):
+        assert graph.add(Triple(EX.a, RDF.type, EX.C)) is True
+
+    def test_add_duplicate(self, graph):
+        graph.add(Triple(EX.a, RDF.type, EX.C))
+        assert graph.add(Triple(EX.a, RDF.type, EX.C)) is False
+
+    def test_add_all_counts_new(self, graph):
+        count = graph.add_all(
+            [Triple(EX.a, RDF.type, EX.C), Triple(EX.a, RDF.type, EX.C)]
+        )
+        assert count == 1
+
+    def test_len(self, filled):
+        assert len(filled) == 4
+
+
+class TestInspection:
+    def test_contains(self, filled):
+        assert Triple(EX.a, RDF.type, EX.C) in filled
+        assert Triple(EX.z, RDF.type, EX.C) not in filled
+
+    def test_contains_with_unknown_terms(self, filled):
+        assert Triple(EX.never_seen, EX.nor_this, EX.nope) not in filled
+
+    def test_iter(self, filled):
+        assert len(list(filled)) == 4
+
+    def test_triples_pattern(self, filled):
+        matches = list(filled.triples(None, RDF.type, EX.C))
+        assert {t.subject for t in matches} == {EX.a, EX.b}
+
+    def test_triples_unknown_term_is_empty(self, filled):
+        assert list(filled.triples(EX.unknown, None, None)) == []
+
+    def test_count(self, filled):
+        assert filled.count(predicate=RDF.type) == 2
+        assert filled.count() == 4
+
+    def test_subjects(self, filled):
+        assert set(filled.subjects(RDF.type, EX.C)) == {EX.a, EX.b}
+
+    def test_objects(self, filled):
+        assert set(filled.objects(EX.a, RDF.type)) == {EX.C}
+
+    def test_encoded_access(self, filled):
+        encoded = list(filled.encoded())
+        assert len(encoded) == 4
+        assert all(isinstance(t, tuple) and len(t) == 3 for t in encoded)
+
+
+class TestIO:
+    def test_ntriples_round_trip(self, filled, tmp_path):
+        path = tmp_path / "graph.nt"
+        written = filled.dump_ntriples(path)
+        assert written == 4
+        reloaded = Graph()
+        assert reloaded.load_ntriples(path) == 4
+        assert set(reloaded) == set(filled)
+
+    def test_load_turtle(self, graph, tmp_path):
+        path = tmp_path / "graph.ttl"
+        path.write_text("@prefix ex: <http://example.org/> .\nex:a a ex:C .\n")
+        assert graph.load_turtle(path) == 1
+        assert Triple(EX.a, RDF.type, EX.C) in graph
+
+    def test_copy_is_independent(self, filled):
+        clone = filled.copy()
+        clone.add(Triple(EX.z, RDF.type, EX.C))
+        assert len(clone) == len(filled) + 1
+
+    def test_shared_substrate_constructor(self, filled):
+        view = Graph(filled.dictionary, filled.store)
+        assert set(view) == set(filled)

@@ -1,0 +1,172 @@
+"""Unit tests for the reentrant reader-writer lock."""
+
+import threading
+import time
+
+import pytest
+
+from repro.store import ReentrantReadWriteLock
+
+
+@pytest.fixture
+def lock():
+    return ReentrantReadWriteLock()
+
+
+class TestBasicSemantics:
+    def test_read_context(self, lock):
+        with lock.read():
+            assert lock.active_readers == 1
+        assert lock.active_readers == 0
+
+    def test_write_context(self, lock):
+        with lock.write():
+            assert lock.write_held
+        assert not lock.write_held
+
+    def test_reentrant_read(self, lock):
+        with lock.read():
+            with lock.read():
+                assert lock.active_readers == 1  # one thread, counted once
+
+    def test_reentrant_write(self, lock):
+        with lock.write():
+            with lock.write():
+                assert lock.write_held
+        assert not lock.write_held
+
+    def test_writer_may_read(self, lock):
+        with lock.write():
+            with lock.read():
+                assert lock.write_held
+
+    def test_upgrade_refused(self, lock):
+        with lock.read():
+            with pytest.raises(RuntimeError):
+                lock.acquire_write()
+
+    def test_unmatched_read_release_raises(self, lock):
+        with pytest.raises(RuntimeError):
+            lock.release_read()
+
+    def test_unmatched_write_release_raises(self, lock):
+        with pytest.raises(RuntimeError):
+            lock.release_write()
+
+
+class TestConcurrency:
+    def test_multiple_concurrent_readers(self, lock):
+        inside = threading.Barrier(4, timeout=5)
+
+        def reader():
+            with lock.read():
+                inside.wait()  # all four readers inside simultaneously
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert not any(t.is_alive() for t in threads)
+
+    def test_writer_excludes_readers(self, lock):
+        order: list[str] = []
+        writer_in = threading.Event()
+
+        def writer():
+            with lock.write():
+                writer_in.set()
+                time.sleep(0.05)
+                order.append("write-done")
+
+        def reader():
+            writer_in.wait(timeout=5)
+            with lock.read():
+                order.append("read-done")
+
+        w = threading.Thread(target=writer)
+        r = threading.Thread(target=reader)
+        w.start()
+        r.start()
+        w.join(timeout=5)
+        r.join(timeout=5)
+        assert order == ["write-done", "read-done"]
+
+    def test_writers_mutually_exclusive(self, lock):
+        counter = {"value": 0, "max": 0}
+
+        def writer():
+            for _ in range(50):
+                with lock.write():
+                    counter["value"] += 1
+                    counter["max"] = max(counter["max"], counter["value"])
+                    counter["value"] -= 1
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert counter["max"] == 1
+
+    def test_waiting_writer_blocks_new_readers(self, lock):
+        """Writer priority: a queued writer gets in before later readers."""
+        sequence: list[str] = []
+        reader_holding = threading.Event()
+        writer_waiting = threading.Event()
+
+        def first_reader():
+            with lock.read():
+                reader_holding.set()
+                writer_waiting.wait(timeout=5)
+                time.sleep(0.03)  # give the late reader time to queue up
+
+        def writer():
+            reader_holding.wait(timeout=5)
+            writer_waiting.set()
+            with lock.write():
+                sequence.append("writer")
+
+        def late_reader():
+            writer_waiting.wait(timeout=5)
+            time.sleep(0.01)  # arrive after the writer queued
+            with lock.read():
+                sequence.append("late-reader")
+
+        threads = [
+            threading.Thread(target=first_reader),
+            threading.Thread(target=writer),
+            threading.Thread(target=late_reader),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert sequence == ["writer", "late-reader"]
+
+    def test_stress_mixed_readers_writers(self, lock):
+        shared = {"data": 0}
+        errors: list[str] = []
+
+        def reader():
+            for _ in range(100):
+                with lock.read():
+                    before = shared["data"]
+                    after = shared["data"]
+                    if before != after:
+                        errors.append("torn read")
+
+        def writer():
+            for _ in range(50):
+                with lock.write():
+                    shared["data"] += 1
+                    shared["data"] += 1
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        threads += [threading.Thread(target=writer) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=20)
+        assert not errors
+        assert shared["data"] == 2 * 50 * 2

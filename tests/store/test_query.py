@@ -1,0 +1,109 @@
+"""Unit tests for BGP query evaluation (solve/select/ask/construct)."""
+
+import pytest
+
+from repro.rdf import Literal, RDF, RDFS, Triple, Variable
+from repro.store import Graph, ask, construct, select, solve
+
+from ..conftest import EX
+
+X = Variable("x")
+Y = Variable("y")
+Z = Variable("z")
+
+
+@pytest.fixture
+def graph():
+    g = Graph()
+    g.add_all(
+        [
+            Triple(EX.tom, RDF.type, EX.Cat),
+            Triple(EX.rex, RDF.type, EX.Dog),
+            Triple(EX.Cat, RDFS.subClassOf, EX.Animal),
+            Triple(EX.Dog, RDFS.subClassOf, EX.Animal),
+            Triple(EX.alice, EX.hasPet, EX.tom),
+            Triple(EX.bob, EX.hasPet, EX.rex),
+            Triple(EX.tom, RDFS.label, Literal("Tom")),
+        ]
+    )
+    return g
+
+
+class TestSolve:
+    def test_single_pattern(self, graph):
+        solutions = solve(graph, [(X, RDF.type, EX.Cat)])
+        assert solutions == [{X: EX.tom}]
+
+    def test_join_two_patterns(self, graph):
+        solutions = solve(graph, [(X, EX.hasPet, Y), (Y, RDF.type, EX.Cat)])
+        assert solutions == [{X: EX.alice, Y: EX.tom}]
+
+    def test_three_way_join(self, graph):
+        solutions = solve(
+            graph,
+            [(X, EX.hasPet, Y), (Y, RDF.type, Z), (Z, RDFS.subClassOf, EX.Animal)],
+        )
+        assert {(s[X], s[Y], s[Z]) for s in solutions} == {
+            (EX.alice, EX.tom, EX.Cat),
+            (EX.bob, EX.rex, EX.Dog),
+        }
+
+    def test_no_solutions(self, graph):
+        assert solve(graph, [(X, RDF.type, EX.Fish)]) == []
+
+    def test_empty_bgp_has_unit_solution(self, graph):
+        assert solve(graph, []) == [{}]
+
+    def test_repeated_variable_in_pattern(self, graph):
+        graph.add(Triple(EX.narcissus, EX.admires, EX.narcissus))
+        solutions = solve(graph, [(X, EX.admires, X)])
+        assert solutions == [{X: EX.narcissus}]
+
+    def test_variable_predicate(self, graph):
+        solutions = solve(graph, [(EX.tom, Y, Z)])
+        assert {s[Y] for s in solutions} == {RDF.type, RDFS.label}
+
+
+class TestSelect:
+    def test_projection(self, graph):
+        rows = select(graph, [X], [(X, RDF.type, EX.Cat)])
+        assert rows == [(EX.tom,)]
+
+    def test_distinct(self, graph):
+        graph.add(Triple(EX.tom, RDF.type, EX.Pet))
+        rows = select(graph, [X], [(X, RDF.type, Y)], distinct=True)
+        assert len(rows) == len(set(rows))
+
+    def test_non_distinct_keeps_duplicates(self, graph):
+        graph.add(Triple(EX.tom, RDF.type, EX.Pet))
+        rows = select(graph, [X], [(X, RDF.type, Y)], distinct=False)
+        assert rows.count((EX.tom,)) == 2
+
+
+class TestAsk:
+    def test_true(self, graph):
+        assert ask(graph, [(EX.alice, EX.hasPet, X)]) is True
+
+    def test_false(self, graph):
+        assert ask(graph, [(EX.alice, EX.hasPet, EX.rex)]) is False
+
+
+class TestConstruct:
+    def test_instantiates_template(self, graph):
+        result = construct(
+            graph,
+            template=[(X, EX.ownsAnimalOf, Z)],
+            patterns=[(X, EX.hasPet, Y), (Y, RDF.type, Z)],
+        )
+        assert Triple(EX.alice, EX.ownsAnimalOf, EX.Cat) in result
+        assert Triple(EX.bob, EX.ownsAnimalOf, EX.Dog) in result
+
+    def test_deduplicates(self, graph):
+        graph.add(Triple(EX.alice, EX.hasPet, EX.rex))
+        result = construct(
+            graph,
+            template=[(X, RDF.type, EX.PetOwner)],
+            patterns=[(X, EX.hasPet, Y)],
+        )
+        owners = [t for t in result if t.subject == EX.alice]
+        assert len(owners) == 1

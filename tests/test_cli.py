@@ -1,0 +1,114 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.rdf import write_ntriples_file
+
+from .conftest import make_chain
+
+
+def run_cli(capsys, *argv) -> str:
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    assert code == 0, captured.err
+    return captured.out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_reason_defaults(self):
+        args = build_parser().parse_args(["reason", "file.nt"])
+        assert args.fragment == "rhodf"
+        assert args.buffer_size == 50
+        assert args.workers == 4
+
+
+class TestReason:
+    def test_reason_over_file(self, capsys, tmp_path):
+        path = tmp_path / "chain.nt"
+        write_ntriples_file(make_chain(10), path)
+        out = run_cli(capsys, "reason", str(path), "--workers", "0", "--timeout", "0")
+        assert "9 explicit + 36 inferred" in out
+
+    def test_reason_over_dataset_with_stats(self, capsys):
+        out = run_cli(
+            capsys,
+            "reason",
+            "--dataset", "subClassOf20",
+            "--workers", "0",
+            "--timeout", "0",
+            "--stats",
+        )
+        assert "171 inferred" in out
+        assert "scm-sco" in out
+
+    def test_reason_writes_output(self, capsys, tmp_path):
+        source = tmp_path / "in.nt"
+        target = tmp_path / "out.nt"
+        write_ntriples_file(make_chain(5), source)
+        out = run_cli(
+            capsys, "reason", str(source), "--workers", "0", "--timeout", "0",
+            "--output", str(target),
+        )
+        assert "wrote" in out
+        assert target.exists()
+        assert len(target.read_text().strip().splitlines()) == 5 * 4 // 2
+
+    def test_reason_rejects_both_inputs_and_dataset(self, capsys):
+        code = main(["reason", "x.nt", "--dataset", "wordnet"])
+        assert code == 2
+
+    def test_reason_rejects_neither(self, capsys):
+        assert main(["reason"]) == 2
+
+
+class TestIntrospectionCommands:
+    def test_fragments(self, capsys):
+        out = run_cli(capsys, "fragments")
+        assert "rhodf" in out and "8 rules" in out
+
+    def test_datasets(self, capsys):
+        out = run_cli(capsys, "datasets")
+        assert "BSBM_100k" in out
+        assert "100,000" in out
+
+    def test_depgraph_text(self, capsys):
+        out = run_cli(capsys, "depgraph", "--fragment", "rhodf")
+        assert "universal input" in out
+        assert "scm-sco" in out
+
+    def test_depgraph_dot(self, capsys):
+        out = run_cli(capsys, "depgraph", "--fragment", "rhodf", "--dot")
+        assert out.startswith("digraph")
+
+
+class TestDemoCommand:
+    def test_demo_prints_summary_and_writes_report(self, capsys, tmp_path):
+        report = tmp_path / "r.html"
+        out = run_cli(
+            capsys,
+            "demo",
+            "--dataset", "subClassOf20",
+            "--workers", "0",
+            "--timeout", "0",
+            "--report", str(report),
+        )
+        assert "Slider inference summary" in out
+        assert report.exists()
+
+
+class TestBenchCommand:
+    def test_bench_small_subset(self, capsys):
+        out = run_cli(
+            capsys,
+            "bench",
+            "--fragment", "rhodf",
+            "--datasets", "subClassOf10", "subClassOf20",
+            "--workers", "0",
+        )
+        assert "subClassOf10" in out
+        assert "Average" in out

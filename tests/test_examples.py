@@ -1,0 +1,71 @@
+"""Smoke tests: every shipped example must run green end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 180) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=EXAMPLES.parent,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "✓ tom is an Animal" in out
+    assert "✗" not in out
+
+
+def test_custom_fragment():
+    out = run_example("custom_fragment.py")
+    assert "✓ grandpa ancestorOf kid" in out
+    assert "✗" not in out
+
+
+def test_incremental_vs_batch_small():
+    out = run_example("incremental_vs_batch.py", "60")
+    assert "same closure" in out
+    assert "incremental gain" in out
+
+
+def test_sliding_window():
+    out = run_example("sliding_window.py")
+    assert "⚠ CONGESTION on A1" in out
+    assert "fully retracted ✓" in out
+
+
+def test_stream_reasoning():
+    out = run_example("stream_reasoning.py")
+    assert "inferred" in out
+    assert "thermo0" in out
+
+
+def test_demo_player(tmp_path):
+    out = run_example("demo_player.py", "subClassOf20", "8")
+    assert "3 — Summarize" in out
+    assert "scm-sco" in out
+    report = EXAMPLES.parent / "slider_report.html"
+    assert report.exists()
+    report.unlink()
+
+
+def test_demo_player_rejects_unknown_dataset():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "demo_player.py"), "not-a-dataset"],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode != 0
+    assert "unknown dataset" in result.stderr

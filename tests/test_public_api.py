@@ -1,0 +1,52 @@
+"""The README-level public API must keep working exactly as documented."""
+
+import repro
+from repro import (
+    Graph,
+    IRI,
+    RDF,
+    RDFS,
+    Slider,
+    TermDictionary,
+    Triple,
+    available_fragments,
+)
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_fragments_discoverable(self):
+        assert "rhodf" in available_fragments()
+
+
+class TestQuickstart:
+    def test_readme_quickstart(self):
+        """The exact snippet from the package docstring / README."""
+        with Slider(fragment="rdfs") as reasoner:
+            reasoner.add(
+                [
+                    Triple(IRI("http://ex/Cat"), RDFS.subClassOf, IRI("http://ex/Animal")),
+                    Triple(IRI("http://ex/tom"), RDF.type, IRI("http://ex/Cat")),
+                ]
+            )
+            reasoner.flush()
+            assert (
+                Triple(IRI("http://ex/tom"), RDF.type, IRI("http://ex/Animal"))
+                in reasoner.graph
+            )
+
+    def test_graph_quickstart(self):
+        g = Graph()
+        g.add(Triple(IRI("http://ex/a"), RDF.type, IRI("http://ex/C")))
+        assert len(g) == 1
+
+    def test_dictionary_quickstart(self):
+        d = TermDictionary()
+        term_id = d.encode(IRI("http://example.org/a"))
+        assert d.decode(term_id) == IRI("http://example.org/a")
