@@ -19,6 +19,7 @@ from repro.bench import gain_percent, run_batch, run_slider
 from _config import (
     BENCH_SCALE,
     SLIDER_BUFFER,
+    SLIDER_STORE,
     SLIDER_WORKERS,
     pedantic_once,
     register_summary,
@@ -42,6 +43,7 @@ def test_headline_pair(benchmark, fragment, dataset):
             BENCH_SCALE,
             buffer_size=SLIDER_BUFFER,
             workers=SLIDER_WORKERS,
+            store=SLIDER_STORE,
         )
         return baseline, slider
 

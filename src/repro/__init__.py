@@ -34,7 +34,15 @@ from .reasoner import (
     get_fragment,
     register_fragment,
 )
-from .store import Graph
+from .store import (
+    Graph,
+    HashDictStore,
+    ShardedTripleStore,
+    TripleStore,
+    available_backends,
+    create_store,
+    register_backend,
+)
 
 __version__ = "1.0.0"
 
@@ -43,6 +51,12 @@ __all__ = [
     "Slider",
     "SliderError",
     "Graph",
+    "TripleStore",
+    "HashDictStore",
+    "ShardedTripleStore",
+    "create_store",
+    "register_backend",
+    "available_backends",
     "TermDictionary",
     "EncodedTriple",
     "IRI",

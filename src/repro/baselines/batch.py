@@ -27,13 +27,13 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from ..dictionary.encoder import EncodedTriple, TermDictionary
+from ..dictionary.encoder import EncodedTriple, TermDictionary, encode_batch
 from ..rdf.terms import Triple
 from ..reasoner.fragments import Fragment, get_fragment
-from ..reasoner.rules import Rule, derive_all
+from ..reasoner.rules import OutputBuffer, Rule, apply_rule_into, derive_all
 from ..reasoner.vocabulary import Vocabulary
+from ..store.backends import TripleStore, create_store
 from ..store.graph import Graph
-from ..store.vertical import VerticalTripleStore
 
 __all__ = ["BatchReasoner", "SemiNaiveReasoner", "BatchStats"]
 
@@ -77,11 +77,11 @@ class _BaseBatchReasoner:
         self,
         fragment: str | Fragment = "rhodf",
         dictionary: TermDictionary | None = None,
-        store: VerticalTripleStore | None = None,
+        store: TripleStore | str | None = None,
     ):
         self.fragment = fragment if isinstance(fragment, Fragment) else get_fragment(fragment)
         self.dictionary = dictionary if dictionary is not None else TermDictionary()
-        self.store = store if store is not None else VerticalTripleStore()
+        self.store = create_store(store)
         self.vocab = Vocabulary(self.dictionary)
         self.rules: list[Rule] = self.fragment.rules(self.vocab)
         self.stats = BatchStats()
@@ -97,7 +97,7 @@ class _BaseBatchReasoner:
     # --- loading -------------------------------------------------------------
     def add(self, triples: Iterable[Triple]) -> int:
         """Stage explicit triples (no reasoning yet — this is batch)."""
-        new = len(self.store.add_all(self.dictionary.encode_triples(triples)))
+        new = len(self.store.add_all(encode_batch(self.dictionary, triples)))
         self._explicit += new
         return new
 
@@ -175,13 +175,15 @@ class SemiNaiveReasoner(_BaseBatchReasoner):
 
     def materialize(self) -> BatchStats:
         stats = self.stats
+        scratch = OutputBuffer()  # reused across every rule × round
         delta: list[EncodedTriple] = list(self.store)
         while delta:
             stats.rounds += 1
             round_kept: list[EncodedTriple] = []
             for rule in self.rules:
                 stats.rule_invocations += 1
-                derived = rule.apply(self.store, delta, self.vocab)
+                apply_rule_into(rule, self.store, delta, self.vocab, scratch)
+                derived = scratch.take()
                 stats.derivations += len(derived)
                 round_kept.extend(self.store.add_all(derived))
             stats.kept += len(round_kept)

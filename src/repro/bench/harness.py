@@ -118,13 +118,15 @@ def run_slider(
     buffer_size: int = 200,
     timeout: float | None = 0.05,
     workers: int = 2,
+    store: str = "hashdict",
     clock: Callable[[], float] = time.perf_counter,
 ) -> RunResult:
     """Timed Slider run over a dataset file (parse + incremental closure)."""
     path = dataset_file(name, scale)
     start = clock()
     reasoner = Slider(
-        fragment=fragment, buffer_size=buffer_size, timeout=timeout, workers=workers
+        fragment=fragment, buffer_size=buffer_size, timeout=timeout,
+        workers=workers, store=store,
     )
     reasoner.load(path)
     reasoner.flush()
@@ -132,7 +134,7 @@ def run_slider(
     result = RunResult(
         "slider", name, fragment, seconds,
         reasoner.input_count, reasoner.inferred_count,
-        extra={"buffer_size": buffer_size, "workers": workers},
+        extra={"buffer_size": buffer_size, "workers": workers, "store": store},
     )
     reasoner.close()
     return result
@@ -214,10 +216,12 @@ def run_table1_row(
     scale: float = DEFAULT_SCALE,
     workers: int = 2,
     buffer_size: int = 200,
+    store: str = "hashdict",
 ) -> Table1Row:
     """Measure one ontology under one fragment: baseline vs Slider."""
     baseline = run_batch(name, fragment, scale)
-    slider = run_slider(name, fragment, scale, buffer_size=buffer_size, workers=workers)
+    slider = run_slider(name, fragment, scale, buffer_size=buffer_size,
+                        workers=workers, store=store)
     return Table1Row(
         dataset=name,
         input_count=slider.input_count,
@@ -233,10 +237,12 @@ def run_table1(
     scale: float = DEFAULT_SCALE,
     workers: int = 2,
     buffer_size: int = 200,
+    store: str = "hashdict",
 ) -> list[Table1Row]:
     """Regenerate one half of Table 1 (all rows, one fragment)."""
     names = list(datasets) if datasets is not None else list(TABLE1_ORDER)
     return [
-        run_table1_row(name, fragment, scale, workers=workers, buffer_size=buffer_size)
+        run_table1_row(name, fragment, scale, workers=workers,
+                       buffer_size=buffer_size, store=store)
         for name in names
     ]

@@ -52,6 +52,9 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("rhodf", "rdfs", "both"))
     bench.add_argument("--scale", type=float, default=DEFAULT_SCALE)
     bench.add_argument("--workers", type=int, default=2)
+    bench.add_argument("--store", default="hashdict", metavar="BACKEND",
+                       help="storage backend spec, e.g. hashdict or sharded:8 "
+                            "(default %(default)s)")
     bench.add_argument("--datasets", nargs="*", default=None,
                        help="restrict to these dataset names")
 
@@ -81,6 +84,9 @@ def _add_reasoner_options(parser: argparse.ArgumentParser) -> None:
                         help="buffer inactivity flush, seconds; 0 disables")
     parser.add_argument("--workers", type=int, default=4,
                         help="rule thread-pool size; 0 = inline (default %(default)s)")
+    parser.add_argument("--store", default="hashdict", metavar="BACKEND",
+                        help="storage backend spec: hashdict (single-lock) or "
+                             "sharded[:N] (lock-striped, N shards; default %(default)s)")
 
 
 def _make_reasoner(args, trace: Trace | None = None) -> Slider:
@@ -90,6 +96,7 @@ def _make_reasoner(args, trace: Trace | None = None) -> Slider:
         buffer_size=args.buffer_size,
         timeout=timeout,
         workers=args.workers,
+        store=args.store,
         trace=trace,
     )
 
@@ -131,7 +138,7 @@ def _cmd_bench(args) -> int:
     halves = {}
     for fragment in fragments:
         rows = run_table1(fragment, datasets=args.datasets, scale=args.scale,
-                          workers=args.workers)
+                          workers=args.workers, store=args.store)
         halves[fragment] = rows
         print(render_table1_half(rows, "ρdf" if fragment == "rhodf" else fragment.upper()))
         print()
@@ -156,6 +163,7 @@ def _cmd_demo(args) -> int:
             "buffer_size": args.buffer_size,
             "timeout": args.timeout,
             "workers": args.workers,
+            "store": args.store,
         }
     print(render_text(trace, config))
     if args.save_trace and not args.replay:

@@ -24,6 +24,7 @@ __all__ = [
     "TermDictionary",
     "IdentityDictionary",
     "EncodedTriple",
+    "encode_batch",
     "KIND_IRI",
     "KIND_BNODE",
     "KIND_LITERAL",
@@ -75,21 +76,25 @@ class TermDictionary:
         if existing is not None:
             return existing
         with self._lock:
-            existing = self._term_to_id.get(term)
-            if existing is not None:
-                return existing
-            term_id = len(self._id_to_term)
-            self._id_to_term.append(term)
-            if isinstance(term, Literal):
-                self._kinds.append(KIND_LITERAL)
-            elif isinstance(term, BNode):
-                self._kinds.append(KIND_BNODE)
-            elif isinstance(term, IRI):
-                self._kinds.append(KIND_IRI)
-            else:
-                raise TypeError(f"not a concrete RDF term: {term!r}")
-            self._term_to_id[term] = term_id
-            return term_id
+            return self._encode_locked(term)
+
+    def _encode_locked(self, term: Term) -> int:
+        """Assign-or-return under the already-held lock (batch hot path)."""
+        existing = self._term_to_id.get(term)
+        if existing is not None:
+            return existing
+        term_id = len(self._id_to_term)
+        self._id_to_term.append(term)
+        if isinstance(term, Literal):
+            self._kinds.append(KIND_LITERAL)
+        elif isinstance(term, BNode):
+            self._kinds.append(KIND_BNODE)
+        elif isinstance(term, IRI):
+            self._kinds.append(KIND_IRI)
+        else:
+            raise TypeError(f"not a concrete RDF term: {term!r}")
+        self._term_to_id[term] = term_id
+        return term_id
 
     def lookup(self, term: Term) -> int | None:
         """Return the id for ``term`` or ``None`` without assigning one."""
@@ -136,6 +141,38 @@ class TermDictionary:
         for triple in triples:
             yield (encode(triple.subject), encode(triple.predicate), encode(triple.object))
 
+    def encode_many(self, triples: Iterable[Triple]) -> list[EncodedTriple]:
+        """Encode a batch with at most one lock acquisition.
+
+        The lock-free fast path resolves every already-known term (the
+        steady state of a long-running stream, where the vocabulary has
+        converged); the triples with unseen terms — if any — are then
+        encoded together under a single lock, instead of paying one
+        lock round-trip per fresh term as per-triple encoding does.
+        """
+        get = self._term_to_id.get
+        out: list[EncodedTriple | None] = []
+        misses: list[tuple[int, Triple]] = []
+        for triple in triples:
+            subject_id = get(triple.subject)
+            predicate_id = get(triple.predicate)
+            object_id = get(triple.object)
+            if subject_id is None or predicate_id is None or object_id is None:
+                misses.append((len(out), triple))
+                out.append(None)
+            else:
+                out.append((subject_id, predicate_id, object_id))
+        if misses:
+            with self._lock:
+                encode_locked = self._encode_locked
+                for position, triple in misses:
+                    out[position] = (
+                        encode_locked(triple.subject),
+                        encode_locked(triple.predicate),
+                        encode_locked(triple.object),
+                    )
+        return out
+
     def decode_triples(self, encoded: Iterable[EncodedTriple]) -> Iterator[Triple]:
         """Decode many id tuples lazily."""
         for item in encoded:
@@ -144,6 +181,19 @@ class TermDictionary:
     def snapshot_terms(self) -> list[Term]:
         """A copy of the id → term table (index == id)."""
         return list(self._id_to_term)
+
+
+def encode_batch(dictionary, triples: Iterable[Triple]) -> list[EncodedTriple]:
+    """Encode a batch through ``dictionary``'s fastest available path.
+
+    Uses ``encode_many`` when the dictionary provides it; duck-typed
+    dictionaries with only the per-triple API still work (every batch
+    call site goes through here, so the fallback lives in one place).
+    """
+    encode_many = getattr(dictionary, "encode_many", None)
+    if encode_many is not None:
+        return encode_many(triples)
+    return [dictionary.encode_triple(triple) for triple in triples]
 
 
 class IdentityDictionary:
@@ -195,6 +245,9 @@ class IdentityDictionary:
     def encode_triples(self, triples: Iterable[Triple]) -> Iterator:
         for triple in triples:
             yield (triple.subject, triple.predicate, triple.object)
+
+    def encode_many(self, triples: Iterable[Triple]) -> list:
+        return [(t.subject, t.predicate, t.object) for t in triples]
 
     def decode_triples(self, encoded: Iterable) -> Iterator[Triple]:
         for item in encoded:

@@ -15,7 +15,7 @@ from .fragments import (
 from .input_manager import InputManager
 from .modules import RuleModule
 from .retraction import dred_retract
-from .rules import JoinRule, Pattern, Rule, RuleViolation, SingleRule, Var
+from .rules import JoinRule, OutputBuffer, Pattern, Rule, RuleViolation, SingleRule, Var
 from .stream import (
     FileSource,
     GeneratorSource,
@@ -45,6 +45,7 @@ __all__ = [
     "Pattern",
     "Var",
     "RuleViolation",
+    "OutputBuffer",
     "Vocabulary",
     "DependencyGraph",
     "build_routing_table",

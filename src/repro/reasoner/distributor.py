@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Callable, Sequence
 
 from ..dictionary.encoder import EncodedTriple
-from ..store.vertical import VerticalTripleStore
+from ..store.backends.base import TripleStore
 from .modules import RuleModule
 from .trace import NullTrace
 
@@ -34,7 +34,7 @@ class Distributor:
     def __init__(
         self,
         module: RuleModule,
-        store: VerticalTripleStore,
+        store: TripleStore,
         dispatch: DispatchFn,
         dependents: Sequence[str],
         trace=None,
@@ -46,7 +46,13 @@ class Distributor:
         self.trace = trace if trace is not None else NullTrace()
 
     def collect(self, derived: Sequence[EncodedTriple]) -> list[EncodedTriple]:
-        """Insert derived triples; dispatch and return the new ones."""
+        """Insert derived triples; dispatch and return the new ones.
+
+        ``derived`` comes from a module firing's
+        :class:`~repro.reasoner.rules.OutputBuffer`, so it is already
+        free of intra-batch duplicates — ``add_all`` only pays for
+        cross-batch deduplication against the store's indexes.
+        """
         if not derived:
             return []
         new_triples = self.store.add_all(derived)

@@ -43,8 +43,8 @@ from typing import Iterable, Sequence
 
 from ..dictionary.encoder import EncodedTriple, TermDictionary
 from ..rdf.terms import Triple
+from ..store.backends import TripleStore, create_store
 from ..store.graph import Graph
-from ..store.vertical import VerticalTripleStore
 from .adaptive import AdaptiveBufferController
 from .buffers import TripleBuffer
 from .dependency import DependencyGraph, build_routing_table
@@ -125,9 +125,15 @@ class Slider:
         buffer retuning — the paper's future-work "just-in-time
         optimisation of the rules execution's scheduling".  ``None``
         (default) keeps the static plan.
-    dictionary / store:
-        Optionally share pre-existing substrate instances (e.g. to reason
-        over an already-loaded :class:`~repro.store.graph.Graph`).
+    store:
+        The storage backend: a spec string (``"hashdict"`` — the default
+        single-lock vertical store — or ``"sharded"`` / ``"sharded:N"``
+        for the lock-striped store, see
+        :mod:`repro.store.backends`), or a pre-existing store instance
+        to share substrate (e.g. to reason over an already-loaded
+        :class:`~repro.store.graph.Graph`).
+    dictionary:
+        Optionally share a pre-existing term dictionary.
     """
 
     def __init__(
@@ -138,7 +144,7 @@ class Slider:
         workers: int = 4,
         trace: Trace | None = None,
         dictionary: TermDictionary | None = None,
-        store: VerticalTripleStore | None = None,
+        store: TripleStore | str | None = None,
         routing: str = "predicate",
         adaptive: "AdaptiveBufferController | bool | None" = None,
     ):
@@ -150,7 +156,7 @@ class Slider:
             raise ValueError(f"routing must be 'predicate' or 'broadcast', got {routing!r}")
         self.fragment = fragment if isinstance(fragment, Fragment) else get_fragment(fragment)
         self.dictionary = dictionary if dictionary is not None else TermDictionary()
-        self.store = store if store is not None else VerticalTripleStore()
+        self.store = create_store(store)
         self.vocab = Vocabulary(self.dictionary)
         self.trace = trace if trace is not None else NullTrace()
         self.buffer_size = buffer_size

@@ -36,7 +36,7 @@ performs the two-sided join only for those predicates.
 from __future__ import annotations
 
 from ...dictionary.encoder import EncodedTriple
-from ..rules import JoinRule, Pattern, Rule, SingleRule, Var
+from ..rules import JoinRule, OutputBuffer, Pattern, Rule, SingleRule, Var
 from ..vocabulary import Vocabulary
 from . import rdfs as rdfs_fragment
 
@@ -89,9 +89,7 @@ class TransitivityRule(Rule):
         """Snapshot of the property ids currently known to be transitive."""
         return frozenset(self._transitive)
 
-    def apply(self, store, new_triples, vocab) -> list[EncodedTriple]:
-        out: list[EncodedTriple] = []
-        seen: set[EncodedTriple] = set()
+    def apply_into(self, store, new_triples, vocab, out: OutputBuffer) -> None:
         # First absorb new declarations; each newly-declared property gets
         # a full self-join over the store (its triples may predate the
         # declaration).
@@ -102,31 +100,25 @@ class TransitivityRule(Rule):
                 and subject not in self._transitive
             ):
                 self._transitive.add(subject)
-                self._full_join(store, subject, out, seen)
+                self._full_join(store, subject, out)
         # Then the incremental two-sided join for known transitive props.
         for triple in new_triples:
             subject, predicate, obj = triple
             if predicate not in self._transitive:
                 continue
             for farther in store.objects(predicate, obj):
-                self._push((subject, predicate, farther), out, seen)
+                out.emit((subject, predicate, farther))
             for nearer in store.subjects(predicate, subject):
-                self._push((nearer, predicate, obj), out, seen)
-        return out
+                out.emit((nearer, predicate, obj))
 
-    def _full_join(self, store, predicate: int, out, seen) -> None:
+    def _full_join(self, store, predicate: int, out: OutputBuffer) -> None:
         pairs = store.pairs_for_predicate(predicate)
         by_subject: dict[int, list[int]] = {}
         for subject, obj in pairs:
             by_subject.setdefault(subject, []).append(obj)
         for subject, obj in pairs:
             for farther in by_subject.get(obj, ()):
-                self._push((subject, predicate, farther), out, seen)
-
-    def _push(self, triple: EncodedTriple, out, seen) -> None:
-        if triple not in seen:
-            seen.add(triple)
-            out.append(triple)
+                out.emit((subject, predicate, farther))
 
 
 def build_rules(vocab: Vocabulary) -> list[Rule]:

@@ -6,6 +6,12 @@ pushes the encoded triples into the triple store, and hands the *new*
 ones to the engine's dispatcher for buffering.  Multiple input managers
 (or one shared from many threads) may feed the same engine concurrently;
 all state they touch is thread-safe.
+
+The ingest path is batch-native end to end: a batch is encoded in one
+:meth:`~repro.dictionary.encoder.TermDictionary.encode_many` call (at
+most one dictionary-lock acquisition), pre-deduplicated, and inserted
+through the store backend's ``add_all`` — so the store's write locks are
+taken a bounded number of times per batch, never per triple.
 """
 
 from __future__ import annotations
@@ -13,9 +19,9 @@ from __future__ import annotations
 import threading
 from typing import Callable, Iterable, Sequence
 
-from ..dictionary.encoder import EncodedTriple, TermDictionary
+from ..dictionary.encoder import EncodedTriple, TermDictionary, encode_batch
 from ..rdf.terms import Triple
-from ..store.vertical import VerticalTripleStore
+from ..store.backends.base import TripleStore
 from .trace import NullTrace
 
 __all__ = ["InputManager"]
@@ -27,7 +33,7 @@ class InputManager:
     def __init__(
         self,
         dictionary: TermDictionary,
-        store: VerticalTripleStore,
+        store: TripleStore,
         dispatch: Callable[[Sequence[EncodedTriple]], None],
         trace=None,
     ):
@@ -45,8 +51,7 @@ class InputManager:
 
     def add(self, triples: Iterable[Triple]) -> int:
         """Ingest term-level triples; returns how many were new."""
-        encoded = [self.dictionary.encode_triple(triple) for triple in triples]
-        return self.add_encoded(encoded)
+        return self.add_encoded(encode_batch(self.dictionary, triples))
 
     def add_encoded(self, encoded: Sequence[EncodedTriple]) -> int:
         """Ingest already-encoded triples; returns how many were new.
@@ -57,11 +62,14 @@ class InputManager:
         """
         if not encoded:
             return 0
-        new_triples = self.store.add_all(encoded)
+        # Pre-deduplicate so the store's write path never burns lock time
+        # on intra-batch repeats (first occurrence wins, order preserved).
+        batch = list(dict.fromkeys(encoded)) if len(encoded) > 1 else list(encoded)
+        new_triples = self.store.add_all(batch)
         with self._lock:
             self.received += len(encoded)
             self.accepted += len(new_triples)
-            self.explicit.update(encoded)
+            self.explicit.update(batch)
         if self.trace.enabled:
             self.trace.record(
                 "input",

@@ -6,6 +6,12 @@ triples leaving the buffer — conceptually creates a new module instance
 on the thread pool; here an instance is simply one :meth:`execute` call,
 which is reentrant and thread-safe (the rule reads a consistent store
 snapshot through the store's read lock, and the statistics are guarded).
+
+Firings are batch-native: each worker thread reuses one
+:class:`~repro.reasoner.rules.OutputBuffer` per module, so a firing
+emits into pre-allocated storage instead of building a fresh list and
+dedup set — and the batch handed to the distributor is guaranteed free
+of intra-firing duplicates.
 """
 
 from __future__ import annotations
@@ -14,9 +20,9 @@ import threading
 from typing import Sequence
 
 from ..dictionary.encoder import EncodedTriple
-from ..store.vertical import VerticalTripleStore
+from ..store.backends.base import TripleStore
 from .buffers import TripleBuffer
-from .rules import Rule
+from .rules import OutputBuffer, Rule, apply_rule_into
 from .vocabulary import Vocabulary
 
 __all__ = ["RuleModule"]
@@ -33,6 +39,7 @@ class RuleModule:
         self.rule = rule
         self.buffer = buffer
         self._stats_lock = threading.Lock()
+        self._scratch = threading.local()  # per-thread reusable OutputBuffer
         self.executions = 0
         self.triples_consumed = 0
         self.triples_derived = 0  # raw rule output (pre store-dedup)
@@ -40,12 +47,20 @@ class RuleModule:
 
     def execute(
         self,
-        store: VerticalTripleStore,
+        store: TripleStore,
         batch: Sequence[EncodedTriple],
         vocab: Vocabulary,
     ) -> list[EncodedTriple]:
         """Run one rule-module instance over a buffered batch."""
-        derived = self.rule.apply(store, batch, vocab)
+        out = getattr(self._scratch, "out", None)
+        if out is None:
+            out = self._scratch.out = OutputBuffer()
+        try:
+            apply_rule_into(self.rule, store, batch, vocab, out)
+        except BaseException:
+            out.take()  # discard partial output so the buffer reuses clean
+            raise
+        derived = out.take()
         with self._stats_lock:
             self.executions += 1
             self.triples_consumed += len(batch)

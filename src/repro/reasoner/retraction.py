@@ -29,8 +29,8 @@ from __future__ import annotations
 from typing import Callable, Iterable, Sequence
 
 from ..dictionary.encoder import EncodedTriple
-from ..store.vertical import VerticalTripleStore
-from .rules import Rule, derive_all
+from ..store.backends.base import TripleStore
+from .rules import OutputBuffer, Rule, apply_rule_into, derive_all
 from .vocabulary import Vocabulary
 
 __all__ = ["dred_retract"]
@@ -47,7 +47,7 @@ def _rules_producing(rules: Sequence[Rule], predicates: set[int]) -> list[Rule]:
 
 
 def dred_retract(
-    store: VerticalTripleStore,
+    store: TripleStore,
     rules: Sequence[Rule],
     vocab: Vocabulary,
     explicit: set[EncodedTriple],
@@ -68,12 +68,16 @@ def dred_retract(
     for triple in frontier:
         explicit.discard(triple)
 
-    # Phase 1: over-delete (against the still-intact store).
+    # Phase 1: over-delete (against the still-intact store).  One reusable
+    # output buffer serves every round; it also dedups across rules, so a
+    # candidate derived by two rules is filtered once here rather than
+    # twice downstream.
+    scratch = OutputBuffer()
     overdeleted: set[EncodedTriple] = set(frontier)
     while frontier:
-        candidates: list[EncodedTriple] = []
         for rule in rules:
-            candidates.extend(rule.apply(store, frontier, vocab))
+            apply_rule_into(rule, store, frontier, vocab, scratch)
+        candidates = scratch.take()
         frontier = [
             t
             for t in candidates
@@ -101,11 +105,9 @@ def dred_retract(
     # incrementally (delta joins) until the re-derivation frontier dries.
     frontier = list(rederived)
     while frontier and pending:
-        found = []
         for rule in producers:
-            for triple in rule.apply(store, frontier, vocab):
-                if triple in pending:
-                    found.append(triple)
+            apply_rule_into(rule, store, frontier, vocab, scratch)
+        found = [triple for triple in scratch.take() if triple in pending]
         frontier = store.add_all(found)
         pending.difference_update(frontier)
         rederived.extend(frontier)

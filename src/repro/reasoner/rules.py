@@ -21,6 +21,13 @@ before routing it to buffers, this two-sided delta join is complete: for
 any pair of triples satisfying the body, whichever member is routed last
 finds the other already in the store.
 
+Evaluation is batch-native: the primitive is :meth:`Rule.apply_into`,
+which emits one firing's derivations into a caller-owned (and reusable)
+:class:`OutputBuffer` instead of allocating per-firing lists and dedup
+sets.  :meth:`Rule.apply` remains as the list-returning convenience
+wrapper, and custom rules may override either method — each has a
+default implemented in terms of the other.
+
 Rules advertise their *input predicates* (the constant predicate ids of
 their body patterns; ``None`` means universal — the rule must see every
 triple) and *output predicates* (the head's constant predicate id, or
@@ -34,7 +41,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..dictionary.encoder import EncodedTriple
-from ..store.vertical import VerticalTripleStore
+from ..store.backends.base import TripleStore
 from .vocabulary import Vocabulary
 
 __all__ = [
@@ -44,7 +51,48 @@ __all__ = [
     "SingleRule",
     "JoinRule",
     "RuleViolation",
+    "OutputBuffer",
 ]
+
+
+class OutputBuffer:
+    """A reusable, deduplicating sink for one rule firing's derivations.
+
+    Rule modules keep one of these per worker thread and pass it to
+    :meth:`Rule.apply_into`, so the hot write path accumulates into an
+    already-allocated buffer instead of building a fresh list + seen-set
+    pair per firing.  :meth:`take` hands the accumulated batch to the
+    distributor (already intra-batch deduplicated — the store's
+    ``add_all`` never sees a duplicate pair from one firing) and resets
+    the buffer for reuse.
+    """
+
+    __slots__ = ("_items", "_seen")
+
+    def __init__(self):
+        self._items: list[EncodedTriple] = []
+        self._seen: set[EncodedTriple] = set()
+
+    def emit(self, triple: EncodedTriple) -> bool:
+        """Append ``triple`` unless already emitted; True iff appended."""
+        if triple in self._seen:
+            return False
+        self._seen.add(triple)
+        self._items.append(triple)
+        return True
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, triple: EncodedTriple) -> bool:
+        return triple in self._seen
+
+    def take(self) -> list[EncodedTriple]:
+        """Return the accumulated batch and reset for the next firing."""
+        items = self._items
+        self._items = []
+        self._seen.clear()
+        return items
 
 
 class Var:
@@ -231,20 +279,44 @@ class Rule:
     # --- evaluation -------------------------------------------------------
     def apply(
         self,
-        store: VerticalTripleStore,
+        store: TripleStore,
         new_triples: Sequence[EncodedTriple],
         vocab: Vocabulary,
     ) -> list[EncodedTriple]:
-        """Derive consequences of ``new_triples`` w.r.t. the store."""
-        raise NotImplementedError
+        """Derive consequences of ``new_triples`` w.r.t. the store.
+
+        Convenience wrapper over :meth:`apply_into`; subclasses normally
+        override that instead (the pipeline only calls ``apply_into``).
+        """
+        if type(self).apply_into is Rule.apply_into:
+            raise NotImplementedError(
+                f"rule {self.name!r} must implement apply() or apply_into()"
+            )
+        out = OutputBuffer()
+        self.apply_into(store, new_triples, vocab, out)
+        return out.take()
+
+    def apply_into(
+        self,
+        store: TripleStore,
+        new_triples: Sequence[EncodedTriple],
+        vocab: Vocabulary,
+        out: OutputBuffer,
+    ) -> None:
+        """Batch-native evaluation: emit derivations into ``out``.
+
+        The default bridges duck-typed custom rules that only define
+        :meth:`apply`; built-in rules override this and emit directly.
+        """
+        for triple in self.apply(store, new_triples, vocab):
+            out.emit(triple)
 
     # --- head guards -----------------------------------------------------
     def _emit(
         self,
         binding: dict[str, int],
         vocab: Vocabulary,
-        out: list[EncodedTriple],
-        seen: set[EncodedTriple],
+        out: OutputBuffer,
     ) -> None:
         """Instantiate the head under RDF well-formedness guards.
 
@@ -253,14 +325,13 @@ class Rule:
         rdfs3/rdfs4b would otherwise type literals as resources.
         """
         triple = self.head.instantiate(binding)
-        if triple in seen:
+        if triple in out:
             return
         subject, predicate, obj = triple
         is_literal = vocab.dictionary.is_literal
         if is_literal(subject) or is_literal(predicate):
             return
-        seen.add(triple)
-        out.append(triple)
+        out.emit(triple)
 
     def __repr__(self):
         body = " ∧ ".join(repr(p) for p in self.body)
@@ -275,15 +346,12 @@ class SingleRule(Rule):
         super().__init__(name, head, (pattern,))
         self.pattern = pattern
 
-    def apply(self, store, new_triples, vocab) -> list[EncodedTriple]:
-        out: list[EncodedTriple] = []
-        seen: set[EncodedTriple] = set()
+    def apply_into(self, store, new_triples, vocab, out: OutputBuffer) -> None:
         empty: dict[str, int] = {}
         for triple in new_triples:
             binding = self.pattern.matches(triple, empty)
             if binding is not None:
-                self._emit(binding, vocab, out, seen)
-        return out
+                self._emit(binding, vocab, out)
 
 
 class JoinRule(Rule):
@@ -307,22 +375,18 @@ class JoinRule(Rule):
         # might declare e.g. an activation pattern.
         return not self.left.variables() or not self.right.variables()
 
-    def apply(self, store, new_triples, vocab) -> list[EncodedTriple]:
-        out: list[EncodedTriple] = []
-        seen: set[EncodedTriple] = set()
-        self._half_join(store, new_triples, self.left, self.right, vocab, out, seen)
-        self._half_join(store, new_triples, self.right, self.left, vocab, out, seen)
-        return out
+    def apply_into(self, store, new_triples, vocab, out: OutputBuffer) -> None:
+        self._half_join(store, new_triples, self.left, self.right, vocab, out)
+        self._half_join(store, new_triples, self.right, self.left, vocab, out)
 
     def _half_join(
         self,
-        store: VerticalTripleStore,
+        store: TripleStore,
         new_triples: Sequence[EncodedTriple],
         new_side: Pattern,
         store_side: Pattern,
         vocab: Vocabulary,
-        out: list[EncodedTriple],
-        seen: set[EncodedTriple],
+        out: OutputBuffer,
     ) -> None:
         """One direction of Algorithm 1: new triples × stored partners.
 
@@ -351,10 +415,10 @@ class JoinRule(Rule):
             for partner in store.match(subject, predicate, obj):
                 merged = store_side.matches(partner, binding)
                 if merged is not None:
-                    self._emit(merged, vocab, out, seen)
+                    self._emit(merged, vocab, out)
 
     def derive_all(
-        self, store: VerticalTripleStore, vocab: Vocabulary
+        self, store: TripleStore, vocab: Vocabulary
     ) -> list[EncodedTriple]:
         """Full (non-incremental) evaluation of the body against the store.
 
@@ -387,7 +451,29 @@ class JoinRule(Rule):
         return out
 
 
-def derive_all(rule: Rule, store: VerticalTripleStore, vocab: Vocabulary) -> list[EncodedTriple]:
+def apply_rule_into(
+    rule: Rule,
+    store: TripleStore,
+    new_triples: Sequence[EncodedTriple],
+    vocab: Vocabulary,
+    out: OutputBuffer,
+) -> None:
+    """Batch-native evaluation that tolerates duck-typed rules.
+
+    Custom rules registered with a fragment need not subclass
+    :class:`Rule`; any object with an ``apply`` method works.  This
+    helper routes through ``apply_into`` when the rule has one and
+    funnels a plain ``apply`` result through the buffer otherwise.
+    """
+    method = getattr(rule, "apply_into", None)
+    if method is not None:
+        method(store, new_triples, vocab, out)
+        return
+    for triple in rule.apply(store, new_triples, vocab):
+        out.emit(triple)
+
+
+def derive_all(rule: Rule, store: TripleStore, vocab: Vocabulary) -> list[EncodedTriple]:
     """Full evaluation of any rule against the whole store.
 
     ``JoinRule`` has a specialized implementation; single-pattern rules

@@ -1,5 +1,14 @@
-"""Triple store substrate: vertical partitioning, RW locking, BGP queries."""
+"""Triple store substrate: pluggable backends, RW locking, BGP queries."""
 
+from .backends import (
+    HashDictStore,
+    ShardedTripleStore,
+    TripleStore,
+    UnknownBackendError,
+    available_backends,
+    create_store,
+    register_backend,
+)
 from .graph import Graph
 from .locks import ReentrantReadWriteLock
 from .query import TriplePattern, ask, construct, select, solve
@@ -8,7 +17,14 @@ from .vertical import VerticalTripleStore
 __all__ = [
     "Graph",
     "ReentrantReadWriteLock",
+    "TripleStore",
+    "HashDictStore",
+    "ShardedTripleStore",
     "VerticalTripleStore",
+    "UnknownBackendError",
+    "create_store",
+    "register_backend",
+    "available_backends",
     "TriplePattern",
     "solve",
     "select",

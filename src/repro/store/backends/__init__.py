@@ -1,0 +1,108 @@
+"""Pluggable storage backends and their registry.
+
+Every component that stores triples — the :class:`~repro.reasoner.engine.Slider`
+engine, the batch baselines, :class:`~repro.store.graph.Graph` — resolves
+its backend through :func:`create_store`, so a backend choice is a
+string that travels through configuration untouched:
+
+``"hashdict"``
+    The default: one vertically-partitioned index pair behind a single
+    reentrant read/write lock (the seed implementation, now in
+    :mod:`~repro.store.backends.hashdict`).
+
+``"sharded"`` / ``"sharded:N"``
+    Predicate-hash partitioning over N lock-striped shards
+    (:mod:`~repro.store.backends.sharded`); writers of different
+    predicates proceed in parallel.
+
+Third-party backends register with :func:`register_backend`; anything
+satisfying the :class:`~repro.store.backends.base.TripleStore` protocol
+plugs into the whole stack (engine, baselines, CLI, benchmarks).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import TripleStore
+from .hashdict import HashDictStore
+from .sharded import DEFAULT_SHARDS, ShardedTripleStore
+
+__all__ = [
+    "TripleStore",
+    "HashDictStore",
+    "ShardedTripleStore",
+    "DEFAULT_SHARDS",
+    "UnknownBackendError",
+    "register_backend",
+    "available_backends",
+    "create_store",
+]
+
+#: The spec used when a component is given no backend choice at all.
+DEFAULT_BACKEND = "hashdict"
+
+BackendFactory = Callable[["str | None"], TripleStore]
+
+_REGISTRY: dict[str, BackendFactory] = {}
+
+
+class UnknownBackendError(ValueError):
+    """A store spec named a backend that is not registered."""
+
+
+def register_backend(name: str, factory: BackendFactory) -> None:
+    """Register a backend under ``name``.
+
+    ``factory`` receives the spec's parameter string (the part after the
+    colon in ``"name:param"``), or ``None`` when the spec is bare, and
+    returns a fresh store.  Re-registering a name replaces the factory,
+    so tests can stub backends.
+    """
+    if not name or ":" in name:
+        raise ValueError(f"backend name must be non-empty and colon-free: {name!r}")
+    _REGISTRY[name] = factory
+
+
+def available_backends() -> list[str]:
+    """Registered backend names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def create_store(spec: "TripleStore | str | None" = None) -> TripleStore:
+    """Resolve a store spec to a backend instance.
+
+    Accepts ``None`` (the default backend), a spec string like
+    ``"hashdict"`` / ``"sharded"`` / ``"sharded:16"``, or an existing
+    store instance (returned as-is, so callers can share substrate).
+    """
+    if spec is None:
+        spec = DEFAULT_BACKEND
+    if not isinstance(spec, str):
+        return spec
+    name, _, parameter = spec.partition(":")
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        known = ", ".join(available_backends())
+        raise UnknownBackendError(f"unknown store backend {name!r} (registered: {known})")
+    return factory(parameter or None)
+
+
+def _hashdict_factory(parameter: str | None) -> HashDictStore:
+    if parameter:
+        raise ValueError(f"the hashdict backend takes no parameter, got {parameter!r}")
+    return HashDictStore()
+
+
+def _sharded_factory(parameter: str | None) -> ShardedTripleStore:
+    if parameter is None:
+        return ShardedTripleStore()
+    try:
+        shards = int(parameter)
+    except ValueError:
+        raise ValueError(f"sharded backend parameter must be an int, got {parameter!r}") from None
+    return ShardedTripleStore(shards)
+
+
+register_backend("hashdict", _hashdict_factory)
+register_backend("sharded", _sharded_factory)

@@ -1,21 +1,23 @@
 """Term-level convenience wrapper around the encoded triple store.
 
 :class:`Graph` binds a :class:`~repro.dictionary.TermDictionary` to a
-:class:`~repro.store.vertical.VerticalTripleStore` so callers can speak in
-RDF terms while storage and matching stay in integer space.  It is the
-type most public APIs accept and return; the reasoner uses the same two
-components internally but addresses them separately for performance.
+storage backend (any :class:`~repro.store.backends.base.TripleStore`;
+pass a spec string like ``"sharded:8"`` to choose one) so callers can
+speak in RDF terms while storage and matching stay in integer space.  It
+is the type most public APIs accept and return; the reasoner uses the
+same two components internally but addresses them separately for
+performance.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Iterator
 
-from ..dictionary.encoder import EncodedTriple, TermDictionary
+from ..dictionary.encoder import EncodedTriple, TermDictionary, encode_batch
 from ..rdf.ntriples import iter_ntriples, write_ntriples
 from ..rdf.terms import Term, Triple
 from ..rdf.turtle import parse_turtle
-from .vertical import VerticalTripleStore
+from .backends import TripleStore, create_store
 
 __all__ = ["Graph"]
 
@@ -33,10 +35,10 @@ class Graph:
     def __init__(
         self,
         dictionary: TermDictionary | None = None,
-        store: VerticalTripleStore | None = None,
+        store: TripleStore | str | None = None,
     ):
         self.dictionary = dictionary if dictionary is not None else TermDictionary()
-        self.store = store if store is not None else VerticalTripleStore()
+        self.store = create_store(store)
 
     # --- mutation ----------------------------------------------------------
     def add(self, triple: Triple) -> bool:
@@ -45,7 +47,7 @@ class Graph:
 
     def add_all(self, triples: Iterable[Triple]) -> int:
         """Add many triples; returns how many were new."""
-        encoded = self.dictionary.encode_triples(triples)
+        encoded = encode_batch(self.dictionary, triples)
         return len(self.store.add_all(encoded))
 
     # --- inspection ----------------------------------------------------------

@@ -1,260 +1,17 @@
-"""Vertically-partitioned, in-memory triple store.
+"""Backward-compatible home of the original vertical store.
 
-The paper stores triples "indexed by predicates, later by subjects and
-finally by objects" (the vertical partitioning of Abadi et al., PVLDB'07),
-because every rule in the ρdf/RDFS/OWL rule tables either scans all triples
-or accesses them by predicate first.  Concurrency is handled by a reentrant
-read/write lock; the hash-based indexes give free duplicate elimination,
-which the distributors rely on to avoid re-dispatching known triples.
-
-This implementation mirrors that design exactly:
-
-* ``_pso[p][s] -> set of o``  (predicate partition, subject index)
-* ``_pos[p][o] -> set of s``  (predicate partition, object index)
-
-All triples are *encoded* ``(int, int, int)`` tuples (see
-:mod:`repro.dictionary`).  The store never sees a term object.
+The implementation moved to :mod:`repro.store.backends.hashdict` when
+storage became pluggable; ``VerticalTripleStore`` remains the historical
+name for the default hash-dict backend.  New code should resolve
+backends through :func:`repro.store.backends.create_store` (or pass a
+``store="hashdict"|"sharded[:N]"`` spec to the components that accept
+one) instead of constructing this class directly.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
-
-from ..dictionary.encoder import EncodedTriple
-from .locks import ReentrantReadWriteLock
+from .backends.hashdict import HashDictStore
 
 __all__ = ["VerticalTripleStore"]
 
-
-class VerticalTripleStore:
-    """Thread-safe vertically-partitioned store of encoded triples.
-
-    Writes (:meth:`add`, :meth:`add_all`) take the write lock; reads take
-    the read lock.  ``add_all`` returns only the triples that were *new*,
-    which is the deduplication contract the distributors depend on
-    ("after adding inferred triples in the triple store only distinct
-    triples are sent to the buffers").
-    """
-
-    def __init__(self):
-        self._pso: dict[int, dict[int, set[int]]] = {}
-        self._pos: dict[int, dict[int, set[int]]] = {}
-        self._size = 0
-        self.lock = ReentrantReadWriteLock()
-
-    # --- write path ---------------------------------------------------------
-    def add(self, triple: EncodedTriple) -> bool:
-        """Insert one triple.  Returns True iff it was not already present."""
-        with self.lock.write():
-            return self._add_unlocked(triple)
-
-    def add_all(self, triples: Iterable[EncodedTriple]) -> list[EncodedTriple]:
-        """Insert many triples under a single write-lock acquisition.
-
-        Returns the sub-list that was actually new, preserving input order.
-        """
-        new_triples: list[EncodedTriple] = []
-        with self.lock.write():
-            for triple in triples:
-                if self._add_unlocked(triple):
-                    new_triples.append(triple)
-        return new_triples
-
-    def _add_unlocked(self, triple: EncodedTriple) -> bool:
-        subject, predicate, obj = triple
-        subject_index = self._pso.get(predicate)
-        if subject_index is None:
-            subject_index = {}
-            self._pso[predicate] = subject_index
-            self._pos[predicate] = {}
-        objects = subject_index.get(subject)
-        if objects is None:
-            subject_index[subject] = {obj}
-        elif obj in objects:
-            return False
-        else:
-            objects.add(obj)
-        object_index = self._pos[predicate]
-        subjects = object_index.get(obj)
-        if subjects is None:
-            object_index[obj] = {subject}
-        else:
-            subjects.add(subject)
-        self._size += 1
-        return True
-
-    def remove(self, triple: EncodedTriple) -> bool:
-        """Delete one triple.  Returns True iff it was present."""
-        with self.lock.write():
-            return self._remove_unlocked(triple)
-
-    def remove_all(self, triples: Iterable[EncodedTriple]) -> list[EncodedTriple]:
-        """Delete many triples under one write lock; returns those removed."""
-        removed: list[EncodedTriple] = []
-        with self.lock.write():
-            for triple in triples:
-                if self._remove_unlocked(triple):
-                    removed.append(triple)
-        return removed
-
-    def _remove_unlocked(self, triple: EncodedTriple) -> bool:
-        subject, predicate, obj = triple
-        subject_index = self._pso.get(predicate)
-        if subject_index is None:
-            return False
-        objects = subject_index.get(subject)
-        if objects is None or obj not in objects:
-            return False
-        objects.remove(obj)
-        if not objects:
-            del subject_index[subject]
-        object_index = self._pos[predicate]
-        subjects = object_index[obj]
-        subjects.remove(subject)
-        if not subjects:
-            del object_index[obj]
-        if not subject_index:
-            del self._pso[predicate]
-            del self._pos[predicate]
-        self._size -= 1
-        return True
-
-    # --- read path -----------------------------------------------------------
-    def __len__(self) -> int:
-        return self._size
-
-    def __contains__(self, triple: EncodedTriple) -> bool:
-        subject, predicate, obj = triple
-        with self.lock.read():
-            subject_index = self._pso.get(predicate)
-            if subject_index is None:
-                return False
-            objects = subject_index.get(subject)
-            return objects is not None and obj in objects
-
-    def has_predicate(self, predicate: int) -> bool:
-        """O(1): is at least one triple stored under ``predicate``?
-
-        Rule modules use this to skip a whole half-join when the stored
-        side of the body cannot match (e.g. no ``rdfs:domain`` triples
-        exist at all — the common case for schema-light streams).
-        """
-        return predicate in self._pso
-
-    def predicates(self) -> list[int]:
-        """All predicate ids present in the store."""
-        with self.lock.read():
-            return list(self._pso.keys())
-
-    def count_predicate(self, predicate: int) -> int:
-        """Number of triples stored under ``predicate``."""
-        with self.lock.read():
-            subject_index = self._pso.get(predicate)
-            if subject_index is None:
-                return 0
-            return sum(len(objects) for objects in subject_index.values())
-
-    def pairs_for_predicate(self, predicate: int) -> list[tuple[int, int]]:
-        """All (subject, object) pairs stored under ``predicate``.
-
-        Returns a list copy so rule modules can iterate without holding
-        the read lock (the paper's modules snapshot relevant triples, then
-        compute outside the critical section).
-        """
-        with self.lock.read():
-            subject_index = self._pso.get(predicate)
-            if subject_index is None:
-                return []
-            return [
-                (subject, obj)
-                for subject, objects in subject_index.items()
-                for obj in objects
-            ]
-
-    def objects(self, predicate: int, subject: int) -> list[int]:
-        """All objects o with (subject, predicate, o) in the store."""
-        with self.lock.read():
-            subject_index = self._pso.get(predicate)
-            if subject_index is None:
-                return []
-            return list(subject_index.get(subject, ()))
-
-    def subjects(self, predicate: int, obj: int) -> list[int]:
-        """All subjects s with (s, predicate, obj) in the store."""
-        with self.lock.read():
-            object_index = self._pos.get(predicate)
-            if object_index is None:
-                return []
-            return list(object_index.get(obj, ()))
-
-    def match(
-        self,
-        subject: int | None = None,
-        predicate: int | None = None,
-        obj: int | None = None,
-    ) -> list[EncodedTriple]:
-        """All triples matching a pattern; ``None`` is a wildcard.
-
-        Dispatches to the cheapest index for the bound positions, in the
-        spirit of the paper's "near-optimal indexing for nearly all rules".
-        """
-        with self.lock.read():
-            if predicate is not None:
-                return self._match_with_predicate(subject, predicate, obj)
-            results: list[EncodedTriple] = []
-            for known_predicate in self._pso:
-                results.extend(self._match_with_predicate(subject, known_predicate, obj))
-            return results
-
-    def _match_with_predicate(
-        self, subject: int | None, predicate: int, obj: int | None
-    ) -> list[EncodedTriple]:
-        subject_index = self._pso.get(predicate)
-        if subject_index is None:
-            return []
-        if subject is not None:
-            objects = subject_index.get(subject)
-            if objects is None:
-                return []
-            if obj is not None:
-                return [(subject, predicate, obj)] if obj in objects else []
-            return [(subject, predicate, o) for o in objects]
-        if obj is not None:
-            subjects = self._pos[predicate].get(obj)
-            if subjects is None:
-                return []
-            return [(s, predicate, obj) for s in subjects]
-        return [
-            (s, predicate, o)
-            for s, objects in subject_index.items()
-            for o in objects
-        ]
-
-    def __iter__(self) -> Iterator[EncodedTriple]:
-        """Iterate a consistent snapshot of all triples."""
-        with self.lock.read():
-            snapshot = [
-                (subject, predicate, obj)
-                for predicate, subject_index in self._pso.items()
-                for subject, objects in subject_index.items()
-                for obj in objects
-            ]
-        return iter(snapshot)
-
-    def clear(self) -> None:
-        """Remove all triples."""
-        with self.lock.write():
-            self._pso.clear()
-            self._pos.clear()
-            self._size = 0
-
-    # --- statistics -------------------------------------------------------
-    def stats(self) -> dict[str, int]:
-        """Cheap structural statistics (used by the demo report)."""
-        with self.lock.read():
-            return {
-                "triples": self._size,
-                "predicates": len(self._pso),
-                "subject_keys": sum(len(index) for index in self._pso.values()),
-                "object_keys": sum(len(index) for index in self._pos.values()),
-            }
+VerticalTripleStore = HashDictStore

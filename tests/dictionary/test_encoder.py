@@ -143,3 +143,49 @@ def test_ids_dense_and_bijective(terms):
     assert len(d) == len(set(terms))
     decoded = [d.decode(i) for i in range(len(d))]
     assert len(set(decoded)) == len(decoded)
+
+
+# --- batch encoding ----------------------------------------------------------
+
+
+class TestEncodeMany:
+    def test_matches_per_triple_encoding(self):
+        triples = [
+            Triple(IRI(f"http://t/s{i % 5}"), IRI(f"http://t/p{i % 3}"), Literal(f"v{i}"))
+            for i in range(40)
+        ]
+        one_by_one = TermDictionary()
+        expected = [one_by_one.encode_triple(t) for t in triples]
+        batched = TermDictionary()
+        assert batched.encode_many(triples) == expected
+        assert len(batched) == len(one_by_one)
+
+    def test_fast_path_when_all_terms_known(self):
+        triples = [Triple(IRI("http://t/a"), IRI("http://t/p"), IRI("http://t/b"))]
+        d = TermDictionary()
+        first = d.encode_many(triples)
+        size = len(d)
+        assert d.encode_many(triples) == first  # pure lock-free reads
+        assert len(d) == size
+
+    def test_concurrent_batches_agree(self):
+        triples = [
+            Triple(IRI(f"http://t/s{i}"), IRI("http://t/p"), IRI(f"http://t/o{i}"))
+            for i in range(30)
+        ]
+        d = TermDictionary()
+        results: dict[int, list] = {}
+        barrier = threading.Barrier(6)
+
+        def worker(worker_id):
+            barrier.wait()
+            results[worker_id] = d.encode_many(triples)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        first = results[0]
+        assert all(results[i] == first for i in range(6))
+        assert [d.decode_triple(e) for e in first] == triples

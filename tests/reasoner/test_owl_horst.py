@@ -3,11 +3,13 @@
 from repro.rdf import OWL, RDF, RDFS, Triple
 from repro.reasoner.fragments import get_fragment
 
-from ..conftest import EX, closure_with_slider
+from ..conftest import EX, closure_all_backends
 
 
 def horst_closure(triples) -> set[Triple]:
-    return closure_with_slider(triples, "owl-horst")
+    # Materialized once per registered store backend; results asserted
+    # identical before one is returned (backend-equivalence coverage).
+    return closure_all_backends(triples, "owl-horst")
 
 
 class TestTransitivity:

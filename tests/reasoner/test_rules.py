@@ -300,3 +300,50 @@ class TestDeriveAll:
     def test_repr_mentions_name(self, vocab):
         rule = TestJoinRuleApply().make_transitive_rule(vocab)
         assert "trans" in repr(rule)
+
+
+class TestOutputBuffer:
+    """The reusable firing buffer behind the batch-native write path."""
+
+    def test_emit_dedups_and_preserves_order(self):
+        from repro.reasoner import OutputBuffer
+
+        out = OutputBuffer()
+        assert out.emit((1, 2, 3)) is True
+        assert out.emit((4, 5, 6)) is True
+        assert out.emit((1, 2, 3)) is False
+        assert len(out) == 2
+        assert (1, 2, 3) in out
+        assert out.take() == [(1, 2, 3), (4, 5, 6)]
+
+    def test_take_resets_for_reuse(self):
+        from repro.reasoner import OutputBuffer
+
+        out = OutputBuffer()
+        out.emit((1, 2, 3))
+        assert out.take() == [(1, 2, 3)]
+        assert len(out) == 0
+        assert out.emit((1, 2, 3)) is True  # seen-set cleared too
+        assert out.take() == [(1, 2, 3)]
+
+    def test_apply_wraps_apply_into(self, dictionary, vocab, store):
+        rule = TestJoinRuleApply().make_transitive_rule(vocab)
+        sco = vocab.sub_class_of
+        a, b, c = (iri_id(dictionary, n) for n in "abc")
+        store.add_all([(a, sco, b), (b, sco, c)])
+        derived = rule.apply(store, [(a, sco, b)], vocab)
+        assert derived == [(a, sco, c)]
+
+    def test_duck_typed_rule_without_apply_into(self, dictionary, vocab, store):
+        from repro.reasoner import OutputBuffer
+        from repro.reasoner.rules import apply_rule_into
+
+        class LegacyRule:
+            name = "legacy"
+
+            def apply(self, store, new_triples, vocab):
+                return [t for t in new_triples] + [t for t in new_triples]
+
+        out = OutputBuffer()
+        apply_rule_into(LegacyRule(), store, [(1, 2, 3)], vocab, out)
+        assert out.take() == [(1, 2, 3)]  # deduplicated by the buffer

@@ -1,9 +1,19 @@
-"""Property-based tests: the store behaves exactly like a set of triples."""
+"""Property-based tests: every backend behaves exactly like a set of triples.
 
+Parametrized over all registered storage backends, so the single-lock
+hashdict store and the lock-striped sharded store prove the identical
+set semantics (the distributors' deduplication contract included).
+"""
+
+import pytest
 from hypothesis import given, settings, strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 
-from repro.store import VerticalTripleStore
+from repro.store import create_store
+
+#: One spec per registered backend (sharded at a small, awkward stripe
+#: count so predicate partitions actually spread across shards).
+BACKENDS = ("hashdict", "sharded:3")
 
 encoded_triples = st.tuples(
     st.integers(min_value=0, max_value=30),
@@ -12,9 +22,10 @@ encoded_triples = st.tuples(
 )
 
 
-@given(st.lists(encoded_triples, max_size=200))
-def test_store_equals_model_set(triples):
-    store = VerticalTripleStore()
+@pytest.mark.parametrize("backend", BACKENDS)
+@given(triples=st.lists(encoded_triples, max_size=200))
+def test_store_equals_model_set(backend, triples):
+    store = create_store(backend)
     model: set = set()
     for triple in triples:
         was_new = store.add(triple)
@@ -24,9 +35,10 @@ def test_store_equals_model_set(triples):
     assert len(store) == len(model)
 
 
-@given(st.lists(encoded_triples, max_size=200))
-def test_add_all_new_equals_set_difference(triples):
-    store = VerticalTripleStore()
+@pytest.mark.parametrize("backend", BACKENDS)
+@given(triples=st.lists(encoded_triples, max_size=200))
+def test_add_all_new_equals_set_difference(backend, triples):
+    store = create_store(backend)
     half = len(triples) // 2
     first, second = triples[:half], triples[half:]
     store.add_all(first)
@@ -36,15 +48,26 @@ def test_add_all_new_equals_set_difference(triples):
     assert len(new) == len(set(new))
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
+@given(triples=st.lists(encoded_triples, max_size=200))
+def test_add_all_preserves_input_order(backend, triples):
+    """The new-triples list keeps batch order on every backend (sharded
+    reassembles across stripes)."""
+    store = create_store(backend)
+    new = store.add_all(triples)
+    assert new == list(dict.fromkeys(triples))  # first occurrences, in order
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
 @given(
-    st.lists(encoded_triples, max_size=150),
-    st.one_of(st.none(), st.integers(min_value=0, max_value=30)),
-    st.one_of(st.none(), st.integers(min_value=0, max_value=8)),
-    st.one_of(st.none(), st.integers(min_value=0, max_value=30)),
+    triples=st.lists(encoded_triples, max_size=150),
+    s=st.one_of(st.none(), st.integers(min_value=0, max_value=30)),
+    p=st.one_of(st.none(), st.integers(min_value=0, max_value=8)),
+    o=st.one_of(st.none(), st.integers(min_value=0, max_value=30)),
 )
 @settings(max_examples=200)
-def test_match_equals_filtered_model(triples, s, p, o):
-    store = VerticalTripleStore()
+def test_match_equals_filtered_model(backend, triples, s, p, o):
+    store = create_store(backend)
     store.add_all(triples)
     expected = {
         t
@@ -56,25 +79,46 @@ def test_match_equals_filtered_model(triples, s, p, o):
     assert set(store.match(s, p, o)) == expected
 
 
-@given(st.lists(encoded_triples, max_size=150))
-def test_index_consistency(triples):
-    store = VerticalTripleStore()
+@pytest.mark.parametrize("backend", BACKENDS)
+@given(triples=st.lists(encoded_triples, max_size=150))
+def test_index_consistency(backend, triples):
+    store = create_store(backend)
     store.add_all(triples)
     model = set(triples)
-    for predicate in store.predicates():
+    predicates = store.predicates()
+    assert sorted(predicates) == sorted({p for _, p, _ in model})
+    for predicate in predicates:
         pairs = set(store.pairs_for_predicate(predicate))
         assert pairs == {(s, o) for s, p, o in model if p == predicate}
+        assert store.has_predicate(predicate)
+        assert store.count_predicate(predicate) == len(pairs)
         for s, o in pairs:
             assert o in store.objects(predicate, s)
             assert s in store.subjects(predicate, o)
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
+@given(
+    triples=st.lists(encoded_triples, max_size=150),
+    removals=st.lists(encoded_triples, max_size=150),
+)
+def test_remove_all_equals_set_difference(backend, triples, removals):
+    store = create_store(backend)
+    store.add_all(triples)
+    removed = store.remove_all(removals)
+    model = set(triples)
+    assert set(removed) == model & set(removals)
+    assert set(store) == model - set(removals)
+
+
 class StoreMachine(RuleBasedStateMachine):
     """Stateful model-check: interleaved adds, lookups and clears."""
 
+    backend = "hashdict"
+
     def __init__(self):
         super().__init__()
-        self.store = VerticalTripleStore()
+        self.store = create_store(self.backend)
         self.model: set = set()
 
     @rule(triple=encoded_triples)
@@ -108,4 +152,9 @@ class StoreMachine(RuleBasedStateMachine):
         assert stats["predicates"] == len({p for _, p, _ in self.model})
 
 
+class ShardedStoreMachine(StoreMachine):
+    backend = "sharded:3"
+
+
 TestStoreMachine = StoreMachine.TestCase
+TestShardedStoreMachine = ShardedStoreMachine.TestCase

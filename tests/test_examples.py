@@ -1,5 +1,6 @@
 """Smoke tests: every shipped example must run green end to end."""
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -7,15 +8,28 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def _example_env() -> dict:
+    # The example runs in a fresh interpreter: put src/ on its path so the
+    # suite works without an installed package or an external PYTHONPATH.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    return env
 
 
 def run_example(name: str, *args: str, timeout: int = 180) -> str:
+    env = _example_env()
     result = subprocess.run(
         [sys.executable, str(EXAMPLES / name), *args],
         capture_output=True,
         text=True,
         timeout=timeout,
         cwd=EXAMPLES.parent,
+        env=env,
     )
     assert result.returncode == 0, result.stderr
     return result.stdout
@@ -66,6 +80,7 @@ def test_demo_player_rejects_unknown_dataset():
         capture_output=True,
         text=True,
         timeout=60,
+        env=_example_env(),
     )
     assert result.returncode != 0
     assert "unknown dataset" in result.stderr
