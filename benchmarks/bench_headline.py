@@ -48,6 +48,13 @@ def test_headline_pair(benchmark, fragment, dataset):
         return baseline, slider
 
     baseline, slider = pedantic_once(benchmark, measure)
+    # Bench-smoke cross-check: the InferenceReport's diff must agree with
+    # the engine's per-module counters — every distributor-kept triple is
+    # an inferred addition of the revision, and the explicit additions
+    # are exactly the parsed input (nothing is retracted in this run).
+    assert slider.extra["report_inferred_added"] == slider.extra["counters_kept_total"]
+    assert slider.extra["report_explicit_added"] == slider.input_count
+    assert slider.extra["report_removed"] == 0
     if slider.inferred_count > 0:  # the paper omits wordnet/ρdf (no inferences)
         _gains[fragment].append(gain_percent(baseline.seconds, slider.seconds))
     _throughputs.append(slider.throughput)

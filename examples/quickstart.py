@@ -1,51 +1,55 @@
 #!/usr/bin/env python3
-"""Quickstart: incremental RDFS reasoning in a dozen lines.
+"""Quickstart: incremental RDFS reasoning with the delta-centric API.
 
-Builds a tiny pet-shop ontology, feeds it to Slider *incrementally*
-(schema first, facts later — order doesn't matter), and queries the
-materialized knowledge.
+Builds a tiny pet-shop ontology, commits it to Slider in *transactions*
+(schema first, facts later — order doesn't matter), reads what each
+commit changed from its InferenceReport, and queries the materialized
+knowledge.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import IRI, Namespace, RDF, RDFS, Slider, Triple
+from repro import Namespace, RDF, RDFS, Slider, Triple, Variable, select
 from repro.rdf import Literal
-from repro.store import select
-from repro.rdf.terms import Variable
 
 EX = Namespace("http://example.org/petshop#")
 
 
 def main() -> None:
     with Slider(fragment="rdfs", workers=2, buffer_size=10, timeout=0.02) as reasoner:
-        # 1. Terminological knowledge (the TBox) ...
-        reasoner.add(
-            [
-                Triple(EX.Cat, RDFS.subClassOf, EX.Mammal),
-                Triple(EX.Dog, RDFS.subClassOf, EX.Mammal),
-                Triple(EX.Mammal, RDFS.subClassOf, EX.Animal),
-                Triple(EX.hasPet, RDFS.domain, EX.Person),
-                Triple(EX.hasPet, RDFS.range, EX.Animal),
-                Triple(EX.hasKitten, RDFS.subPropertyOf, EX.hasPet),
-            ]
-        )
+        # 1. Terminological knowledge (the TBox), one transaction ...
+        with reasoner.transaction() as tx:
+            tx.add(
+                [
+                    Triple(EX.Cat, RDFS.subClassOf, EX.Mammal),
+                    Triple(EX.Dog, RDFS.subClassOf, EX.Mammal),
+                    Triple(EX.Mammal, RDFS.subClassOf, EX.Animal),
+                    Triple(EX.hasPet, RDFS.domain, EX.Person),
+                    Triple(EX.hasPet, RDFS.range, EX.Animal),
+                    Triple(EX.hasKitten, RDFS.subPropertyOf, EX.hasPet),
+                ]
+            )
 
-        # 2. ... assertional facts arrive later, as a stream would deliver
-        #    them.  No re-computation of anything already derived.
-        reasoner.add(
-            [
-                Triple(EX.tom, RDF.type, EX.Cat),
-                Triple(EX.alice, EX.hasKitten, EX.tom),
-                Triple(EX.alice, RDFS.label, Literal("Alice")),
-            ]
-        )
+        # 2. ... assertional facts arrive later, as a stream would
+        #    deliver them.  No re-computation of anything already
+        #    derived — the report says exactly what this commit added.
+        with reasoner.transaction() as tx:
+            tx.add(
+                [
+                    Triple(EX.tom, RDF.type, EX.Cat),
+                    Triple(EX.alice, EX.hasKitten, EX.tom),
+                    Triple(EX.alice, RDFS.label, Literal("Alice")),
+                ]
+            )
 
-        # 3. Wait for the fixpoint, then look at what was *not* said
-        #    explicitly but is now known.
-        reasoner.flush()
-
+        # 3. Inspect the second commit: what was *not* said explicitly
+        #    but is now known?
+        report = tx.report
+        print(f"revision         : {report.revision}")
         print(f"explicit triples : {reasoner.input_count}")
         print(f"inferred triples : {reasoner.inferred_count}")
+        print(f"this commit      : +{report.explicit_added_count} explicit, "
+              f"+{report.inferred_added_count} inferred")
         print()
 
         checks = [
@@ -58,11 +62,23 @@ def main() -> None:
             status = "✓" if triple in reasoner.graph else "✗"
             print(f"  {status} {label}")
 
-        # 4. Query the closure with a conjunctive (BGP) query.
+        # 4. Query the closure with a conjunctive (BGP) query — the
+        #    query layer is a top-level export now.
         x = Variable("x")
         animals = select(reasoner.graph, [x], [(x, RDF.type, EX.Animal)])
         print()
         print("all known animals:", ", ".join(str(row[0]) for row in sorted(animals)))
+
+        # 5. Or stop polling entirely: subscribe to the pattern and let
+        #    the next commit push its binding-level delta.
+        arrivals = []
+        reasoner.subscribe(
+            [(x, RDF.type, EX.Animal)],
+            lambda event: arrivals.extend(b[x] for b in event.added),
+        )
+        with reasoner.transaction() as tx:
+            tx.add(Triple(EX.rex, RDF.type, EX.Dog))
+        print("subscription saw :", ", ".join(str(term) for term in arrivals))
 
 
 if __name__ == "__main__":

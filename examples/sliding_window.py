@@ -69,15 +69,21 @@ def main() -> None:
         window.load_background(BACKGROUND)
         print("minute | window contents -> congestion signs per segment")
         for minute, (kind, segment) in enumerate(FEED):
+            # Each extend commits additions + expirations as ONE
+            # transaction; the InferenceReport is the slide's exact diff.
             window.extend(event_triples(minute, kind, segment))
-            window.flush()
+            report = window.last_report
             counts = congestion_signs_per_segment(window.graph)
             live = ", ".join(
                 f"{seg}:{n}" for seg, n in sorted(counts.items())
             ) or "(quiet)"
             alerts = [seg for seg, n in sorted(counts.items()) if n >= 3]
             alert_text = f"  ⚠ CONGESTION on {', '.join(alerts)}" if alerts else ""
-            print(f"  {minute:>4}   {kind:<15} on {segment}   -> {live}{alert_text}")
+            print(
+                f"  {minute:>4}   {kind:<15} on {segment}   "
+                f"[rev {report.revision}: +{report.added_count}"
+                f"/-{report.removed_count}]  -> {live}{alert_text}"
+            )
 
         print()
         print(f"events streamed : {len(FEED)}")

@@ -3,45 +3,68 @@
 Reproduction of Chevalier, Subercaze, Gravier & Laforest, *Slider: an
 Efficient Incremental Reasoner*, ACM SIGMOD 2015.
 
-Quickstart::
+Quickstart (the delta-centric API)::
 
     from repro import Slider
     from repro.rdf import IRI, RDF, RDFS, Triple
 
     with Slider(fragment="rdfs") as reasoner:
-        reasoner.add([
-            Triple(IRI("http://ex/Cat"), RDFS.subClassOf, IRI("http://ex/Animal")),
-            Triple(IRI("http://ex/tom"), RDF.type, IRI("http://ex/Cat")),
-        ])
-        reasoner.flush()
+        with reasoner.transaction() as tx:
+            tx.add([
+                Triple(IRI("http://ex/Cat"), RDFS.subClassOf, IRI("http://ex/Animal")),
+                Triple(IRI("http://ex/tom"), RDF.type, IRI("http://ex/Cat")),
+            ])
         assert Triple(IRI("http://ex/tom"), RDF.type, IRI("http://ex/Animal")) \
-            in reasoner.graph
+            in tx.report.inferred_added
+
+Every mutation commits through :meth:`Slider.apply` as a numbered
+revision whose :class:`InferenceReport` is the exact store diff;
+:meth:`Slider.subscribe` turns standing BGP queries into push-based
+binding deltas.  The one-shot ``add``/``retract`` shims remain for
+migration (see the README's API section).
 """
 
 from .dictionary import EncodedTriple, TermDictionary
 from .rdf import OWL, RDF, RDFS, XSD, BNode, IRI, Literal, Namespace, Triple, Variable
 from .reasoner import (
+    CountWindow,
+    Delta,
     Fragment,
+    InferenceReport,
     JoinRule,
     Pattern,
     Rule,
     SingleRule,
     Slider,
     SliderError,
+    StreamPump,
+    Subscription,
+    SubscriptionEvent,
+    Ticket,
+    TimeWindow,
     Trace,
+    Transaction,
     Var,
+    WindowedReasoner,
     available_fragments,
     get_fragment,
     register_fragment,
 )
 from .store import (
+    Binding,
     Graph,
     HashDictStore,
     ShardedTripleStore,
+    TriplePattern,
     TripleStore,
+    ask,
     available_backends,
+    construct,
     create_store,
     register_backend,
+    select,
+    solve,
+    unify,
 )
 
 __version__ = "1.0.0"
@@ -50,6 +73,23 @@ __all__ = [
     "__version__",
     "Slider",
     "SliderError",
+    "Delta",
+    "Transaction",
+    "InferenceReport",
+    "Ticket",
+    "Subscription",
+    "SubscriptionEvent",
+    "WindowedReasoner",
+    "CountWindow",
+    "TimeWindow",
+    "StreamPump",
+    "TriplePattern",
+    "Binding",
+    "solve",
+    "select",
+    "ask",
+    "construct",
+    "unify",
     "Graph",
     "TripleStore",
     "HashDictStore",

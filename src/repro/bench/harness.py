@@ -129,12 +129,23 @@ def run_slider(
         workers=workers, store=store,
     )
     reasoner.load(path)
-    reasoner.flush()
+    report = reasoner.flush()
     seconds = clock() - start
+    # Report-driven counters: the revision's diff next to the module
+    # counters, so bench smoke runs can assert the two bookkeeping
+    # paths agree (InferenceReport vs Slider.counters()).
+    kept_total = sum(stats["kept"] for stats in reasoner.counters().values())
     result = RunResult(
         "slider", name, fragment, seconds,
         reasoner.input_count, reasoner.inferred_count,
-        extra={"buffer_size": buffer_size, "workers": workers, "store": store},
+        extra={
+            "buffer_size": buffer_size, "workers": workers, "store": store,
+            "revision": report.revision,
+            "report_explicit_added": report.explicit_added_count,
+            "report_inferred_added": report.inferred_added_count,
+            "report_removed": report.removed_count,
+            "counters_kept_total": kept_total,
+        },
     )
     reasoner.close()
     return result

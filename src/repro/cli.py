@@ -13,6 +13,7 @@ Subcommands mirror the demo's three panels plus the benchmark harness:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -45,6 +46,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_reasoner_options(reason)
     reason.add_argument("--output", help="write the materialized graph as N-Triples")
     reason.add_argument("--stats", action="store_true", help="print per-rule counters")
+    reason.add_argument("--report", nargs="?", const="-", metavar="PATH",
+                        help="write the commit's InferenceReport as JSON "
+                             "(to PATH, or stdout when no path is given)")
 
     bench = subparsers.add_parser("bench", help="regenerate the paper's experiments")
     bench.add_argument("--experiment", choices=("table1", "fig3"), default="table1")
@@ -112,13 +116,21 @@ def _cmd_reason(args) -> int:
     else:
         for path in args.inputs:
             reasoner.load(path)
-    reasoner.flush()
+    report = reasoner.flush()
     elapsed = time.perf_counter() - start
     print(
         f"{reasoner.input_count} explicit + {reasoner.inferred_count} inferred "
         f"= {len(reasoner)} triples in {elapsed:.3f}s "
         f"({reasoner.input_count / elapsed:,.0f} triples/s)"
     )
+    if args.report:
+        payload = json.dumps(report.as_dict(), indent=2, sort_keys=True)
+        if args.report == "-":
+            print(payload)
+        else:
+            with open(args.report, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            print(f"wrote inference report to {args.report}")
     if args.stats:
         for rule, counters in sorted(reasoner.counters().items()):
             print(

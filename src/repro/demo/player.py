@@ -69,6 +69,8 @@ class PlayerState:
         self.inferred_kept = 0
         self.store_size = 0
         self.flushes = 0
+        self.revision = 0       # last committed revision (delta API)
+        self.removed_total = 0  # triples DRed removed (net, all retractions)
         self.done = False
         self.modules: dict[str, ModuleState] = {}
         self.recent_rules: list[str] = []
@@ -116,6 +118,12 @@ class PlayerState:
             self.store_size = payload["store_size"]
         elif kind == "flush":
             self.flushes += 1
+        elif kind == "commit":
+            self.revision = payload["revision"]
+            self.store_size = payload["store_size"]
+        elif kind == "retract":
+            self.removed_total += payload["deleted"] - payload["rederived"]
+            self.store_size = payload["store_size"]
         elif kind == "done":
             self.done = True
             self.store_size = payload["store_size"]
@@ -129,6 +137,8 @@ class PlayerState:
         clone.inferred_kept = self.inferred_kept
         clone.store_size = self.store_size
         clone.flushes = self.flushes
+        clone.revision = self.revision
+        clone.removed_total = self.removed_total
         clone.done = self.done
         clone.modules = {name: module.copy() for name, module in self.modules.items()}
         clone.recent_rules = list(self.recent_rules)
@@ -142,6 +152,8 @@ class PlayerState:
             "inferred": self.inferred_in_store,
             "store_size": self.store_size,
             "flushes": self.flushes,
+            "revision": self.revision,
+            "removed": self.removed_total,
             "done": self.done,
             "recent_rules": list(self.recent_rules),
             "modules": {name: m.as_dict() for name, m in sorted(self.modules.items())},

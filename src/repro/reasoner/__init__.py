@@ -2,9 +2,11 @@
 
 from .adaptive import AdaptiveBufferController, RuleYield
 from .buffers import TripleBuffer
+from .delta import ChangeLog, Delta, InferenceReport, Ticket, Transaction
 from .dependency import DependencyGraph, build_routing_table
 from .distributor import Distributor
 from .engine import Slider, SliderError
+from .subscription import Subscription, SubscriptionEvent
 from .fragments import (
     Fragment,
     UnknownFragmentError,
@@ -32,6 +34,13 @@ from .window import CountWindow, TimeWindow, WindowedReasoner
 __all__ = [
     "Slider",
     "SliderError",
+    "Delta",
+    "Transaction",
+    "InferenceReport",
+    "Ticket",
+    "ChangeLog",
+    "Subscription",
+    "SubscriptionEvent",
     "AdaptiveBufferController",
     "RuleYield",
     "Fragment",

@@ -1,0 +1,466 @@
+"""The delta-centric transaction API: deltas, transactions, reports.
+
+Slider computes *what changed* on every update anyway — that is the
+whole point of incremental maintenance.  This module makes that
+information a first-class part of the public API (in the spirit of
+query answering under updates, Berkholz et al., PODS'17):
+
+* :class:`Delta` — one batch of mutations (assertions + retractions),
+  net-normalized: a triple both asserted and retracted in the same
+  delta cancels out to a no-op.
+* :class:`Transaction` — the ``with reasoner.transaction() as tx:``
+  builder collecting ``tx.add(...)`` / ``tx.retract(...)`` calls into a
+  single :class:`Delta`, committed atomically on exit.
+* :class:`InferenceReport` — the structured result of committing a
+  revision: exactly which triples entered the store (explicit vs
+  inferred), which left it under DRed retraction, re-derivation counts,
+  per-rule-module timings, and a monotonically increasing revision id.
+  The triple sets are decoded lazily, so a report over a million-triple
+  load costs nothing until someone looks at the triples themselves.
+* :class:`Ticket` — the handle returned by
+  :meth:`~repro.reasoner.engine.Slider.flush_async`, resolved with the
+  revision's report once the barrier completes.
+* :class:`ChangeLog` — the engine-internal accumulator that every store
+  mutation funnels through; it nets additions against removals so a
+  report's diff is exactly ``graph(revision n) - graph(revision n-1)``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING, Iterable
+
+from ..dictionary.encoder import EncodedTriple, TermDictionary
+from ..rdf.terms import Term, Triple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from .engine import Slider
+
+__all__ = ["Delta", "Transaction", "InferenceReport", "Ticket", "ChangeLog"]
+
+
+def _as_triples(triples: Iterable[Triple] | Triple) -> list[Triple]:
+    if isinstance(triples, Triple):
+        return [triples]
+    return list(triples)
+
+
+class Delta:
+    """One batch of mutations: triples to assert and triples to retract.
+
+    Deltas are *net-normalized* on construction: duplicates are dropped
+    (first occurrence wins, order preserved) and a triple appearing on
+    both sides cancels entirely — asserting and retracting the same
+    triple within one transaction is a no-op, regardless of call order.
+    """
+
+    __slots__ = ("assertions", "retractions")
+
+    def __init__(
+        self,
+        assertions: Iterable[Triple] | Triple = (),
+        retractions: Iterable[Triple] | Triple = (),
+    ):
+        adds = list(dict.fromkeys(_as_triples(assertions)))
+        rems = list(dict.fromkeys(_as_triples(retractions)))
+        common = set(adds) & set(rems)
+        if common:
+            adds = [t for t in adds if t not in common]
+            rems = [t for t in rems if t not in common]
+        self.assertions: tuple[Triple, ...] = tuple(adds)
+        self.retractions: tuple[Triple, ...] = tuple(rems)
+
+    def __bool__(self) -> bool:
+        return bool(self.assertions or self.retractions)
+
+    def __len__(self) -> int:
+        return len(self.assertions) + len(self.retractions)
+
+    def __repr__(self):
+        return (
+            f"<Delta +{len(self.assertions)} -{len(self.retractions)}>"
+        )
+
+
+class Transaction:
+    """Collects mutations and commits them as one :class:`Delta`.
+
+    >>> with reasoner.transaction() as tx:
+    ...     tx.add(new_triples)
+    ...     tx.retract(stale_triples)
+    >>> tx.report.inferred_added_count
+
+    The commit happens on clean ``with``-block exit (or via an explicit
+    :meth:`commit`); an exception inside the block, or :meth:`abort`,
+    discards the transaction without touching the engine.  After the
+    commit, :attr:`report` carries the revision's
+    :class:`InferenceReport`.
+    """
+
+    __slots__ = ("_reasoner", "_assertions", "_retractions", "_state", "_report")
+
+    def __init__(self, reasoner: "Slider"):
+        self._reasoner = reasoner
+        self._assertions: list[Triple] = []
+        self._retractions: list[Triple] = []
+        self._state = "open"
+        self._report: InferenceReport | None = None
+
+    # --- building ---------------------------------------------------------
+    def add(self, triples: Iterable[Triple] | Triple) -> "Transaction":
+        """Stage assertions; returns self for chaining."""
+        self._require_open()
+        self._assertions.extend(_as_triples(triples))
+        return self
+
+    def retract(self, triples: Iterable[Triple] | Triple) -> "Transaction":
+        """Stage retractions; returns self for chaining."""
+        self._require_open()
+        self._retractions.extend(_as_triples(triples))
+        return self
+
+    def delta(self) -> Delta:
+        """The net-normalized delta staged so far."""
+        return Delta(self._assertions, self._retractions)
+
+    # --- lifecycle --------------------------------------------------------
+    def commit(self) -> "InferenceReport":
+        """Apply the staged delta; returns (and stores) the report."""
+        self._require_open()
+        self._state = "committed"
+        self._report = self._reasoner.apply(self.delta())
+        return self._report
+
+    def abort(self) -> None:
+        """Discard the transaction; exiting the block will not commit."""
+        self._require_open()
+        self._state = "aborted"
+
+    @property
+    def state(self) -> str:
+        """``"open"``, ``"committed"`` or ``"aborted"``."""
+        return self._state
+
+    @property
+    def report(self) -> "InferenceReport | None":
+        """The commit's :class:`InferenceReport` (``None`` until then)."""
+        return self._report
+
+    def _require_open(self) -> None:
+        if self._state != "open":
+            raise RuntimeError(f"transaction already {self._state}")
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self._state = "aborted"
+        elif self._state == "open":
+            self.commit()
+
+    def __repr__(self):
+        return (
+            f"<Transaction {self._state} +{len(self._assertions)} "
+            f"-{len(self._retractions)}>"
+        )
+
+
+class InferenceReport:
+    """What one committed revision changed, exactly.
+
+    The triple-level views (:attr:`explicit_added`, :attr:`inferred_added`,
+    :attr:`removed`) are decoded from the engine's integer space on first
+    access and cached; the ``*_count`` properties are always free.  The
+    guarantee backing the whole delta API: the union of added triples
+    minus the removed triples is precisely the set difference between the
+    store at this revision and at the previous one.
+    """
+
+    __slots__ = (
+        "revision",
+        "seconds",
+        "timings",
+        "dred_deleted",
+        "dred_rederived",
+        "_dictionary",
+        "_explicit_encoded",
+        "_inferred_encoded",
+        "_removed_encoded",
+        "_decoded",
+    )
+
+    def __init__(
+        self,
+        revision: int,
+        seconds: float,
+        timings: dict[str, float],
+        dictionary: TermDictionary,
+        explicit_encoded: tuple[EncodedTriple, ...],
+        inferred_encoded: tuple[EncodedTriple, ...],
+        removed_encoded: tuple[EncodedTriple, ...],
+        dred_deleted: int = 0,
+        dred_rederived: int = 0,
+    ):
+        self.revision = revision
+        self.seconds = seconds
+        self.timings = timings
+        self.dred_deleted = dred_deleted
+        self.dred_rederived = dred_rederived
+        self._dictionary = dictionary
+        self._explicit_encoded = explicit_encoded
+        self._inferred_encoded = inferred_encoded
+        self._removed_encoded = removed_encoded
+        self._decoded: dict[str, tuple[Triple, ...]] = {}
+
+    # --- counts (always cheap) --------------------------------------------
+    @property
+    def explicit_added_count(self) -> int:
+        return len(self._explicit_encoded)
+
+    @property
+    def inferred_added_count(self) -> int:
+        return len(self._inferred_encoded)
+
+    @property
+    def added_count(self) -> int:
+        return len(self._explicit_encoded) + len(self._inferred_encoded)
+
+    @property
+    def removed_count(self) -> int:
+        return len(self._removed_encoded)
+
+    @property
+    def net_change(self) -> int:
+        """Store-size delta of this revision (may be negative)."""
+        return self.added_count - self.removed_count
+
+    def __bool__(self) -> bool:
+        """True iff the revision changed the store at all."""
+        return bool(
+            self._explicit_encoded or self._inferred_encoded or self._removed_encoded
+        )
+
+    # --- triple views (lazy) ----------------------------------------------
+    def _decode(self, key: str, encoded: tuple[EncodedTriple, ...]) -> tuple[Triple, ...]:
+        cached = self._decoded.get(key)
+        if cached is None:
+            decode = self._dictionary.decode_triple
+            cached = self._decoded[key] = tuple(decode(t) for t in encoded)
+        return cached
+
+    @property
+    def explicit_added(self) -> tuple[Triple, ...]:
+        """Asserted triples that were new to the store."""
+        return self._decode("explicit", self._explicit_encoded)
+
+    @property
+    def inferred_added(self) -> tuple[Triple, ...]:
+        """Rule-derived triples that were new to the store."""
+        return self._decode("inferred", self._inferred_encoded)
+
+    @property
+    def added(self) -> tuple[Triple, ...]:
+        """All triples that entered the store (explicit + inferred)."""
+        return self.explicit_added + self.inferred_added
+
+    @property
+    def removed(self) -> tuple[Triple, ...]:
+        """Triples DRed removed and that were not re-derived."""
+        return self._decode("removed", self._removed_encoded)
+
+    # --- filtered views (for subscriptions) --------------------------------
+    def _filtered(
+        self,
+        encoded: Iterable[EncodedTriple],
+        predicate_ids: set[int] | None,
+    ) -> list[Triple]:
+        decode = self._dictionary.decode_triple
+        if predicate_ids is None:
+            return [decode(t) for t in encoded]
+        return [decode(t) for t in encoded if t[1] in predicate_ids]
+
+    def _predicate_ids(self, predicates: Iterable[Term] | None) -> set[int] | None:
+        if predicates is None:
+            return None
+        lookup = self._dictionary.lookup
+        ids = {lookup(p) for p in predicates}
+        ids.discard(None)
+        return ids  # type: ignore[return-value]
+
+    def added_matching(self, predicates: Iterable[Term] | None = None) -> list[Triple]:
+        """Added triples whose predicate is in ``predicates`` (None = all).
+
+        Filtering happens in integer space before any decoding, so a
+        subscription on a rare predicate pays nothing for a large load.
+        """
+        ids = self._predicate_ids(predicates)
+        return self._filtered(
+            self._explicit_encoded + self._inferred_encoded, ids
+        )
+
+    def removed_matching(self, predicates: Iterable[Term] | None = None) -> list[Triple]:
+        """Removed triples whose predicate is in ``predicates`` (None = all)."""
+        ids = self._predicate_ids(predicates)
+        return self._filtered(self._removed_encoded, ids)
+
+    # --- serialization ------------------------------------------------------
+    def as_dict(self) -> dict:
+        """JSON-serializable summary (counts + timings, no triples)."""
+        return {
+            "revision": self.revision,
+            "seconds": self.seconds,
+            "explicit_added": self.explicit_added_count,
+            "inferred_added": self.inferred_added_count,
+            "removed": self.removed_count,
+            "net_change": self.net_change,
+            "dred_deleted": self.dred_deleted,
+            "dred_rederived": self.dred_rederived,
+            "timings": dict(sorted(self.timings.items())),
+        }
+
+    def __repr__(self):
+        return (
+            f"<InferenceReport rev={self.revision} "
+            f"+{self.explicit_added_count}e/+{self.inferred_added_count}i "
+            f"-{self.removed_count} in {self.seconds:.3f}s>"
+        )
+
+
+class Ticket:
+    """Handle for a pipelined (non-blocking) flush.
+
+    Returned by :meth:`~repro.reasoner.engine.Slider.flush_async`; call
+    :meth:`result` to wait for the barrier and get the revision's
+    :class:`InferenceReport` (re-raising any engine error).
+    """
+
+    __slots__ = ("_event", "_report", "_error")
+
+    def __init__(self):
+        self._event = threading.Event()
+        self._report: InferenceReport | None = None
+        self._error: BaseException | None = None
+
+    def done(self) -> bool:
+        """Has the flush completed (successfully or not)?"""
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> InferenceReport:
+        """Block until the flush completes; return its report."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("flush did not complete in time")
+        if self._error is not None:
+            raise self._error
+        assert self._report is not None
+        return self._report
+
+    def _resolve(self, report: InferenceReport) -> None:
+        self._report = report
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    def __repr__(self):
+        state = "done" if self.done() else "pending"
+        return f"<Ticket {state}>"
+
+
+class ChangeLog:
+    """Nets every store mutation of the current revision epoch.
+
+    All writes funnel through three recorders (explicit adds from the
+    input manager, inferred adds from the distributors, removals from
+    DRed); the log cancels opposite mutations of the same triple so the
+    snapshot taken at commit time is the exact store diff:
+
+    * removed then re-added (re-derivation)  → no net change;
+    * added then removed inside the epoch    → no net change;
+    * everything else lands in exactly one of the three diff sets.
+
+    Thread-safe: distributors record from worker threads.
+    """
+
+    __slots__ = (
+        "_lock",
+        "_explicit",
+        "_inferred",
+        "_removed",
+        "_dred_deleted",
+        "_dred_rederived",
+        "_timings",
+        "_started",
+    )
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._reset()
+
+    def _reset(self) -> None:
+        self._explicit: dict[EncodedTriple, None] = {}
+        self._inferred: dict[EncodedTriple, None] = {}
+        self._removed: dict[EncodedTriple, None] = {}
+        self._dred_deleted = 0
+        self._dred_rederived = 0
+        self._timings: dict[str, float] = {}
+        self._started = time.perf_counter()
+
+    def record_added(
+        self, triples: Iterable[EncodedTriple], explicit: bool
+    ) -> None:
+        """Record store-new triples (callers pass post-dedup lists)."""
+        target = self._explicit if explicit else self._inferred
+        with self._lock:
+            removed = self._removed
+            for triple in triples:
+                if triple in removed:
+                    del removed[triple]  # was present at epoch start: no net change
+                else:
+                    target[triple] = None
+
+    def record_removed(self, triples: Iterable[EncodedTriple]) -> None:
+        """Record triples actually deleted from the store."""
+        with self._lock:
+            explicit, inferred, removed = self._explicit, self._inferred, self._removed
+            count = 0
+            for triple in triples:
+                count += 1
+                if triple in explicit:
+                    del explicit[triple]  # added this epoch: net no-op
+                elif triple in inferred:
+                    del inferred[triple]
+                else:
+                    removed[triple] = None
+            self._dred_deleted += count
+
+    def record_rederived(self, triples: Iterable[EncodedTriple]) -> None:
+        """DRed phase-3 re-adds: cancel the over-deletion, count them."""
+        triples = list(triples)
+        with self._lock:
+            self._dred_rederived += len(triples)
+        self.record_added(triples, explicit=False)
+
+    def record_timing(self, rule: str, seconds: float) -> None:
+        """Accumulate one rule-module firing's wall time."""
+        with self._lock:
+            self._timings[rule] = self._timings.get(rule, 0.0) + seconds
+
+    def snapshot(self, revision: int, dictionary: TermDictionary) -> InferenceReport:
+        """Close the epoch: build the revision's report and reset."""
+        with self._lock:
+            report = InferenceReport(
+                revision=revision,
+                seconds=time.perf_counter() - self._started,
+                timings=self._timings,
+                dictionary=dictionary,
+                explicit_encoded=tuple(self._explicit),
+                inferred_encoded=tuple(self._inferred),
+                removed_encoded=tuple(self._removed),
+                dred_deleted=self._dred_deleted,
+                dred_rederived=self._dred_rederived,
+            )
+            self._reset()
+        return report

@@ -38,11 +38,13 @@ class Distributor:
         dispatch: DispatchFn,
         dependents: Sequence[str],
         trace=None,
+        on_new: DispatchFn | None = None,
     ):
         self.module = module
         self.store = store
         self.dispatch = dispatch
         self.dependents = tuple(dependents)
+        self.on_new = on_new  # engine change-log hook (store-new inferred triples)
         self.trace = trace if trace is not None else NullTrace()
 
     def collect(self, derived: Sequence[EncodedTriple]) -> list[EncodedTriple]:
@@ -66,6 +68,8 @@ class Distributor:
                 store_size=len(self.store),
             )
         if new_triples:
+            if self.on_new is not None:
+                self.on_new(new_triples)
             self.dispatch(new_triples)
         return new_triples
 

@@ -27,32 +27,53 @@ of :meth:`~repro.reasoner.rules.JoinRule.apply` finds the other side.
 which the store holds the full fixpoint (tests verify equality with the
 batch baselines' closure).
 
+Delta-centric API
+-----------------
+
+Every mutation — assertions, retractions, stream chunks, window expiry
+— flows through one transactional entry point, :meth:`Slider.apply`,
+which commits a *revision* and returns an
+:class:`~repro.reasoner.delta.InferenceReport` describing exactly what
+changed (explicit/inferred additions, DRed removals, re-derivations,
+per-module timings).  :meth:`Slider.transaction` builds a delta
+incrementally; :meth:`Slider.subscribe` registers standing BGP queries
+notified with binding-level diffs; :meth:`Slider.flush_async` pipelines
+the commit barrier.  The legacy one-shot :meth:`add` / :meth:`retract`
+remain as thin shims over the same pipeline.
+
 >>> from repro import Slider
 >>> reasoner = Slider(fragment="rhodf", workers=0)
->>> reasoner.add(triples)      # incremental — call as data arrives
->>> reasoner.flush()           # barrier: wait for the fixpoint
->>> len(reasoner)              # explicit + implicit triples
+>>> with reasoner.transaction() as tx:   # one delta, one revision
+...     tx.add(new_triples)
+...     tx.retract(stale_triples)
+>>> tx.report.inferred_added_count       # what the commit changed
+>>> reasoner.add(triples)                # legacy shim — deferred one-shot
+>>> reasoner.flush()                     # barrier: commits the revision
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from ..dictionary.encoder import EncodedTriple, TermDictionary
 from ..rdf.terms import Triple
 from ..store.backends import TripleStore, create_store
 from ..store.graph import Graph
+from ..store.query import TriplePattern
 from .adaptive import AdaptiveBufferController
 from .buffers import TripleBuffer
+from .delta import ChangeLog, Delta, InferenceReport, Ticket, Transaction
 from .dependency import DependencyGraph, build_routing_table
 from .distributor import Distributor
 from .fragments import Fragment, get_fragment
 from .input_manager import InputManager
 from .modules import RuleModule
 from .retraction import dred_retract
+from .subscription import Subscription
 from .trace import NullTrace, Trace
 from .vocabulary import Vocabulary
 
@@ -181,6 +202,20 @@ class Slider:
             index: getattr(self.rules[index], "activation_predicates", None)
             for index in self._universal
         }
+        # Delta pipeline state: every store mutation is recorded in the
+        # change log; commits snapshot it into an InferenceReport.
+        # Two locks, always acquired commit-then-tx: _commit_lock
+        # serializes whole commits (apply/flush) against each other,
+        # while _tx_lock is the short writer gate — writers (the add
+        # shims) hold it per batch, and a commit only holds it for the
+        # final quiet-check + snapshot, so a background flush_async can
+        # compute the fixpoint while service threads keep queueing.
+        self._changes = ChangeLog()
+        self._revision = 0
+        self._commit_lock = threading.RLock()
+        self._tx_lock = threading.RLock()
+        self._subscriptions: list[Subscription] = []
+
         self.modules: list[RuleModule] = [
             RuleModule(rule, TripleBuffer(rule.name, capacity=buffer_size))
             for rule in self.rules
@@ -192,11 +227,16 @@ class Slider:
                 dispatch=self._dispatch,
                 dependents=self.dependency_graph.successors(module.rule.name),
                 trace=self.trace,
+                on_new=self._record_inferred,
             )
             for module in self.modules
         ]
         self.input_manager = InputManager(
-            self.dictionary, self.store, dispatch=self._dispatch, trace=self.trace
+            self.dictionary,
+            self.store,
+            dispatch=self._dispatch,
+            trace=self.trace,
+            on_new=self._record_explicit,
         )
         if adaptive is True:
             adaptive = AdaptiveBufferController()
@@ -228,18 +268,122 @@ class Slider:
         if axioms:
             self._axiom_count = self.input_manager.add(axioms)
 
-    # --- public API ---------------------------------------------------------
+    # --- delta pipeline (the transactional entry point) ---------------------
+    def apply(self, delta: Delta) -> InferenceReport:
+        """Commit one :class:`~repro.reasoner.delta.Delta` as a revision.
+
+        The single mutation path of the engine: retractions run through
+        DRed against the quiesced closure, assertions flow through the
+        input manager, and the commit barrier waits for the fixpoint.
+        Returns the revision's
+        :class:`~repro.reasoner.delta.InferenceReport` — the exact store
+        diff (explicit/inferred added, removed, re-derivation counts,
+        per-module timings) — and notifies every live subscription with
+        its binding-level delta.
+
+        Deltas are net-normalized: a triple asserted *and* retracted in
+        the same delta is a no-op.  Any mutations deferred earlier (the
+        one-shot :meth:`add` shim, stream chunks) are folded into this
+        revision, so the report remains the precise diff against the
+        previous revision.
+        """
+        self._check_open()
+        if not isinstance(delta, Delta):
+            raise TypeError(f"apply() takes a Delta, got {type(delta).__name__}")
+        with self._commit_lock, self._tx_lock:
+            if delta.retractions:
+                self._quiesce()  # retraction is defined against a closure
+                self._retract_encoded(
+                    [self.dictionary.encode_triple(t) for t in delta.retractions]
+                )
+            if delta.assertions:
+                self.input_manager.add(delta.assertions)
+            self._quiesce()
+            return self._commit_revision()
+
+    def transaction(self) -> Transaction:
+        """Open a :class:`~repro.reasoner.delta.Transaction` builder.
+
+        >>> with reasoner.transaction() as tx:
+        ...     tx.add(fresh_triples)
+        ...     tx.retract(stale_triples)
+        >>> tx.report.revision
+        """
+        self._check_open()
+        return Transaction(self)
+
+    def subscribe(
+        self,
+        patterns: Sequence[TriplePattern],
+        callback: Callable[..., None] | None = None,
+    ) -> Subscription:
+        """Register a standing BGP, notified with binding-level deltas.
+
+        ``patterns`` is a conjunction of (s, p, o) triples over
+        :class:`~repro.rdf.terms.Variable` terms — the same language as
+        :func:`repro.store.query.solve`.  The current solutions are
+        materialized once at registration; afterwards each committed
+        revision is folded in incrementally (work proportional to the
+        delta) and the subscription receives a
+        :class:`~repro.reasoner.subscription.SubscriptionEvent` whenever
+        — and only when — its solution set actually changed.  With no
+        ``callback``, events queue on the subscription for polling.
+        """
+        self._check_open()
+        with self._commit_lock, self._tx_lock:
+            self._quiesce()
+            subscription = Subscription(patterns, callback)
+            subscription._seed(self.graph)
+            self._subscriptions.append(subscription)
+        return subscription
+
+    def flush_async(self) -> Ticket:
+        """Pipeline the commit barrier: flush on a background thread.
+
+        Returns immediately with a :class:`~repro.reasoner.delta.Ticket`
+        that resolves to the revision's report, so a service thread can
+        keep queueing writes while the fixpoint completes.
+        """
+        self._check_open()
+        ticket = Ticket()
+
+        def run() -> None:
+            try:
+                ticket._resolve(self.flush())
+            except BaseException as error:
+                ticket._fail(error)
+
+        threading.Thread(target=run, name="slider-flush", daemon=True).start()
+        return ticket
+
+    @property
+    def revision(self) -> int:
+        """The id of the last committed revision (0 before any commit)."""
+        return self._revision
+
+    # --- one-shot shims (deprecated in favour of apply/transaction) ---------
     def add(self, triples: Iterable[Triple] | Triple) -> int:
-        """Feed explicit triples (incremental). Returns how many were new."""
+        """Feed explicit triples (incremental). Returns how many were new.
+
+        .. deprecated::
+            Thin shim over the delta pipeline — equivalent to staging
+            ``Delta(assertions=triples)`` without the commit barrier;
+            the triples land in the revision committed by the next
+            :meth:`flush` / :meth:`apply`.  Prefer
+            :meth:`transaction` (or :meth:`apply`) to get an
+            :class:`~repro.reasoner.delta.InferenceReport` back.
+        """
         self._check_open()
         if isinstance(triples, Triple):
             triples = (triples,)
-        return self.input_manager.add(triples)
+        with self._tx_lock:
+            return self.input_manager.add(triples)
 
     def add_encoded(self, encoded: Sequence[EncodedTriple]) -> int:
-        """Feed already-encoded triples (zero-copy fast path)."""
+        """Feed already-encoded triples (zero-copy fast path, deferred)."""
         self._check_open()
-        return self.input_manager.add_encoded(encoded)
+        with self._tx_lock:
+            return self.input_manager.add_encoded(encoded)
 
     def load(self, path) -> int:
         """Load an N-Triples (``.nt``) or Turtle (``.ttl``) file."""
@@ -251,14 +395,37 @@ class Slider:
             return self.add(parse_turtle_file(path))
         return self.add(parse_ntriples_file(path))
 
-    def flush(self) -> None:
-        """Barrier: force-fire every buffer and wait for quiescence.
+    def flush(self) -> InferenceReport:
+        """Barrier: force-fire every buffer, wait for quiescence, commit.
 
         On return the store contains the complete fixpoint of everything
-        added so far.  Raises :class:`SliderError` if any rule module
-        failed.
+        added so far, and the pending changes are committed as a
+        revision whose :class:`~repro.reasoner.delta.InferenceReport` is
+        returned (subscriptions are notified).  Raises
+        :class:`SliderError` if any rule module failed.
+
+        Writers are only excluded during the brief quiet-check +
+        snapshot at the end — the fixpoint computation itself runs with
+        the writer gate open, so concurrent :meth:`add` calls (and the
+        service threads behind :meth:`flush_async`) keep flowing; a
+        batch that slips in before the commit point simply joins this
+        revision.
         """
         self._check_open()
+        with self._commit_lock:
+            while True:
+                self._quiesce()
+                with self._tx_lock:
+                    # Quiet only if no writer snuck a batch in between
+                    # the drain and the gate: then the change log and
+                    # the store agree, and the snapshot is exact.
+                    if self._pending == 0 and all(
+                        len(m.buffer) == 0 for m in self.modules
+                    ):
+                        return self._commit_revision()
+
+    def _quiesce(self) -> None:
+        """Drain every buffer and wait for the fixpoint (no commit)."""
         if self.trace.enabled:
             self.trace.record("flush")
         while True:
@@ -287,7 +454,11 @@ class Slider:
         """
         self._check_open()
         manager = InputManager(
-            self.dictionary, self.store, dispatch=self._dispatch, trace=self.trace
+            self.dictionary,
+            self.store,
+            dispatch=self._dispatch,
+            trace=self.trace,
+            on_new=self._record_explicit,
         )
         manager.explicit = self.input_manager.explicit  # shared assertion set
         return manager
@@ -301,16 +472,25 @@ class Slider:
         way survive.  Returns the number of triples actually deleted
         (after re-derivation).
 
+        .. deprecated::
+            Thin shim over :meth:`apply` with a retraction-only
+            :class:`~repro.reasoner.delta.Delta`; prefer
+            :meth:`transaction` / :meth:`apply` to get the revision's
+            full :class:`~repro.reasoner.delta.InferenceReport`.
+
         Limitation: fragments with *stateful* rules (the OWL-Horst
         transitivity registry) do not support retraction of the triples
         feeding that state — the built-in ``rhodf``/``rdfs`` fragments
         are fully supported.
         """
-        self._check_open()
-        self.flush()  # retraction is defined against a complete closure
         if isinstance(triples, Triple):
             triples = (triples,)
-        encoded = [self.dictionary.encode_triple(t) for t in triples]
+        report = self.apply(Delta(retractions=triples))
+        return report.dred_deleted - report.dred_rederived
+
+    def _retract_encoded(self, encoded: list[EncodedTriple]) -> None:
+        """DRed one batch of retractions (under the transaction lock,
+        against an already-quiesced closure), recording the changes."""
         deleted, rederived = dred_retract(
             self.store,
             self.rules,
@@ -319,16 +499,16 @@ class Slider:
             encoded,
             redispatch=self._dispatch,
         )
-        self.flush()  # propagate consequences of the re-derived seeds
+        self._changes.record_removed(deleted)
+        self._changes.record_rederived(rederived)
         if self.trace.enabled:
             self.trace.record(
                 "retract",
                 requested=len(encoded),
-                deleted=deleted,
-                rederived=rederived,
+                deleted=len(deleted),
+                rederived=len(rederived),
                 store_size=len(self.store),
             )
-        return deleted - rederived
 
     def reinfer(self) -> None:
         """Route every stored triple through the rules once, then flush.
@@ -420,6 +600,45 @@ class Slider:
         )
 
     # --- internals -----------------------------------------------------------
+    def _record_explicit(self, triples: Sequence[EncodedTriple]) -> None:
+        """Change-log hook: store-new triples from an input manager."""
+        self._changes.record_added(triples, explicit=True)
+
+    def _record_inferred(self, triples: Sequence[EncodedTriple]) -> None:
+        """Change-log hook: store-new triples from a distributor."""
+        self._changes.record_added(triples, explicit=False)
+
+    def _commit_revision(self) -> InferenceReport:
+        """Seal the current change epoch into a numbered revision."""
+        self._revision += 1
+        report = self._changes.snapshot(self._revision, self.dictionary)
+        if self.trace.enabled:
+            self.trace.record(
+                "commit",
+                revision=report.revision,
+                explicit_added=report.explicit_added_count,
+                inferred_added=report.inferred_added_count,
+                removed=report.removed_count,
+                store_size=len(self.store),
+            )
+        self._notify_subscribers(report)
+        return report
+
+    def _notify_subscribers(self, report: InferenceReport) -> None:
+        if not self._subscriptions:
+            return
+        graph = self.graph
+        alive = []
+        for subscription in self._subscriptions:
+            if not subscription.active:
+                continue  # pruned
+            alive.append(subscription)
+            try:
+                subscription._deliver(report, graph)
+            except Exception as error:  # a subscriber must never poison a commit
+                subscription.error = error
+        self._subscriptions = alive
+
     def _check_open(self) -> None:
         if self._closed:
             raise SliderError("reasoner is closed")
@@ -480,8 +699,12 @@ class Slider:
                 self.trace.record(
                     "rule_start", rule=module.rule.name, size=len(batch), cause=cause
                 )
+            started = time.perf_counter()
             derived = module.execute(self.store, batch, self.vocab)
             kept = self.distributors[index].collect(derived)
+            self._changes.record_timing(
+                module.rule.name, time.perf_counter() - started
+            )
             if self.trace.enabled:
                 self.trace.record(
                     "rule_end",

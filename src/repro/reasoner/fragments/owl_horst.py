@@ -35,7 +35,6 @@ performs the two-sided join only for those predicates.
 
 from __future__ import annotations
 
-from ...dictionary.encoder import EncodedTriple
 from ..rules import JoinRule, OutputBuffer, Pattern, Rule, SingleRule, Var
 from ..vocabulary import Vocabulary
 from . import rdfs as rdfs_fragment

@@ -36,10 +36,12 @@ class InputManager:
         store: TripleStore,
         dispatch: Callable[[Sequence[EncodedTriple]], None],
         trace=None,
+        on_new: Callable[[Sequence[EncodedTriple]], None] | None = None,
     ):
         self.dictionary = dictionary
         self.store = store
         self.dispatch = dispatch
+        self.on_new = on_new  # engine change-log hook (store-new explicit triples)
         self.trace = trace if trace is not None else NullTrace()
         self._lock = threading.Lock()
         self.received = 0  # triples offered by sources
@@ -78,6 +80,8 @@ class InputManager:
                 store_size=len(self.store),
             )
         if new_triples:
+            if self.on_new is not None:
+                self.on_new(new_triples)
             self.dispatch(new_triples)
         return len(new_triples)
 

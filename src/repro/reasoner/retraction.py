@@ -53,8 +53,12 @@ def dred_retract(
     explicit: set[EncodedTriple],
     retracted: Iterable[EncodedTriple],
     redispatch: Callable[[list[EncodedTriple]], None] | None = None,
-) -> tuple[int, int]:
-    """Run DRed over ``store``.  Returns (deleted, re-derived) counts.
+) -> tuple[list[EncodedTriple], list[EncodedTriple]]:
+    """Run DRed over ``store``.  Returns the (deleted, re-derived) lists.
+
+    The first list holds every triple phase 2 actually removed from the
+    store, the second every triple phase 3 put back — the engine's
+    change log nets the two into the revision's exact removal set.
 
     ``explicit`` is the live set of asserted triples; the retracted ones
     are removed from it.  ``redispatch`` (the engine's dispatcher) is
@@ -64,7 +68,7 @@ def dred_retract(
     """
     frontier = [t for t in set(retracted) if t in store]
     if not frontier:
-        return (0, 0)
+        return ([], [])
     for triple in frontier:
         explicit.discard(triple)
 
@@ -114,4 +118,4 @@ def dred_retract(
 
     if redispatch is not None and rederived:
         redispatch(rederived)
-    return (len(deleted), len(rederived))
+    return (deleted, rederived)

@@ -20,6 +20,7 @@ from typing import Callable, Iterable, Iterator, Sequence
 
 from ..rdf.ntriples import iter_ntriples
 from ..rdf.terms import Triple
+from .delta import Delta, InferenceReport
 
 __all__ = [
     "StreamSource",
@@ -135,6 +136,16 @@ class StreamPump:
     One pump per source; several pumps can feed one engine concurrently
     via :meth:`start` (each pump then owns a thread, mirroring the
     paper's multiple input managers).
+
+    Chunks flow through the engine's unified delta pipeline.  By
+    default delivery is *deferred* (the one-shot assertion path: chunks
+    land in the revision sealed by the next flush — maximum pipeline
+    overlap).  With ``transactional=True`` every chunk commits as its
+    own revision via :meth:`Slider.apply`; the per-chunk
+    :class:`~repro.reasoner.delta.InferenceReport` is published on
+    :attr:`last_report` *before* ``on_chunk`` fires, so stream
+    consumers see what each chunk changed without polling.
+    ``on_chunk`` is always called as ``on_chunk(size)``, in both modes.
     """
 
     def __init__(
@@ -143,6 +154,7 @@ class StreamPump:
         source: StreamSource,
         chunk_size: int = 256,
         on_chunk: Callable[[int], None] | None = None,
+        transactional: bool = False,
     ):
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
@@ -150,7 +162,10 @@ class StreamPump:
         self.source = source
         self.chunk_size = chunk_size
         self.on_chunk = on_chunk
+        self.transactional = transactional
         self.delivered = 0
+        #: Report of the last committed chunk (transactional mode only).
+        self.last_report: InferenceReport | None = None
         self._thread: threading.Thread | None = None
         self._error: BaseException | None = None
 
@@ -167,7 +182,10 @@ class StreamPump:
         return self.delivered
 
     def _deliver(self, chunk: list[Triple]) -> None:
-        self.reasoner.add(chunk)
+        if self.transactional:
+            self.last_report = self.reasoner.apply(Delta(assertions=chunk))
+        else:
+            self.reasoner.add(chunk)
         self.delivered += len(chunk)
         if self.on_chunk is not None:
             self.on_chunk(len(chunk))

@@ -1,0 +1,211 @@
+"""Standing BGP queries, maintained incrementally from revision deltas.
+
+Polling the graph after every update throws away the information an
+incremental reasoner computes for free: the delta.  A
+:class:`Subscription` registers a conjunctive triple pattern (the same
+BGP language as :mod:`repro.store.query`) and is re-evaluated against
+each committed revision's :class:`~repro.reasoner.delta.InferenceReport`
+— *incrementally*:
+
+* **additions** — every added triple is unified with every pattern
+  position; each successful unification seeds a join of the remaining
+  patterns over the new graph (reusing the query planner's
+  selectivity-ordered evaluation), so work scales with the delta, not
+  with the graph;
+* **removals** — a maintained solution dies iff one of its (fully
+  instantiated, hence unique) supporting triples is in the revision's
+  net-removed set; no re-join is needed because a net-removed triple is
+  by definition absent from the new graph.
+
+Events carry binding-level diffs (added / removed solutions); a
+subscription whose patterns cannot match any delta triple is never
+woken, so there are no spurious notifications.
+
+>>> x = Variable("x")
+>>> sub = reasoner.subscribe([(x, RDF.type, EX.Alert)], on_alert)
+>>> ...                     # every commit with matching bindings fires
+>>> sub.cancel()
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterable, Sequence
+
+from ..rdf.terms import Term, Triple, Variable
+from ..store.graph import Graph
+from ..store.query import Binding, TriplePattern, solve, unify
+from .delta import InferenceReport
+
+__all__ = ["Subscription", "SubscriptionEvent"]
+
+
+def _key(binding: Binding) -> frozenset:
+    """A solution as a hashable key (order-free set of (variable, term))."""
+    return frozenset(binding.items())
+
+
+class SubscriptionEvent:
+    """One notification: the binding-level diff of one revision."""
+
+    __slots__ = ("revision", "added", "removed")
+
+    def __init__(
+        self,
+        revision: int,
+        added: tuple[Binding, ...],
+        removed: tuple[Binding, ...],
+    ):
+        self.revision = revision
+        self.added = added
+        self.removed = removed
+
+    def __bool__(self) -> bool:
+        return bool(self.added or self.removed)
+
+    def __repr__(self):
+        return (
+            f"<SubscriptionEvent rev={self.revision} "
+            f"+{len(self.added)} -{len(self.removed)} bindings>"
+        )
+
+
+class Subscription:
+    """A standing BGP over the reasoner's closure.
+
+    Created through :meth:`~repro.reasoner.engine.Slider.subscribe`; the
+    current solution set is materialized once at registration, then
+    maintained from deltas.  With a ``callback`` the subscription pushes
+    each :class:`SubscriptionEvent` synchronously from the committing
+    thread; without one, events queue on :attr:`events` for polling via
+    :meth:`drain`.  A callback exception is captured on :attr:`error`
+    (the engine is never poisoned by a subscriber).
+    """
+
+    def __init__(
+        self,
+        patterns: Sequence[TriplePattern],
+        callback: Callable[[SubscriptionEvent], None] | None = None,
+    ):
+        patterns = tuple(tuple(p) for p in patterns)
+        for pattern in patterns:
+            if len(pattern) != 3:
+                raise ValueError(f"patterns must be (s, p, o) triples, got {pattern!r}")
+        if not patterns:
+            raise ValueError("a subscription needs at least one pattern")
+        self.patterns: tuple[TriplePattern, ...] = patterns
+        self.callback = callback
+        self.active = True
+        self.error: BaseException | None = None
+        self.events: list[SubscriptionEvent] = []
+        self._lock = threading.Lock()
+        self._solutions: dict[frozenset, Binding] = {}
+        # Constant predicates let the delta be filtered in integer space
+        # before decoding; any variable predicate disables the filter.
+        predicates = [p[1] for p in patterns]
+        self._predicates: tuple[Term, ...] | None = (
+            None
+            if any(isinstance(p, Variable) for p in predicates)
+            else tuple(dict.fromkeys(predicates))
+        )
+
+    # --- lifecycle ---------------------------------------------------------
+    def cancel(self) -> None:
+        """Stop receiving events; the engine prunes cancelled entries."""
+        self.active = False
+
+    def drain(self) -> list[SubscriptionEvent]:
+        """Pop and return all queued events (callback-less mode)."""
+        with self._lock:
+            events, self.events = self.events, []
+        return events
+
+    @property
+    def solutions(self) -> list[Binding]:
+        """A copy of the currently maintained solution set."""
+        with self._lock:
+            return [dict(s) for s in self._solutions.values()]
+
+    # --- engine side -------------------------------------------------------
+    def _seed(self, graph: Graph) -> None:
+        """Materialize the initial solution set (no event is emitted)."""
+        with self._lock:
+            self._solutions = {_key(s): s for s in solve(graph, self.patterns)}
+
+    def _deliver(self, report: InferenceReport, graph: Graph) -> SubscriptionEvent | None:
+        """Fold one revision's delta in; return the binding diff (or None)."""
+        added_triples = report.added_matching(self._predicates)
+        removed_triples = report.removed_matching(self._predicates)
+        if not added_triples and not removed_triples:
+            return None
+
+        with self._lock:
+            removed_bindings = self._fold_removals(removed_triples)
+            added_bindings = self._fold_additions(added_triples, graph)
+        if not removed_bindings and not added_bindings:
+            return None
+        event = SubscriptionEvent(
+            report.revision, tuple(added_bindings), tuple(removed_bindings)
+        )
+        self._emit(event)
+        return event
+
+    def _fold_removals(self, removed_triples: Iterable[Triple]) -> list[Binding]:
+        removed_set = set(removed_triples)
+        if not removed_set:
+            return []
+        dead: list[Binding] = []
+        for key, solution in list(self._solutions.items()):
+            if any(
+                self._instantiate(pattern, solution) in removed_set
+                for pattern in self.patterns
+            ):
+                dead.append(solution)
+                del self._solutions[key]
+        return dead
+
+    def _fold_additions(
+        self, added_triples: Sequence[Triple], graph: Graph
+    ) -> list[Binding]:
+        if not added_triples:
+            return []
+        fresh: list[Binding] = []
+        for index, pattern in enumerate(self.patterns):
+            rest = self.patterns[:index] + self.patterns[index + 1 :]
+            seeds = [
+                binding
+                for triple in added_triples
+                if (binding := unify(pattern, triple)) is not None
+            ]
+            if not seeds:
+                continue
+            for solution in solve(graph, rest, bindings=seeds):
+                key = _key(solution)
+                if key not in self._solutions:
+                    self._solutions[key] = solution
+                    fresh.append(solution)
+        return fresh
+
+    @staticmethod
+    def _instantiate(pattern: TriplePattern, solution: Binding) -> Triple:
+        subject, predicate, obj = (
+            solution[term] if isinstance(term, Variable) else term for term in pattern
+        )
+        return Triple(subject, predicate, obj)
+
+    def _emit(self, event: SubscriptionEvent) -> None:
+        if self.callback is None:
+            with self._lock:
+                self.events.append(event)
+            return
+        try:
+            self.callback(event)
+        except Exception as error:  # noqa: BLE001 - isolate subscriber bugs
+            self.error = error
+
+    def __repr__(self):
+        state = "active" if self.active else "cancelled"
+        return (
+            f"<Subscription {state} patterns={len(self.patterns)} "
+            f"solutions={len(self._solutions)}>"
+        )

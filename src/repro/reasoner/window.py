@@ -29,6 +29,7 @@ from collections import deque
 from typing import Callable, Iterable
 
 from ..rdf.terms import Triple
+from .delta import Delta, InferenceReport
 from .engine import Slider
 
 __all__ = ["WindowedReasoner", "CountWindow", "TimeWindow"]
@@ -91,6 +92,8 @@ class WindowedReasoner:
         self._entries: deque[tuple[float, Triple]] = deque()
         self._background: set[Triple] = set()
         self.expired_total = 0
+        #: The InferenceReport of the last window commit (extend/slide).
+        self.last_report: InferenceReport | None = None
 
     # --- ingestion -----------------------------------------------------------
     def load_background(self, triples: Iterable[Triple]) -> int:
@@ -101,6 +104,13 @@ class WindowedReasoner:
 
     def extend(self, triples: Iterable[Triple]) -> int:
         """Stream new assertions in; slide the window; return expiry count.
+
+        Additions and expirations commit as **one transaction** through
+        :meth:`Slider.apply` — a single revision whose
+        :class:`~repro.reasoner.delta.InferenceReport` (kept on
+        :attr:`last_report`) carries exactly what the slide changed.
+        Net-delta normalization makes a triple that enters and falls out
+        of the window within the same chunk a no-op.
 
         Duplicates of background knowledge are ignored (they would
         otherwise expire knowledge meant to be permanent); re-streamed
@@ -113,8 +123,16 @@ class WindowedReasoner:
             if triple in live:
                 self._remove_entry(triple)
             self._entries.append((now, triple))
-        self.reasoner.add(streamed)
-        return self.slide()
+        expired = self._take_expired(now)
+        # Net-delta cancellation is only correct for triples that never
+        # reached the store: a *re-streamed* live triple that expires in
+        # the same chunk must keep its retraction (the pre-existing copy
+        # has to leave the store), so its no-op re-assertion is dropped
+        # instead of cancelling the retraction.
+        expired_set = set(expired)
+        assertions = [t for t in streamed if not (t in expired_set and t in live)]
+        self._commit(Delta(assertions=assertions, retractions=expired), len(expired))
+        return len(expired)
 
     def _remove_entry(self, triple: Triple) -> None:
         for index, (_, existing) in enumerate(self._entries):
@@ -124,19 +142,41 @@ class WindowedReasoner:
 
     # --- expiry -----------------------------------------------------------------
     def slide(self) -> int:
-        """Retract whatever the policy says has expired; returns count."""
-        expired = self.window.expired(self._entries, self._clock())
+        """Retract whatever the policy says has expired; returns count.
+
+        Expiry is not private bookkeeping: it is a retraction delta
+        committed through the engine's one
+        :meth:`~repro.reasoner.engine.Slider.apply` pipeline (DRed
+        removes the expired assertions and every no-longer-supported
+        consequence).
+        """
+        expired = self._take_expired(self._clock())
         if not expired:
             return 0
-        expired_set = set(expired)
-        self._entries = deque(
-            (stamp, triple)
-            for stamp, triple in self._entries
-            if triple not in expired_set
-        )
-        self.reasoner.retract(expired)
-        self.expired_total += len(expired)
+        self._commit(Delta(retractions=expired), len(expired))
         return len(expired)
+
+    def _take_expired(self, now: float) -> list[Triple]:
+        """Ask the policy what expired and prune those window entries."""
+        expired = self.window.expired(self._entries, now)
+        if expired:
+            expired_set = set(expired)
+            self._entries = deque(
+                (stamp, triple)
+                for stamp, triple in self._entries
+                if triple not in expired_set
+            )
+        return expired
+
+    def _commit(self, delta: Delta, expired_count: int) -> None:
+        """Apply one window delta as a single engine revision.
+
+        ``expired_count`` is the *policy-level* count (a triple that
+        arrived and expired within the same chunk still counts as an
+        expiry even though net-normalization keeps it out of the store).
+        """
+        self.last_report = self.reasoner.apply(delta)
+        self.expired_total += expired_count
 
     # --- inspection ----------------------------------------------------------
     def __len__(self) -> int:

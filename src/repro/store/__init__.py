@@ -11,7 +11,7 @@ from .backends import (
 )
 from .graph import Graph
 from .locks import ReentrantReadWriteLock
-from .query import TriplePattern, ask, construct, select, solve
+from .query import Binding, TriplePattern, ask, construct, select, solve, unify
 from .vertical import VerticalTripleStore
 
 __all__ = [
@@ -26,8 +26,10 @@ __all__ = [
     "register_backend",
     "available_backends",
     "TriplePattern",
+    "Binding",
     "solve",
     "select",
     "ask",
     "construct",
+    "unify",
 ]

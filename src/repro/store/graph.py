@@ -101,6 +101,34 @@ class Graph:
         for triple in self.triples(subject, predicate, None):
             yield triple.object
 
+    # --- BGP queries ---------------------------------------------------------
+    # Conveniences over repro.store.query (imported lazily: query.py
+    # imports Graph for its signatures, so a module-level import here
+    # would be circular).
+    def solve(self, patterns):
+        """All solutions of a conjunctive pattern (see :func:`repro.store.query.solve`)."""
+        from .query import solve as _solve
+
+        return _solve(self, patterns)
+
+    def select(self, variables, patterns, distinct: bool = True):
+        """SPARQL-SELECT-like projection (see :func:`repro.store.query.select`)."""
+        from .query import select as _select
+
+        return _select(self, variables, patterns, distinct=distinct)
+
+    def ask(self, patterns) -> bool:
+        """Does at least one solution exist?"""
+        from .query import ask as _ask
+
+        return _ask(self, patterns)
+
+    def construct(self, template, patterns):
+        """Instantiate ``template`` for every solution."""
+        from .query import construct as _construct
+
+        return _construct(self, template, patterns)
+
     # --- encoded access (for the reasoner / baselines) -----------------------
     def encoded(self) -> Iterator[EncodedTriple]:
         """Iterate raw encoded triples (no decoding cost)."""

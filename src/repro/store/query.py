@@ -19,11 +19,34 @@ from typing import Iterator, Sequence, Union
 from ..rdf.terms import Term, Triple, Variable
 from .graph import Graph
 
-__all__ = ["TriplePattern", "solve", "select", "ask", "construct"]
+__all__ = ["TriplePattern", "Binding", "solve", "select", "ask", "construct", "unify"]
 
 PatternTerm = Union[Term, Variable]
 TriplePattern = tuple[PatternTerm, PatternTerm, PatternTerm]
 Binding = dict[Variable, Term]
+
+
+def unify(
+    pattern: TriplePattern, triple: Triple, binding: Binding | None = None
+) -> Binding | None:
+    """Match one concrete triple against a pattern.
+
+    Returns the (extended copy of the) binding on success, ``None`` on
+    mismatch.  Repeated variables must agree, both within the pattern
+    and with any pre-existing binding.  This is the primitive the
+    subscription layer seeds its delta evaluation with.
+    """
+    result: Binding = dict(binding) if binding else {}
+    for pattern_term, value in zip(pattern, triple):
+        if isinstance(pattern_term, Variable):
+            previous = result.get(pattern_term)
+            if previous is None:
+                result[pattern_term] = value
+            elif previous != value:
+                return None
+        elif pattern_term != value:
+            return None
+    return result
 
 
 def _pattern_variables(pattern: TriplePattern) -> set[Variable]:
@@ -77,17 +100,27 @@ def _match_pattern(graph: Graph, pattern: TriplePattern) -> Iterator[tuple[Tripl
             yield triple, binding
 
 
-def solve(graph: Graph, patterns: Sequence[TriplePattern]) -> list[Binding]:
+def solve(
+    graph: Graph,
+    patterns: Sequence[TriplePattern],
+    bindings: Sequence[Binding] | None = None,
+) -> list[Binding]:
     """Evaluate a conjunction of triple patterns; return all solutions.
 
     Each solution maps every variable in the BGP to a concrete term.
     Patterns are greedily reordered by selectivity at each join step.
+    ``bindings`` optionally seeds the evaluation with partial solutions
+    (the subscription layer passes the bindings a delta triple produced,
+    so only the affected slice of the solution space is re-joined).
     """
+    seeds: list[Binding] = [dict(b) for b in bindings] if bindings else [{}]
     if not patterns:
-        return [{}]
+        return seeds
     remaining = list(patterns)
-    solutions: list[Binding] = [{}]
+    solutions: list[Binding] = seeds
     bound: set[Variable] = set()
+    for seed in seeds:
+        bound |= seed.keys()
     while remaining:
         remaining.sort(key=lambda p: _estimate_cost(graph, p, bound))
         pattern = remaining.pop(0)

@@ -7,7 +7,7 @@ import random
 import pytest
 
 from repro.baselines import BatchReasoner, SemiNaiveReasoner
-from repro.rdf import IRI, Literal, Namespace, RDF, RDFS, Triple
+from repro.rdf import Literal, Namespace, RDF, RDFS, Triple
 from repro.reasoner import Slider
 
 EX = Namespace("http://example.org/")

@@ -4,7 +4,7 @@ import pytest
 
 from repro.baselines import SemiNaiveReasoner
 from repro.datasets import BSBM, bsbm_tbox, generate_bsbm, iter_bsbm
-from repro.rdf import RDF, RDFS, Triple
+from repro.rdf import RDF, RDFS
 
 
 class TestTBox:

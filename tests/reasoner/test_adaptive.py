@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.rdf import RDF, RDFS, Triple
+from repro.rdf import RDFS, Triple
 from repro.reasoner import AdaptiveBufferController, Slider
 from repro.reasoner.adaptive import RuleYield
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.rdf import RDF, RDFS, Triple
 from repro.reasoner import Slider, SliderError
-from repro.reasoner.fragments import Fragment, get_fragment
+from repro.reasoner.fragments import Fragment
 from repro.reasoner.trace import Trace
 
 from ..conftest import EX, make_chain, small_ontology

@@ -1,6 +1,5 @@
 """Semantics tests: each ρdf rule derives exactly what it should."""
 
-import pytest
 
 from repro.rdf import RDF, RDFS, Literal, Triple
 from repro.reasoner.fragments import get_fragment

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.rdf import RDFS, Triple, write_ntriples_file
+from repro.rdf import Triple, write_ntriples_file
 from repro.reasoner import (
     FileSource,
     GeneratorSource,

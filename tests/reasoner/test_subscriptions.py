@@ -1,0 +1,190 @@
+"""Tests for standing BGP subscriptions over revision deltas.
+
+Pins the acceptance criterion: a registered subscription receives
+precisely the binding-level diff of each committed revision — every
+genuine change, and *nothing* for revisions that cannot affect it.
+"""
+
+import pytest
+
+from repro import Delta, Slider, Variable
+from repro.rdf import RDF, RDFS, Triple
+
+from ..conftest import EX, STORE_BACKENDS
+
+X = Variable("x")
+Y = Variable("y")
+
+SCHEMA = [
+    Triple(EX.Cat, RDFS.subClassOf, EX.Animal),
+    Triple(EX.Dog, RDFS.subClassOf, EX.Animal),
+]
+
+
+def animal_pattern():
+    return [(X, RDF.type, EX.Animal)]
+
+
+class TestBindingDeltas:
+    def test_additions_notify_exact_bindings(self):
+        with Slider(fragment="rhodf", workers=0, timeout=None) as r:
+            r.materialize(SCHEMA)
+            events = []
+            r.subscribe(animal_pattern(), events.append)
+            r.apply(Delta(assertions=[Triple(EX.tom, RDF.type, EX.Cat)]))
+            assert len(events) == 1
+            assert [dict(b) for b in events[0].added] == [{X: EX.tom}]
+            assert events[0].removed == ()
+
+    def test_removals_notify_exact_bindings(self):
+        with Slider(fragment="rhodf", workers=0, timeout=None) as r:
+            r.materialize(SCHEMA + [Triple(EX.tom, RDF.type, EX.Cat)])
+            events = []
+            r.subscribe(animal_pattern(), events.append)
+            r.apply(Delta(retractions=[Triple(EX.tom, RDF.type, EX.Cat)]))
+            assert len(events) == 1
+            assert events[0].added == ()
+            assert [dict(b) for b in events[0].removed] == [{X: EX.tom}]
+
+    def test_no_spurious_notifications(self):
+        """Unrelated commits and no-op revisions never wake a subscriber."""
+        with Slider(fragment="rhodf", workers=0, timeout=None) as r:
+            r.materialize(SCHEMA)
+            events = []
+            r.subscribe(animal_pattern(), events.append)
+            r.apply(Delta(assertions=[Triple(EX.a, EX.knows, EX.b)]))
+            r.flush()  # empty revision
+            # Solution already known at subscribe time: re-asserting the
+            # supporting triple changes nothing.
+            r.apply(Delta(assertions=[Triple(EX.c, EX.knows, EX.d)]))
+            assert events == []
+
+    def test_existing_solutions_not_renotified(self):
+        with Slider(fragment="rhodf", workers=0, timeout=None) as r:
+            r.materialize(SCHEMA + [Triple(EX.tom, RDF.type, EX.Cat)])
+            events = []
+            sub = r.subscribe(animal_pattern(), events.append)
+            assert {X: EX.tom} in sub.solutions  # seeded, not notified
+            # A second, independent way to derive "tom a Animal":
+            r.apply(Delta(assertions=[Triple(EX.tom, RDF.type, EX.Dog)]))
+            assert events == []  # the binding was already live
+
+    @pytest.mark.parametrize("store", STORE_BACKENDS)
+    def test_subscription_tracks_report_diff(self, store):
+        """The notified bindings are exactly the report's graph diff
+        projected through the pattern."""
+        with Slider(fragment="rhodf", workers=0, timeout=None, store=store) as r:
+            r.materialize(SCHEMA)
+            events = []
+            r.subscribe(animal_pattern(), events.append)
+            report = r.apply(
+                Delta(
+                    assertions=[
+                        Triple(EX.tom, RDF.type, EX.Cat),
+                        Triple(EX.rex, RDF.type, EX.Dog),
+                    ]
+                )
+            )
+            expected = {
+                t.subject
+                for t in report.added
+                if t.predicate == RDF.type and t.object == EX.Animal
+            }
+            assert {b[X] for b in events[-1].added} == expected == {EX.tom, EX.rex}
+
+
+class TestJoins:
+    def test_two_pattern_join_additions(self):
+        patterns = [(X, RDF.type, EX.Animal), (Y, EX.hasPet, X)]
+        with Slider(fragment="rhodf", workers=0, timeout=None) as r:
+            r.materialize(SCHEMA + [Triple(EX.tom, RDF.type, EX.Cat)])
+            events = []
+            r.subscribe(patterns, events.append)
+            # Completing the join with the *second* pattern's triple:
+            r.apply(Delta(assertions=[Triple(EX.alice, EX.hasPet, EX.tom)]))
+            assert [dict(b) for b in events[-1].added] == [{X: EX.tom, Y: EX.alice}]
+            # Completing another solution via the *first* pattern:
+            r.apply(
+                Delta(
+                    assertions=[
+                        Triple(EX.bob, EX.hasPet, EX.rex),
+                        Triple(EX.rex, RDF.type, EX.Dog),
+                    ]
+                )
+            )
+            assert {frozenset(b.items()) for b in events[-1].added} == {
+                frozenset({X: EX.rex, Y: EX.bob}.items())
+            }
+
+    def test_join_removal_when_one_support_dies(self):
+        patterns = [(X, RDF.type, EX.Animal), (Y, EX.hasPet, X)]
+        with Slider(fragment="rhodf", workers=0, timeout=None) as r:
+            r.materialize(
+                SCHEMA
+                + [
+                    Triple(EX.tom, RDF.type, EX.Cat),
+                    Triple(EX.alice, EX.hasPet, EX.tom),
+                ]
+            )
+            events = []
+            r.subscribe(patterns, events.append)
+            r.apply(Delta(retractions=[Triple(EX.tom, RDF.type, EX.Cat)]))
+            assert [dict(b) for b in events[-1].removed] == [{X: EX.tom, Y: EX.alice}]
+            assert events[-1].added == ()
+
+
+class TestLifecycle:
+    def test_cancel_stops_notifications(self):
+        with Slider(fragment="rhodf", workers=0, timeout=None) as r:
+            r.materialize(SCHEMA)
+            events = []
+            sub = r.subscribe(animal_pattern(), events.append)
+            sub.cancel()
+            r.apply(Delta(assertions=[Triple(EX.tom, RDF.type, EX.Cat)]))
+            assert events == []
+
+    def test_polling_mode_queues_events(self):
+        with Slider(fragment="rhodf", workers=0, timeout=None) as r:
+            r.materialize(SCHEMA)
+            sub = r.subscribe(animal_pattern())  # no callback
+            r.apply(Delta(assertions=[Triple(EX.tom, RDF.type, EX.Cat)]))
+            events = sub.drain()
+            assert len(events) == 1
+            assert [dict(b) for b in events[0].added] == [{X: EX.tom}]
+            assert sub.drain() == []
+
+    def test_callback_errors_are_isolated(self):
+        with Slider(fragment="rhodf", workers=0, timeout=None) as r:
+            r.materialize(SCHEMA)
+
+            def explode(event):
+                raise ValueError("subscriber bug")
+
+            sub = r.subscribe(animal_pattern(), explode)
+            report = r.apply(Delta(assertions=[Triple(EX.tom, RDF.type, EX.Cat)]))
+            assert report.revision  # the commit itself succeeded
+            assert isinstance(sub.error, ValueError)
+
+    def test_validation(self):
+        with Slider(fragment="rhodf", workers=0, timeout=None) as r:
+            with pytest.raises(ValueError):
+                r.subscribe([])
+            with pytest.raises(ValueError):
+                r.subscribe([(X, RDF.type)])
+
+    def test_window_expiry_notifies_subscribers(self):
+        from repro import CountWindow, WindowedReasoner
+
+        def typed(i):
+            return Triple(EX[f"item{i}"], RDF.type, EX.Event)
+
+        with WindowedReasoner(CountWindow(2), fragment="rhodf") as window:
+            window.load_background([Triple(EX.Event, RDFS.subClassOf, EX.Thing)])
+            window.flush()
+            events = []
+            window.reasoner.subscribe([(X, RDF.type, EX.Thing)], events.append)
+            window.extend([typed(1), typed(2)])
+            assert {b[X] for b in events[-1].added} == {EX.item1, EX.item2}
+            window.extend([typed(3)])  # item1 expires
+            assert {b[X] for b in events[-1].removed} == {EX.item1}
+            assert {b[X] for b in events[-1].added} == {EX.item3}

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.rdf import IRI, Literal, RDF, RDFS, Triple
+from repro.rdf import Literal, RDF, RDFS, Triple
 from repro.store import Graph
 
 from ..conftest import EX

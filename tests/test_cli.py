@@ -58,6 +58,36 @@ class TestReason:
         assert target.exists()
         assert len(target.read_text().strip().splitlines()) == 5 * 4 // 2
 
+    def test_reason_prints_inference_report(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "chain.nt"
+        write_ntriples_file(make_chain(10), path)
+        out = run_cli(
+            capsys, "reason", str(path), "--workers", "0", "--timeout", "0",
+            "--report",
+        )
+        payload = json.loads(out[out.index("{"):])
+        assert payload["revision"] == 1
+        assert payload["explicit_added"] == 9
+        assert payload["inferred_added"] == 36
+        assert payload["removed"] == 0
+        assert "timings" in payload
+
+    def test_reason_writes_inference_report_file(self, capsys, tmp_path):
+        import json
+
+        source = tmp_path / "in.nt"
+        target = tmp_path / "report.json"
+        write_ntriples_file(make_chain(5), source)
+        out = run_cli(
+            capsys, "reason", str(source), "--workers", "0", "--timeout", "0",
+            "--report", str(target),
+        )
+        assert "wrote inference report" in out
+        payload = json.loads(target.read_text())
+        assert payload["net_change"] == payload["explicit_added"] + payload["inferred_added"]
+
     def test_reason_rejects_both_inputs_and_dataset(self, capsys):
         code = main(["reason", "x.nt", "--dataset", "wordnet"])
         assert code == 2
