@@ -26,6 +26,7 @@ migration (see the README's API section).
 
 from .dictionary import EncodedTriple, TermDictionary
 from .rdf import OWL, RDF, RDFS, XSD, BNode, IRI, Literal, Namespace, Triple, Variable
+from .persist import PersistenceManager
 from .reasoner import (
     CountWindow,
     Delta,
@@ -33,6 +34,7 @@ from .reasoner import (
     InferenceReport,
     JoinRule,
     Pattern,
+    RecoveryInfo,
     Rule,
     SingleRule,
     Slider,
@@ -73,6 +75,7 @@ __all__ = [
     "__version__",
     "Slider",
     "SliderError",
+    "RecoveryInfo",
     "Delta",
     "Transaction",
     "InferenceReport",
@@ -119,4 +122,5 @@ __all__ = [
     "Pattern",
     "Var",
     "Trace",
+    "PersistenceManager",
 ]

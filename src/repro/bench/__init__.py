@@ -1,5 +1,6 @@
 """Benchmark harness: timed runs, gains, paper-style tables and charts."""
 
+from .recovery import RecoveryResult, run_recovery
 from .harness import (
     RunResult,
     Table1Row,
@@ -22,6 +23,8 @@ from .tables import (
 
 __all__ = [
     "RunResult",
+    "RecoveryResult",
+    "run_recovery",
     "Table1Row",
     "run_slider",
     "run_batch",

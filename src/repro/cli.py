@@ -5,9 +5,15 @@ Subcommands mirror the demo's three panels plus the benchmark harness:
 * ``reason``     — load files (or a named dataset), infer, dump/report.
 * ``bench``      — regenerate Table 1 / Figure 3 at a chosen scale.
 * ``demo``       — run a traced inference and write the HTML report.
+* ``snapshot``   — compact a durable state directory (snapshot + truncate).
+* ``recover``    — restore from a durable state directory and report/dump.
 * ``fragments``  — list registered fragments.
 * ``datasets``   — list named benchmark ontologies.
 * ``depgraph``   — print a fragment's rules dependency graph (Figure 2).
+
+Durability: pass ``--persist DIR`` to ``reason`` to journal every commit
+into ``DIR`` and recover any state already there (see the README's
+*Durability* section).
 """
 
 from __future__ import annotations
@@ -31,10 +37,23 @@ from .dictionary.encoder import TermDictionary
 __all__ = ["main", "build_parser"]
 
 
+_EPILOG = """\
+examples:
+  slider-reason reason data.nt --fragment rdfs --stats
+  slider-reason reason --dataset BSBM_100k --scale 0.02 --report -
+  slider-reason reason data.nt --persist state/        # durable run (WAL + recovery)
+  slider-reason snapshot --persist state/              # compact: snapshot + truncate WAL
+  slider-reason recover --persist state/ --output closure.nt
+  slider-reason bench --experiment table1 --store sharded:8
+"""
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="slider-reason",
         description="Slider: an efficient incremental RDF reasoner (SIGMOD 2015 reproduction)",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -61,6 +80,25 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default %(default)s)")
     bench.add_argument("--datasets", nargs="*", default=None,
                        help="restrict to these dataset names")
+
+    snapshot = subparsers.add_parser(
+        "snapshot",
+        help="compact a durable state directory (write snapshot, truncate changelog)",
+    )
+    snapshot.add_argument("--persist", required=True, metavar="DIR",
+                          help="the durable state directory to compact")
+    _add_persist_tuning(snapshot)
+
+    recover = subparsers.add_parser(
+        "recover",
+        help="restore a durable state directory and report the recovered closure",
+    )
+    recover.add_argument("--persist", required=True, metavar="DIR",
+                         help="the durable state directory to restore from")
+    recover.add_argument("--output", help="write the recovered graph as N-Triples")
+    recover.add_argument("--stats", action="store_true",
+                         help="print store statistics after recovery")
+    _add_persist_tuning(recover)
 
     demo = subparsers.add_parser("demo", help="traced inference + HTML report")
     demo.add_argument("--dataset", default="subClassOf100")
@@ -91,6 +129,22 @@ def _add_reasoner_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--store", default="hashdict", metavar="BACKEND",
                         help="storage backend spec: hashdict (single-lock) or "
                              "sharded[:N] (lock-striped, N shards; default %(default)s)")
+    parser.add_argument("--persist", default=None, metavar="DIR",
+                        help="durable state directory: journal every commit and "
+                             "recover existing state on start-up")
+    parser.add_argument("--no-fsync", action="store_true",
+                        help="skip the fsync-per-commit (faster, page-cache "
+                             "durability only)")
+
+
+def _add_persist_tuning(parser: argparse.ArgumentParser) -> None:
+    """The reasoner knobs the durable-state subcommands need."""
+    parser.add_argument("--fragment", default="rhodf",
+                        help="rule fragment the state was built with (default %(default)s)")
+    parser.add_argument("--store", default="hashdict", metavar="BACKEND",
+                        help="storage backend to restore into (default %(default)s)")
+    parser.add_argument("--no-fsync", action="store_true",
+                        help="skip the fsync-per-commit during this operation")
 
 
 def _make_reasoner(args, trace: Trace | None = None) -> Slider:
@@ -102,6 +156,32 @@ def _make_reasoner(args, trace: Trace | None = None) -> Slider:
         workers=args.workers,
         store=args.store,
         trace=trace,
+        persist_dir=args.persist,
+        persist_fsync=not args.no_fsync,
+    )
+
+
+def _open_recovered(args) -> Slider:
+    """A deterministic engine over a durable state directory."""
+    return Slider(
+        fragment=args.fragment,
+        workers=0,
+        timeout=None,
+        store=args.store,
+        persist_dir=args.persist,
+        persist_fsync=not args.no_fsync,
+    )
+
+
+def _print_recovery(reasoner: Slider) -> None:
+    info = reasoner.recovery
+    if info is None:
+        return
+    torn = f", dropped {info.torn_bytes_dropped} torn bytes" if info.torn_bytes_dropped else ""
+    print(
+        f"recovered revision {info.recovered_revision} "
+        f"(snapshot rev {info.snapshot_revision}: {info.snapshot_triples} triples, "
+        f"replayed {info.replayed_records} changelog records{torn})"
     )
 
 
@@ -110,6 +190,7 @@ def _cmd_reason(args) -> int:
         print("error: provide input files or --dataset (not both)", file=sys.stderr)
         return 2
     reasoner = _make_reasoner(args)
+    _print_recovery(reasoner)
     start = time.perf_counter()
     if args.dataset:
         reasoner.add(load_dataset(args.dataset, args.scale))
@@ -156,6 +237,37 @@ def _cmd_bench(args) -> int:
         print()
     if args.experiment == "fig3" and len(halves) == 2:
         print(render_figure3(halves["rhodf"], halves["rdfs"]))
+    return 0
+
+
+def _cmd_snapshot(args) -> int:
+    with _open_recovered(args) as reasoner:
+        _print_recovery(reasoner)
+        path = reasoner.snapshot()
+        print(
+            f"snapshot of revision {reasoner.revision} "
+            f"({len(reasoner)} triples) written to {path} "
+            f"({path.stat().st_size:,} bytes); changelog truncated"
+        )
+    return 0
+
+
+def _cmd_recover(args) -> int:
+    with _open_recovered(args) as reasoner:
+        if reasoner.recovery is None:
+            print(f"nothing to recover in {args.persist} (cold directory)")
+        else:
+            _print_recovery(reasoner)
+        print(
+            f"{reasoner.input_count} explicit + {reasoner.inferred_count} inferred "
+            f"= {len(reasoner)} triples at revision {reasoner.revision}"
+        )
+        if args.stats:
+            for key, value in sorted(reasoner.store.stats().items()):
+                print(f"  {key:<14} {value:,}")
+        if args.output:
+            written = reasoner.graph.dump_ntriples(args.output)
+            print(f"wrote {written} triples to {args.output}")
     return 0
 
 
@@ -224,6 +336,8 @@ _COMMANDS = {
     "reason": _cmd_reason,
     "bench": _cmd_bench,
     "demo": _cmd_demo,
+    "snapshot": _cmd_snapshot,
+    "recover": _cmd_recover,
     "fragments": _cmd_fragments,
     "datasets": _cmd_datasets,
     "depgraph": _cmd_depgraph,

@@ -1,0 +1,62 @@
+"""Durable snapshots + changelog persistence for the Slider engine.
+
+The incremental closure only pays off at service scale if it survives
+restarts; this package makes the engine a *restartable* system:
+
+* :mod:`~repro.persist.snapshot` — an atomic, CRC-checked binary image
+  of the term dictionary, the explicit/inferred store partitions and
+  the revision id;
+* :mod:`~repro.persist.journal` — an append-only write-ahead changelog
+  of committed deltas, fsynced before ``apply()`` returns, with a
+  torn-tail-tolerant reader;
+* :mod:`~repro.persist.manager` — the :class:`PersistenceManager`
+  wiring both into the recovery / compaction lifecycle;
+* :mod:`~repro.persist.format` — the shared byte-level encoding.
+
+Enable it with ``Slider(persist_dir="state/")``; see the README's
+*Durability* section for the lifecycle and recovery semantics.
+"""
+
+from .format import FormatError
+from .journal import (
+    JOURNAL_MAGIC,
+    JournalError,
+    JournalRecord,
+    JournalWriter,
+    read_journal,
+)
+from .manager import (
+    DEFAULT_COMPACT_BYTES,
+    JOURNAL_FILENAME,
+    LOCK_FILENAME,
+    SNAPSHOT_FILENAME,
+    PersistenceLockError,
+    PersistenceManager,
+)
+from .snapshot import (
+    SNAPSHOT_MAGIC,
+    Snapshot,
+    SnapshotError,
+    load_snapshot,
+    write_snapshot,
+)
+
+__all__ = [
+    "PersistenceManager",
+    "PersistenceLockError",
+    "Snapshot",
+    "SnapshotError",
+    "write_snapshot",
+    "load_snapshot",
+    "JournalRecord",
+    "JournalWriter",
+    "JournalError",
+    "read_journal",
+    "FormatError",
+    "SNAPSHOT_FILENAME",
+    "JOURNAL_FILENAME",
+    "LOCK_FILENAME",
+    "SNAPSHOT_MAGIC",
+    "JOURNAL_MAGIC",
+    "DEFAULT_COMPACT_BYTES",
+]

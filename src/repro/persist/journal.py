@@ -1,0 +1,243 @@
+"""The append-only changelog (write-ahead log) of committed deltas.
+
+Every revision the engine commits is journaled as one CRC-framed record
+*before* :meth:`~repro.reasoner.engine.Slider.apply` returns, so a
+process death after the commit point loses nothing: recovery replays
+the journal tail (everything newer than the last snapshot) through the
+normal ``apply()`` pipeline and arrives at the identical closure, with
+identical revision ids.
+
+Records carry the *requested* explicit mutations at term level — the
+net-normalized assertions and retractions of the revision's delta — not
+the inferred consequences; inference is deterministic, so replay
+recomputes it.  Term-level (rather than dictionary-id) encoding keeps
+each record self-contained: the journal never depends on dictionary
+state that only existed in the dead process.
+
+Durability contract:
+
+* ``fsync=True`` (the default) fsyncs after every record — commit
+  means *on disk*;
+* a record torn by a crash mid-write fails its length or CRC check;
+  :func:`read_journal` returns the records before it plus the byte
+  length of the intact prefix, and recovery truncates the file there —
+  the torn tail is dropped, never "repaired" into corruption.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Sequence
+
+from ..rdf.terms import Triple
+from .format import (
+    FRAME_HEADER,
+    FormatError,
+    frame_record,
+    fsync_dir,
+    read_frames,
+    read_string,
+    read_triple,
+    read_varint,
+    write_string,
+    write_triple,
+    write_varint,
+)
+
+__all__ = [
+    "JournalRecord",
+    "JournalError",
+    "JournalWriter",
+    "read_journal",
+    "JOURNAL_MAGIC",
+]
+
+JOURNAL_MAGIC = b"SLWAL001"
+
+
+def _encode_header(fragment: str) -> bytes:
+    """File header: magic + the fragment the changelog was built under."""
+    out = bytearray(JOURNAL_MAGIC)
+    write_string(out, fragment)
+    return bytes(out)
+
+
+def _decode_header(data: bytes) -> tuple[str, int] | None:
+    """Parse the header; ``None`` when it is torn (recoverable as empty).
+
+    Raises :class:`JournalError` when the head is simply not a Slider
+    changelog — damage that truncation cannot explain.
+    """
+    if len(data) < len(JOURNAL_MAGIC):
+        if JOURNAL_MAGIC.startswith(data):
+            return None  # torn mid-magic
+        raise JournalError("not a Slider changelog (bad magic)")
+    if not data.startswith(JOURNAL_MAGIC):
+        raise JournalError("not a Slider changelog (bad magic)")
+    try:
+        fragment, offset = read_string(data, len(JOURNAL_MAGIC))
+    except FormatError:
+        return None  # torn mid-header
+    return fragment, offset
+
+
+class JournalError(RuntimeError):
+    """The journal file head is not a Slider changelog."""
+
+
+class JournalRecord:
+    """One committed revision: its id and requested term-level delta."""
+
+    __slots__ = ("revision", "assertions", "retractions")
+
+    def __init__(
+        self,
+        revision: int,
+        assertions: Sequence[Triple] = (),
+        retractions: Sequence[Triple] = (),
+    ):
+        self.revision = revision
+        self.assertions = tuple(assertions)
+        self.retractions = tuple(retractions)
+
+    def encode(self) -> bytes:
+        """Serialize to a framed, CRC-protected record."""
+        out = bytearray()
+        write_varint(out, self.revision)
+        write_varint(out, len(self.assertions))
+        for triple in self.assertions:
+            write_triple(out, triple)
+        write_varint(out, len(self.retractions))
+        for triple in self.retractions:
+            write_triple(out, triple)
+        return frame_record(bytes(out))
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "JournalRecord":
+        """Parse one verified frame payload back into a record."""
+        offset = 0
+        revision, offset = read_varint(payload, offset)
+        groups: list[list[Triple]] = []
+        for _ in range(2):
+            count, offset = read_varint(payload, offset)
+            triples: list[Triple] = []
+            for _ in range(count):
+                triple, offset = read_triple(payload, offset)
+                triples.append(triple)
+            groups.append(triples)
+        if offset != len(payload):
+            raise FormatError(f"{len(payload) - offset} trailing bytes in record")
+        return cls(revision, groups[0], groups[1])
+
+    def __repr__(self):
+        return (
+            f"<JournalRecord rev={self.revision} "
+            f"+{len(self.assertions)} -{len(self.retractions)}>"
+        )
+
+
+class JournalWriter:
+    """Appends framed records to the changelog file, fsyncing on commit.
+
+    The writer owns the file handle for its lifetime; :meth:`append` is
+    called under the engine's commit lock, so no internal locking is
+    needed.  :meth:`reset` starts a fresh log epoch after a snapshot
+    (truncate back to the file header).
+
+    A fresh journal's header stamps the ``fragment`` it is built under;
+    recovery refuses to replay records into an engine running different
+    rules (the closure would silently diverge otherwise).
+    """
+
+    def __init__(self, path, fsync: bool = True, fragment: str = ""):
+        self.path = Path(path)
+        self.fsync = fsync
+        existing_size = self.path.stat().st_size if self.path.exists() else 0
+        if existing_size:
+            with open(self.path, "rb") as head:
+                header = _decode_header(head.read(4096))
+            if header is None:
+                raise JournalError(
+                    f"{path} has a torn header (recover first to truncate it)"
+                )
+            self._header_end = header[1]
+        self._handle = open(self.path, "ab")
+        if not existing_size:
+            blob = _encode_header(fragment)
+            self._header_end = len(blob)
+            self._handle.write(blob)
+            self._flush()
+            if self.fsync:
+                fsync_dir(self.path.parent)  # the *creation* must be durable too
+
+    def append(self, record: JournalRecord) -> int:
+        """Durably append one record; returns its size in bytes."""
+        blob = record.encode()
+        self._handle.write(blob)
+        self._flush()
+        return len(blob)
+
+    def _flush(self) -> None:
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+
+    def reset(self) -> None:
+        """Truncate to an empty journal (post-snapshot compaction)."""
+        self._handle.truncate(self._header_end)
+        self._handle.seek(0, os.SEEK_END)
+        self._flush()
+
+    @property
+    def size(self) -> int:
+        """Current journal size in bytes (file header included)."""
+        return self._handle.tell()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self):
+        return f"<JournalWriter {self.path} fsync={self.fsync}>"
+
+
+def read_journal(path) -> tuple[list[JournalRecord], int, str | None]:
+    """Read every intact record; returns ``(records, durable_bytes, fragment)``.
+
+    ``durable_bytes`` is the length of the verified prefix (header +
+    whole frames) and ``fragment`` is the rule fragment stamped into the
+    header (``None`` when the header itself is torn).  A torn or
+    corrupt tail simply ends the scan — the caller truncates the file
+    to ``durable_bytes`` before appending again.  A file whose *head*
+    is not a journal at all raises :class:`JournalError` (that is
+    damage truncation cannot explain).
+    """
+    data = Path(path).read_bytes()
+    if not data:
+        return [], 0, None
+    try:
+        header = _decode_header(data)
+    except JournalError as error:
+        raise JournalError(f"{path}: {error}") from None
+    if header is None:
+        return [], 0, None  # torn mid-header: an empty, recoverable journal
+    fragment, header_end = header
+    payloads, durable = read_frames(data, header_end)
+    records: list[JournalRecord] = []
+    valid = header_end
+    for payload in payloads:
+        try:
+            records.append(JournalRecord.decode(payload))
+        except FormatError:
+            # A CRC-passing but unparseable record: stop at the last
+            # good one; everything after it is dropped as torn.
+            return records, valid, fragment
+        valid += FRAME_HEADER.size + len(payload)
+    return records, durable, fragment

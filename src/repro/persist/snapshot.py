@@ -1,0 +1,243 @@
+"""The binary snapshot: one durable image of a materialized closure.
+
+A snapshot freezes everything the engine needs to resume without
+re-materializing:
+
+* the **term dictionary**, written in id order so a fresh dictionary
+  that re-encodes the terms in sequence reproduces every id bit for bit;
+* the **explicit partition** (asserted triples, including fragment
+  axioms) and the **inferred partition** (everything else in the store),
+  both as encoded ``(s, p, o)`` id tuples against the snapshot's own
+  term table — backend-independent, so a snapshot taken over the
+  hashdict store restores into a sharded one and vice versa;
+* the **revision id** the closure corresponds to, the fragment name,
+  the store spec it ran under (informational), and the axiom count
+  (so ``input_count`` stays correct after recovery).
+
+Layout: ``magic | payload | u32 crc32(payload)``, written to a
+temporary file and atomically renamed into place — a crash mid-snapshot
+leaves the previous snapshot untouched, and a torn write is caught by
+the trailing checksum at load time.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..dictionary.encoder import EncodedTriple, TermDictionary
+from ..rdf.terms import Term
+from .format import (
+    FormatError,
+    fsync_dir,
+    read_string,
+    read_term,
+    read_varint,
+    write_string,
+    write_term,
+    write_varint,
+)
+
+__all__ = ["Snapshot", "SnapshotError", "write_snapshot", "load_snapshot", "SNAPSHOT_MAGIC"]
+
+SNAPSHOT_MAGIC = b"SLSNAP01"
+
+
+class SnapshotError(RuntimeError):
+    """The snapshot file is missing structure, corrupt, or truncated."""
+
+
+class Snapshot:
+    """A loaded snapshot: term table + partitions + metadata.
+
+    The encoded triples are expressed in the snapshot's own id space
+    (``terms[i]`` is the term with id ``i``).  :meth:`restore` replays
+    them into a live dictionary + store; on a *fresh* dictionary the ids
+    are reproduced exactly, and on a pre-populated one the triples are
+    transparently re-mapped through a translation table.
+    """
+
+    __slots__ = (
+        "revision",
+        "fragment",
+        "store_spec",
+        "axiom_count",
+        "terms",
+        "explicit",
+        "inferred",
+    )
+
+    def __init__(
+        self,
+        revision: int,
+        fragment: str,
+        store_spec: str,
+        axiom_count: int,
+        terms: list[Term],
+        explicit: list[EncodedTriple],
+        inferred: list[EncodedTriple],
+    ):
+        self.revision = revision
+        self.fragment = fragment
+        self.store_spec = store_spec
+        self.axiom_count = axiom_count
+        self.terms = terms
+        self.explicit = explicit
+        self.inferred = inferred
+
+    @property
+    def triple_count(self) -> int:
+        return len(self.explicit) + len(self.inferred)
+
+    def restore(self, dictionary: TermDictionary, store) -> set[EncodedTriple]:
+        """Load the snapshot into ``dictionary`` + ``store``.
+
+        Returns the restored *explicit* set in the live dictionary's id
+        space.  Terms are encoded in snapshot-id order, so a fresh
+        dictionary ends up with identical ids and the stored tuples can
+        be inserted as-is; a shared (non-empty) dictionary gets an
+        old-id → new-id translation instead.
+        """
+        mapping = [dictionary.encode(term) for term in self.terms]
+        identity = all(new == old for old, new in enumerate(mapping))
+        if identity:
+            explicit = self.explicit
+            inferred = self.inferred
+        else:
+            explicit = [(mapping[s], mapping[p], mapping[o]) for s, p, o in self.explicit]
+            inferred = [(mapping[s], mapping[p], mapping[o]) for s, p, o in self.inferred]
+        store.add_all(explicit)
+        store.add_all(inferred)
+        return set(explicit)
+
+    def __repr__(self):
+        return (
+            f"<Snapshot rev={self.revision} fragment={self.fragment!r} "
+            f"terms={len(self.terms)} explicit={len(self.explicit)} "
+            f"inferred={len(self.inferred)}>"
+        )
+
+
+def _encode_payload(
+    revision: int,
+    fragment: str,
+    store_spec: str,
+    axiom_count: int,
+    terms: Sequence[Term],
+    explicit: Iterable[EncodedTriple],
+    inferred: Iterable[EncodedTriple],
+) -> bytes:
+    out = bytearray()
+    write_varint(out, revision)
+    write_varint(out, axiom_count)
+    write_string(out, fragment)
+    write_string(out, store_spec)
+    write_varint(out, len(terms))
+    for term in terms:
+        write_term(out, term)
+    for partition in (explicit, inferred):
+        partition = list(partition)
+        write_varint(out, len(partition))
+        for s, p, o in partition:
+            write_varint(out, s)
+            write_varint(out, p)
+            write_varint(out, o)
+    return bytes(out)
+
+
+def write_snapshot(
+    path,
+    *,
+    revision: int,
+    fragment: str,
+    store_spec: str,
+    axiom_count: int,
+    terms: Sequence[Term],
+    explicit: Iterable[EncodedTriple],
+    inferred: Iterable[EncodedTriple],
+    fsync: bool = True,
+) -> int:
+    """Write a snapshot atomically; returns the file size in bytes.
+
+    The image lands in ``path + ".tmp"`` first (fsynced when ``fsync``),
+    then replaces ``path`` with :func:`os.replace` — the all-or-nothing
+    step — so a reader never observes a half-written snapshot.
+    """
+    path = Path(path)
+    payload = _encode_payload(
+        revision, fragment, store_spec, axiom_count, terms, explicit, inferred
+    )
+    blob = SNAPSHOT_MAGIC + payload + struct.pack("<I", zlib.crc32(payload))
+    temp_path = path.with_name(path.name + ".tmp")
+    with open(temp_path, "wb") as handle:
+        handle.write(blob)
+        handle.flush()
+        if fsync:
+            os.fsync(handle.fileno())
+    os.replace(temp_path, path)
+    if fsync:
+        # The rename itself must survive power loss *before* the caller
+        # truncates the changelog, or recovery would see the old
+        # snapshot with an already-emptied journal.
+        fsync_dir(path.parent)
+    return len(blob)
+
+
+def load_snapshot(path) -> Snapshot:
+    """Read and verify a snapshot file; raises :class:`SnapshotError`."""
+    try:
+        data = Path(path).read_bytes()
+    except OSError as error:
+        raise SnapshotError(f"cannot read snapshot {path}: {error}") from error
+    if not data.startswith(SNAPSHOT_MAGIC):
+        raise SnapshotError(f"{path} is not a Slider snapshot (bad magic)")
+    if len(data) < len(SNAPSHOT_MAGIC) + 4:
+        raise SnapshotError(f"snapshot {path} is truncated")
+    payload = data[len(SNAPSHOT_MAGIC):-4]
+    (expected_crc,) = struct.unpack("<I", data[-4:])
+    if zlib.crc32(payload) != expected_crc:
+        raise SnapshotError(f"snapshot {path} failed its checksum (corrupt)")
+    try:
+        offset = 0
+        revision, offset = read_varint(payload, offset)
+        axiom_count, offset = read_varint(payload, offset)
+        fragment, offset = read_string(payload, offset)
+        store_spec, offset = read_string(payload, offset)
+        term_count, offset = read_varint(payload, offset)
+        terms: list[Term] = []
+        for _ in range(term_count):
+            term, offset = read_term(payload, offset)
+            terms.append(term)
+        partitions: list[list[EncodedTriple]] = []
+        for _ in range(2):
+            count, offset = read_varint(payload, offset)
+            triples: list[EncodedTriple] = []
+            for _ in range(count):
+                s, offset = read_varint(payload, offset)
+                p, offset = read_varint(payload, offset)
+                o, offset = read_varint(payload, offset)
+                triples.append((s, p, o))
+            partitions.append(triples)
+        if offset != len(payload):
+            raise FormatError(f"{len(payload) - offset} trailing bytes")
+    except FormatError as error:
+        raise SnapshotError(f"snapshot {path} is malformed: {error}") from None
+    explicit, inferred = partitions
+    for triples in partitions:
+        for encoded in triples:
+            if any(term_id >= term_count for term_id in encoded):
+                raise SnapshotError(
+                    f"snapshot {path} references a term id outside its dictionary"
+                )
+    return Snapshot(
+        revision=revision,
+        fragment=fragment,
+        store_spec=store_spec,
+        axiom_count=axiom_count,
+        terms=terms,
+        explicit=explicit,
+        inferred=inferred,
+    )

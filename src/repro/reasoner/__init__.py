@@ -5,7 +5,7 @@ from .buffers import TripleBuffer
 from .delta import ChangeLog, Delta, InferenceReport, Ticket, Transaction
 from .dependency import DependencyGraph, build_routing_table
 from .distributor import Distributor
-from .engine import Slider, SliderError
+from .engine import RecoveryInfo, Slider, SliderError
 from .subscription import Subscription, SubscriptionEvent
 from .fragments import (
     Fragment,
@@ -34,6 +34,7 @@ from .window import CountWindow, TimeWindow, WindowedReasoner
 __all__ = [
     "Slider",
     "SliderError",
+    "RecoveryInfo",
     "Delta",
     "Transaction",
     "InferenceReport",

@@ -43,7 +43,16 @@ __all__ = ["Delta", "Transaction", "InferenceReport", "Ticket", "ChangeLog"]
 def _as_triples(triples: Iterable[Triple] | Triple) -> list[Triple]:
     if isinstance(triples, Triple):
         return [triples]
-    return list(triples)
+    items = list(triples)
+    for item in items:
+        # Validate at the API boundary: a non-Triple must fail *before*
+        # the engine stages or journals anything (a malformed delta
+        # surfacing mid-apply would leave partial state behind).
+        if not isinstance(item, Triple):
+            raise TypeError(
+                f"deltas take Triples, got {type(item).__name__}: {item!r}"
+            )
+    return items
 
 
 class Delta:

@@ -49,6 +49,18 @@ remain as thin shims over the same pipeline.
 >>> tx.report.inferred_added_count       # what the commit changed
 >>> reasoner.add(triples)                # legacy shim — deferred one-shot
 >>> reasoner.flush()                     # barrier: commits the revision
+
+Durability
+----------
+
+``Slider(persist_dir=...)`` makes the engine restartable: every commit
+is journaled to an fsynced write-ahead changelog before :meth:`apply`
+returns, and a threshold (or an explicit :meth:`Slider.snapshot` call)
+compacts the changelog into an atomic binary snapshot.  Start-up over a
+non-empty directory *recovers* — snapshot load plus changelog replay
+through the normal pipeline — so a killed process resumes at the exact
+closure and revision id it had committed (see
+:mod:`repro.persist` and :class:`RecoveryInfo`).
 """
 
 from __future__ import annotations
@@ -57,9 +69,11 @@ import threading
 import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
-from ..dictionary.encoder import EncodedTriple, TermDictionary
+from ..dictionary.encoder import EncodedTriple, TermDictionary, encode_batch
+from ..persist.manager import DEFAULT_COMPACT_BYTES, PersistenceManager
 from ..rdf.terms import Triple
 from ..store.backends import TripleStore, create_store
 from ..store.graph import Graph
@@ -77,7 +91,7 @@ from .subscription import Subscription
 from .trace import NullTrace, Trace
 from .vocabulary import Vocabulary
 
-__all__ = ["Slider", "SliderError"]
+__all__ = ["Slider", "SliderError", "RecoveryInfo"]
 
 # Causes a firing can have; surfaced in trace events and counters.
 _CAUSE_SIZE = "size"
@@ -87,6 +101,61 @@ _CAUSE_FLUSH = "flush"
 
 class SliderError(RuntimeError):
     """A rule-module instance failed; carries the underlying cause."""
+
+
+class RecoveryInfo:
+    """What a durable engine restored at start-up.
+
+    Exposed as :attr:`Slider.recovery` when ``persist_dir`` held state;
+    ``None`` for a cold (empty-directory) start.
+    """
+
+    __slots__ = (
+        "snapshot_revision",
+        "snapshot_triples",
+        "replayed_records",
+        "reports",
+        "torn_bytes_dropped",
+    )
+
+    def __init__(
+        self,
+        snapshot_revision: int,
+        snapshot_triples: int,
+        replayed_records: int,
+        reports: "list[InferenceReport]",
+        torn_bytes_dropped: int,
+    ):
+        self.snapshot_revision = snapshot_revision
+        self.snapshot_triples = snapshot_triples
+        self.replayed_records = replayed_records
+        #: The reports the journal replay re-fired, in revision order —
+        #: deterministic re-runs of the lost process's commits.
+        self.reports = reports
+        self.torn_bytes_dropped = torn_bytes_dropped
+
+    @property
+    def recovered_revision(self) -> int:
+        """The revision the engine stands at after recovery."""
+        if self.reports:
+            return self.reports[-1].revision
+        return self.snapshot_revision
+
+    def as_dict(self) -> dict:
+        return {
+            "snapshot_revision": self.snapshot_revision,
+            "snapshot_triples": self.snapshot_triples,
+            "replayed_records": self.replayed_records,
+            "recovered_revision": self.recovered_revision,
+            "torn_bytes_dropped": self.torn_bytes_dropped,
+        }
+
+    def __repr__(self):
+        return (
+            f"<RecoveryInfo snapshot_rev={self.snapshot_revision} "
+            f"replayed={self.replayed_records} "
+            f"recovered_rev={self.recovered_revision}>"
+        )
 
 
 class _InlineExecutor:
@@ -155,6 +224,22 @@ class Slider:
         :class:`~repro.store.graph.Graph`).
     dictionary:
         Optionally share a pre-existing term dictionary.
+    persist_dir:
+        A directory for durable state.  When given, every committed
+        revision is journaled to an fsynced write-ahead changelog
+        before :meth:`apply` returns, and start-up *recovers*: the
+        latest snapshot is loaded and the changelog tail is replayed
+        through the normal :meth:`apply` pipeline (reports re-fire
+        deterministically; see :attr:`recovery`).  ``None`` (default)
+        keeps the engine purely in-memory.
+    persist_fsync:
+        ``False`` trades the fsync-per-commit durability guarantee for
+        write speed (page-cache durability only) — for benchmarks and
+        tests, not for production state.
+    compact_journal_bytes:
+        Changelog size that triggers automatic compaction (snapshot +
+        journal truncate) at the next commit; ``None`` disables the
+        threshold (explicit :meth:`snapshot` calls still compact).
     """
 
     def __init__(
@@ -168,6 +253,9 @@ class Slider:
         store: TripleStore | str | None = None,
         routing: str = "predicate",
         adaptive: "AdaptiveBufferController | bool | None" = None,
+        persist_dir: "str | Path | None" = None,
+        persist_fsync: bool = True,
+        compact_journal_bytes: int | None = DEFAULT_COMPACT_BYTES,
     ):
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
@@ -178,6 +266,54 @@ class Slider:
         self.fragment = fragment if isinstance(fragment, Fragment) else get_fragment(fragment)
         self.dictionary = dictionary if dictionary is not None else TermDictionary()
         self.store = create_store(store)
+        # Captured for the snapshot header (informational; snapshots are
+        # backend-independent and restore into any registered backend).
+        self._store_spec = store if isinstance(store, str) else type(self.store).__name__
+        # Durability: load the snapshot before anything can dispatch, so
+        # the recovered closure never re-enters the rule pipeline.
+        self._persist: PersistenceManager | None = None
+        self._replaying = False
+        self._staged_assertions: list[Triple] = []
+        self._staged_retractions: list[Triple] = []
+        self.recovery: RecoveryInfo | None = None
+        loaded_snapshot = None
+        replay_records: list = []
+        recovered_explicit: set[EncodedTriple] | None = None
+        if persist_dir is not None:
+            if not isinstance(self.dictionary, TermDictionary):
+                raise SliderError(
+                    "persistence requires a TermDictionary "
+                    f"(got {type(self.dictionary).__name__})"
+                )
+            self._persist = PersistenceManager(
+                persist_dir,
+                fsync=persist_fsync,
+                compact_bytes=compact_journal_bytes,
+                fragment=self.fragment.name,
+            )
+            try:
+                loaded_snapshot, replay_records = self._persist.load()
+                for source, recorded in (
+                    ("snapshot", getattr(loaded_snapshot, "fragment", None)),
+                    ("changelog", self._persist.journal_fragment),
+                ):
+                    # Replaying under different rules would silently
+                    # produce a different closure — refuse both
+                    # durable artifacts.
+                    if recorded is not None and recorded != self.fragment.name:
+                        raise SliderError(
+                            f"{source} in {persist_dir} was built under fragment "
+                            f"{recorded!r}, engine runs {self.fragment.name!r}"
+                        )
+                if loaded_snapshot is not None:
+                    recovered_explicit = loaded_snapshot.restore(
+                        self.dictionary, self.store
+                    )
+            except BaseException:
+                # A failed start-up must release the directory lock and
+                # file handles, or a retrying caller is wedged out.
+                self._persist.close()
+                raise
         self.vocab = Vocabulary(self.dictionary)
         self.trace = trace if trace is not None else NullTrace()
         self.buffer_size = buffer_size
@@ -211,7 +347,7 @@ class Slider:
         # final quiet-check + snapshot, so a background flush_async can
         # compute the fixpoint while service threads keep queueing.
         self._changes = ChangeLog()
-        self._revision = 0
+        self._revision = 0 if loaded_snapshot is None else loaded_snapshot.revision
         self._commit_lock = threading.RLock()
         self._tx_lock = threading.RLock()
         self._subscriptions: list[Subscription] = []
@@ -238,6 +374,10 @@ class Slider:
             trace=self.trace,
             on_new=self._record_explicit,
         )
+        if recovered_explicit is not None:
+            # The snapshot's assertion partition survives recovery: DRed
+            # immunity and input_count depend on it.
+            self.input_manager.explicit.update(recovered_explicit)
         if adaptive is True:
             adaptive = AdaptiveBufferController()
         self.adaptive = adaptive or None
@@ -267,6 +407,22 @@ class Slider:
         axioms = self.fragment.axioms()
         if axioms:
             self._axiom_count = self.input_manager.add(axioms)
+        if loaded_snapshot is not None:
+            # Recovered axioms are already stored (the add above was a
+            # no-op); the baseline comes from the snapshot header.
+            self._axiom_count = loaded_snapshot.axiom_count
+            # Stateful rules (the OWL-Horst transitivity registry) never
+            # saw the restored triples — re-prime them from the store.
+            for rule in self.rules:
+                prime = getattr(rule, "prime", None)
+                if prime is not None:
+                    prime(self.store, self.vocab)
+        if self._persist is not None:
+            try:
+                self._recover(loaded_snapshot, replay_records)
+            except BaseException:
+                self._persist.close()
+                raise
 
     # --- delta pipeline (the transactional entry point) ---------------------
     def apply(self, delta: Delta) -> InferenceReport:
@@ -291,15 +447,35 @@ class Slider:
         if not isinstance(delta, Delta):
             raise TypeError(f"apply() takes a Delta, got {type(delta).__name__}")
         with self._commit_lock, self._tx_lock:
-            if delta.retractions:
-                self._quiesce()  # retraction is defined against a closure
-                self._retract_encoded(
-                    [self.dictionary.encode_triple(t) for t in delta.retractions]
+            staged_mark = (len(self._staged_assertions), len(self._staged_retractions))
+            if self._persist is not None:
+                # Re-asserting an already-explicit triple is a complete
+                # no-op; journaling only the rest keeps re-ingestion of
+                # a persisted dataset from bloating the changelog while
+                # still recording explicitness *promotions* (assertion
+                # of a currently-inferred triple).
+                explicit = self.input_manager.explicit
+                encode = self.dictionary.encode_triple
+                self._staged_assertions.extend(
+                    t for t in delta.assertions if encode(t) not in explicit
                 )
-            if delta.assertions:
-                self.input_manager.add(delta.assertions)
-            self._quiesce()
-            return self._commit_revision()
+                self._staged_retractions.extend(delta.retractions)
+            try:
+                if delta.retractions:
+                    self._quiesce()  # retraction is defined against a closure
+                    self._retract_encoded(
+                        [self.dictionary.encode_triple(t) for t in delta.retractions]
+                    )
+                if delta.assertions:
+                    self.input_manager.add(delta.assertions)
+                self._quiesce()
+                return self._commit_revision()
+            except BaseException:
+                # A failed apply must not poison the *next* commit's
+                # journal record with this delta's staged mutations.
+                del self._staged_assertions[staged_mark[0]:]
+                del self._staged_retractions[staged_mark[1]:]
+                raise
 
     def transaction(self) -> Transaction:
         """Open a :class:`~repro.reasoner.delta.Transaction` builder.
@@ -361,6 +537,80 @@ class Slider:
         """The id of the last committed revision (0 before any commit)."""
         return self._revision
 
+    # --- durability ---------------------------------------------------------
+    @property
+    def persist_dir(self) -> Path | None:
+        """The durable state directory, or ``None`` when in-memory."""
+        return self._persist.directory if self._persist is not None else None
+
+    def snapshot(self) -> Path:
+        """Compact now: commit pending work, snapshot, truncate the journal.
+
+        Safe to call from any thread (it takes the commit locks, like
+        :meth:`flush`), so a service can run compaction from a
+        background scheduler instead of waiting for the
+        ``compact_journal_bytes`` threshold.  Returns the snapshot path.
+        """
+        self._check_open()
+        if self._persist is None:
+            raise SliderError("persistence is not enabled (pass persist_dir=...)")
+        self.flush()  # pending mutations must be journaled before the seal
+        with self._commit_lock, self._tx_lock:
+            self._write_snapshot_locked()
+        return self._persist.snapshot_path
+
+    def _write_snapshot_locked(self) -> None:
+        """Serialize the quiesced state (callers hold both locks)."""
+        explicit = set(self.input_manager.explicit)
+        inferred = [t for t in self.store if t not in explicit]
+        self._persist.write_snapshot(
+            revision=self._revision,
+            fragment=self.fragment.name,
+            store_spec=self._store_spec,
+            axiom_count=self._axiom_count,
+            terms=self.dictionary.snapshot_terms(),
+            explicit=sorted(explicit),
+            inferred=sorted(inferred),
+        )
+
+    def _recover(self, snapshot, records) -> None:
+        """Replay the changelog tail through the normal pipeline.
+
+        Runs last in ``__init__``: the snapshot (if any) is already in
+        the store, so each journaled revision re-commits through
+        :meth:`apply` exactly as the lost process committed it — same
+        revision ids, same closure, deterministically re-fired reports.
+        """
+        if snapshot is None and not records and not self._persist.torn_bytes_dropped:
+            return  # cold start: nothing durable yet
+        reports: list[InferenceReport] = []
+        self._replaying = True
+        try:
+            for record in records:
+                if record.revision <= self._revision:
+                    raise SliderError(
+                        f"changelog replay drifted: journal revision "
+                        f"{record.revision} at or below engine revision "
+                        f"{self._revision}"
+                    )
+                # Gaps are empty revisions (bare flushes) that were
+                # deliberately not journaled: fast-forward over them.
+                self._revision = record.revision - 1
+                report = self.apply(
+                    Delta(assertions=record.assertions, retractions=record.retractions)
+                )
+                assert report.revision == record.revision
+                reports.append(report)
+        finally:
+            self._replaying = False
+        self.recovery = RecoveryInfo(
+            snapshot_revision=snapshot.revision if snapshot is not None else 0,
+            snapshot_triples=snapshot.triple_count if snapshot is not None else 0,
+            replayed_records=len(records),
+            reports=reports,
+            torn_bytes_dropped=self._persist.torn_bytes_dropped,
+        )
+
     # --- one-shot shims (deprecated in favour of apply/transaction) ---------
     def add(self, triples: Iterable[Triple] | Triple) -> int:
         """Feed explicit triples (incremental). Returns how many were new.
@@ -377,13 +627,34 @@ class Slider:
         if isinstance(triples, Triple):
             triples = (triples,)
         with self._tx_lock:
-            return self.input_manager.add(triples)
+            if self._persist is None:
+                return self.input_manager.add(triples)
+            triples = list(triples)
+            encoded = encode_batch(self.dictionary, triples)
+            explicit = self.input_manager.explicit
+            fresh = [triples[i] for i, t in enumerate(encoded) if t not in explicit]
+            accepted = self.input_manager.add_encoded(encoded)
+            # Staged only after the ingest succeeded, so a failed batch
+            # never leaks into the next commit's journal record; and
+            # only the not-yet-explicit triples — re-asserting an
+            # explicit triple is a no-op not worth journal bytes.
+            self._staged_assertions.extend(fresh)
+            return accepted
 
     def add_encoded(self, encoded: Sequence[EncodedTriple]) -> int:
         """Feed already-encoded triples (zero-copy fast path, deferred)."""
         self._check_open()
         with self._tx_lock:
-            return self.input_manager.add_encoded(encoded)
+            if self._persist is None:
+                return self.input_manager.add_encoded(encoded)
+            # The changelog is term-level (self-contained records);
+            # decoding here keeps the zero-copy path durable too.
+            decode = self.dictionary.decode_triple
+            explicit = self.input_manager.explicit
+            staged = [decode(t) for t in encoded if t not in explicit]
+            accepted = self.input_manager.add_encoded(encoded)
+            self._staged_assertions.extend(staged)
+            return accepted
 
     def load(self, path) -> int:
         """Load an N-Triples (``.nt``) or Turtle (``.ttl``) file."""
@@ -451,6 +722,10 @@ class Slider:
         store and buffers.  Note the per-manager ``explicit`` sets —
         retraction consults the *primary* manager, so assertions made
         through secondary managers are merged into it.
+
+        On a durable engine the manager's ingest is additionally staged
+        for the changelog (under the writer gate), so multi-source
+        ingestion survives recovery like every other mutation path.
         """
         self._check_open()
         manager = InputManager(
@@ -461,6 +736,21 @@ class Slider:
             on_new=self._record_explicit,
         )
         manager.explicit = self.input_manager.explicit  # shared assertion set
+        if self._persist is not None:
+            inner_add_encoded = manager.add_encoded
+
+            def add_encoded_durable(encoded: Sequence[EncodedTriple]) -> int:
+                with self._tx_lock:
+                    decode = self.dictionary.decode_triple
+                    explicit = manager.explicit
+                    staged = [decode(t) for t in encoded if t not in explicit]
+                    accepted = inner_add_encoded(encoded)
+                    self._staged_assertions.extend(staged)
+                    return accepted
+
+            # Term-level add() funnels through add_encoded, so patching
+            # the one entry point covers both ingest paths.
+            manager.add_encoded = add_encoded_durable
         return manager
 
     def retract(self, triples: Iterable[Triple] | Triple) -> int:
@@ -542,6 +832,8 @@ class Slider:
             if self._sweeper is not None:
                 self._sweeper.join(timeout=2.0)
             self._executor.shutdown(wait=True)
+            if self._persist is not None:
+                self._persist.close()
 
     def __enter__(self) -> "Slider":
         return self
@@ -553,6 +845,8 @@ class Slider:
             self._closed = True
             self._sweeper_stop.set()
             self._executor.shutdown(wait=False)
+            if self._persist is not None:
+                self._persist.close()
 
     # --- inspection ----------------------------------------------------------
     def __len__(self) -> int:
@@ -612,6 +906,21 @@ class Slider:
         """Seal the current change epoch into a numbered revision."""
         self._revision += 1
         report = self._changes.snapshot(self._revision, self.dictionary)
+        if self._persist is not None:
+            # Drain the staged requested delta in every case (replay
+            # stages too); journal it only for live commits — the replay
+            # source *is* the journal.  A completely empty revision (a
+            # bare flush, e.g. the implicit one in close()) writes no
+            # record: journaling it would cost an fsync per no-op cycle,
+            # and replay fast-forwards the revision counter over gaps.
+            assertions = self._staged_assertions
+            retractions = self._staged_retractions
+            self._staged_assertions = []
+            self._staged_retractions = []
+            if not self._replaying and (assertions or retractions or report):
+                self._persist.journal_commit(self._revision, assertions, retractions)
+                if self._persist.should_compact():
+                    self._write_snapshot_locked()
         if self.trace.enabled:
             self.trace.record(
                 "commit",

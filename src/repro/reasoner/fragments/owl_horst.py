@@ -88,6 +88,20 @@ class TransitivityRule(Rule):
         """Snapshot of the property ids currently known to be transitive."""
         return frozenset(self._transitive)
 
+    def prime(self, store, vocab) -> None:
+        """Rebuild the registry from an externally-restored store.
+
+        Snapshot recovery loads a complete closure without routing any
+        triple through the rules, so declaration triples never pass
+        :meth:`apply_into`; the engine calls this hook (duck-typed —
+        any rule may define it) after a restore.  No re-join is needed:
+        the restored closure is already complete, the registry only has
+        to cover *future* increments.
+        """
+        self._transitive.update(
+            store.subjects(self._vocab.type, self._vocab.transitive_property)
+        )
+
     def apply_into(self, store, new_triples, vocab, out: OutputBuffer) -> None:
         # First absorb new declarations; each newly-declared property gets
         # a full self-join over the store (its triples may predate the

@@ -146,6 +146,12 @@ class StreamPump:
     :attr:`last_report` *before* ``on_chunk`` fires, so stream
     consumers see what each chunk changed without polling.
     ``on_chunk`` is always called as ``on_chunk(size)``, in both modes.
+
+    Pumping into a durable engine (``Slider(persist_dir=...)``)
+    composes naturally: with ``transactional=True`` every chunk is
+    journaled as its own revision the moment :meth:`Slider.apply`
+    returns — a killed pump loses at most the chunk in flight; in
+    deferred mode chunks become durable at the next flush's commit.
     """
 
     def __init__(

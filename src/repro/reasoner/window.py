@@ -75,6 +75,16 @@ class WindowedReasoner:
     the window policy.  The closure is maintained incrementally in both
     directions: additions through the normal Slider pipeline, expiry
     through DRed retraction.
+
+    With ``persist_dir`` the underlying engine is durable: every window
+    commit — arrivals *and* expirations — is one journaled revision, so
+    expirations persist as retraction records and a recovered store
+    holds exactly the closure of the window as it stood at the last
+    commit.  The in-memory window bookkeeping (arrival stamps) is
+    process-local: a restarted process resumes the *store* at the
+    crashed closure but starts with an empty arrival deque, so triples
+    surviving from the previous life expire only via explicit
+    :meth:`slide`-style retraction of recovered state, not by stamp.
     """
 
     def __init__(
@@ -82,12 +92,13 @@ class WindowedReasoner:
         window: CountWindow | TimeWindow,
         fragment: str = "rhodf",
         clock: Callable[[], float] = time.monotonic,
+        persist_dir=None,
         **slider_options,
     ):
         slider_options.setdefault("workers", 0)
         slider_options.setdefault("timeout", None)
         self.window = window
-        self.reasoner = Slider(fragment=fragment, **slider_options)
+        self.reasoner = Slider(fragment=fragment, persist_dir=persist_dir, **slider_options)
         self._clock = clock
         self._entries: deque[tuple[float, Triple]] = deque()
         self._background: set[Triple] = set()

@@ -1,0 +1,29 @@
+"""Tests for the recovery benchmark harness (structure, not timing)."""
+
+from repro.bench import RecoveryResult, run_recovery
+
+
+class TestRunRecovery:
+    def test_small_run_reports_consistent_fields(self):
+        result = run_recovery("subClassOf10", "rhodf", scale=1.0, chunk_size=8)
+        assert isinstance(result, RecoveryResult)
+        assert result.input_count == 19  # subClassOf10: chain + type triples
+        assert result.inferred_count > 0
+        assert result.cold_seconds > 0
+        assert result.snapshot_load_seconds > 0
+        assert result.replay_seconds > 0
+        assert result.snapshot_bytes > 0
+        assert result.journal_bytes > 0
+        assert result.replay_records >= result.input_count // 8
+
+    def test_as_dict_carries_derived_metrics(self):
+        result = run_recovery("subClassOf10", "rhodf", scale=1.0, chunk_size=8)
+        data = result.as_dict()
+        assert data["speedup"] == result.speedup
+        assert data["replay_throughput"] == result.replay_throughput
+        assert set(data) >= {"dataset", "fragment", "cold_seconds", "journal_bytes"}
+
+    def test_repr_is_compact(self):
+        result = run_recovery("subClassOf10", "rhodf", scale=1.0, chunk_size=8)
+        assert "subClassOf10" in repr(result)
+        assert "x)" in repr(result)

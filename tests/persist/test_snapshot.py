@@ -1,0 +1,178 @@
+"""Snapshot format round-trips: partitions, dictionary ids, revision.
+
+The acceptance line for the format: snapshot → load over both store
+backends preserves the explicit/inferred partitions, every dictionary
+id, and the revision id *bit for bit*.
+"""
+
+import pytest
+
+from repro import Delta, Slider
+from repro.persist import Snapshot, SnapshotError, load_snapshot, write_snapshot
+from repro.dictionary import TermDictionary
+from repro.rdf import BNode, IRI, Literal, RDF, Triple
+from repro.store.backends import create_store
+
+from ..conftest import EX, STORE_BACKENDS, make_chain, small_ontology
+
+
+def durable_engine(tmp_path, store, **options):
+    options.setdefault("workers", 0)
+    options.setdefault("timeout", None)
+    return Slider(fragment="rhodf", store=store, persist_dir=tmp_path / "state", **options)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("store", STORE_BACKENDS)
+    def test_partitions_dictionary_and_revision_bit_for_bit(self, tmp_path, store):
+        with durable_engine(tmp_path, store) as reasoner:
+            reasoner.apply(Delta(assertions=small_ontology() + make_chain(6)))
+            reasoner.apply(Delta(retractions=[small_ontology()[0]]))
+            path = reasoner.snapshot()
+            expected_revision = reasoner.revision
+            expected_terms = reasoner.dictionary.snapshot_terms()
+            expected_explicit = set(reasoner.input_manager.explicit)
+            expected_store = set(reasoner.store)
+
+        snapshot = load_snapshot(path)
+        assert snapshot.revision == expected_revision
+        assert snapshot.fragment == "rhodf"
+        assert snapshot.store_spec == store
+        assert snapshot.terms == expected_terms  # ids preserved by position
+        assert set(snapshot.explicit) == expected_explicit
+        assert set(snapshot.explicit) | set(snapshot.inferred) == expected_store
+        assert set(snapshot.explicit).isdisjoint(snapshot.inferred)
+
+    @pytest.mark.parametrize("store", STORE_BACKENDS)
+    def test_restore_into_fresh_substrate_is_identical(self, tmp_path, store):
+        with durable_engine(tmp_path, store) as reasoner:
+            reasoner.apply(Delta(assertions=small_ontology()))
+            path = reasoner.snapshot()
+            expected_terms = reasoner.dictionary.snapshot_terms()
+            expected_store = set(reasoner.store)
+            expected_explicit = set(reasoner.input_manager.explicit)
+
+        snapshot = load_snapshot(path)
+        dictionary, target = TermDictionary(), create_store(store)
+        explicit = snapshot.restore(dictionary, target)
+        # Bit-for-bit: the fresh dictionary reproduces every id, so the
+        # encoded tuples compare equal without any translation.
+        assert dictionary.snapshot_terms() == expected_terms
+        assert set(target) == expected_store
+        assert explicit == expected_explicit
+
+    def test_restore_into_shared_dictionary_remaps_ids(self, tmp_path):
+        with durable_engine(tmp_path, "hashdict") as reasoner:
+            reasoner.apply(Delta(assertions=small_ontology()))
+            path = reasoner.snapshot()
+            expected_graph = set(reasoner.graph)
+
+        snapshot = load_snapshot(path)
+        shared = TermDictionary(preregister=[EX.unrelated, EX.other])  # shifts all ids
+        target = create_store(None)
+        snapshot.restore(shared, target)
+        decoded = {shared.decode_triple(t) for t in target}
+        assert decoded == expected_graph
+
+    def test_cross_backend_restore(self, tmp_path):
+        """A snapshot taken over hashdict restores into sharded (and back)."""
+        with durable_engine(tmp_path, "hashdict") as reasoner:
+            reasoner.apply(Delta(assertions=small_ontology()))
+            path = reasoner.snapshot()
+            expected = set(reasoner.store)
+        snapshot = load_snapshot(path)
+        target = create_store("sharded:4")
+        snapshot.restore(TermDictionary(), target)
+        assert set(target) == expected
+
+    def test_every_term_shape_survives(self, tmp_path):
+        triples = [
+            Triple(EX.s, EX.p, IRI("http://example.org/o")),
+            Triple(BNode("blank1"), EX.p, Literal("plain")),
+            Triple(EX.s, EX.p, Literal("hallo", language="de")),
+            Triple(EX.s, EX.p, Literal("42", datatype=IRI("http://www.w3.org/2001/XMLSchema#integer"))),
+            Triple(EX.s, RDF.type, EX.Thing),
+        ]
+        with durable_engine(tmp_path, "hashdict") as reasoner:
+            reasoner.apply(Delta(assertions=triples))
+            path = reasoner.snapshot()
+            expected = set(reasoner.graph)
+        snapshot = load_snapshot(path)
+        dictionary, target = TermDictionary(), create_store(None)
+        snapshot.restore(dictionary, target)
+        assert {dictionary.decode_triple(t) for t in target} == expected
+
+    def test_empty_engine_snapshot(self, tmp_path):
+        with durable_engine(tmp_path, "hashdict") as reasoner:
+            path = reasoner.snapshot()
+        snapshot = load_snapshot(path)
+        assert snapshot.explicit == [] and snapshot.inferred == []
+        assert snapshot.axiom_count == 0
+
+
+class TestDurabilitySafety:
+    def test_corrupt_byte_is_detected(self, tmp_path):
+        with durable_engine(tmp_path, "hashdict") as reasoner:
+            reasoner.apply(Delta(assertions=small_ontology()))
+            path = reasoner.snapshot()
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(SnapshotError, match="checksum|malformed"):
+            load_snapshot(path)
+
+    def test_truncated_snapshot_is_detected(self, tmp_path):
+        with durable_engine(tmp_path, "hashdict") as reasoner:
+            reasoner.apply(Delta(assertions=small_ontology()))
+            path = reasoner.snapshot()
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) - 5])
+        with pytest.raises(SnapshotError):
+            load_snapshot(path)
+
+    def test_wrong_magic_is_detected(self, tmp_path):
+        path = tmp_path / "bogus.slider"
+        path.write_bytes(b"NOTASNAP" + b"\x00" * 32)
+        with pytest.raises(SnapshotError, match="magic"):
+            load_snapshot(path)
+
+    def test_atomic_write_leaves_no_temp_file(self, tmp_path):
+        path = tmp_path / "snapshot.slider"
+        write_snapshot(
+            path,
+            revision=7,
+            fragment="rhodf",
+            store_spec="hashdict",
+            axiom_count=0,
+            terms=[EX.a, EX.b, EX.c],
+            explicit=[(0, 1, 2)],
+            inferred=[],
+        )
+        assert path.exists()
+        assert not list(tmp_path.glob("*.tmp"))
+        snapshot = load_snapshot(path)
+        assert snapshot.revision == 7
+        assert snapshot.explicit == [(0, 1, 2)]
+
+    def test_out_of_range_term_id_is_rejected(self, tmp_path):
+        path = tmp_path / "snapshot.slider"
+        write_snapshot(
+            path,
+            revision=1,
+            fragment="rhodf",
+            store_spec="hashdict",
+            axiom_count=0,
+            terms=[EX.a],
+            explicit=[(0, 0, 5)],  # id 5 does not exist
+            inferred=[],
+        )
+        with pytest.raises(SnapshotError, match="term id"):
+            load_snapshot(path)
+
+    def test_snapshot_repr_and_counts(self, tmp_path):
+        snapshot = Snapshot(
+            revision=3, fragment="rdfs", store_spec="sharded:4", axiom_count=2,
+            terms=[EX.a], explicit=[(0, 0, 0)], inferred=[],
+        )
+        assert snapshot.triple_count == 1
+        assert "rev=3" in repr(snapshot)

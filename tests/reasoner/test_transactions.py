@@ -186,6 +186,59 @@ class TestReportMatchesGraphDiff:
             assert report.revision == r.revision
 
 
+class TestNeverCommittedRetraction:
+    """Regression: retracting a triple the store never held is a no-op.
+
+    The delta pipeline must tolerate retractions of never-committed
+    triples in every shape — a bare retraction, a retraction mixed into
+    a live delta, and the sharp edge the changelog replay path walks
+    straight into: a triple whose assertion was cancelled by ``Delta``
+    net-normalization in an earlier revision and which is then
+    retracted again later.  None of these may raise (historically a
+    risk of ``KeyError`` in the bookkeeping dicts) and none may perturb
+    the closure.
+    """
+
+    @pytest.mark.parametrize("store", STORE_BACKENDS)
+    def test_netted_then_retracted_is_noop(self, store):
+        ghost = typed(99)
+        with Slider(fragment="rhodf", workers=0, timeout=None, store=store) as r:
+            r.apply(Delta(assertions=SCHEMA))
+            before = set(r.graph)
+            # Revision n: the assertion is cancelled by net-normalization,
+            # so `ghost` never reaches the store...
+            netted = r.apply(Delta(assertions=[ghost], retractions=[ghost]))
+            assert not netted
+            # ...revision n+1: retracting it again must be a clean no-op.
+            report = r.apply(Delta(retractions=[ghost]))
+            assert not report
+            assert report.dred_deleted == 0
+            assert set(r.graph) == before
+
+    @pytest.mark.parametrize("store", STORE_BACKENDS)
+    def test_unknown_retraction_inside_live_delta(self, store):
+        ghost = typed(98)
+        with Slider(fragment="rhodf", workers=0, timeout=None, store=store) as r:
+            r.apply(Delta(assertions=SCHEMA))
+            report = r.apply(
+                Delta(
+                    assertions=[Triple(EX.tom, RDF.type, EX.Cat)],
+                    retractions=[ghost],
+                )
+            )
+            assert Triple(EX.tom, RDF.type, EX.Animal) in report.inferred_added
+            assert report.removed_count == 0  # the ghost changed nothing
+
+    def test_retract_shim_returns_zero_for_unknown(self):
+        with Slider(fragment="rhodf", workers=0, timeout=None) as r:
+            r.apply(Delta(assertions=SCHEMA))
+            assert r.retract(typed(97)) == 0
+            # Terms of the ghost entered the dictionary during encoding;
+            # that alone must not corrupt later commits.
+            report = r.apply(Delta(assertions=[typed(97)]))
+            assert typed(97) in report.explicit_added
+
+
 class TestTransactionLifecycle:
     def test_abort_discards_mutations(self):
         with Slider(fragment="rhodf", workers=0, timeout=None) as r:

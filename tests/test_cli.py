@@ -25,6 +25,15 @@ class TestParser:
         assert args.fragment == "rhodf"
         assert args.buffer_size == 50
         assert args.workers == 4
+        assert args.persist is None
+        assert not args.no_fsync
+
+    def test_snapshot_requires_persist(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["snapshot"])
+
+    def test_help_epilog_documents_durability(self):
+        assert "--persist" in build_parser().format_help()
 
 
 class TestReason:
@@ -129,6 +138,47 @@ class TestDemoCommand:
         )
         assert "Slider inference summary" in out
         assert report.exists()
+
+
+class TestDurabilityCommands:
+    def test_persist_snapshot_recover_cycle(self, capsys, tmp_path):
+        source = tmp_path / "chain.nt"
+        state = tmp_path / "state"
+        write_ntriples_file(make_chain(10), source)
+
+        out = run_cli(
+            capsys, "reason", str(source), "--workers", "0", "--timeout", "0",
+            "--persist", str(state),
+        )
+        assert "9 explicit + 36 inferred" in out
+        assert (state / "changelog.wal").exists()
+
+        out = run_cli(capsys, "snapshot", "--persist", str(state))
+        assert "changelog truncated" in out
+        assert (state / "snapshot.slider").exists()
+
+        target = tmp_path / "recovered.nt"
+        out = run_cli(
+            capsys, "recover", "--persist", str(state),
+            "--stats", "--output", str(target),
+        )
+        assert "recovered revision" in out
+        assert "9 explicit + 36 inferred" in out
+        assert len(target.read_text().strip().splitlines()) == 45
+
+    def test_reason_recovers_previous_state(self, capsys, tmp_path):
+        source = tmp_path / "chain.nt"
+        state = tmp_path / "state"
+        write_ntriples_file(make_chain(6), source)
+        run_cli(capsys, "reason", str(source), "--workers", "0", "--timeout", "0",
+                "--persist", str(state))
+        out = run_cli(capsys, "reason", str(source), "--workers", "0", "--timeout", "0",
+                      "--persist", str(state), "--no-fsync")
+        assert "recovered revision" in out
+
+    def test_recover_cold_directory(self, capsys, tmp_path):
+        out = run_cli(capsys, "recover", "--persist", str(tmp_path / "empty"))
+        assert "nothing to recover" in out
 
 
 class TestBenchCommand:
