@@ -12,6 +12,9 @@ sweeps live in bench_table1_*.py.
 
 from __future__ import annotations
 
+import json
+import os
+
 import pytest
 
 from repro.bench import gain_percent, run_batch, run_slider
@@ -78,6 +81,20 @@ def _headline_summary() -> str | None:
     }
     overall = sum(averages.values()) / len(averages)
     peak = max(_throughputs) if _throughputs else 0.0
+    artifact = os.environ.get("SLIDER_BENCH_HEADLINE_JSON")
+    if artifact:
+        # Consumed by the bench-regression comparator
+        # (python -m repro.bench.compare) in the CI bench-smoke gate.
+        with open(artifact, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "kind": "headline",
+                    "scale": BENCH_SCALE,
+                    "peak_throughput_tps": peak,
+                    "average_gain_pct": {**averages, "overall": overall},
+                },
+                handle, indent=2, sort_keys=True,
+            )
     return "\n".join(
         [
             "",

@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Client round-trip against the HTTP reasoning service.
+
+Two modes:
+
+* self-hosted (default) — boot a :class:`repro.server.ReasoningService`
+  in-process on an ephemeral port, then drive it like any client would;
+* ``--connect URL`` — drive an already-running ``slider-reason serve``
+  (this is what the CI ``server-smoke`` job does after booting one).
+
+The round-trip exercises every serving primitive and *verifies* it:
+
+1. ``POST /apply``    — assert a tiny ontology, get the revision report;
+2. ``GET /select``    — the inferred binding is visible at that revision;
+3. ``GET /subscribe`` — a standing query streams the binding delta of a
+   second commit over SSE (fails if the stream is dead);
+4. ``GET /stats``     — revision/consistency bookkeeping looks sane.
+
+Exit status 0 only if every check passed — usable as a smoke gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+from http.client import HTTPConnection
+from urllib.parse import quote, urlsplit
+
+EX = "http://example.org/"
+RDF_TYPE = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+RDFS_SUBCLASS = "http://www.w3.org/2000/01/rdf-schema#subClassOf"
+
+SSE_TIMEOUT = 15.0
+
+
+def check(label: str, ok: bool, detail: str = "") -> bool:
+    mark = "✓" if ok else "✗"
+    print(f"{mark} {label}" + (f" — {detail}" if detail else ""))
+    return ok
+
+
+class Client:
+    def __init__(self, host: str, port: int):
+        self.host, self.port = host, port
+        self.conn = HTTPConnection(host, port, timeout=10)
+
+    def get(self, path: str) -> tuple[int, dict]:
+        self.conn.request("GET", path)
+        response = self.conn.getresponse()
+        return response.status, json.loads(response.read())
+
+    def post(self, path: str, body: dict) -> tuple[int, dict]:
+        self.conn.request(
+            "POST", path, json.dumps(body), {"Content-Type": "application/json"}
+        )
+        response = self.conn.getresponse()
+        return response.status, json.loads(response.read())
+
+
+def listen_sse(host: str, port: int, query: str, events: list, ready: threading.Event):
+    """Collect SSE events until one ``delta`` arrives (or the stream dies)."""
+    conn = HTTPConnection(host, port, timeout=SSE_TIMEOUT)
+    try:
+        conn.request("GET", f"/subscribe?query={quote(query, safe='')}")
+        response = conn.getresponse()
+        if response.status != 200:
+            return
+        current: dict = {}
+        while True:
+            line = response.readline().decode("utf-8").rstrip("\r\n")
+            if line.startswith("event:"):
+                current["event"] = line[6:].strip()
+            elif line.startswith("data:"):
+                current["data"] = json.loads(line[5:].strip())
+            elif line == "" and current:
+                events.append(dict(current))
+                if current.get("event") == "hello":
+                    ready.set()
+                if current.get("event") == "delta":
+                    return
+                current.clear()
+    except OSError:
+        return
+    finally:
+        conn.close()
+
+
+def drive(host: str, port: int) -> int:
+    client = Client(host, port)
+    failures = 0
+
+    # 1 — write through the coalesced pipeline.
+    status, applied = client.post("/apply", {"assert": [
+        f"<{EX}Cat> <{RDFS_SUBCLASS}> <{EX}Animal>",
+        f"<{EX}tom> <{RDF_TYPE}> <{EX}Cat>",
+    ]})
+    revision = applied.get("revision", -1)
+    failures += not check(
+        "POST /apply committed", status == 200 and revision > 0,
+        f"revision {revision}, +{applied.get('report', {}).get('inferred_added')} inferred",
+    )
+
+    # 2 — read back at the exact committed revision (snapshot pin).
+    query = f"?x <{RDF_TYPE}> <{EX}Animal>"
+    status, selected = client.get(
+        f"/select?query={quote(query, safe='')}&at={revision}"
+    )
+    rows = selected.get("rows", [])
+    failures += not check(
+        "GET /select sees the inferred binding",
+        status == 200 and [f"<{EX}tom>"] in rows,
+        f"rows={rows}",
+    )
+
+    # 3 — subscribe, then commit a delta the subscription must stream.
+    events: list = []
+    ready = threading.Event()
+    listener = threading.Thread(
+        target=listen_sse, args=(host, port, query, events, ready), daemon=True
+    )
+    listener.start()
+    failures += not check(
+        "GET /subscribe stream is alive (hello event)", ready.wait(SSE_TIMEOUT)
+    )
+    status, applied2 = client.post("/apply", {"assert": [
+        f"<{EX}rex> <{RDF_TYPE}> <{EX}Cat>",
+    ]})
+    failures += not check("second POST /apply committed", status == 200)
+    listener.join(SSE_TIMEOUT)
+    delta = next((e for e in events if e.get("event") == "delta"), None)
+    failures += not check(
+        "SSE delivered the binding delta",
+        delta is not None
+        and {"x": f"<{EX}rex>"} in delta["data"]["added"],
+        f"events={events}",
+    )
+
+    # 4 — bookkeeping.
+    status, stats = client.get("/stats")
+    failures += not check(
+        "GET /stats is consistent",
+        status == 200
+        and stats["revision"] >= applied2.get("revision", 0)
+        and stats["writes"]["commits"] >= 2,
+        f"revision={stats.get('revision')} commits={stats.get('writes', {}).get('commits')}",
+    )
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--connect", metavar="URL",
+                        help="drive an already-running server instead of self-hosting")
+    args = parser.parse_args()
+
+    if args.connect:
+        parts = urlsplit(args.connect)
+        failures = drive(parts.hostname or "127.0.0.1", parts.port or 80)
+    else:
+        from repro.server import ReasoningService, serve
+
+        service = ReasoningService(fragment="rhodf", workers=2)
+        server, _thread = serve(service)
+        print(f"self-hosted service on {server.url}")
+        try:
+            failures = drive("127.0.0.1", server.port)
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+
+    if failures:
+        print(f"{failures} check(s) failed")
+        return 1
+    print("all server round-trip checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,6 +52,7 @@ from .reasoner import (
     get_fragment,
     register_fragment,
 )
+from .server import ReadView, ReasoningService
 from .store import (
     Binding,
     Graph,
@@ -86,6 +87,8 @@ __all__ = [
     "CountWindow",
     "TimeWindow",
     "StreamPump",
+    "ReasoningService",
+    "ReadView",
     "TriplePattern",
     "Binding",
     "solve",

@@ -1,6 +1,7 @@
 """Benchmark harness: timed runs, gains, paper-style tables and charts."""
 
 from .recovery import RecoveryResult, run_recovery
+from .server_load import ServerLoadResult, run_server_load
 from .harness import (
     RunResult,
     Table1Row,
@@ -25,6 +26,8 @@ __all__ = [
     "RunResult",
     "RecoveryResult",
     "run_recovery",
+    "ServerLoadResult",
+    "run_server_load",
     "Table1Row",
     "run_slider",
     "run_batch",

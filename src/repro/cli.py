@@ -3,6 +3,7 @@
 Subcommands mirror the demo's three panels plus the benchmark harness:
 
 * ``reason``     — load files (or a named dataset), infer, dump/report.
+* ``serve``      — run the concurrent reasoning service over HTTP.
 * ``bench``      — regenerate Table 1 / Figure 3 at a chosen scale.
 * ``demo``       — run a traced inference and write the HTML report.
 * ``snapshot``   — compact a durable state directory (snapshot + truncate).
@@ -21,6 +22,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import threading
 import time
 
 from .bench.harness import run_table1
@@ -45,6 +47,8 @@ examples:
   slider-reason snapshot --persist state/              # compact: snapshot + truncate WAL
   slider-reason recover --persist state/ --output closure.nt
   slider-reason bench --experiment table1 --store sharded:8
+  slider-reason serve data.nt --port 8080 --persist state/   # HTTP service
+  curl 'http://127.0.0.1:8080/select?query=%3Fx%20%3Chttp%3A//ex/p%3E%20%3Fy'
 """
 
 
@@ -68,6 +72,27 @@ def build_parser() -> argparse.ArgumentParser:
     reason.add_argument("--report", nargs="?", const="-", metavar="PATH",
                         help="write the commit's InferenceReport as JSON "
                              "(to PATH, or stdout when no path is given)")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve the reasoner over HTTP (reads, coalesced writes, SSE)",
+    )
+    serve.add_argument("inputs", nargs="*", help=".nt / .ttl files to preload")
+    serve.add_argument("--dataset", help="a named benchmark ontology to preload")
+    serve.add_argument("--scale", type=float, default=DEFAULT_SCALE,
+                       help="size multiplier for --dataset (default %(default)s)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default %(default)s)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="bind port; 0 picks an ephemeral one (default %(default)s)")
+    _add_reasoner_options(serve)
+    serve.add_argument("--coalesce-ms", type=float, default=2.0,
+                       help="write-coalescing window in milliseconds "
+                            "(default %(default)s)")
+    serve.add_argument("--retain-views", type=int, default=8,
+                       help="recent revisions pinnable via at= (default %(default)s)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request to stderr")
 
     bench = subparsers.add_parser("bench", help="regenerate the paper's experiments")
     bench.add_argument("--experiment", choices=("table1", "fig3"), default="table1")
@@ -226,6 +251,50 @@ def _cmd_reason(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import signal
+
+    from .server import ReasoningService
+    from .server.http import serve as start_server
+
+    reasoner = _make_reasoner(args)
+    _print_recovery(reasoner)
+    if args.dataset:
+        reasoner.add(load_dataset(args.dataset, args.scale))
+    for path in args.inputs:
+        reasoner.load(path)
+    service = ReasoningService(
+        reasoner=reasoner,
+        coalesce_tick=args.coalesce_ms / 1000.0,
+        retain_views=args.retain_views,
+    )
+    server, _thread = start_server(
+        service, host=args.host, port=args.port, verbose=args.verbose
+    )
+    # Parseable by scripts (and tests) even on ephemeral --port 0.
+    print(f"listening on {server.url} "
+          f"(revision {service.revision}, {len(service.view())} triples)",
+          flush=True)
+
+    stop = threading.Event()
+
+    def request_stop(_signum, _frame):
+        stop.set()
+
+    signal.signal(signal.SIGTERM, request_stop)
+    signal.signal(signal.SIGINT, request_stop)
+    stop.wait()
+    # Graceful drain: stop accepting connections, then commit + journal
+    # everything queued — SIGTERM on a durable service must leave a
+    # recoverable directory (see tests/server/test_shutdown.py).
+    print("shutting down: draining writes ...", flush=True)
+    server.shutdown()
+    server.server_close()
+    service.close()
+    print(f"stopped cleanly at revision {reasoner.revision}", flush=True)
+    return 0
+
+
 def _cmd_bench(args) -> int:
     fragments = ("rhodf", "rdfs") if args.fragment == "both" else (args.fragment,)
     halves = {}
@@ -334,6 +403,7 @@ def _cmd_depgraph(args) -> int:
 
 _COMMANDS = {
     "reason": _cmd_reason,
+    "serve": _cmd_serve,
     "bench": _cmd_bench,
     "demo": _cmd_demo,
     "snapshot": _cmd_snapshot,

@@ -279,6 +279,22 @@ class InferenceReport:
         """Triples DRed removed and that were not re-derived."""
         return self._decode("removed", self._removed_encoded)
 
+    # --- encoded views (zero-decode consumers: read views, replicas) --------
+    @property
+    def added_encoded(self) -> tuple[EncodedTriple, ...]:
+        """All added triples in the engine's integer space (no decoding).
+
+        Consumers that maintain derived state per revision — the server's
+        snapshot read views, external replicas — fold diffs in integer
+        space; term ids are stable for the lifetime of the dictionary.
+        """
+        return self._explicit_encoded + self._inferred_encoded
+
+    @property
+    def removed_encoded(self) -> tuple[EncodedTriple, ...]:
+        """Net-removed triples in the engine's integer space."""
+        return self._removed_encoded
+
     # --- filtered views (for subscriptions) --------------------------------
     def _filtered(
         self,

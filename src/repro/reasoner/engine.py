@@ -510,6 +510,10 @@ class Slider:
             self._quiesce()
             subscription = Subscription(patterns, callback)
             subscription._seed(self.graph)
+            # Recorded under the commit lock: the solution set above is
+            # exactly the state of this revision (consumers pair the two,
+            # e.g. the SSE hello event).
+            subscription.seeded_revision = self._revision
             self._subscriptions.append(subscription)
         return subscription
 

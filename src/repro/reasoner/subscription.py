@@ -96,6 +96,9 @@ class Subscription:
         self.patterns: tuple[TriplePattern, ...] = patterns
         self.callback = callback
         self.active = True
+        #: The revision the initial solution set was materialized at
+        #: (set by the engine under the commit lock during registration).
+        self.seeded_revision = 0
         self.error: BaseException | None = None
         self.events: list[SubscriptionEvent] = []
         self._lock = threading.Lock()

@@ -1,0 +1,233 @@
+"""The coalescing write queue: many callers, one Delta per drain tick.
+
+Every ``POST /apply`` costs a full commit — quiesce, fixpoint, change-log
+snapshot, journal fsync when durable.  Under concurrent writers that
+cost should be paid *per tick*, not per caller: the coalescer queues
+submissions, nets them into one :class:`~repro.reasoner.delta.Delta`,
+funnels that through the engine's ``apply()`` pipeline on a dedicated
+drain thread, and resolves every waiter with the shared revision's
+:class:`~repro.reasoner.delta.InferenceReport`.
+
+Netting is **last-writer-wins in arrival order** — exactly the state a
+sequential execution of the submissions would reach:
+
+* a retraction cancels any earlier queued assertion of the same triple
+  (and stands, in case the triple is already stored);
+* an assertion cancels any earlier queued retraction and stands.
+
+This is deliberately *not* ``Delta``'s symmetric cancellation: with
+independent callers, "A asserted t, then B retracted t" must end with t
+absent even if t predates the batch, so order decides.  Within one
+submission the usual transactional semantics hold (its delta is
+net-normalized on construction).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Callable, Iterable
+
+from ..rdf.terms import Triple
+from ..reasoner.delta import Delta, InferenceReport
+
+__all__ = ["CommitResult", "PendingWrite", "WriteCoalescer", "CoalescerClosedError"]
+
+
+class CoalescerClosedError(RuntimeError):
+    """The write queue is shut down; no further submissions accepted."""
+
+
+class CommitResult:
+    """What one drained batch committed: shared by all its submitters."""
+
+    __slots__ = ("revision", "report", "coalesced")
+
+    def __init__(self, revision: int, report: InferenceReport, coalesced: int):
+        self.revision = revision
+        self.report = report
+        #: How many submissions were netted into this revision.
+        self.coalesced = coalesced
+
+    def __repr__(self):
+        return f"<CommitResult revision={self.revision} coalesced={self.coalesced}>"
+
+
+class PendingWrite:
+    """A queued submission; :meth:`wait` blocks until its commit lands."""
+
+    __slots__ = ("delta", "_event", "_result", "_error")
+
+    def __init__(self, delta: Delta):
+        self.delta = delta
+        self._event = threading.Event()
+        self._result: CommitResult | None = None
+        self._error: BaseException | None = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: float | None = None) -> CommitResult:
+        """Block until the commit containing this write completes."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("write was not committed in time")
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    def _resolve(self, result: CommitResult) -> None:
+        self._result = result
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+class WriteCoalescer:
+    """Single-drainer write queue in front of an ``apply()`` pipeline.
+
+    ``apply_fn`` is called with the netted :class:`Delta` of each drained
+    batch and must return the committed revision's report — the service
+    passes a closure that also advances the read views before waiters
+    resume, so a caller can immediately read its own write.
+
+    ``tick`` is the coalescing window: after waking on the first queued
+    submission the drainer sleeps this long so a burst can pile up.
+    """
+
+    def __init__(
+        self,
+        apply_fn: Callable[[Delta], InferenceReport],
+        tick: float = 0.002,
+    ):
+        if tick < 0:
+            raise ValueError(f"tick must be >= 0, got {tick}")
+        self._apply = apply_fn
+        self._tick = tick
+        self._queue: list[PendingWrite] = []
+        self._cond = threading.Condition()
+        self._closed = False
+        self._paused = False
+        # Statistics (drain-thread writes, reader races are benign).
+        self.commits = 0
+        self.submitted = 0
+        self.failed = 0
+        self.max_coalesced = 0
+        self._drainer = threading.Thread(
+            target=self._drain_loop, name="slider-write-coalescer", daemon=True
+        )
+        self._drainer.start()
+
+    # --- submission ---------------------------------------------------------
+    def submit(
+        self,
+        assertions: Iterable[Triple] | Triple = (),
+        retractions: Iterable[Triple] | Triple = (),
+    ) -> PendingWrite:
+        """Queue one write; returns immediately with its pending handle."""
+        delta = Delta(assertions, retractions)
+        pending = PendingWrite(delta)
+        with self._cond:
+            if self._closed:
+                raise CoalescerClosedError("write queue is closed")
+            self._queue.append(pending)
+            self.submitted += 1
+            self._cond.notify_all()
+        return pending
+
+    def apply(
+        self,
+        assertions: Iterable[Triple] | Triple = (),
+        retractions: Iterable[Triple] | Triple = (),
+        timeout: float | None = 30.0,
+    ) -> CommitResult:
+        """Submit and wait: the blocking convenience most callers want."""
+        return self.submit(assertions, retractions).wait(timeout)
+
+    # --- test/ops hooks -----------------------------------------------------
+    @contextlib.contextmanager
+    def paused(self):
+        """Hold the drain loop; queued writes coalesce until release.
+
+        Deterministic coalescing for tests and for operational batching
+        (e.g. pause during a bulk load, resume for one big commit).
+        """
+        with self._cond:
+            self._paused = True
+        try:
+            yield self
+        finally:
+            with self._cond:
+                self._paused = False
+                self._cond.notify_all()
+
+    def stats(self) -> dict[str, int | float]:
+        return {
+            "submitted": self.submitted,
+            "commits": self.commits,
+            "failed": self.failed,
+            "max_coalesced": self.max_coalesced,
+            "queued": len(self._queue),
+            "tick_seconds": self._tick,
+        }
+
+    # --- lifecycle ----------------------------------------------------------
+    def close(self, timeout: float = 30.0) -> None:
+        """Stop accepting writes, drain what is queued, join the drainer."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._paused = False
+            self._cond.notify_all()
+        self._drainer.join(timeout)
+
+    # --- drain loop ---------------------------------------------------------
+    def _drain_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._closed and (not self._queue or self._paused):
+                    self._cond.wait()
+                if self._closed and not self._queue:
+                    return
+                draining_on_close = self._closed
+            if self._tick and not draining_on_close:
+                # The coalescing window: let a burst accumulate.  Closing
+                # skips it — shutdown drains immediately.
+                threading.Event().wait(self._tick)
+            with self._cond:
+                batch, self._queue = self._queue, []
+            if batch:
+                self._commit_batch(batch)
+
+    def _commit_batch(self, batch: list[PendingWrite]) -> None:
+        # Last-writer-wins netting in arrival order (module docstring).
+        assertions: dict[Triple, None] = {}
+        retractions: dict[Triple, None] = {}
+        for pending in batch:
+            for triple in pending.delta.retractions:
+                assertions.pop(triple, None)
+                retractions[triple] = None
+            for triple in pending.delta.assertions:
+                retractions.pop(triple, None)
+                assertions[triple] = None
+        try:
+            report = self._apply(Delta(tuple(assertions), tuple(retractions)))
+        except BaseException as error:
+            self.failed += len(batch)
+            for pending in batch:
+                pending._fail(error)
+            return
+        self.commits += 1
+        self.max_coalesced = max(self.max_coalesced, len(batch))
+        result = CommitResult(report.revision, report, len(batch))
+        for pending in batch:
+            pending._resolve(result)
+
+    def __repr__(self):
+        return (
+            f"<WriteCoalescer commits={self.commits} submitted={self.submitted} "
+            f"queued={len(self._queue)}>"
+        )

@@ -1,0 +1,399 @@
+"""The HTTP front end: stdlib-only serving for the reasoning service.
+
+A :class:`ReasoningHTTPServer` (a ``ThreadingHTTPServer``) exposes one
+:class:`~repro.server.service.ReasoningService`:
+
+====================  ======  ====================================================
+``/select``           GET     BGP solutions, projected on ``var`` (all by default)
+``/ask``              GET     does the BGP have at least one solution?
+``/construct``        GET     instantiate ``template`` for every ``query`` solution
+``/triples``          GET     pattern dump (``s``/``p``/``o`` N-Triples terms)
+``/stats``            GET     revision, engine, write-queue, recovery state
+``/healthz``          GET     liveness: ``{"ok": true, "revision": N}``
+``/apply``            POST    assert/retract batch -> coalesced commit + report
+``/subscribe``        GET     SSE stream of a standing BGP's binding deltas
+====================  ======  ====================================================
+
+Consistency model: every read endpoint runs against a snapshot
+:class:`~repro.server.views.ReadView` — reads see *committed revisions
+only*, never an in-flight apply.  Responses carry the revision they were
+evaluated at; pass ``at=N`` to pin a retained revision (``410 Gone``
+once it leaves the ring).  Writes return their committed revision, and
+the corresponding view is published before the response is sent, so a
+client can chain ``POST /apply`` -> ``GET /select?at=<revision>``.
+
+SSE: ``GET /subscribe?query=...`` emits one ``hello`` event (revision +
+initial solution count), then one ``delta`` event per committed revision
+that changed the solution set — binding-level ``added`` / ``removed``
+arrays, exactly the diffs the in-process subscription API delivers —
+with ``: keepalive`` comments while idle.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from ..rdf.terms import Variable
+from ..store.query import ask, construct, solve
+from .coalescer import CoalescerClosedError
+from .service import ReasoningService, ServiceClosedError
+from .views import RevisionGoneError
+from .wire import (
+    PatternSyntaxError,
+    parse_patterns,
+    parse_statements,
+    parse_term,
+    render_binding,
+    render_triple,
+)
+
+__all__ = ["ReasoningHTTPServer", "serve"]
+
+#: Idle seconds between SSE keepalive comments.
+SSE_HEARTBEAT_SECONDS = 5.0
+
+#: Default row/triple cap on read endpoints (override with ``limit=``).
+DEFAULT_LIMIT = 10_000
+
+
+class _BadRequest(ValueError):
+    """Maps to a 400 with the message as the error body."""
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # Keep-alive matters: the bench's closed-loop clients reuse their
+    # connection for thousands of requests.
+    protocol_version = "HTTP/1.1"
+    # Headers and body leave in separate small writes; with Nagle on,
+    # that interacts with delayed ACKs into a ~40 ms stall per response.
+    disable_nagle_algorithm = True
+    server: "ReasoningHTTPServer"
+
+    # --- plumbing -----------------------------------------------------------
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    @property
+    def service(self) -> ReasoningService:
+        return self.server.service
+
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json({"error": message}, status=status)
+
+    def _params(self) -> dict[str, list[str]]:
+        return parse_qs(urlsplit(self.path).query, keep_blank_values=True)
+
+    def _route(self) -> str:
+        return urlsplit(self.path).path.rstrip("/") or "/"
+
+    @staticmethod
+    def _one(params: dict, name: str, required: bool = False) -> str | None:
+        values = params.get(name)
+        if not values or not values[-1]:
+            if required:
+                raise _BadRequest(f"missing required parameter {name!r}")
+            return None
+        return values[-1]
+
+    @staticmethod
+    def _int(params: dict, name: str, default: int | None = None) -> int | None:
+        raw = _Handler._one(params, name)
+        if raw is None:
+            return default
+        try:
+            return int(raw)
+        except ValueError:
+            raise _BadRequest(f"parameter {name!r} must be an integer, got {raw!r}")
+
+    @staticmethod
+    def _limit(params: dict) -> int:
+        limit = _Handler._int(params, "limit", DEFAULT_LIMIT)
+        if limit < 1:
+            raise _BadRequest(f"parameter 'limit' must be >= 1, got {limit}")
+        return limit
+
+    def _graph_at(self, params: dict):
+        """(graph, revision) for the request's (possibly pinned) view."""
+        at = self._int(params, "at")
+        graph = self.service.graph(at)
+        return graph, graph.store.revision
+
+    # --- dispatch -----------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch(_GET_ROUTES)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch(_POST_ROUTES)
+
+    def _dispatch(self, routes: dict) -> None:
+        # Drain the request body up front, whatever happens next: an
+        # error response sent with unread body bytes on the socket would
+        # desync every subsequent request of a keep-alive connection.
+        length = int(self.headers.get("Content-Length") or 0)
+        self._body = self.rfile.read(length) if length > 0 else b""
+        handler = routes.get(self._route())
+        if handler is None:
+            self._send_error_json(404, f"no such endpoint: {self._route()}")
+            return
+        try:
+            handler(self)
+        except _BadRequest as error:
+            self._send_error_json(400, str(error))
+        except PatternSyntaxError as error:
+            self._send_error_json(400, f"bad query: {error}")
+        except RevisionGoneError as error:
+            self._send_error_json(410, str(error))
+        except (ServiceClosedError, CoalescerClosedError):
+            self._send_error_json(503, "service is shutting down")
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+        except Exception as error:  # noqa: BLE001 - a request must not kill the thread
+            self._send_error_json(500, f"{type(error).__name__}: {error}")
+
+    # --- read endpoints -----------------------------------------------------
+    def _ep_select(self) -> None:
+        params = self._params()
+        patterns = parse_patterns(self._one(params, "query", required=True))
+        graph, revision = self._graph_at(params)
+        limit = self._limit(params)
+        solutions = solve(graph, patterns)
+        names = params.get("var")
+        if names:
+            variables = [Variable(name) for name in names]
+            unknown = [
+                v.name
+                for v in variables
+                if not any(v in pattern for pattern in patterns)
+            ]
+            if unknown:
+                raise _BadRequest(f"projected variables not in query: {unknown}")
+        else:
+            seen: dict[Variable, None] = {}
+            for pattern in patterns:
+                for term in pattern:
+                    if isinstance(term, Variable):
+                        seen[term] = None
+            variables = list(seen)
+        rows: list[list[str]] = []
+        emitted: set[tuple] = set()
+        for solution in solutions:
+            row = tuple(solution[v].n3() for v in variables)
+            if row not in emitted:
+                emitted.add(row)
+                rows.append(list(row))
+            if len(rows) >= limit:
+                break
+        self._send_json(
+            {
+                "revision": revision,
+                "variables": [v.name for v in variables],
+                "rows": rows,
+            }
+        )
+
+    def _ep_ask(self) -> None:
+        params = self._params()
+        patterns = parse_patterns(self._one(params, "query", required=True))
+        graph, revision = self._graph_at(params)
+        self._send_json({"revision": revision, "result": ask(graph, patterns)})
+
+    def _ep_construct(self) -> None:
+        params = self._params()
+        template = parse_patterns(self._one(params, "template", required=True))
+        patterns = parse_patterns(self._one(params, "query", required=True))
+        graph, revision = self._graph_at(params)
+        limit = self._limit(params)
+        triples = construct(graph, template, patterns)[:limit]
+        self._send_json(
+            {
+                "revision": revision,
+                "count": len(triples),
+                "triples": [render_triple(t) for t in triples],
+            }
+        )
+
+    def _ep_triples(self) -> None:
+        params = self._params()
+        graph, revision = self._graph_at(params)
+        limit = self._limit(params)
+        terms = []
+        for name in ("s", "p", "o"):
+            raw = self._one(params, name)
+            terms.append(None if raw is None else parse_term(raw))
+        matches = []
+        for triple in graph.triples(*terms):
+            matches.append(render_triple(triple))
+            if len(matches) >= limit:
+                break
+        self._send_json(
+            {"revision": revision, "count": len(matches), "triples": matches}
+        )
+
+    def _ep_stats(self) -> None:
+        self._send_json(self.service.stats())
+
+    def _ep_healthz(self) -> None:
+        self._send_json({"ok": True, "revision": self.service.revision})
+
+    # --- write endpoint -----------------------------------------------------
+    def _ep_apply(self) -> None:
+        if not self._body:
+            raise _BadRequest("POST /apply requires a JSON body")
+        try:
+            body = json.loads(self._body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise _BadRequest(f"body is not valid JSON: {error}")
+        if not isinstance(body, dict):
+            raise _BadRequest("body must be a JSON object")
+        assertions = parse_statements(_as_list(body, "assert"))
+        retractions = parse_statements(_as_list(body, "retract"))
+        if not assertions and not retractions:
+            raise _BadRequest('body must carry "assert" and/or "retract" statements')
+        timeout = body.get("timeout", 30.0)
+        if not isinstance(timeout, (int, float)) or timeout <= 0:
+            raise _BadRequest('"timeout" must be a positive number of seconds')
+        try:
+            result = self.service.apply(assertions, retractions, timeout=timeout)
+        except TimeoutError:
+            self._send_error_json(504, "write was not committed in time")
+            return
+        self._send_json(
+            {
+                "revision": result.revision,
+                "coalesced": result.coalesced,
+                "report": result.report.as_dict(),
+            }
+        )
+
+    # --- SSE ----------------------------------------------------------------
+    def _ep_subscribe(self) -> None:
+        params = self._params()
+        patterns = parse_patterns(self._one(params, "query", required=True))
+        channel = self.service.subscribe_channel(patterns)
+        try:
+            self.send_response(200)
+            self.send_header("Content-Type", "text/event-stream")
+            self.send_header("Cache-Control", "no-cache")
+            self.send_header("Connection", "close")
+            self.end_headers()
+            self.close_connection = True
+            self._sse_event(
+                "hello",
+                {
+                    "revision": channel.seeded_revision,
+                    "solutions": len(channel.initial_solutions()),
+                },
+            )
+            while not (channel.closed or self.service.closed):
+                event = channel.get(timeout=self.server.sse_heartbeat)
+                if event is None:
+                    if channel.closed or self.service.closed:
+                        break
+                    self.wfile.write(b": keepalive\n\n")
+                    self.wfile.flush()
+                    continue
+                self._sse_event(
+                    "delta",
+                    {
+                        "revision": event.revision,
+                        "added": [render_binding(b) for b in event.added],
+                        "removed": [render_binding(b) for b in event.removed],
+                    },
+                )
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away: normal stream end
+        finally:
+            channel.close()
+
+    def _sse_event(self, event: str, payload: dict) -> None:
+        data = json.dumps(payload)
+        self.wfile.write(f"event: {event}\ndata: {data}\n\n".encode("utf-8"))
+        self.wfile.flush()
+
+
+def _as_list(body: dict, key: str) -> list:
+    value = body.get(key, [])
+    if not isinstance(value, list):
+        raise _BadRequest(f'"{key}" must be a JSON array of N-Triples statements')
+    return value
+
+
+_GET_ROUTES = {
+    "/select": _Handler._ep_select,
+    "/ask": _Handler._ep_ask,
+    "/construct": _Handler._ep_construct,
+    "/triples": _Handler._ep_triples,
+    "/stats": _Handler._ep_stats,
+    "/healthz": _Handler._ep_healthz,
+    "/subscribe": _Handler._ep_subscribe,
+}
+
+_POST_ROUTES = {
+    "/apply": _Handler._ep_apply,
+}
+
+
+class ReasoningHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`ReasoningService`.
+
+    One thread per connection (SSE streams hold theirs for their whole
+    lifetime); ``daemon_threads`` so stuck clients never block process
+    exit.  The server does **not** own the service — callers close the
+    service after :meth:`shutdown` so in-flight writes drain first.
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: ReasoningService,
+        verbose: bool = False,
+        sse_heartbeat: float = SSE_HEARTBEAT_SECONDS,
+    ):
+        super().__init__(address, _Handler)
+        self.service = service
+        self.verbose = verbose
+        self.sse_heartbeat = sse_heartbeat
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ephemeral ``port=0`` binds)."""
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self.server_address[0]
+        return f"http://{host}:{self.port}"
+
+
+def serve(
+    service: ReasoningService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> tuple[ReasoningHTTPServer, threading.Thread]:
+    """Bind and start serving on a background thread.
+
+    Returns ``(server, thread)``; callers stop with ``server.shutdown()``
+    then ``service.close()``.  ``port=0`` binds an ephemeral port
+    (``server.port`` has the real one).
+    """
+    server = ReasoningHTTPServer((host, port), service, verbose=verbose)
+    thread = threading.Thread(
+        target=server.serve_forever, name="slider-http", daemon=True
+    )
+    thread.start()
+    return server, thread

@@ -1,0 +1,331 @@
+"""The concurrent reasoning service: one engine, many readers and writers.
+
+:class:`ReasoningService` is the transport-independent core of the
+serving layer (the HTTP front end in :mod:`repro.server.http` is a thin
+skin over it; tests and embedders drive it directly):
+
+* **reads** are snapshot-isolated — every query runs against a pinned
+  :class:`~repro.server.views.ReadView` (see that module), so readers
+  observe exactly one committed revision, never an in-flight apply, and
+  never block the write path;
+* **writes** funnel through a :class:`~repro.server.views` -advancing
+  :class:`~repro.server.coalescer.WriteCoalescer` — concurrent ``apply``
+  calls are netted into one Delta per drain tick and committed through
+  the engine's transactional pipeline; each caller gets the shared
+  revision's :class:`~repro.reasoner.delta.InferenceReport`;
+* **subscriptions** bridge the engine's standing BGPs to pull-style
+  consumers: :meth:`subscribe_channel` queues each revision's binding
+  delta for one client (the SSE endpoint drains one channel per
+  connection).
+
+Read-your-writes holds: the read views advance *before* a write's
+``wait()`` returns, so a client that committed revision N can
+immediately query ``at=N`` (or the current view, which is >= N).
+
+With ``persist_dir`` the engine journals every commit; :meth:`close`
+drains the write queue and flushes the WAL, so a SIGTERM'd service
+leaves a recoverable directory (surfaced in :meth:`stats` after
+restart).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from ..rdf.terms import Triple
+from ..reasoner.delta import Delta, InferenceReport
+from ..reasoner.engine import Slider
+from ..reasoner.subscription import Subscription, SubscriptionEvent
+from ..store.graph import Graph
+from ..store.query import TriplePattern
+from .coalescer import CommitResult, PendingWrite, WriteCoalescer
+from .views import ReadView, ViewRegistry
+
+__all__ = ["ReasoningService", "SubscriptionChannel", "ServiceClosedError"]
+
+
+class ServiceClosedError(RuntimeError):
+    """The service has been shut down."""
+
+
+#: Sentinel a channel queue delivers when the stream ends.
+_CHANNEL_CLOSED = object()
+
+#: Events a subscription channel may buffer before its consumer is
+#: declared too slow and disconnected (an unbounded queue would let one
+#: stalled SSE client grow memory without limit under sustained writes).
+SUBSCRIPTION_QUEUE_LIMIT = 1024
+
+
+class SubscriptionChannel:
+    """One client's queue of :class:`SubscriptionEvent` binding deltas.
+
+    The engine pushes events from the committing thread; the consumer
+    pops them with :meth:`get` at its own pace.  ``None`` from
+    :meth:`get` means "no event within the timeout" (emit a heartbeat
+    and keep waiting); :attr:`closed` turning true means the stream
+    ended (client cancel or service shutdown).
+    """
+
+    def __init__(self, subscription: Subscription, events: "queue.Queue"):
+        self.subscription = subscription
+        self._queue = events
+        self.closed = False
+
+    @property
+    def seeded_revision(self) -> int:
+        """The revision :meth:`initial_solutions` was materialized at
+        (recorded by the engine under the commit lock, so the pair is
+        consistent even with commits racing the registration)."""
+        return self.subscription.seeded_revision
+
+    def get(self, timeout: float | None = None) -> SubscriptionEvent | None:
+        """Next event, ``None`` on timeout; raises nothing on close (the
+        caller observes :attr:`closed`)."""
+        if self.closed and self._queue.empty():
+            return None
+        try:
+            item = self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return None
+        if item is _CHANNEL_CLOSED:
+            self.closed = True
+            return None
+        return item
+
+    def close(self) -> None:
+        """Cancel the underlying subscription and end the stream.
+
+        Never blocks (it is also called from the committing thread when
+        a consumer falls too far behind): the sentinel is best-effort,
+        :attr:`closed` is authoritative.
+        """
+        if not self.closed:
+            self.subscription.cancel()
+            self.closed = True
+            try:
+                self._queue.put_nowait(_CHANNEL_CLOSED)
+            except queue.Full:
+                pass  # consumer sees `closed` at its next poll
+
+    def initial_solutions(self) -> list[dict]:
+        """The solution set materialized at registration time."""
+        return self.subscription.solutions
+
+
+class ReasoningService:
+    """Concurrency front end over one :class:`~repro.reasoner.engine.Slider`.
+
+    Parameters mirror ``Slider`` (``fragment``, ``store``, ``workers``,
+    ``persist_dir``, ...) and are forwarded; alternatively pass a
+    pre-built engine as ``reasoner`` (the service takes ownership and
+    closes it).  ``coalesce_tick`` is the write-batching window in
+    seconds; ``retain_views`` is how many recent revisions stay pinnable
+    via ``view(at=...)``.
+    """
+
+    def __init__(
+        self,
+        reasoner: Slider | None = None,
+        coalesce_tick: float = 0.002,
+        retain_views: int = 8,
+        **slider_options,
+    ):
+        if reasoner is not None and slider_options:
+            raise ValueError(
+                "pass either a pre-built reasoner or Slider options, not both"
+            )
+        self.reasoner = reasoner if reasoner is not None else Slider(**slider_options)
+        self._closed = False
+        self._lock = threading.Lock()
+        self._channels: list[SubscriptionChannel] = []
+        # Quiesce before the first view: axioms (and any preloaded data)
+        # must be part of revision 0's image, recovery replay is already
+        # complete by construction.
+        self.reasoner.flush()
+        self.views = ViewRegistry(
+            ReadView.from_store(self.reasoner.revision, self.reasoner.store),
+            retain=retain_views,
+        )
+        self.writes = WriteCoalescer(self._commit, tick=coalesce_tick)
+
+    # --- write path ---------------------------------------------------------
+    def _commit(self, delta: Delta) -> InferenceReport:
+        """Drain-thread hook: engine commit, then view publication."""
+        report = self.reasoner.apply(delta)
+        self.views.advance(report)
+        return report
+
+    def apply(
+        self,
+        assertions: Iterable[Triple] | Triple = (),
+        retractions: Iterable[Triple] | Triple = (),
+        timeout: float | None = 30.0,
+    ) -> CommitResult:
+        """Commit a write batch (coalesced); blocks for its revision.
+
+        Returns the :class:`~repro.server.coalescer.CommitResult` whose
+        report covers the whole coalesced revision this write joined.
+        """
+        self._check_open()
+        return self.writes.apply(assertions, retractions, timeout=timeout)
+
+    def submit(
+        self,
+        assertions: Iterable[Triple] | Triple = (),
+        retractions: Iterable[Triple] | Triple = (),
+    ) -> PendingWrite:
+        """Queue a write without waiting (pipelined callers)."""
+        self._check_open()
+        return self.writes.submit(assertions, retractions)
+
+    # --- read path ----------------------------------------------------------
+    def view(self, at: int | None = None) -> ReadView:
+        """A snapshot view: the current revision, or pinned ``at`` one.
+
+        Raises :class:`~repro.server.views.RevisionGoneError` when the
+        pinned revision has left the retention ring.
+        """
+        self._check_open()
+        if at is None:
+            return self.views.current()
+        return self.views.at(at)
+
+    def graph(self, at: int | None = None) -> Graph:
+        """A term-level :class:`Graph` over a snapshot view.
+
+        The graph shares the engine's dictionary (term ids only grow,
+        so decoding against a historical view is always safe) but its
+        store is the immutable view — BGP evaluation, pattern matching
+        and serialization all run without touching the live store.
+        """
+        return Graph(self.reasoner.dictionary, self.view(at))
+
+    # --- subscriptions ------------------------------------------------------
+    def subscribe(
+        self,
+        patterns: Sequence[TriplePattern],
+        callback: Callable[[SubscriptionEvent], None] | None = None,
+    ) -> Subscription:
+        """Engine-level subscription passthrough (in-process consumers)."""
+        self._check_open()
+        return self.reasoner.subscribe(patterns, callback)
+
+    def subscribe_channel(
+        self, patterns: Sequence[TriplePattern]
+    ) -> SubscriptionChannel:
+        """A queue-backed subscription for one streaming client.
+
+        The queue is bounded: a consumer that falls
+        :data:`SUBSCRIPTION_QUEUE_LIMIT` events behind is disconnected
+        (subscription cancelled, channel closed) rather than allowed to
+        buffer the write stream without limit.
+        """
+        self._check_open()
+        # The queue and cell exist before the subscription so a commit
+        # landing right after registration cannot race construction.
+        events: "queue.Queue" = queue.Queue(maxsize=SUBSCRIPTION_QUEUE_LIMIT)
+        cell: list[SubscriptionChannel] = []
+
+        def push(event: SubscriptionEvent) -> None:
+            try:
+                events.put_nowait(event)
+            except queue.Full:
+                # Slow-consumer policy: drop the subscriber, never the
+                # committing thread.  (The cell is filled before the
+                # queue can possibly fill.)
+                if cell:
+                    cell[0].close()
+
+        subscription = self.reasoner.subscribe(patterns, push)
+        channel = SubscriptionChannel(subscription, events)
+        cell.append(channel)
+        with self._lock:
+            self._channels.append(channel)
+            self._channels = [c for c in self._channels if not c.closed]
+        return channel
+
+    # --- inspection ---------------------------------------------------------
+    @property
+    def revision(self) -> int:
+        """The latest published (readable) revision."""
+        return self.views.current().revision
+
+    @property
+    def persist_dir(self) -> Path | None:
+        return self.reasoner.persist_dir
+
+    def stats(self) -> dict:
+        """One JSON-ready dict: consistency state, engine, writes, views."""
+        self._check_open()
+        view = self.views.current()
+        reasoner = self.reasoner
+        recovery = reasoner.recovery
+        return {
+            "revision": view.revision,
+            "triples": len(view),
+            "engine": {
+                "fragment": reasoner.fragment.name,
+                "rules": len(reasoner.rules),
+                "workers": reasoner.workers,
+                "revision": reasoner.revision,
+                "input": reasoner.input_count,
+                "inferred": reasoner.inferred_count,
+                "store": reasoner.store.stats(),
+            },
+            "views": {
+                "retained": self.views.revisions(),
+                "current": view.revision,
+                "predicates": view.stats()["predicates"],
+            },
+            "writes": self.writes.stats(),
+            "subscriptions": sum(
+                1 for channel in self._channels if not channel.closed
+            ),
+            "persist": (
+                None
+                if reasoner.persist_dir is None
+                else {"dir": str(reasoner.persist_dir)}
+            ),
+            "recovery": None if recovery is None else recovery.as_dict(),
+        }
+
+    # --- lifecycle ----------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceClosedError("reasoning service is closed")
+
+    def close(self) -> None:
+        """Drain queued writes, end streams, flush + close the engine.
+
+        Clean-shutdown contract: every write accepted before ``close``
+        is committed (and journaled, when durable) before this returns —
+        a SIGTERM'd durable service leaves a directory that recovers to
+        its exact final revision.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.writes.close()
+        with self._lock:
+            channels, self._channels = self._channels, []
+        for channel in channels:
+            channel.close()
+        self.reasoner.close()
+
+    def __enter__(self) -> "ReasoningService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self):
+        state = "closed" if self._closed else f"revision={self.revision}"
+        return f"<ReasoningService {state} engine={self.reasoner!r}>"

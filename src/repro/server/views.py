@@ -1,0 +1,244 @@
+"""Snapshot-isolated read views: one immutable store image per revision.
+
+The serving layer must let many readers query the maintained closure
+while writes stream in.  Letting readers touch the engine's live store
+would expose them to half-applied revisions (the rule pipeline inserts
+triples throughout the fixpoint computation, not just at commit), and
+gating them behind the commit lock would serialize reads against writes.
+
+Instead, reads go to a :class:`ReadView`: an immutable, predicate-
+partitioned image of the store *at one committed revision*.  Views form
+a persistent (copy-on-write) chain:
+
+* the first view is built once from the quiesced store;
+* each committed revision derives the next view from its predecessor by
+  folding in the revision's :class:`~repro.reasoner.delta.InferenceReport`
+  encoded diff — the predicate map is copied shallowly and only the
+  partitions the delta touched are rewritten, so advancing costs
+  O(delta), not O(store), and untouched partitions are shared between
+  every retained view.
+
+A reader simply grabs the current view reference and queries it for as
+long as it likes: commits never mutate a published view, so there is
+nothing to lock and nothing to block.  :class:`ViewRegistry` keeps a
+short ring of recent revisions so a client can pin an exact revision id
+(``GET /select?at=N``) across several requests.
+
+``ReadView`` implements the read half of the
+:class:`~repro.store.backends.base.TripleStore` protocol, so the
+ordinary :class:`~repro.store.graph.Graph` / :mod:`repro.store.query`
+machinery evaluates BGPs against a view unchanged; the write half raises.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Iterable, Iterator
+
+from ..dictionary.encoder import EncodedTriple
+from ..reasoner.delta import InferenceReport
+from ..store.backends import TripleStore
+
+__all__ = ["ReadView", "ViewRegistry", "RevisionGoneError"]
+
+
+class RevisionGoneError(LookupError):
+    """The pinned revision is older than the registry's retention ring."""
+
+
+class ReadView:
+    """An immutable triple-store image at one committed revision.
+
+    Read-only: the mutation half of the ``TripleStore`` protocol raises
+    :class:`TypeError`.  Derive the successor revision's view with
+    :meth:`advance` (structure-sharing, delta-proportional cost).
+    """
+
+    __slots__ = ("revision", "_by_predicate", "_size")
+
+    def __init__(
+        self,
+        revision: int,
+        by_predicate: dict[int, frozenset[tuple[int, int]]],
+        size: int,
+    ):
+        self.revision = revision
+        self._by_predicate = by_predicate
+        self._size = size
+
+    @classmethod
+    def from_store(cls, revision: int, store: TripleStore) -> "ReadView":
+        """Materialize a view from a (quiesced) live store. O(store)."""
+        by_predicate = {
+            predicate: frozenset(store.pairs_for_predicate(predicate))
+            for predicate in store.predicates()
+        }
+        size = sum(len(pairs) for pairs in by_predicate.values())
+        return cls(revision, by_predicate, size)
+
+    def advance(self, report: InferenceReport) -> "ReadView":
+        """The next revision's view: this view plus the report's diff.
+
+        Copy-on-write: only predicate partitions the diff touches are
+        rebuilt; everything else is shared with this view.
+        """
+        touched: dict[int, tuple[set, set]] = {}
+        for s, p, o in report.added_encoded:
+            adds, _ = touched.setdefault(p, (set(), set()))
+            adds.add((s, o))
+        for s, p, o in report.removed_encoded:
+            _, removes = touched.setdefault(p, (set(), set()))
+            removes.add((s, o))
+        if not touched:
+            return ReadView(report.revision, self._by_predicate, self._size)
+        by_predicate = dict(self._by_predicate)
+        size = self._size
+        for predicate, (adds, removes) in touched.items():
+            pairs = set(by_predicate.get(predicate, ()))
+            before = len(pairs)
+            pairs -= removes
+            pairs |= adds
+            size += len(pairs) - before
+            if pairs:
+                by_predicate[predicate] = frozenset(pairs)
+            else:
+                by_predicate.pop(predicate, None)
+        return ReadView(report.revision, by_predicate, size)
+
+    # --- TripleStore read protocol ------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, triple: EncodedTriple) -> bool:
+        s, p, o = triple
+        pairs = self._by_predicate.get(p)
+        return pairs is not None and (s, o) in pairs
+
+    def __iter__(self) -> Iterator[EncodedTriple]:
+        for predicate, pairs in self._by_predicate.items():
+            for s, o in pairs:
+                yield (s, predicate, o)
+
+    def has_predicate(self, predicate: int) -> bool:
+        return predicate in self._by_predicate
+
+    def predicates(self) -> list[int]:
+        return list(self._by_predicate)
+
+    def count_predicate(self, predicate: int) -> int:
+        pairs = self._by_predicate.get(predicate)
+        return len(pairs) if pairs is not None else 0
+
+    def pairs_for_predicate(self, predicate: int) -> list[tuple[int, int]]:
+        return list(self._by_predicate.get(predicate, ()))
+
+    def objects(self, predicate: int, subject: int) -> list[int]:
+        pairs = self._by_predicate.get(predicate)
+        if not pairs:
+            return []
+        return [o for s, o in pairs if s == subject]
+
+    def subjects(self, predicate: int, obj: int) -> list[int]:
+        pairs = self._by_predicate.get(predicate)
+        if not pairs:
+            return []
+        return [s for s, o in pairs if o == obj]
+
+    def match(
+        self,
+        subject: int | None = None,
+        predicate: int | None = None,
+        obj: int | None = None,
+    ) -> list[EncodedTriple]:
+        if predicate is not None:
+            pairs = self._by_predicate.get(predicate)
+            partitions: Iterable = ((predicate, pairs),) if pairs else ()
+        else:
+            partitions = self._by_predicate.items()
+        matches: list[EncodedTriple] = []
+        for p, pairs in partitions:
+            for s, o in pairs:
+                if (subject is None or s == subject) and (obj is None or o == obj):
+                    matches.append((s, p, o))
+        return matches
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "triples": self._size,
+            "predicates": len(self._by_predicate),
+            "revision": self.revision,
+        }
+
+    # --- TripleStore write protocol: a view is immutable --------------------
+    def _immutable(self, *_args, **_kwargs):
+        raise TypeError(
+            f"ReadView is an immutable snapshot (revision {self.revision}); "
+            "mutations go through the engine's apply() pipeline"
+        )
+
+    add = add_all = remove = remove_all = clear = _immutable
+
+    def __repr__(self):
+        return f"<ReadView revision={self.revision} triples={self._size}>"
+
+
+class ViewRegistry:
+    """The chain of recent :class:`ReadView` instances, by revision id.
+
+    ``advance`` is called once per committed revision (from the write
+    path); ``current``/``at`` are called from any number of reader
+    threads.  Publication is a single reference assignment under a lock,
+    and the returned views are immutable — readers never block writers
+    and vice versa.
+    """
+
+    def __init__(self, initial: ReadView, retain: int = 8):
+        if retain < 1:
+            raise ValueError(f"retain must be >= 1, got {retain}")
+        self._retain = retain
+        self._lock = threading.Lock()
+        self._current = initial
+        self._by_revision: "OrderedDict[int, ReadView]" = OrderedDict(
+            [(initial.revision, initial)]
+        )
+
+    def current(self) -> ReadView:
+        """The view of the latest published revision."""
+        return self._current  # reference read: atomic under the GIL
+
+    def at(self, revision: int) -> ReadView:
+        """The view pinned at ``revision``; raises if evicted/unknown."""
+        with self._lock:
+            view = self._by_revision.get(revision)
+        if view is None:
+            raise RevisionGoneError(
+                f"revision {revision} is not retained "
+                f"(oldest kept: {self.oldest_revision()})"
+            )
+        return view
+
+    def advance(self, report: InferenceReport) -> ReadView:
+        """Publish the view for one committed revision's report."""
+        view = self._current.advance(report)
+        with self._lock:
+            self._current = view
+            self._by_revision[view.revision] = view
+            while len(self._by_revision) > self._retain:
+                self._by_revision.popitem(last=False)
+        return view
+
+    def oldest_revision(self) -> int:
+        with self._lock:
+            return next(iter(self._by_revision))
+
+    def revisions(self) -> list[int]:
+        """Retained revision ids, oldest first."""
+        with self._lock:
+            return list(self._by_revision)
+
+    def __repr__(self):
+        return (
+            f"<ViewRegistry current={self._current.revision} "
+            f"retained={len(self._by_revision)}>"
+        )

@@ -1,0 +1,142 @@
+"""Wire formats of the reasoning service: pattern text and JSON terms.
+
+Queries travel as one string in an N-Triples-derived syntax — the
+N-Triples grammar (IRIs in angle brackets, ``_:`` blank nodes, quoted
+literals with ``@lang`` / ``^^<datatype>``) extended with SPARQL-style
+``?variables`` in any position, patterns separated by ``.``:
+
+    ?x <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/Animal> .
+    ?owner <http://ex/hasPet> ?x
+
+The parser reuses the library's N-Triples term parsers, so escaping
+rules, error positions and term validation match file ingestion exactly.
+
+Responses speak JSON; terms are rendered in the same N-Triples syntax
+(``term.n3()``), so a client can round-trip any response value straight
+back into a query or an ``/apply`` body.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..rdf.ntriples import NTriplesError, _LineParser
+from ..rdf.terms import Term, Triple, Variable
+from ..store.query import Binding, TriplePattern
+
+__all__ = [
+    "PatternSyntaxError",
+    "parse_patterns",
+    "parse_term",
+    "parse_statements",
+    "render_term",
+    "render_binding",
+    "render_triple",
+]
+
+_VARIABLE_RE = re.compile(r"\?[A-Za-z_][A-Za-z0-9_]*")
+
+
+class PatternSyntaxError(ValueError):
+    """Malformed pattern / term text in a request."""
+
+
+class _PatternParser(_LineParser):
+    """The N-Triples line parser, extended with ``?variable`` terms."""
+
+    def parse_pattern_term(self, role: str):
+        if self.peek() == "?":
+            match = _VARIABLE_RE.match(self.line, self.pos)
+            if not match:
+                raise self.error(f"invalid variable name as {role}")
+            self.pos = match.end()
+            return Variable(match.group()[1:])
+        if role == "predicate":
+            return self.parse_iri(role)
+        if role == "object":
+            return self.parse_object()
+        return self.parse_subject()
+
+    def parse_all_patterns(self) -> list[TriplePattern]:
+        patterns: list[TriplePattern] = []
+        while True:
+            self.skip_whitespace()
+            if self.at_end():
+                break
+            subject = self.parse_pattern_term("subject")
+            self.skip_whitespace()
+            predicate = self.parse_pattern_term("predicate")
+            self.skip_whitespace()
+            obj = self.parse_pattern_term("object")
+            self.skip_whitespace()
+            # '.' separates patterns; it is optional after the last one.
+            if self.peek() == ".":
+                self.pos += 1
+            patterns.append((subject, predicate, obj))
+        return patterns
+
+
+def _flatten(text: str) -> str:
+    """Queries may arrive multi-line; the term grammar is line-based."""
+    return " ".join(text.split("\n"))
+
+
+def parse_patterns(text: str) -> list[TriplePattern]:
+    """Parse query text into a non-empty BGP (a list of triple patterns)."""
+    if not text or not text.strip():
+        raise PatternSyntaxError("empty query")
+    try:
+        patterns = _PatternParser(_flatten(text), 1).parse_all_patterns()
+    except NTriplesError as error:
+        raise PatternSyntaxError(str(error)) from error
+    if not patterns:
+        raise PatternSyntaxError("query contains no patterns")
+    return patterns
+
+
+def parse_term(text: str) -> Term:
+    """Parse one concrete term (IRI / blank node / literal) in N-Triples
+    syntax; used for the ``/triples`` pattern parameters."""
+    parser = _PatternParser(_flatten(text), 1)
+    try:
+        parser.skip_whitespace()
+        term = parser.parse_object()
+        parser.skip_whitespace()
+    except NTriplesError as error:
+        raise PatternSyntaxError(str(error)) from error
+    if not parser.at_end():
+        raise PatternSyntaxError(f"unexpected trailing content in term: {text!r}")
+    return term
+
+
+def parse_statements(lines: list) -> list[Triple]:
+    """Parse a JSON array of N-Triples statement strings (``/apply``)."""
+    triples: list[Triple] = []
+    for index, line in enumerate(lines):
+        if not isinstance(line, str):
+            raise PatternSyntaxError(
+                f"statement {index} is not a string: {line!r}"
+            )
+        statement = line if line.rstrip().endswith(".") else line + " ."
+        try:
+            triple = _LineParser(_flatten(statement), index + 1).parse_triple()
+        except NTriplesError as error:
+            raise PatternSyntaxError(str(error)) from error
+        if triple is not None:
+            triples.append(triple)
+    return triples
+
+
+def render_term(term: Term) -> str:
+    """A term as its N-Triples string (round-trips through the parsers)."""
+    return term.n3()
+
+
+def render_binding(binding: Binding) -> dict[str, str]:
+    """A solution as ``{variable name: n3 term}`` (JSON-ready)."""
+    return {variable.name: term.n3() for variable, term in binding.items()}
+
+
+def render_triple(triple: Triple) -> str:
+    """A triple as one N-Triples statement."""
+    return triple.n3()

@@ -1,0 +1,118 @@
+"""The bench-regression comparator: metric extraction and gating."""
+
+import json
+
+import pytest
+
+from repro.bench.compare import compare_metrics, extract_metrics, main
+
+
+def baseline(**metrics):
+    return {"metrics": {
+        name: {"value": value, "direction": direction}
+        for name, (value, direction) in metrics.items()
+    }}
+
+
+class TestExtract:
+    def test_recovery_list_artifact(self):
+        rows = [
+            {"speedup": 8.0, "replay_throughput": 500.0},
+            {"speedup": 6.5, "replay_throughput": 450.0},
+        ]
+        metrics = extract_metrics(rows)
+        assert metrics == {
+            "recovery.min_speedup": 6.5,
+            "recovery.min_replay_throughput_tps": 450.0,
+        }
+
+    def test_headline_and_server_artifacts(self):
+        assert extract_metrics(
+            {"kind": "headline", "peak_throughput_tps": 20000}
+        ) == {"headline.peak_throughput_tps": 20000.0}
+        server = extract_metrics({
+            "kind": "server", "total_rps": 2000, "read_rps": 1800,
+            "read_p99_ms": 11.0,
+        })
+        assert server["server.total_rps"] == 2000.0
+        assert server["server.read_p99_ms"] == 11.0
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(ValueError):
+            extract_metrics({"kind": "mystery"})
+        with pytest.raises(ValueError):
+            extract_metrics("nope")
+
+
+class TestCompare:
+    def test_within_tolerance_passes(self):
+        _lines, failures = compare_metrics(
+            baseline(tput=(1000.0, "higher"), p99=(10.0, "lower")),
+            {"tput": 800.0, "p99": 12.0},
+            tolerance=0.25,
+        )
+        assert failures == []
+
+    def test_throughput_drop_fails(self):
+        _lines, failures = compare_metrics(
+            baseline(tput=(1000.0, "higher")), {"tput": 700.0}, tolerance=0.25
+        )
+        assert len(failures) == 1 and "tput" in failures[0]
+
+    def test_latency_rise_fails(self):
+        _lines, failures = compare_metrics(
+            baseline(p99=(10.0, "lower")), {"p99": 13.0}, tolerance=0.25
+        )
+        assert failures
+
+    def test_missing_metric_soft_vs_require_all(self):
+        base = baseline(a=(1.0, "higher"), b=(1.0, "higher"))
+        _lines, soft = compare_metrics(base, {"a": 1.0}, 0.25, require_all=False)
+        assert soft == []
+        _lines, hard = compare_metrics(base, {"a": 1.0}, 0.25, require_all=True)
+        assert any("b" in failure for failure in hard)
+
+    def test_nothing_compared_fails(self):
+        _lines, failures = compare_metrics(baseline(a=(1.0, "higher")), {}, 0.25)
+        assert failures
+
+
+class TestMain:
+    def write(self, path, payload):
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return str(path)
+
+    def test_end_to_end_pass_and_fail(self, tmp_path, capsys):
+        base = self.write(tmp_path / "baseline.json", {
+            "note": "test",
+            "metrics": {"server.total_rps": {"value": 1000, "direction": "higher"}},
+        })
+        good = self.write(tmp_path / "good.json", {
+            "kind": "server", "total_rps": 1100, "read_rps": 900, "read_p99_ms": 9,
+        })
+        assert main(["--baseline", base, "--tolerance", "0.25", good]) == 0
+        assert "all compared metrics within tolerance" in capsys.readouterr().out
+
+        bad = self.write(tmp_path / "bad.json", {
+            "kind": "server", "total_rps": 100, "read_rps": 90, "read_p99_ms": 9,
+        })
+        assert main(["--baseline", base, "--tolerance", "0.25", bad]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_missing_artifact_is_warning_unless_required(self, tmp_path):
+        base = self.write(tmp_path / "baseline.json", {
+            "metrics": {"server.total_rps": {"value": 1000, "direction": "higher"}},
+        })
+        good = self.write(tmp_path / "good.json", {
+            "kind": "server", "total_rps": 1100, "read_rps": 900, "read_p99_ms": 9,
+        })
+        assert main(["--baseline", base, good, str(tmp_path / "absent.json")]) == 0
+        assert main([
+            "--baseline", base, "--require-all", good, str(tmp_path / "absent.json")
+        ]) == 1
+
+    def test_bad_inputs(self, tmp_path):
+        assert main(["--baseline", str(tmp_path / "nope.json"), "x.json"]) == 1
+        base = self.write(tmp_path / "baseline.json", {"metrics": {}})
+        bad = self.write(tmp_path / "bad.json", {"kind": "mystery"})
+        assert main(["--baseline", base, bad]) == 1

@@ -1,0 +1,21 @@
+"""Smoke test for the server load generator (full runs live in
+benchmarks/bench_server.py; this pins correctness, not throughput)."""
+
+from repro.bench import run_server_load
+
+
+def test_short_mixed_load_round_trips():
+    result = run_server_load(
+        duration=0.6, readers=2, writers=1, workers=0,
+        seed_classes=4, seed_instances=5,
+    )
+    assert result.error_count == 0
+    assert result.read_count > 0 and result.write_count > 0
+    assert result.total_requests == result.read_count + result.write_count
+    assert result.final_revision > 1  # writers committed revisions
+    # Percentile helpers behave on real samples.
+    assert 0 < result.read_p50_ms <= result.read_p99_ms
+    assert result.total_rps > 0
+    payload = result.as_dict()
+    assert payload["kind"] == "server"
+    assert payload["reads"] == result.read_count

@@ -1,0 +1,272 @@
+"""The HTTP surface: endpoints, wire syntax, and SSE binding deltas.
+
+The SSE tests mirror ``tests/reasoner/test_subscriptions.py``: the
+stream must deliver exactly the binding-level diffs the in-process
+subscription API delivers — additions, removals, and nothing spurious.
+"""
+
+import json
+import threading
+from http.client import HTTPConnection
+from urllib.parse import quote
+
+import pytest
+
+from repro.rdf import RDF, RDFS
+from repro.server import ReasoningService, serve
+
+from ..conftest import EX
+
+RDF_TYPE = RDF.type.n3()
+SUBCLASS = RDFS.subClassOf.n3()
+
+ANIMAL_QUERY = f"?x {RDF_TYPE} {EX.Animal.n3()}"
+
+
+@pytest.fixture()
+def server():
+    service = ReasoningService(fragment="rhodf", workers=0, timeout=None)
+    http_server, _thread = serve(service)
+    try:
+        yield http_server
+    finally:
+        http_server.shutdown()
+        http_server.server_close()
+        service.close()
+
+
+@pytest.fixture()
+def client(server):
+    conn = HTTPConnection("127.0.0.1", server.port, timeout=10)
+    try:
+        yield conn
+    finally:
+        conn.close()
+
+
+def get(conn, path):
+    conn.request("GET", path)
+    response = conn.getresponse()
+    return response.status, json.loads(response.read())
+
+
+def post(conn, path, body):
+    conn.request("POST", path, json.dumps(body), {"Content-Type": "application/json"})
+    response = conn.getresponse()
+    return response.status, json.loads(response.read())
+
+
+def apply_schema(conn):
+    return post(conn, "/apply", {"assert": [
+        f"{EX.Cat.n3()} {SUBCLASS} {EX.Animal.n3()}",
+        f"{EX.tom.n3()} {RDF_TYPE} {EX.Cat.n3()}",
+    ]})
+
+
+class TestReadEndpoints:
+    def test_apply_then_select_at_revision(self, client):
+        status, applied = apply_schema(client)
+        assert status == 200
+        assert applied["report"]["inferred_added"] == 1
+        revision = applied["revision"]
+        status, out = get(
+            client, f"/select?query={quote(ANIMAL_QUERY, safe='')}&at={revision}"
+        )
+        assert status == 200
+        assert out["revision"] == revision
+        assert out["rows"] == [[EX.tom.n3()]]
+        assert out["variables"] == ["x"]
+
+    def test_select_projection_and_validation(self, client):
+        apply_schema(client)
+        query = quote(f"?x {RDF_TYPE} ?cls", safe="")
+        status, out = get(client, f"/select?query={query}&var=cls")
+        assert status == 200
+        assert out["variables"] == ["cls"]
+        assert [EX.Animal.n3()] in out["rows"]
+        status, out = get(client, f"/select?query={query}&var=nope")
+        assert status == 400
+        status, out = get(client, f"/select?query={query}&limit=1")
+        assert len(out["rows"]) == 1
+
+    def test_ask(self, client):
+        apply_schema(client)
+        query = quote(ANIMAL_QUERY, safe="")
+        assert get(client, f"/ask?query={query}") == (
+            200,
+            {"revision": 2, "result": True},
+        )
+        missing = quote(f"?x {RDF_TYPE} {EX.Robot.n3()}", safe="")
+        assert get(client, f"/ask?query={missing}")[1]["result"] is False
+
+    def test_construct(self, client):
+        apply_schema(client)
+        template = quote(f"?x {EX.isA.n3()} {EX.Beast.n3()}", safe="")
+        query = quote(ANIMAL_QUERY, safe="")
+        status, out = get(client, f"/construct?template={template}&query={query}")
+        assert status == 200
+        assert out["triples"] == [
+            f"{EX.tom.n3()} {EX.isA.n3()} {EX.Beast.n3()} ."
+        ]
+
+    def test_triples_pattern_dump(self, client):
+        apply_schema(client)
+        status, out = get(client, f"/triples?p={quote(RDF_TYPE, safe='')}")
+        assert status == 200
+        assert out["count"] == 2  # tom a Cat (explicit) + tom a Animal (inferred)
+        status, out = get(
+            client,
+            f"/triples?p={quote(RDF_TYPE, safe='')}&o={quote(EX.Animal.n3(), safe='')}",
+        )
+        assert out["triples"] == [f"{EX.tom.n3()} {RDF_TYPE} {EX.Animal.n3()} ."]
+
+    def test_stats_and_healthz(self, client):
+        apply_schema(client)
+        status, stats = get(client, "/stats")
+        assert status == 200
+        assert stats["writes"]["commits"] >= 1
+        assert stats["engine"]["fragment"] == "rhodf"
+        status, health = get(client, "/healthz")
+        assert status == 200 and health["ok"] is True
+
+    def test_error_statuses(self, client):
+        assert get(client, "/nope")[0] == 404
+        assert get(client, "/select")[0] == 400  # missing query
+        assert get(client, "/select?query=%3F%3F")[0] == 400  # bad syntax
+        assert get(client, "/select?query=x&at=abc")[0] == 400
+        assert get(client, f"/select?query={quote(ANIMAL_QUERY, safe='')}&at=77")[0] == 410
+        assert get(client, f"/triples?s={quote('<bad iri>', safe='')}")[0] == 400
+        query = quote(ANIMAL_QUERY, safe="")
+        assert get(client, f"/select?query={query}&limit=0")[0] == 400
+        assert get(client, f"/triples?limit=-3")[0] == 400
+
+    def test_keep_alive_survives_errored_post_with_body(self, client):
+        """An error response must drain the request body, or every later
+        request on the keep-alive connection parses garbage."""
+        status, _ = post(client, "/nope", {"assert": ["<a> <b> <c>"]})
+        assert status == 404
+        status, health = get(client, "/healthz")  # same connection
+        assert status == 200 and health["ok"] is True
+
+
+class TestApplyEndpoint:
+    def test_retract_round_trip(self, client):
+        apply_schema(client)
+        status, out = post(client, "/apply", {
+            "retract": [f"{EX.tom.n3()} {RDF_TYPE} {EX.Cat.n3()}"]
+        })
+        assert status == 200
+        assert out["report"]["removed"] == 2  # the assertion + its inference
+        status, out = get(client, f"/ask?query={quote(ANIMAL_QUERY, safe='')}")
+        assert out["result"] is False
+
+    def test_validation(self, client):
+        conn = client
+        conn.request("POST", "/apply", "{not json", {"Content-Type": "application/json"})
+        response = conn.getresponse()
+        response.read()  # drain: the keep-alive connection is reused below
+        assert response.status == 400
+        assert post(conn, "/apply", {})[0] == 400
+        assert post(conn, "/apply", {"assert": "not-a-list"})[0] == 400
+        assert post(conn, "/apply", {"assert": ["<a> <b>"]})[0] == 400
+        assert post(conn, "/apply", {"assert": [], "timeout": -1})[0] == 400
+
+    def test_post_to_get_endpoint_is_404(self, client):
+        assert post(client, "/select", {})[0] == 404
+
+
+class SSEReader:
+    """Collects parsed SSE events from a /subscribe stream."""
+
+    def __init__(self, port: int, query: str):
+        self.events: list[dict] = []
+        self.hello = threading.Event()
+        self.got_delta = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, args=(port, query), daemon=True
+        )
+        self._thread.start()
+
+    def _run(self, port: int, query: str) -> None:
+        conn = HTTPConnection("127.0.0.1", port, timeout=20)
+        try:
+            conn.request("GET", f"/subscribe?query={quote(query, safe='')}")
+            response = conn.getresponse()
+            assert response.status == 200
+            assert response.getheader("Content-Type") == "text/event-stream"
+            current: dict = {}
+            while True:
+                line = response.readline().decode("utf-8").rstrip("\r\n")
+                if line.startswith("event:"):
+                    current["event"] = line[6:].strip()
+                elif line.startswith("data:"):
+                    current["data"] = json.loads(line[5:].strip())
+                elif line == "" and current:
+                    self.events.append(dict(current))
+                    if current.get("event") == "hello":
+                        self.hello.set()
+                    if current.get("event") == "delta":
+                        self.got_delta.set()
+                        return
+                    current.clear()
+        except OSError:
+            return
+        finally:
+            conn.close()
+
+    def deltas(self) -> list[dict]:
+        return [e["data"] for e in self.events if e["event"] == "delta"]
+
+
+class TestSSE:
+    def test_additions_stream_exact_bindings(self, server, client):
+        apply_schema(client)
+        reader = SSEReader(server.port, ANIMAL_QUERY)
+        assert reader.hello.wait(10)
+        assert reader.events[0]["data"]["solutions"] == 1  # tom, seeded
+        status, applied = post(client, "/apply", {"assert": [
+            f"{EX.rex.n3()} {RDF_TYPE} {EX.Cat.n3()}",
+        ]})
+        assert status == 200
+        assert reader.got_delta.wait(10)
+        deltas = reader.deltas()
+        assert deltas == [{
+            "revision": applied["revision"],
+            "added": [{"x": EX.rex.n3()}],
+            "removed": [],
+        }]
+
+    def test_removals_stream_exact_bindings(self, server, client):
+        apply_schema(client)
+        reader = SSEReader(server.port, ANIMAL_QUERY)
+        assert reader.hello.wait(10)
+        status, applied = post(client, "/apply", {
+            "retract": [f"{EX.tom.n3()} {RDF_TYPE} {EX.Cat.n3()}"]
+        })
+        assert status == 200
+        assert reader.got_delta.wait(10)
+        assert reader.deltas() == [{
+            "revision": applied["revision"],
+            "added": [],
+            "removed": [{"x": EX.tom.n3()}],
+        }]
+
+    def test_no_spurious_events(self, server, client):
+        """An unrelated commit emits nothing; the next matching commit's
+        delta is the *first* event after hello."""
+        apply_schema(client)
+        reader = SSEReader(server.port, ANIMAL_QUERY)
+        assert reader.hello.wait(10)
+        post(client, "/apply", {"assert": [
+            f"{EX.a.n3()} {EX.knows.n3()} {EX.b.n3()}",  # cannot match
+        ]})
+        status, applied = post(client, "/apply", {"assert": [
+            f"{EX.rex.n3()} {RDF_TYPE} {EX.Cat.n3()}",
+        ]})
+        assert reader.got_delta.wait(10)
+        deltas = reader.deltas()
+        assert [d["revision"] for d in deltas] == [applied["revision"]]
+        assert deltas[0]["added"] == [{"x": EX.rex.n3()}]
+
+    def test_bad_subscribe_query_is_400(self, client):
+        assert get(client, "/subscribe?query=%3F%3F")[0] == 400

@@ -1,0 +1,179 @@
+"""Durable service shutdown: clean close and SIGTERM both recover.
+
+Mirrors ``tests/persist``: a served engine must honour the same
+durability contract as the library — clean shutdown flushes the WAL
+(every acknowledged write is journaled), and a SIGTERM'd
+``slider-reason serve --persist`` process leaves a directory that
+recovers to its exact final revision, with the
+:class:`~repro.reasoner.engine.RecoveryInfo` surfaced through the
+restarted server's ``/stats``.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from http.client import HTTPConnection
+from pathlib import Path
+from urllib.parse import quote
+
+import pytest
+
+from repro import Slider, Triple
+from repro.persist import read_journal
+from repro.rdf import RDF, RDFS
+from repro.server import ReasoningService, serve
+
+from ..conftest import EX, small_ontology
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+SRC = REPO_ROOT / "src"
+
+
+class TestCleanClose:
+    def test_close_flushes_wal(self, tmp_path):
+        state = tmp_path / "state"
+        with ReasoningService(
+            fragment="rhodf", workers=0, timeout=None, persist_dir=state
+        ) as service:
+            result = service.apply(small_ontology())
+            final_revision = result.revision
+        # Every acknowledged write is on disk.
+        records, _durable, _fragment = read_journal(state / "changelog.wal")
+        assert records, "clean close left an empty changelog"
+        assert records[-1].revision == final_revision
+
+        with Slider(
+            fragment="rhodf", workers=0, timeout=None, persist_dir=state
+        ) as revived:
+            assert revived.revision == final_revision
+            assert Triple(EX.tom, RDF.type, EX.Animal) in revived.graph
+
+    def test_close_drains_queued_writes(self, tmp_path):
+        """Writes accepted before close are committed and journaled."""
+        state = tmp_path / "state"
+        service = ReasoningService(
+            fragment="rhodf", workers=0, timeout=None, persist_dir=state
+        )
+        with service.writes.paused():
+            pending = [
+                service.submit([Triple(EX[f"s{i}"], EX.p, EX[f"o{i}"])])
+                for i in range(5)
+            ]
+            service.close()  # close releases the pause and drains
+        results = [p.wait(10) for p in pending]
+        assert len({r.revision for r in results}) == 1
+
+        with Slider(
+            fragment="rhodf", workers=0, timeout=None, persist_dir=state
+        ) as revived:
+            for i in range(5):
+                assert Triple(EX[f"s{i}"], EX.p, EX[f"o{i}"]) in revived.graph
+
+    def test_recovered_service_surfaces_recovery_in_stats(self, tmp_path):
+        state = tmp_path / "state"
+        first = ReasoningService(
+            fragment="rhodf", workers=0, timeout=None, persist_dir=state
+        )
+        first.apply(small_ontology())
+        # Simulated kill: release handles without the close-flush commit
+        # (same idiom as tests/persist/test_recovery.py).
+        first.writes.close()
+        first._closed = True
+        first.reasoner._closed = True
+        first.reasoner._persist.close()
+
+        with ReasoningService(
+            fragment="rhodf", workers=0, timeout=None, persist_dir=state
+        ) as revived:
+            stats = revived.stats()
+            assert stats["recovery"] is not None
+            assert stats["recovery"]["replayed_records"] >= 1
+            assert stats["persist"]["dir"] == str(state)
+
+
+@pytest.mark.skipif(sys.platform == "win32", reason="POSIX signals")
+class TestSigterm:
+    def _boot(self, state_dir: Path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(SRC)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--host", "127.0.0.1", "--port", "0",
+                "--persist", str(state_dir), "--workers", "0", "--timeout", "0",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        deadline = time.monotonic() + 30
+        port = None
+        while time.monotonic() < deadline:
+            line = process.stdout.readline()
+            if not line:
+                break
+            if line.startswith("listening on http://"):
+                port = int(line.split(":")[2].split()[0].rstrip("/"))
+                break
+        if port is None:
+            process.kill()
+            raise AssertionError(f"server did not boot: {process.stderr.read()}")
+        return process, port
+
+    def test_sigterm_leaves_recoverable_directory(self, tmp_path):
+        state = tmp_path / "state"
+        process, port = self._boot(state)
+        try:
+            conn = HTTPConnection("127.0.0.1", port, timeout=10)
+            body = json.dumps({"assert": [
+                f"{EX.Cat.n3()} {RDFS.subClassOf.n3()} {EX.Animal.n3()}",
+                f"{EX.tom.n3()} {RDF.type.n3()} {EX.Cat.n3()}",
+            ]})
+            conn.request("POST", "/apply", body, {"Content-Type": "application/json"})
+            response = conn.getresponse()
+            applied = json.loads(response.read())
+            assert response.status == 200
+            committed_revision = applied["revision"]
+
+            # The write is acknowledged — SIGTERM must not lose it.
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=30) == 0, process.stderr.read()
+        finally:
+            if process.poll() is None:
+                process.kill()
+
+        # The directory recovers to at least the acknowledged revision
+        # (close() may add one trailing flush-commit) with the inference.
+        with Slider(
+            fragment="rhodf", workers=0, timeout=None, persist_dir=state
+        ) as revived:
+            assert revived.revision >= committed_revision
+            assert Triple(EX.tom, RDF.type, EX.Animal) in revived.graph
+            assert Triple(EX.tom, RDF.type, EX.Cat) in revived.graph
+
+        # A restarted server surfaces the recovery through /stats and
+        # serves the recovered closure.
+        service = ReasoningService(
+            fragment="rhodf", workers=0, timeout=None, persist_dir=state
+        )
+        server, _thread = serve(service)
+        try:
+            conn = HTTPConnection("127.0.0.1", server.port, timeout=10)
+            conn.request("GET", "/stats")
+            stats = json.loads(conn.getresponse().read())
+            assert stats["recovery"] is not None
+            assert stats["recovery"]["recovered_revision"] >= committed_revision
+            query = quote(f"?x {RDF.type.n3()} {EX.Animal.n3()}", safe="")
+            conn.request("GET", f"/ask?query={query}")
+            assert json.loads(conn.getresponse().read())["result"] is True
+            conn.close()
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()

@@ -1,0 +1,130 @@
+"""Read views: immutable per-revision snapshots with structure sharing.
+
+The property backing the serving layer's consistency model: the view
+derived incrementally from each revision's report is *identical* to a
+view rebuilt from the store at that revision — for adds, retractions,
+and re-derivations, over both backends.
+"""
+
+import pytest
+
+from repro import Delta, Slider, Triple
+from repro.rdf import RDF, RDFS
+from repro.server import ReadView, RevisionGoneError, ViewRegistry
+
+from ..conftest import EX, STORE_BACKENDS, make_chain, small_ontology
+
+
+def make_engine(store):
+    return Slider(fragment="rhodf", workers=0, timeout=None, store=store)
+
+
+DELTAS = [
+    Delta(assertions=small_ontology()),
+    Delta(assertions=make_chain(8)),
+    Delta(retractions=[small_ontology()[2]]),  # DRed removal
+    Delta(
+        assertions=[Triple(EX.rex, RDF.type, EX.Cat)],
+        retractions=make_chain(8)[:2],
+    ),
+]
+
+
+class TestReadView:
+    @pytest.mark.parametrize("store", STORE_BACKENDS)
+    def test_from_store_matches_store(self, store):
+        with make_engine(store) as r:
+            r.apply(Delta(assertions=small_ontology()))
+            view = ReadView.from_store(r.revision, r.store)
+            assert len(view) == len(r.store)
+            assert set(view) == set(r.store)
+            assert sorted(view.predicates()) == sorted(r.store.predicates())
+
+    @pytest.mark.parametrize("store", STORE_BACKENDS)
+    def test_advance_equals_rebuild_at_every_revision(self, store):
+        """Incrementally advanced view == full rebuild, after each delta."""
+        with make_engine(store) as r:
+            view = ReadView.from_store(r.revision, r.store)
+            for delta in DELTAS:
+                report = r.apply(delta)
+                view = view.advance(report)
+                rebuilt = ReadView.from_store(r.revision, r.store)
+                assert view.revision == rebuilt.revision == r.revision
+                assert set(view) == set(rebuilt)
+                assert len(view) == len(rebuilt)
+                for predicate in rebuilt.predicates():
+                    assert view.count_predicate(predicate) == rebuilt.count_predicate(
+                        predicate
+                    )
+
+    def test_advance_does_not_mutate_predecessor(self):
+        with make_engine("hashdict") as r:
+            r.apply(Delta(assertions=small_ontology()))
+            old_view = ReadView.from_store(r.revision, r.store)
+            old_triples = set(old_view)
+            old_size = len(old_view)
+            report = r.apply(Delta(assertions=[Triple(EX.rex, RDF.type, EX.Cat)]))
+            new_view = old_view.advance(report)
+            # The predecessor is untouched: snapshot isolation.
+            assert set(old_view) == old_triples
+            assert len(old_view) == old_size
+            assert len(new_view) > old_size
+            assert new_view.revision == old_view.revision + 1
+
+    def test_read_protocol(self):
+        with make_engine("hashdict") as r:
+            r.apply(Delta(assertions=small_ontology()))
+            view = ReadView.from_store(r.revision, r.store)
+            encoded = next(iter(r.store))
+            s, p, o = encoded
+            assert encoded in view
+            assert (s + 999_999, p, o) not in view
+            assert view.has_predicate(p)
+            assert encoded in view.match(None, p, None)
+            assert view.match(s, p, o) == [encoded]
+            assert o in view.objects(p, s)
+            assert s in view.subjects(p, o)
+            assert view.stats()["triples"] == len(view)
+
+    def test_views_are_immutable(self):
+        view = ReadView(0, {}, 0)
+        for method in (view.add, view.remove, view.clear):
+            with pytest.raises(TypeError):
+                method((1, 2, 3))
+        with pytest.raises(TypeError):
+            view.add_all([(1, 2, 3)])
+
+    def test_graph_queries_run_on_views(self):
+        """The ordinary BGP machinery evaluates against a view unchanged."""
+        from repro import Variable
+        from repro.store.graph import Graph
+
+        with make_engine("hashdict") as r:
+            r.apply(Delta(assertions=small_ontology()))
+            graph = Graph(r.dictionary, ReadView.from_store(r.revision, r.store))
+            x = Variable("x")
+            rows = graph.select([x], [(x, RDF.type, EX.Animal)])
+            assert (EX.tom,) in rows
+            assert graph.ask([(x, RDFS.subClassOf, EX.Animal)])
+
+
+class TestViewRegistry:
+    def test_pinning_and_eviction(self):
+        with make_engine("hashdict") as r:
+            registry = ViewRegistry(
+                ReadView.from_store(r.revision, r.store), retain=2
+            )
+            first = r.apply(Delta(assertions=[Triple(EX.a, EX.p, EX.b)]))
+            registry.advance(first)
+            second = r.apply(Delta(assertions=[Triple(EX.c, EX.p, EX.d)]))
+            registry.advance(second)
+            assert registry.current().revision == second.revision
+            assert registry.at(first.revision).revision == first.revision
+            # Initial revision evicted by retain=2.
+            with pytest.raises(RevisionGoneError):
+                registry.at(0)
+            assert registry.revisions() == [first.revision, second.revision]
+
+    def test_retain_validation(self):
+        with pytest.raises(ValueError):
+            ViewRegistry(ReadView(0, {}, 0), retain=0)

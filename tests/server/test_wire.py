@@ -1,0 +1,86 @@
+"""Wire syntax: pattern text parsing and JSON term rendering."""
+
+import pytest
+
+from repro import IRI, Literal, Triple, Variable
+from repro.rdf import RDF
+from repro.server.wire import (
+    PatternSyntaxError,
+    parse_patterns,
+    parse_statements,
+    parse_term,
+    render_binding,
+    render_term,
+)
+
+
+class TestParsePatterns:
+    def test_single_pattern_with_variables(self):
+        patterns = parse_patterns(f"?x {RDF.type.n3()} ?cls")
+        assert patterns == [(Variable("x"), RDF.type, Variable("cls"))]
+
+    def test_multi_pattern_join_with_separators(self):
+        text = (
+            "?x <http://ex/p> ?y .\n"
+            '?y <http://ex/q> "42"^^<http://www.w3.org/2001/XMLSchema#integer> .'
+        )
+        patterns = parse_patterns(text)
+        assert len(patterns) == 2
+        assert patterns[0] == (Variable("x"), IRI("http://ex/p"), Variable("y"))
+        literal = patterns[1][2]
+        assert isinstance(literal, Literal) and literal.to_python() == 42
+
+    def test_variable_positions(self):
+        patterns = parse_patterns("?s ?p ?o")
+        assert patterns == [(Variable("s"), Variable("p"), Variable("o"))]
+
+    def test_concrete_pattern(self):
+        patterns = parse_patterns("<http://ex/a> <http://ex/p> _:b1 .")
+        assert patterns[0][2].label == "b1"
+
+    def test_round_trips_rendered_terms(self):
+        """Anything render_term emits parses back to the same term."""
+        terms = [
+            IRI("http://ex/a"),
+            Literal("hi", language="en"),
+            Literal("1.5", datatype=IRI("http://www.w3.org/2001/XMLSchema#double")),
+            Literal('tricky "quoted" \n value'),
+        ]
+        for term in terms:
+            assert parse_term(render_term(term)) == term
+
+    def test_errors(self):
+        for bad in ("", "   ", "?x <http://ex/p>", "?x ?? ?y", "<http://ex/a>",
+                    "?x <http://ex /p> ?y"):
+            with pytest.raises(PatternSyntaxError):
+                parse_patterns(bad)
+        with pytest.raises(PatternSyntaxError):
+            parse_term("<http://ex/a> trailing")
+        with pytest.raises(PatternSyntaxError):
+            parse_term("?x")  # a variable is not a concrete term
+
+
+class TestParseStatements:
+    def test_optional_trailing_dot(self):
+        triples = parse_statements([
+            "<http://ex/a> <http://ex/p> <http://ex/b> .",
+            "<http://ex/a> <http://ex/p> <http://ex/c>",
+        ])
+        assert len(triples) == 2
+        assert triples[1].object == IRI("http://ex/c")
+
+    def test_rejects_non_strings_and_bad_syntax(self):
+        with pytest.raises(PatternSyntaxError):
+            parse_statements([42])
+        with pytest.raises(PatternSyntaxError):
+            parse_statements(["?x <http://ex/p> <http://ex/b> ."])  # no vars in data
+
+
+class TestRender:
+    def test_binding(self):
+        rendered = render_binding({Variable("x"): IRI("http://ex/a")})
+        assert rendered == {"x": "<http://ex/a>"}
+
+    def test_statement_round_trip(self):
+        triple = Triple(IRI("http://ex/a"), RDF.type, Literal("v"))
+        assert parse_statements([triple.n3()]) == [triple]

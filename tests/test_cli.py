@@ -32,6 +32,14 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["snapshot"])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.coalesce_ms == 2.0
+        assert args.retain_views == 8
+        assert args.persist is None
+
     def test_help_epilog_documents_durability(self):
         assert "--persist" in build_parser().format_help()
 

@@ -58,6 +58,12 @@ def test_sliding_window():
     assert "fully retracted ✓" in out
 
 
+def test_reasoning_service():
+    out = run_example("reasoning_service.py")
+    assert "all server round-trip checks passed" in out
+    assert "✗" not in out
+
+
 def test_stream_reasoning():
     out = run_example("stream_reasoning.py")
     assert "inferred" in out
