@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Leader/follower replication, end to end, in one process.
+
+Boots a durable leader, writes an ontology through the coalesced
+pipeline, brings up two read replicas (one tails the retained WAL, one
+is forced through a snapshot bootstrap by compacting first), then
+proves the replication contract:
+
+1. both followers converge to the leader's exact revision and closure;
+2. reads against follower HTTP endpoints return the same rows at the
+   same revision ids;
+3. writes to a follower are 307-redirected to the leader;
+4. the leader dies — the followers keep answering reads.
+
+Exit status 0 only if every check passed (used by CI replication-smoke
+as a second, pure-Python layer on top of the subprocess test).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+from http.client import HTTPConnection
+from urllib.parse import quote
+
+EX = "http://example.org/"
+RDF_TYPE = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+RDFS_SUBCLASS = "http://www.w3.org/2000/01/rdf-schema#subClassOf"
+
+
+def check(label: str, ok: bool, detail: str = "") -> bool:
+    mark = "✓" if ok else "✗"
+    print(f"{mark} {label}" + (f" — {detail}" if detail else ""))
+    return ok
+
+
+def get_json(port: int, path: str) -> tuple[int, dict]:
+    conn = HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def main() -> int:
+    from repro.replication import ChangeFeed, Follower
+    from repro.reasoner.engine import Slider
+    from repro.server import ReasoningService, serve
+
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="slider-replication-") as state:
+        reasoner = Slider(fragment="rhodf", workers=2,
+                          persist_dir=f"{state}/leader", persist_fsync=False)
+        service = ReasoningService(reasoner=reasoner)
+        ChangeFeed(service)
+        leader, _ = serve(service)
+        print(f"leader on {leader.url} (durable, feed attached)")
+
+        # Writes through the ordinary coalesced pipeline.
+        conn = HTTPConnection("127.0.0.1", leader.port, timeout=10)
+        conn.request("POST", "/apply", json.dumps({"assert": [
+            f"<{EX}Cat> <{RDFS_SUBCLASS}> <{EX}Animal>",
+            f"<{EX}tom> <{RDF_TYPE}> <{EX}Cat>",
+        ]}), {"Content-Type": "application/json"})
+        revision = json.loads(conn.getresponse().read())["revision"]
+        conn.close()
+
+        # Replica 1 resumes the retained WAL from revision 0.
+        wal_replica = Follower(leader.url, workers=2, reconnect_delay=0.1).start()
+        failures += not check(
+            "WAL replica caught up", wal_replica.wait_ready(30),
+            f"revision {wal_replica.revision}, "
+            f"{wal_replica.status.bootstraps} bootstraps",
+        )
+
+        # Compaction truncates the WAL: replica 2 must snapshot-bootstrap.
+        reasoner.snapshot()
+        snap_replica = Follower(leader.url, workers=2, reconnect_delay=0.1).start()
+        failures += not check(
+            "snapshot replica caught up", snap_replica.wait_ready(30),
+            f"bootstraps={snap_replica.status.bootstraps}",
+        )
+        failures += not check(
+            "snapshot path was exercised", snap_replica.status.bootstraps == 1
+        )
+
+        servers = []
+        query = quote(f"?x <{RDF_TYPE}> <{EX}Animal>", safe="")
+        for name, replica in (("wal", wal_replica), ("snapshot", snap_replica)):
+            server, _ = replica.serve_http()
+            servers.append(server)
+            status, out = get_json(server.port, f"/select?query={query}")
+            failures += not check(
+                f"{name} replica serves the inferred closure",
+                status == 200 and [f"<{EX}tom>"] in out["rows"]
+                and out["revision"] == revision,
+                f"revision {out.get('revision')}, rows {out.get('rows')}",
+            )
+            status, ready = get_json(server.port, "/readyz")
+            failures += not check(f"{name} replica is ready", status == 200)
+
+        # A write against a replica is forwarded, never applied locally.
+        conn = HTTPConnection("127.0.0.1", servers[0].port, timeout=10)
+        conn.request("POST", "/apply", json.dumps(
+            {"assert": [f"<{EX}rex> <{RDF_TYPE}> <{EX}Cat>"]}
+        ), {"Content-Type": "application/json"})
+        response = conn.getresponse()
+        location = response.getheader("Location")
+        response.read()
+        conn.close()
+        failures += not check(
+            "replica redirects writes to the leader",
+            response.status == 307 and location == f"{leader.url}/apply",
+            f"{response.status} -> {location}",
+        )
+
+        # Leader dies; replicas keep serving reads.
+        leader.shutdown()
+        leader.server_close()
+        service.close()
+        for name, server in zip(("wal", "snapshot"), servers):
+            status, out = get_json(server.port, f"/select?query={query}")
+            failures += not check(
+                f"{name} replica survives leader death",
+                status == 200 and [f"<{EX}tom>"] in out["rows"],
+            )
+
+        for server in servers:
+            server.shutdown()
+            server.server_close()
+        wal_replica.close()
+        snap_replica.close()
+
+    if failures:
+        print(f"{failures} check(s) failed")
+        return 1
+    print("all replication checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

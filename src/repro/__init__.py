@@ -52,6 +52,7 @@ from .reasoner import (
     get_fragment,
     register_fragment,
 )
+from .replication import ChangeFeed, Follower
 from .server import ReadView, ReasoningService
 from .store import (
     Binding,
@@ -89,6 +90,8 @@ __all__ = [
     "StreamPump",
     "ReasoningService",
     "ReadView",
+    "ChangeFeed",
+    "Follower",
     "TriplePattern",
     "Binding",
     "solve",

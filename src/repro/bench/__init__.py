@@ -1,6 +1,7 @@
 """Benchmark harness: timed runs, gains, paper-style tables and charts."""
 
 from .recovery import RecoveryResult, run_recovery
+from .replication import ReplicationBenchResult, run_replication_bench
 from .server_load import ServerLoadResult, run_server_load
 from .harness import (
     RunResult,
@@ -26,6 +27,8 @@ __all__ = [
     "RunResult",
     "RecoveryResult",
     "run_recovery",
+    "ReplicationBenchResult",
+    "run_replication_bench",
     "ServerLoadResult",
     "run_server_load",
     "Table1Row",

@@ -69,6 +69,16 @@ def extract_metrics(artifact) -> dict[str, float]:
             "server.read_rps": float(artifact["read_rps"]),
             "server.read_p99_ms": float(artifact["read_p99_ms"]),
         }
+    if kind == "replication":
+        return {
+            "replication.peak_read_rps": float(artifact["peak_read_rps"]),
+            "replication.catchup_wal_seconds": float(
+                artifact["catchup_wal_seconds"]
+            ),
+            "replication.catchup_snapshot_seconds": float(
+                artifact["catchup_snapshot_seconds"]
+            ),
+        }
     raise ValueError(f"artifact has unknown kind: {kind!r}")
 
 

@@ -3,7 +3,9 @@
 Subcommands mirror the demo's three panels plus the benchmark harness:
 
 * ``reason``     — load files (or a named dataset), infer, dump/report.
-* ``serve``      — run the concurrent reasoning service over HTTP.
+* ``serve``      — run the concurrent reasoning service over HTTP
+  (``--follow URL`` turns the node into a read replica of a leader).
+* ``replicate``  — inspect a running node's replication status.
 * ``bench``      — regenerate Table 1 / Figure 3 at a chosen scale.
 * ``demo``       — run a traced inference and write the HTML report.
 * ``snapshot``   — compact a durable state directory (snapshot + truncate).
@@ -47,7 +49,9 @@ examples:
   slider-reason snapshot --persist state/              # compact: snapshot + truncate WAL
   slider-reason recover --persist state/ --output closure.nt
   slider-reason bench --experiment table1 --store sharded:8
-  slider-reason serve data.nt --port 8080 --persist state/   # HTTP service
+  slider-reason serve data.nt --port 8080 --persist state/   # HTTP service (leader)
+  slider-reason serve --follow http://leader:8080 --port 8081  # read replica
+  slider-reason replicate --connect http://127.0.0.1:8081    # replication status
   curl 'http://127.0.0.1:8080/select?query=%3Fx%20%3Chttp%3A//ex/p%3E%20%3Fy'
 """
 
@@ -91,8 +95,22 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default %(default)s)")
     serve.add_argument("--retain-views", type=int, default=8,
                        help="recent revisions pinnable via at= (default %(default)s)")
+    serve.add_argument("--follow", metavar="URL", default=None,
+                       help="run as a read replica of the leader at URL "
+                            "(bootstraps from its snapshot, tails its feed; "
+                            "the rule fragment is discovered from the leader)")
+    serve.add_argument("--feed-retain", type=int, default=1024,
+                       help="committed deltas the change feed keeps in memory "
+                            "for resuming followers (default %(default)s)")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request to stderr")
+
+    replicate = subparsers.add_parser(
+        "replicate",
+        help="inspect the replication status of a running node",
+    )
+    replicate.add_argument("--connect", required=True, metavar="URL",
+                           help="base URL of the node to inspect")
 
     bench = subparsers.add_parser("bench", help="regenerate the paper's experiments")
     bench.add_argument("--experiment", choices=("table1", "fig3"), default="table1")
@@ -254,6 +272,10 @@ def _cmd_reason(args) -> int:
 def _cmd_serve(args) -> int:
     import signal
 
+    if args.follow:
+        return _cmd_serve_follower(args)
+
+    from .replication.feed import ChangeFeed
     from .server import ReasoningService
     from .server.http import serve as start_server
 
@@ -268,11 +290,14 @@ def _cmd_serve(args) -> int:
         coalesce_tick=args.coalesce_ms / 1000.0,
         retain_views=args.retain_views,
     )
+    # Every leader exposes the change feed: replicas can attach at any
+    # time (the feed itself costs one in-memory ring of recent deltas).
+    ChangeFeed(service, retain=args.feed_retain)
     server, _thread = start_server(
         service, host=args.host, port=args.port, verbose=args.verbose
     )
     # Parseable by scripts (and tests) even on ephemeral --port 0.
-    print(f"listening on {server.url} "
+    print(f"listening on {server.url} as leader "
           f"(revision {service.revision}, {len(service.view())} triples)",
           flush=True)
 
@@ -293,6 +318,117 @@ def _cmd_serve(args) -> int:
     service.close()
     print(f"stopped cleanly at revision {reasoner.revision}", flush=True)
     return 0
+
+
+def _cmd_serve_follower(args) -> int:
+    import signal
+
+    from .replication import Follower
+
+    if args.inputs or args.dataset:
+        print("error: a --follow replica takes no inputs/--dataset "
+              "(its state comes from the leader)", file=sys.stderr)
+        return 2
+    from http.client import HTTPException
+
+    from .replication.follower import ReplicationError
+
+    try:
+        follower = Follower(
+            args.follow,
+            store=args.store,
+            workers=args.workers,
+            timeout=None if not args.timeout else args.timeout,
+            buffer_size=args.buffer_size,
+            persist_dir=args.persist,
+            persist_fsync=not args.no_fsync,
+            retain_views=args.retain_views,
+        )
+        follower.start()  # discovers the fragment from the leader
+    except (OSError, HTTPException, ReplicationError) as error:
+        print(f"error: cannot follow {args.follow}: {error}", file=sys.stderr)
+        return 1
+    server, _thread = follower.serve_http(
+        host=args.host, port=args.port, verbose=args.verbose
+    )
+    print(f"listening on {server.url} as follower of {follower.leader_url} "
+          f"(revision {follower.status.applied_revision})", flush=True)
+    if follower.wait_ready(timeout=60):
+        print(f"caught up at revision {follower.revision} "
+              f"(lag {follower.status.lag})", flush=True)
+    else:
+        print("warning: not caught up yet; /readyz stays 503 until the "
+              "replica reaches the leader's revision", flush=True)
+
+    stop = threading.Event()
+
+    def request_stop(_signum, _frame):
+        stop.set()
+
+    signal.signal(signal.SIGTERM, request_stop)
+    signal.signal(signal.SIGINT, request_stop)
+    stop.wait()
+    print("shutting down replica ...", flush=True)
+    server.shutdown()
+    server.server_close()
+    follower.close()
+    print(f"stopped cleanly at revision {follower.status.applied_revision}",
+          flush=True)
+    return 0
+
+
+def _cmd_replicate(args) -> int:
+    """Print a node's replication standing; exit 0 ready / 2 catching up."""
+    import json as _json
+    from http.client import HTTPConnection
+    from urllib.parse import urlsplit
+
+    from http.client import HTTPException
+
+    parts = urlsplit(args.connect if "//" in args.connect else f"http://{args.connect}")
+    try:
+        conn = HTTPConnection(parts.hostname, parts.port or 80, timeout=10)
+        conn.request("GET", "/stats")
+        response = conn.getresponse()
+        stats_code = response.status
+        stats = _json.loads(response.read())
+        conn.request("GET", "/readyz")
+        response = conn.getresponse()
+        ready_code = response.status
+        response.read()
+        conn.close()
+    except (OSError, HTTPException, ValueError) as error:
+        print(f"error: cannot reach {args.connect}: {error}", file=sys.stderr)
+        return 1
+    if stats_code != 200:
+        # e.g. 503 during a durable replica's re-bootstrap handover.
+        print(f"node is not serving stats ({stats_code}): "
+              f"{stats.get('error', stats)}", file=sys.stderr)
+        return 2
+    role = stats.get("role", "leader")
+    print(f"role      : {role}")
+    print(f"revision  : {stats.get('revision')}")
+    print(f"triples   : {stats.get('triples'):,}")
+    print(f"ready     : {stats.get('ready')} (/readyz -> {ready_code})")
+    replication = stats.get("replication")
+    if replication:
+        print(f"leader    : {replication['leader']}")
+        print(f"connected : {replication['connected']}")
+        print(f"lag       : {replication['lag_revisions']} revisions "
+              f"(applied {replication['applied_revision']}, "
+              f"leader {replication['leader_revision']})")
+        print(f"applied   : {replication['records_applied']} records, "
+              f"{replication['bootstraps']} bootstrap(s), "
+              f"{replication['reconnects']} reconnect(s)")
+        if replication.get("last_error"):
+            print(f"last error: {replication['last_error']}")
+    feed = stats.get("feed")
+    if feed:
+        print(f"feed      : {feed['retained_records']} records retained, "
+              f"latest revision {feed['latest_revision']}, "
+              f"resumable from {feed['oldest_resumable']}"
+              f"{' (WAL-backed)' if feed.get('wal_backed') else ''}")
+    return 0 if ready_code == 200 else 2
 
 
 def _cmd_bench(args) -> int:
@@ -404,6 +540,7 @@ def _cmd_depgraph(args) -> int:
 _COMMANDS = {
     "reason": _cmd_reason,
     "serve": _cmd_serve,
+    "replicate": _cmd_replicate,
     "bench": _cmd_bench,
     "demo": _cmd_demo,
     "snapshot": _cmd_snapshot,

@@ -37,7 +37,9 @@ from .snapshot import (
     SNAPSHOT_MAGIC,
     Snapshot,
     SnapshotError,
+    encode_snapshot,
     load_snapshot,
+    parse_snapshot,
     write_snapshot,
 )
 
@@ -46,6 +48,8 @@ __all__ = [
     "PersistenceLockError",
     "Snapshot",
     "SnapshotError",
+    "encode_snapshot",
+    "parse_snapshot",
     "write_snapshot",
     "load_snapshot",
     "JournalRecord",

@@ -79,6 +79,11 @@ class PersistenceManager:
         #: Statistics surfaced through ``Slider.recovery`` / the CLI.
         self.torn_bytes_dropped = 0
         self.compactions = 0
+        #: The revision the current snapshot seals — the changelog only
+        #: covers revisions *after* this, so it is also the resumability
+        #: floor of the replication change feed's WAL fallback (a
+        #: follower asking for older revisions must re-bootstrap).
+        self.last_snapshot_revision = 0
 
     def _acquire_lock(self) -> None:
         """Claim exclusive ownership of the directory (advisory flock).
@@ -120,6 +125,7 @@ class PersistenceManager:
         snapshot = None
         if self.snapshot_path.exists():
             snapshot = load_snapshot(self.snapshot_path)
+            self.last_snapshot_revision = snapshot.revision
         records: list[JournalRecord] = []
         if self.journal_path.exists():
             records, durable, self.journal_fragment = read_journal(self.journal_path)
@@ -167,6 +173,10 @@ class PersistenceManager:
         already-applied records — harmless, because recovery skips
         records at or below the snapshot revision.
         """
+        # Raise the feed floor *before* touching the files: a concurrent
+        # feed reader that re-checks the floor after scanning the WAL
+        # then can never miss records the truncation just dropped.
+        self.last_snapshot_revision = state.get("revision", 0)
         written = write_snapshot(self.snapshot_path, fsync=self.fsync, **state)
         self._journal().reset()
         self.compactions += 1

@@ -41,7 +41,15 @@ from .format import (
     write_varint,
 )
 
-__all__ = ["Snapshot", "SnapshotError", "write_snapshot", "load_snapshot", "SNAPSHOT_MAGIC"]
+__all__ = [
+    "Snapshot",
+    "SnapshotError",
+    "encode_snapshot",
+    "parse_snapshot",
+    "write_snapshot",
+    "load_snapshot",
+    "SNAPSHOT_MAGIC",
+]
 
 SNAPSHOT_MAGIC = b"SLSNAP01"
 
@@ -148,8 +156,7 @@ def _encode_payload(
     return bytes(out)
 
 
-def write_snapshot(
-    path,
+def encode_snapshot(
     *,
     revision: int,
     fragment: str,
@@ -158,7 +165,25 @@ def write_snapshot(
     terms: Sequence[Term],
     explicit: Iterable[EncodedTriple],
     inferred: Iterable[EncodedTriple],
+) -> bytes:
+    """The complete snapshot image as bytes (magic + payload + CRC).
+
+    The same blob :func:`write_snapshot` puts on disk, usable anywhere a
+    self-verifying state image is needed — notably the replication
+    leader's ``GET /snapshot`` bootstrap endpoint, whose clients parse
+    it back with :func:`parse_snapshot`.
+    """
+    payload = _encode_payload(
+        revision, fragment, store_spec, axiom_count, terms, explicit, inferred
+    )
+    return SNAPSHOT_MAGIC + payload + struct.pack("<I", zlib.crc32(payload))
+
+
+def write_snapshot(
+    path,
+    *,
     fsync: bool = True,
+    **state,
 ) -> int:
     """Write a snapshot atomically; returns the file size in bytes.
 
@@ -167,10 +192,7 @@ def write_snapshot(
     step — so a reader never observes a half-written snapshot.
     """
     path = Path(path)
-    payload = _encode_payload(
-        revision, fragment, store_spec, axiom_count, terms, explicit, inferred
-    )
-    blob = SNAPSHOT_MAGIC + payload + struct.pack("<I", zlib.crc32(payload))
+    blob = encode_snapshot(**state)
     temp_path = path.with_name(path.name + ".tmp")
     with open(temp_path, "wb") as handle:
         handle.write(blob)
@@ -192,6 +214,12 @@ def load_snapshot(path) -> Snapshot:
         data = Path(path).read_bytes()
     except OSError as error:
         raise SnapshotError(f"cannot read snapshot {path}: {error}") from error
+    return parse_snapshot(data, source=str(path))
+
+
+def parse_snapshot(data: bytes, source: str = "<bytes>") -> Snapshot:
+    """Verify and parse one snapshot image (file bytes or wire bytes)."""
+    path = source
     if not data.startswith(SNAPSHOT_MAGIC):
         raise SnapshotError(f"{path} is not a Slider snapshot (bad magic)")
     if len(data) < len(SNAPSHOT_MAGIC) + 4:

@@ -473,6 +473,12 @@ class ChangeLog:
         with self._lock:
             self._timings[rule] = self._timings.get(rule, 0.0) + seconds
 
+    @property
+    def has_changes(self) -> bool:
+        """Would committing now produce a content-bearing report?"""
+        with self._lock:
+            return bool(self._explicit or self._inferred or self._removed)
+
     def snapshot(self, revision: int, dictionary: TermDictionary) -> InferenceReport:
         """Close the epoch: build the revision's report and reset."""
         with self._lock:

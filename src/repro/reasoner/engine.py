@@ -74,6 +74,7 @@ from typing import Callable, Iterable, Sequence
 
 from ..dictionary.encoder import EncodedTriple, TermDictionary, encode_batch
 from ..persist.manager import DEFAULT_COMPACT_BYTES, PersistenceManager
+from ..persist.snapshot import Snapshot, encode_snapshot
 from ..rdf.terms import Triple
 from ..store.backends import TripleStore, create_store
 from ..store.graph import Graph
@@ -351,6 +352,13 @@ class Slider:
         self._commit_lock = threading.RLock()
         self._tx_lock = threading.RLock()
         self._subscriptions: list[Subscription] = []
+        # Commit listeners observe each content-bearing revision's
+        # *requested* term-level delta — exactly what the changelog
+        # journals — so a replication change feed ships records a
+        # follower can replay through apply() byte-for-byte like
+        # recovery does.  Registering a listener turns on the same
+        # staging machinery persistence uses.
+        self._commit_listeners: list[Callable[[int, tuple, tuple], None]] = []
 
         self.modules: list[RuleModule] = [
             RuleModule(rule, TripleBuffer(rule.name, capacity=buffer_size))
@@ -448,7 +456,7 @@ class Slider:
             raise TypeError(f"apply() takes a Delta, got {type(delta).__name__}")
         with self._commit_lock, self._tx_lock:
             staged_mark = (len(self._staged_assertions), len(self._staged_retractions))
-            if self._persist is not None:
+            if self._staging_enabled:
                 # Re-asserting an already-explicit triple is a complete
                 # no-op; journaling only the rest keeps re-ingestion of
                 # a persisted dataset from bloating the changelog while
@@ -541,11 +549,165 @@ class Slider:
         """The id of the last committed revision (0 before any commit)."""
         return self._revision
 
+    # --- replication hooks --------------------------------------------------
+    @property
+    def _staging_enabled(self) -> bool:
+        """Must requested deltas be staged for the journal / feed?"""
+        return self._persist is not None or bool(self._commit_listeners)
+
+    def add_commit_listener(
+        self, listener: Callable[[int, tuple, tuple], None]
+    ) -> None:
+        """Observe every content-bearing commit's requested delta.
+
+        ``listener(revision, assertions, retractions)`` is called under
+        the commit lock, after the revision is journaled (when durable)
+        and before subscriptions are notified.  The tuples carry the
+        *requested* term-level mutations — the same record the
+        write-ahead changelog stores — so a replication feed built on
+        this hook ships deltas a follower replays through
+        :meth:`apply_at` to reach the identical closure and revision
+        ids.  Register listeners before accepting writes: mutations
+        staged while no listener (and no persistence) is active are not
+        retroactively observable.
+        """
+        with self._commit_lock, self._tx_lock:
+            self._commit_listeners.append(listener)
+
+    def remove_commit_listener(
+        self, listener: Callable[[int, tuple, tuple], None]
+    ) -> None:
+        """Detach a commit listener (no-op when not registered)."""
+        with self._commit_lock, self._tx_lock:
+            if listener in self._commit_listeners:
+                self._commit_listeners.remove(listener)
+
+    def apply_at(self, revision: int, delta: Delta) -> InferenceReport:
+        """Commit ``delta`` as exactly revision ``revision`` (replicas).
+
+        The follower-side twin of changelog replay: the revision counter
+        fast-forwards over the gap (unjournaled empty revisions on the
+        leader) and the delta commits through the ordinary
+        :meth:`apply` pipeline, so the replica reaches the same closure
+        under the same revision id, fires the same reports and
+        subscription events, and — when itself durable — journals the
+        same record.  ``revision`` must be ahead of the engine's current
+        revision; replicated streams only move forward.
+        """
+        self._check_open()
+        with self._commit_lock, self._tx_lock:
+            if revision <= self._revision:
+                raise SliderError(
+                    f"replicated revision {revision} is not ahead of "
+                    f"engine revision {self._revision}"
+                )
+            previous = self._revision
+            self._revision = revision - 1
+            try:
+                report = self.apply(delta)
+            except BaseException:
+                # A failed replicated apply must not leave the counter
+                # fast-forwarded: a later local commit would consume the
+                # leader's id and wedge every retry of this record.
+                self._revision = previous
+                raise
+            assert report.revision == revision
+            return report
+
+    def settle(self) -> None:
+        """Drain every buffer and reach the fixpoint *without* committing.
+
+        Replication helper: a replica must be quiescent before serving
+        (read views image the store) yet must not consume a revision id
+        of its own — ids are assigned by the leader's commits.  Anything
+        settled here folds into the next committed revision's report.
+        """
+        self._check_open()
+        with self._commit_lock, self._tx_lock:
+            self._quiesce()
+
+    def restore_snapshot(self, snapshot: Snapshot) -> None:
+        """Load a binary snapshot image into this engine (replica bootstrap).
+
+        Only valid on an engine that has never committed a revision: the
+        snapshot's closure, explicit partition, axiom baseline and
+        revision id *become* the engine's state, exactly as a durable
+        engine restores its own ``snapshot.slider`` at start-up.  The
+        fragment's own axioms (ingested at construction) are already
+        part of the image, so the union is the snapshot closure
+        bit-for-bit.  On a durable engine the restored image is sealed
+        to disk immediately, so a restart recovers locally instead of
+        re-bootstrapping.  Stateful rules are re-primed from the store.
+        """
+        self._check_open()
+        if snapshot.fragment and snapshot.fragment != self.fragment.name:
+            raise SliderError(
+                f"snapshot was built under fragment {snapshot.fragment!r}, "
+                f"engine runs {self.fragment.name!r}"
+            )
+        with self._commit_lock, self._tx_lock:
+            if self._revision != 0:
+                raise SliderError(
+                    "restore_snapshot needs a fresh engine "
+                    f"(already at revision {self._revision})"
+                )
+            self._quiesce()  # finish the axiom ingestion; discarded below
+            explicit = snapshot.restore(self.dictionary, self.store)
+            self.input_manager.explicit.update(explicit)
+            self._axiom_count = snapshot.axiom_count
+            self._revision = snapshot.revision
+            # Bootstrap is state transfer, not a revision: the epoch's
+            # recorded changes (axiom closure) are part of the image.
+            self._changes = ChangeLog()
+            self._staged_assertions = []
+            self._staged_retractions = []
+            for rule in self.rules:
+                prime = getattr(rule, "prime", None)
+                if prime is not None:
+                    prime(self.store, self.vocab)
+            if self._persist is not None:
+                self._write_snapshot_locked()
+
+    def snapshot_bytes(self) -> bytes:
+        """The committed state as one self-verifying snapshot blob.
+
+        Serves replica bootstrap (the leader's ``GET /snapshot``)
+        without touching the durable files or truncating the changelog.
+        The engine is locked for the duration, so the image is exactly
+        the last committed revision.  (Mutations deferred through the
+        legacy ``add`` shim are settled into the image without a commit
+        — on the coalesced service path every write commits, so the
+        image and revision always agree.)
+        """
+        self._check_open()
+        with self._commit_lock, self._tx_lock:
+            self._quiesce()
+            explicit = set(self.input_manager.explicit)
+            inferred = [t for t in self.store if t not in explicit]
+            return encode_snapshot(
+                revision=self._revision,
+                fragment=self.fragment.name,
+                store_spec=self._store_spec,
+                axiom_count=self._axiom_count,
+                terms=self.dictionary.snapshot_terms(),
+                explicit=sorted(explicit),
+                inferred=sorted(inferred),
+            )
+
     # --- durability ---------------------------------------------------------
     @property
     def persist_dir(self) -> Path | None:
         """The durable state directory, or ``None`` when in-memory."""
         return self._persist.directory if self._persist is not None else None
+
+    @property
+    def persistence(self) -> PersistenceManager | None:
+        """The :class:`PersistenceManager`, or ``None`` when in-memory.
+
+        Exposed for infrastructure that composes with durability — the
+        replication change feed reads the WAL retention floor from it.
+        """
+        return self._persist
 
     def snapshot(self) -> Path:
         """Compact now: commit pending work, snapshot, truncate the journal.
@@ -554,14 +716,31 @@ class Slider:
         :meth:`flush`), so a service can run compaction from a
         background scheduler instead of waiting for the
         ``compact_journal_bytes`` threshold.  Returns the snapshot path.
+
+        Compaction consumes no revision id of its own: pending work is
+        committed first (as with :meth:`flush`), but an already-quiesced
+        engine seals the current revision as-is — so the revision
+        counter, the serving layer's read views, and any replication
+        followers all stay aligned across compactions.
         """
         self._check_open()
         if self._persist is None:
             raise SliderError("persistence is not enabled (pass persist_dir=...)")
-        self.flush()  # pending mutations must be journaled before the seal
-        with self._commit_lock, self._tx_lock:
-            self._write_snapshot_locked()
-        return self._persist.snapshot_path
+        with self._commit_lock:
+            while True:
+                self._quiesce()
+                with self._tx_lock:
+                    if self._pending == 0 and all(
+                        len(m.buffer) == 0 for m in self.modules
+                    ):
+                        if (
+                            self._changes.has_changes
+                            or self._staged_assertions
+                            or self._staged_retractions
+                        ):
+                            self._commit_revision()
+                        self._write_snapshot_locked()
+                        return self._persist.snapshot_path
 
     def _write_snapshot_locked(self) -> None:
         """Serialize the quiesced state (callers hold both locks)."""
@@ -631,7 +810,7 @@ class Slider:
         if isinstance(triples, Triple):
             triples = (triples,)
         with self._tx_lock:
-            if self._persist is None:
+            if not self._staging_enabled:
                 return self.input_manager.add(triples)
             triples = list(triples)
             encoded = encode_batch(self.dictionary, triples)
@@ -649,7 +828,7 @@ class Slider:
         """Feed already-encoded triples (zero-copy fast path, deferred)."""
         self._check_open()
         with self._tx_lock:
-            if self._persist is None:
+            if not self._staging_enabled:
                 return self.input_manager.add_encoded(encoded)
             # The changelog is term-level (self-contained records);
             # decoding here keeps the zero-copy path durable too.
@@ -740,21 +919,24 @@ class Slider:
             on_new=self._record_explicit,
         )
         manager.explicit = self.input_manager.explicit  # shared assertion set
-        if self._persist is not None:
-            inner_add_encoded = manager.add_encoded
+        inner_add_encoded = manager.add_encoded
 
-            def add_encoded_durable(encoded: Sequence[EncodedTriple]) -> int:
-                with self._tx_lock:
-                    decode = self.dictionary.decode_triple
-                    explicit = manager.explicit
-                    staged = [decode(t) for t in encoded if t not in explicit]
-                    accepted = inner_add_encoded(encoded)
-                    self._staged_assertions.extend(staged)
-                    return accepted
+        def add_encoded_staged(encoded: Sequence[EncodedTriple]) -> int:
+            with self._tx_lock:
+                if not self._staging_enabled:
+                    return inner_add_encoded(encoded)
+                decode = self.dictionary.decode_triple
+                explicit = manager.explicit
+                staged = [decode(t) for t in encoded if t not in explicit]
+                accepted = inner_add_encoded(encoded)
+                self._staged_assertions.extend(staged)
+                return accepted
 
-            # Term-level add() funnels through add_encoded, so patching
-            # the one entry point covers both ingest paths.
-            manager.add_encoded = add_encoded_durable
+        # Term-level add() funnels through add_encoded, so patching the
+        # one entry point covers both ingest paths; the staging check is
+        # deferred to call time so a commit listener (replication feed)
+        # attached after this manager was created still sees its ingest.
+        manager.add_encoded = add_encoded_staged
         return manager
 
     def retract(self, triples: Iterable[Triple] | Triple) -> int:
@@ -910,21 +1092,29 @@ class Slider:
         """Seal the current change epoch into a numbered revision."""
         self._revision += 1
         report = self._changes.snapshot(self._revision, self.dictionary)
-        if self._persist is not None:
-            # Drain the staged requested delta in every case (replay
-            # stages too); journal it only for live commits — the replay
-            # source *is* the journal.  A completely empty revision (a
-            # bare flush, e.g. the implicit one in close()) writes no
-            # record: journaling it would cost an fsync per no-op cycle,
-            # and replay fast-forwards the revision counter over gaps.
-            assertions = self._staged_assertions
-            retractions = self._staged_retractions
-            self._staged_assertions = []
-            self._staged_retractions = []
-            if not self._replaying and (assertions or retractions or report):
-                self._persist.journal_commit(self._revision, assertions, retractions)
-                if self._persist.should_compact():
-                    self._write_snapshot_locked()
+        # Drain the staged requested delta in every case (replay stages
+        # too); journal/feed it only for live, content-bearing commits —
+        # the replay source *is* the journal, and a completely empty
+        # revision (a bare flush, e.g. the implicit one in close())
+        # writes no record: journaling it would cost an fsync per no-op
+        # cycle, and both replay and followers fast-forward the revision
+        # counter over gaps.
+        assertions = self._staged_assertions
+        retractions = self._staged_retractions
+        self._staged_assertions = []
+        self._staged_retractions = []
+        content = not self._replaying and bool(assertions or retractions or report)
+        if self._persist is not None and content:
+            self._persist.journal_commit(self._revision, assertions, retractions)
+            if self._persist.should_compact():
+                self._write_snapshot_locked()
+        if self._commit_listeners and not self._replaying:
+            # Every live commit, content-bearing or not: an empty
+            # revision still consumes a revision id, and the feed must
+            # advance its watermark so followers can track the leader's
+            # revision counter without receiving (nonexistent) records.
+            for listener in list(self._commit_listeners):
+                listener(self._revision, tuple(assertions), tuple(retractions))
         if self.trace.enabled:
             self.trace.record(
                 "commit",

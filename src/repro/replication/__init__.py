@@ -1,0 +1,57 @@
+"""Replication: WAL-shipped read replicas with snapshot bootstrap.
+
+The second axis of scale on top of the serving layer: one **leader**
+accepts writes and streams every committed delta over HTTP; any number
+of **followers** bootstrap from a binary snapshot, tail the feed, and
+serve the full read API at the same revision ids.
+
+* :mod:`~repro.replication.feed` — the leader side: resumable,
+  CRC-framed wire records backed by an in-memory ring and the retained
+  write-ahead changelog (``GET /feed``, ``GET /snapshot``);
+* :mod:`~repro.replication.follower` — the follower side: snapshot
+  bootstrap, SSE tailing through the ordinary ``apply()`` pipeline,
+  automatic re-bootstrap when the leader compacted past the replica's
+  resume point, and reconnect-with-backoff that keeps reads flowing
+  through leader outages.
+
+Start a replica in Python::
+
+    from repro.replication import Follower
+
+    follower = Follower("http://leader:8080", workers=2).start()
+    follower.wait_ready(timeout=30)
+    server, thread = follower.serve_http(port=8081)
+
+or from the CLI: ``slider-reason serve --follow http://leader:8080``
+(see the README's *Replication* section for topology and guarantees).
+"""
+
+from .feed import (
+    DEFAULT_FEED_RETAIN,
+    ChangeFeed,
+    FeedRecord,
+    FeedTruncatedError,
+    FeedWireError,
+)
+
+__all__ = [
+    "ChangeFeed",
+    "FeedRecord",
+    "FeedTruncatedError",
+    "FeedWireError",
+    "DEFAULT_FEED_RETAIN",
+    "Follower",
+    "ReplicationStatus",
+    "ReplicationError",
+]
+
+
+def __getattr__(name: str):
+    # The follower imports the server package (service + HTTP layer),
+    # which itself imports this package for the feed types; resolving
+    # the follower lazily keeps that triangle acyclic at import time.
+    if name in ("Follower", "ReplicationStatus", "ReplicationError"):
+        from . import follower as _follower
+
+        return getattr(_follower, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,375 @@
+"""The leader-side change feed: committed deltas as resumable wire records.
+
+Replication ships exactly what the write-ahead changelog journals: each
+content-bearing revision's *requested* term-level delta.  A follower
+replays those records through :meth:`~repro.reasoner.engine.Slider.apply_at`
+— the same pipeline recovery uses — and arrives at the identical
+closure under the identical revision ids.
+
+Wire format
+-----------
+
+One :class:`FeedRecord` encodes as a small line-oriented text block —
+N-Triples statements stamped with a revision id and a CRC (an
+"N-Quads-ish" record: the fourth dimension is the revision):
+
+.. code-block:: text
+
+    slider-delta rev=42 assert=2 retract=1 crc=9f0c1a2b
+    +<http://ex/a> <http://ex/p> <http://ex/b> .
+    +<http://ex/b> <http://ex/p> <http://ex/c> .
+    -<http://ex/stale> <http://ex/p> <http://ex/x> .
+
+``+`` lines are assertions, ``-`` lines retractions, in order; the CRC
+is over the statement lines, so transport corruption is detected before
+a single triple reaches a replica's store.  Statements parse with the
+library's N-Triples grammar (the same parsers ``POST /apply`` uses).
+
+Resumability
+------------
+
+:class:`ChangeFeed` retains a ring of recent records in memory and, on
+a durable leader, falls back to reading the retained WAL for older
+revisions.  ``records_after(from)`` raises :class:`FeedTruncatedError`
+when the requested revision predates both — compaction truncated the
+WAL — and the follower re-bootstraps from ``GET /snapshot`` instead
+(the HTTP layer maps the error to ``410 Gone``).
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import zlib
+from collections import OrderedDict
+from typing import Sequence
+
+from ..persist.journal import JournalError, read_journal
+from ..persist.manager import JOURNAL_FILENAME
+from ..rdf.terms import Triple
+from ..reasoner.delta import Delta
+from ..server.views import RevisionGoneError
+from ..server.wire import PatternSyntaxError, parse_statements
+
+__all__ = [
+    "FeedRecord",
+    "FeedWireError",
+    "FeedTruncatedError",
+    "ChangeFeed",
+    "DEFAULT_FEED_RETAIN",
+]
+
+#: Committed records the in-memory ring keeps before evicting (durable
+#: leaders keep serving older revisions from the WAL until compaction).
+DEFAULT_FEED_RETAIN = 1024
+
+_HEADER_RE = re.compile(
+    r"^slider-delta rev=(\d+) assert=(\d+) retract=(\d+) crc=([0-9a-f]{8})$"
+)
+
+
+class FeedWireError(ValueError):
+    """A feed record failed to parse or failed its CRC."""
+
+
+class FeedTruncatedError(RevisionGoneError):
+    """The requested resume revision was compacted away (HTTP 410).
+
+    A :class:`~repro.server.views.RevisionGoneError` subclass — same
+    ``at=N`` semantics, same 410 mapping in the HTTP layer.  Carries
+    ``oldest`` — the smallest ``from`` still resumable — so the client
+    knows a snapshot bootstrap is the only way forward.
+    """
+
+    def __init__(self, requested: int, oldest: int):
+        super().__init__(
+            f"cannot resume from revision {requested}: the feed starts at "
+            f"{oldest} (older records were compacted away; bootstrap from "
+            "/snapshot instead)"
+        )
+        self.requested = requested
+        self.oldest = oldest
+
+
+class FeedRecord:
+    """One committed revision's requested delta, transport-ready."""
+
+    __slots__ = ("revision", "assertions", "retractions", "_wire")
+
+    def __init__(
+        self,
+        revision: int,
+        assertions: Sequence[Triple] = (),
+        retractions: Sequence[Triple] = (),
+    ):
+        self.revision = revision
+        self.assertions = tuple(assertions)
+        self.retractions = tuple(retractions)
+        self._wire: str | None = None
+
+    def to_delta(self) -> Delta:
+        """The record as an applicable :class:`Delta`."""
+        return Delta(assertions=self.assertions, retractions=self.retractions)
+
+    # --- wire ---------------------------------------------------------------
+    def encode(self) -> str:
+        """The record as its multi-line wire text (no trailing newline).
+
+        Memoized: the record is immutable and every connected consumer
+        ships the same bytes, so the N-Triples rendering and CRC are
+        paid once, not once per follower.
+        """
+        if self._wire is not None:
+            return self._wire
+        body = [f"+{t.n3()}" for t in self.assertions]
+        body += [f"-{t.n3()}" for t in self.retractions]
+        crc = zlib.crc32("\n".join(body).encode("utf-8"))
+        head = (
+            f"slider-delta rev={self.revision} assert={len(self.assertions)} "
+            f"retract={len(self.retractions)} crc={crc:08x}"
+        )
+        self._wire = "\n".join([head] + body)
+        return self._wire
+
+    @classmethod
+    def parse(cls, text: str) -> "FeedRecord":
+        """Parse and verify one wire record; raises :class:`FeedWireError`."""
+        lines = text.split("\n")
+        match = _HEADER_RE.match(lines[0].strip())
+        if match is None:
+            raise FeedWireError(f"bad feed record header: {lines[0]!r}")
+        revision = int(match.group(1))
+        n_assert, n_retract = int(match.group(2)), int(match.group(3))
+        body = lines[1:]
+        if len(body) != n_assert + n_retract:
+            raise FeedWireError(
+                f"feed record rev={revision} declares {n_assert}+{n_retract} "
+                f"statements but carries {len(body)} lines"
+            )
+        crc = zlib.crc32("\n".join(body).encode("utf-8"))
+        if f"{crc:08x}" != match.group(4):
+            raise FeedWireError(
+                f"feed record rev={revision} failed its CRC "
+                f"(got {crc:08x}, header says {match.group(4)})"
+            )
+        adds, rems = [], []
+        for index, line in enumerate(body):
+            if line.startswith("+"):
+                adds.append(line[1:])
+            elif line.startswith("-"):
+                rems.append(line[1:])
+            else:
+                raise FeedWireError(
+                    f"feed record rev={revision} line {index + 1} has no "
+                    f"+/- marker: {line!r}"
+                )
+        if len(adds) != n_assert or len(rems) != n_retract:
+            raise FeedWireError(
+                f"feed record rev={revision} marker counts disagree with "
+                "its header"
+            )
+        try:
+            assertions = parse_statements(adds)
+            retractions = parse_statements(rems)
+        except PatternSyntaxError as error:
+            raise FeedWireError(
+                f"feed record rev={revision} carries a malformed statement: "
+                f"{error}"
+            ) from None
+        return cls(revision, assertions, retractions)
+
+    def __repr__(self):
+        return (
+            f"<FeedRecord rev={self.revision} "
+            f"+{len(self.assertions)} -{len(self.retractions)}>"
+        )
+
+
+class ChangeFeed:
+    """Leader-side record source backing ``GET /feed``.
+
+    Attaches to a :class:`~repro.server.service.ReasoningService` by
+    registering an engine commit listener: every content-bearing
+    revision lands in an in-memory ring (and, on a durable leader, is
+    independently in the WAL).  Consumers pull with
+    :meth:`records_after` / :meth:`wait` using *cursor semantics*: pass
+    the last revision already applied, receive everything after it.
+
+    Retention: the ring keeps ``retain`` records.  A durable leader
+    additionally serves anything still in the changelog — i.e. every
+    content revision since the last snapshot/compaction.  Requests
+    below both floors raise :class:`FeedTruncatedError`.
+    """
+
+    def __init__(self, service, retain: int = DEFAULT_FEED_RETAIN):
+        if retain < 1:
+            raise ValueError(f"retain must be >= 1, got {retain}")
+        self.service = service
+        self.retain = retain
+        reasoner = service.reasoner
+        self.fragment = reasoner.fragment.name
+        self._persist = reasoner.persistence
+        self._journal_path = (
+            reasoner.persist_dir / JOURNAL_FILENAME
+            if reasoner.persist_dir is not None
+            else None
+        )
+        self._cond = threading.Condition()
+        self._records: "OrderedDict[int, FeedRecord]" = OrderedDict()
+        # Revisions <= _ring_floor are not (or no longer) in the ring.
+        self._ring_floor = reasoner.revision
+        self._latest = reasoner.revision
+        self.closed = False
+        reasoner.add_commit_listener(self._on_commit)
+        service.attach_feed(self)
+
+    # --- engine side --------------------------------------------------------
+    def _on_commit(self, revision: int, assertions, retractions) -> None:
+        """Commit listener: runs under the engine's commit lock.
+
+        Content-bearing revisions enter the ring; *every* revision
+        advances :attr:`latest_revision` — the feed's watermark — so a
+        follower can track the leader's revision counter even through
+        empty commits (bare flushes, no-op re-assertions), which ship no
+        record.  Ring insert and watermark advance share one lock, so a
+        consumer that drains records and reads the watermark atomically
+        can never fast-forward past an unseen record.
+        """
+        with self._cond:
+            if assertions or retractions:
+                self._records[revision] = FeedRecord(revision, assertions, retractions)
+                while len(self._records) > self.retain:
+                    evicted, _ = self._records.popitem(last=False)
+                    self._ring_floor = max(self._ring_floor, evicted)
+            self._latest = max(self._latest, revision)
+            self._cond.notify_all()
+
+    # --- consumer side ------------------------------------------------------
+    @property
+    def latest_revision(self) -> int:
+        """The newest feed-visible revision."""
+        return self._latest
+
+    def oldest_resumable(self) -> int:
+        """The smallest cursor (``from``) this feed can still serve."""
+        floor = self._ring_floor
+        if self._persist is not None:
+            floor = min(floor, self._persist.last_snapshot_revision)
+        return floor
+
+    def check_resumable(self, cursor: int) -> None:
+        """Cheap pre-flight for ``GET /feed``: raises the same
+        :class:`FeedTruncatedError` a collect would, without touching
+        the WAL (the stream's first ``wait`` does the actual read)."""
+        if cursor < self.oldest_resumable():
+            raise FeedTruncatedError(cursor, self.oldest_resumable())
+
+    def records_after(self, cursor: int) -> list[FeedRecord]:
+        """Every retained record with ``revision > cursor``, in order.
+
+        Raises :class:`FeedTruncatedError` when records between
+        ``cursor`` and the retained window were compacted away.
+        """
+        return self._collect(cursor)[0]
+
+    def _ring_after(self, cursor: int) -> list[FeedRecord]:
+        """Ring records past ``cursor`` (caller holds the lock)."""
+        return [r for r in self._records.values() if r.revision > cursor]
+
+    def _collect(self, cursor: int) -> tuple[list[FeedRecord], int]:
+        """Gather ``(records after cursor, watermark)``.
+
+        The steady state (cursor within the ring) runs entirely under
+        the feed lock; the catch-up state additionally reads the WAL
+        *outside* the lock — the file scan must never stall committing
+        writers, whose ``_on_commit`` runs under the engine commit lock
+        and takes this lock.  The final merge re-acquires the lock and
+        re-checks the compaction floor (raised *before* truncation), so
+        a raced compaction or a failed WAL read surfaces as
+        :class:`FeedTruncatedError` — a forced re-bootstrap — never as
+        a silently incomplete record stream.
+        """
+        with self._cond:
+            if cursor >= self._ring_floor:
+                return self._ring_after(cursor), self._latest
+            if self._persist is None or cursor < self._persist.last_snapshot_revision:
+                raise FeedTruncatedError(cursor, self.oldest_resumable())
+        wal = self._wal_records(cursor)  # file read + parse: no lock held
+        with self._cond:
+            if wal is None or cursor < self._persist.last_snapshot_revision:
+                raise FeedTruncatedError(cursor, self.oldest_resumable())
+            merged: dict[int, FeedRecord] = {r.revision: r for r in wal}
+            for record in self._ring_after(cursor):
+                merged[record.revision] = record
+            return [merged[revision] for revision in sorted(merged)], self._latest
+
+    def _wal_records(self, cursor: int) -> "list[FeedRecord] | None":
+        """Records newer than ``cursor`` read back from the changelog.
+
+        The WAL is read-only here (truncation belongs to recovery and
+        compaction); a torn tail simply ends the scan — the in-memory
+        ring always holds the newest records anyway.  A changelog that
+        does not exist yet has no records (``[]``); one that exists but
+        cannot be read returns ``None`` — the caller must refuse to
+        serve rather than ship a stream with a silent gap.
+        """
+        try:
+            records, _durable, _fragment = read_journal(self._journal_path)
+        except FileNotFoundError:
+            return []
+        except (OSError, JournalError):
+            return None
+        return [
+            FeedRecord(r.revision, r.assertions, r.retractions)
+            for r in records
+            if r.revision > cursor
+        ]
+
+    def wait(
+        self, cursor: int, timeout: float | None = None
+    ) -> tuple[list[FeedRecord], int]:
+        """Block until the feed moves past ``cursor``; returns
+        ``(records, watermark)``.
+
+        The watermark is the latest committed revision, captured under
+        the same lock as the final record gather: every content record
+        at or below it is either already consumed (``<= cursor``) or in
+        ``records``, so a consumer may treat the stream as complete
+        through it — revisions in between were empty.
+        """
+        records, watermark = self._collect(cursor)
+        if records or watermark > cursor or self.closed:
+            return records, watermark
+        with self._cond:
+            # Re-check under the lock: a commit landing between the
+            # collect above and this wait would otherwise be missed
+            # until the next heartbeat.
+            if not (self._latest > cursor or self.closed):
+                self._cond.wait(timeout)
+        return self._collect(cursor)
+
+    # --- lifecycle ----------------------------------------------------------
+    def close(self) -> None:
+        """Detach from the engine and wake every blocked consumer."""
+        if self.closed:
+            return
+        self.closed = True
+        self.service.reasoner.remove_commit_listener(self._on_commit)
+        with self._cond:
+            self._cond.notify_all()
+
+    def stats(self) -> dict:
+        """JSON-ready summary for ``/stats``."""
+        with self._cond:
+            return {
+                "retained_records": len(self._records),
+                "latest_revision": self._latest,
+                "oldest_resumable": self.oldest_resumable(),
+                "wal_backed": self._journal_path is not None,
+            }
+
+    def __repr__(self):
+        return (
+            f"<ChangeFeed latest={self._latest} ring={len(self._records)} "
+            f"floor={self._ring_floor}>"
+        )

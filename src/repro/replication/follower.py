@@ -1,0 +1,537 @@
+"""The follower: a read replica maintained from the leader's change feed.
+
+A :class:`Follower` owns a full local engine + service pair and keeps it
+converged with a leader over plain HTTP:
+
+1. **bootstrap** — when the leader's feed cannot serve the follower's
+   resume point (fresh replica, or the leader compacted the WAL past
+   it), the follower fetches ``GET /snapshot`` — the same binary image
+   durable engines seal to disk — and restores it into a fresh engine
+   via :meth:`~repro.reasoner.engine.Slider.restore_snapshot`;
+2. **tail** — it then streams ``GET /feed?from=<revision>`` (SSE) and
+   commits each record through the ordinary ``apply()`` pipeline with
+   the leader's revision id (:meth:`Slider.apply_at`), so revision ids,
+   inference reports, subscriptions and local persistence all behave
+   exactly as they do on the leader;
+3. **serve** — the follower's :class:`ReasoningService` runs the whole
+   read API (``/select``, ``/ask``, ``/subscribe`` …); writes are
+   rejected or 307-forwarded to the leader by the HTTP layer.
+
+Consistency: the leader gives read-your-writes (views advance before a
+write returns); a follower gives **monotonic prefix** — it always
+serves some committed leader revision R, and R only moves forward.
+
+Durability composes: ``persist_dir`` makes the replica restartable — it
+recovers locally and resumes the feed from its recovered revision,
+touching the leader only for the missed tail.
+
+A follower survives leader death: the tailing thread reconnects with
+backoff while the local service keeps answering reads at the last
+replicated revision.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.client import HTTPConnection, HTTPException
+from pathlib import Path
+from urllib.parse import urlsplit
+
+from ..persist.manager import JOURNAL_FILENAME, SNAPSHOT_FILENAME
+from ..persist.snapshot import SnapshotError, parse_snapshot
+from ..reasoner.engine import Slider, SliderError
+from .feed import FeedRecord, FeedWireError
+
+__all__ = ["Follower", "ReplicationStatus", "ReplicationError"]
+
+#: Seconds between reconnect attempts after a broken feed connection.
+DEFAULT_RECONNECT_DELAY = 0.5
+
+#: Socket timeout on the SSE feed connection — must comfortably exceed
+#: the leader's keepalive interval (5 s) so an idle stream is not
+#: mistaken for a dead one.
+FEED_SOCKET_TIMEOUT = 30.0
+
+
+class ReplicationError(RuntimeError):
+    """The follower could not talk to (or agree with) its leader."""
+
+
+class _NeedBootstrap(Exception):
+    """Internal: the feed cannot resume us; fetch a snapshot instead."""
+
+
+class ReplicationStatus:
+    """Live replication bookkeeping, surfaced via ``/stats``/``/healthz``.
+
+    Written by the follower's tailing thread, read by request handlers;
+    plain attribute reads/writes are atomic under the GIL, and the
+    numbers are monitoring data, not synchronization.
+    """
+
+    def __init__(self, leader_url: str):
+        self.leader_url = leader_url
+        self.connected = False
+        #: True once the replica caught up to the leader revision seen at
+        #: connect time; gates ``/readyz``.  Cleared while re-bootstrapping.
+        self.ready = False
+        self.leader_revision = 0
+        #: The last leader revision committed locally (content-bearing).
+        self.applied_revision = 0
+        #: The revision the stream is complete through: ``applied`` plus
+        #: any trailing *empty* leader revisions covered by a watermark.
+        self.synced_revision = 0
+        self.records_applied = 0
+        self.bootstraps = 0
+        self.reconnects = 0
+        self.last_error: str | None = None
+
+    @property
+    def lag(self) -> int:
+        """Revisions the replica trails the last-seen leader revision."""
+        return max(self.leader_revision - self.synced_revision, 0)
+
+    def as_dict(self) -> dict:
+        return {
+            "leader": self.leader_url,
+            "connected": self.connected,
+            "ready": self.ready,
+            "leader_revision": self.leader_revision,
+            "applied_revision": self.applied_revision,
+            "synced_revision": self.synced_revision,
+            "lag_revisions": self.lag,
+            "records_applied": self.records_applied,
+            "bootstraps": self.bootstraps,
+            "reconnects": self.reconnects,
+            "last_error": self.last_error,
+        }
+
+    def __repr__(self):
+        state = "ready" if self.ready else "catching-up"
+        return (
+            f"<ReplicationStatus {state} applied={self.applied_revision} "
+            f"synced={self.synced_revision} leader={self.leader_revision} "
+            f"lag={self.lag}>"
+        )
+
+
+class _SSEEvent:
+    __slots__ = ("event", "event_id", "data")
+
+    def __init__(self, event: str, event_id: str | None, data: str):
+        self.event = event
+        self.event_id = event_id
+        self.data = data
+
+
+def _read_sse(response):
+    """Yield :class:`_SSEEvent` items from a streaming SSE response.
+
+    Keepalive comments reset the socket-timeout clock but yield nothing;
+    the generator ends on EOF (server closed the stream).
+    """
+    event: str | None = None
+    event_id: str | None = None
+    data: list[str] = []
+    while True:
+        raw = response.readline()
+        if not raw:
+            return  # EOF: stream over
+        line = raw.decode("utf-8").rstrip("\r\n")
+        if line.startswith(":"):
+            continue  # keepalive comment
+        if line.startswith("event:"):
+            event = line[6:].strip()
+        elif line.startswith("id:"):
+            event_id = line[3:].strip()
+        elif line.startswith("data:"):
+            chunk = line[5:]
+            data.append(chunk[1:] if chunk.startswith(" ") else chunk)
+        elif line == "" and (event or data):
+            yield _SSEEvent(event or "message", event_id, "\n".join(data))
+            event, event_id, data = None, None, []
+
+
+class Follower:
+    """A read replica of one leader, with its own serving stack.
+
+    Parameters mirror :class:`~repro.reasoner.engine.Slider` where they
+    configure the local engine (``store``, ``workers``, ``timeout``,
+    ``persist_dir`` …); ``fragment=None`` (the default) discovers the
+    rule fragment from the leader's ``/stats``.  The follower exposes
+    :attr:`service` — swapped atomically on re-bootstrap — so serve it
+    through :meth:`serve_http` (or any consumer that re-reads the
+    attribute per request) rather than capturing the object once.
+    """
+
+    def __init__(
+        self,
+        leader_url: str,
+        *,
+        fragment: str | None = None,
+        store: str = "hashdict",
+        workers: int = 2,
+        timeout: float | None = 0.05,
+        buffer_size: int = 50,
+        persist_dir: "str | Path | None" = None,
+        persist_fsync: bool = True,
+        retain_views: int = 8,
+        reconnect_delay: float = DEFAULT_RECONNECT_DELAY,
+        http_timeout: float = 10.0,
+    ):
+        parts = urlsplit(leader_url if "//" in leader_url else f"http://{leader_url}")
+        if not parts.hostname:
+            raise ReplicationError(f"cannot parse leader URL: {leader_url!r}")
+        self._leader_host = parts.hostname
+        self._leader_port = parts.port or 80
+        self.leader_url = f"http://{self._leader_host}:{self._leader_port}"
+        self._fragment = fragment
+        self._store = store
+        self._workers = workers
+        self._timeout = timeout
+        self._buffer_size = buffer_size
+        self._persist_dir = Path(persist_dir) if persist_dir is not None else None
+        self._persist_fsync = persist_fsync
+        self._retain_views = retain_views
+        self._reconnect_delay = reconnect_delay
+        self._http_timeout = http_timeout
+
+        self.status = ReplicationStatus(self.leader_url)
+        self._service = None
+        self._service_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._progress = threading.Condition()
+        self._thread: threading.Thread | None = None
+        self._feed_conn: HTTPConnection | None = None
+        self.closed = False
+
+    # --- public surface -----------------------------------------------------
+    @property
+    def service(self):
+        """The current serving :class:`ReasoningService` (never capture
+        across requests: re-bootstrap swaps it)."""
+        service = self._service
+        if service is None:
+            raise ReplicationError("follower has not started yet")
+        return service
+
+    @property
+    def revision(self) -> int:
+        """The last leader revision applied locally."""
+        return self.service.revision
+
+    def start(self) -> "Follower":
+        """Build the local engine and begin tailing on a background thread."""
+        if self.closed:
+            raise ReplicationError("follower is closed")
+        if self._thread is not None:
+            return self
+        self._ensure_service()
+        self._thread = threading.Thread(
+            target=self._run, name="slider-follower", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_http(self, host: str = "127.0.0.1", port: int = 0, verbose: bool = False):
+        """Serve this follower's read API over HTTP (like ``serve()``).
+
+        The server resolves :attr:`service` per request, so re-bootstrap
+        swaps are transparent to connected clients.
+        """
+        from ..server.http import ReasoningHTTPServer
+
+        server = ReasoningHTTPServer(
+            (host, port), service_provider=lambda: self.service, verbose=verbose
+        )
+        thread = threading.Thread(
+            target=server.serve_forever, name="slider-follower-http", daemon=True
+        )
+        thread.start()
+        return server, thread
+
+    def wait_ready(self, timeout: float | None = None) -> bool:
+        """Block until the replica first catches up to the leader."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._progress:
+            while not self.status.ready and not self.closed:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._progress.wait(remaining)
+        return self.status.ready
+
+    def wait_for_revision(self, revision: int, timeout: float | None = None) -> bool:
+        """Block until the replica is synced through ``revision``.
+
+        "Synced through" means every content-bearing leader revision at
+        or below it is committed locally — trailing *empty* leader
+        revisions are covered by the feed's watermark.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._progress:
+            while self.status.synced_revision < revision and not self.closed:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._progress.wait(remaining)
+        return self.status.synced_revision >= revision
+
+    def close(self) -> None:
+        """Stop tailing and shut the local service down."""
+        if self.closed:
+            return
+        self.closed = True
+        self._stop.set()
+        conn = self._feed_conn
+        if conn is not None:
+            try:
+                conn.close()  # unblocks the tailing thread's readline
+            except OSError:
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        with self._service_lock:
+            service, self._service = self._service, None
+        if service is not None:
+            service.close()
+        with self._progress:
+            self._progress.notify_all()
+
+    def __enter__(self) -> "Follower":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # --- leader HTTP --------------------------------------------------------
+    def _leader_request(self, path: str) -> tuple[int, bytes]:
+        conn = HTTPConnection(
+            self._leader_host, self._leader_port, timeout=self._http_timeout
+        )
+        try:
+            conn.request("GET", path)
+            response = conn.getresponse()
+            return response.status, response.read()
+        finally:
+            conn.close()
+
+    def _leader_json(self, path: str) -> dict:
+        status, body = self._leader_request(path)
+        if status != 200:
+            raise ReplicationError(f"leader {path} returned {status}")
+        return json.loads(body)
+
+    def _discover_fragment(self) -> str:
+        if self._fragment is not None:
+            return self._fragment
+        stats = self._leader_json("/stats")
+        self._fragment = stats["engine"]["fragment"]
+        return self._fragment
+
+    # --- engine / service lifecycle -----------------------------------------
+    def _build_service(self, reasoner: Slider):
+        from ..server.service import ReasoningService
+
+        reasoner.settle()  # quiescent before views; no revision consumed
+        service = ReasoningService(
+            reasoner=reasoner,
+            retain_views=self._retain_views,
+            role="follower",
+            quiesce=False,
+        )
+        service.leader_url = self.leader_url
+        service.replication = self.status
+        return service
+
+    def _ensure_service(self) -> None:
+        """First start: recover locally when durable, else start fresh."""
+        if self._service is not None:
+            return
+        fragment = self._discover_fragment()
+        reasoner = Slider(
+            fragment=fragment,
+            store=self._store,
+            workers=self._workers,
+            timeout=self._timeout,
+            buffer_size=self._buffer_size,
+            persist_dir=self._persist_dir,
+            persist_fsync=self._persist_fsync,
+        )
+        self._swap_service(self._build_service(reasoner))
+        self._note_progress(applied=reasoner.revision)
+
+    def _swap_service(self, service) -> None:
+        with self._service_lock:
+            old, self._service = self._service, service
+        if old is not None:
+            old.close()
+
+    def _bootstrap(self) -> None:
+        """Fetch the leader's snapshot and rebuild the local engine.
+
+        The old service keeps answering reads until the new engine is
+        ready (non-durable) or until the state directory must be handed
+        over (durable — the brief window surfaces as 503s, and
+        ``/readyz`` already reports not-ready).
+        """
+        self.status.ready = False
+        status, blob = self._leader_request("/snapshot")
+        if status != 200:
+            raise ReplicationError(f"leader /snapshot returned {status}")
+        try:
+            snapshot = parse_snapshot(blob, source=f"{self.leader_url}/snapshot")
+        except SnapshotError as error:
+            raise ReplicationError(f"leader snapshot is invalid: {error}") from None
+        self._fragment = snapshot.fragment or self._fragment
+        if self._persist_dir is not None:
+            # The durable replica's history is superseded wholesale: the
+            # old files must go before a fresh engine can own the
+            # directory (the directory lock is released by the close).
+            self._swap_service(None)
+            for name in (SNAPSHOT_FILENAME, JOURNAL_FILENAME):
+                stale = self._persist_dir / name
+                if stale.exists():
+                    stale.unlink()
+        reasoner = Slider(
+            fragment=self._fragment,
+            store=self._store,
+            workers=self._workers,
+            timeout=self._timeout,
+            buffer_size=self._buffer_size,
+            persist_dir=self._persist_dir,
+            persist_fsync=self._persist_fsync,
+        )
+        try:
+            reasoner.restore_snapshot(snapshot)
+        except SliderError:
+            reasoner.close()
+            raise
+        self._swap_service(self._build_service(reasoner))
+        self.status.bootstraps += 1
+        # A bootstrap is a lineage reset: the watermark from the old
+        # stream is void (a wiped-and-replaced leader may legitimately
+        # stand *below* it — carrying the old maximum forward would
+        # re-trigger the stale-leader check forever).
+        with self._progress:
+            self.status.applied_revision = snapshot.revision
+            self.status.synced_revision = snapshot.revision
+            self.status.leader_revision = snapshot.revision
+            self._progress.notify_all()
+
+    # --- the tailing loop ---------------------------------------------------
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self._tail_feed()
+            except _NeedBootstrap:
+                try:
+                    self._bootstrap()
+                    continue  # reconnect immediately from the new revision
+                except Exception as error:  # noqa: BLE001 - keep serving reads
+                    self.status.last_error = f"bootstrap: {error}"
+            except (OSError, HTTPException, FeedWireError, ReplicationError) as error:
+                if not self._stop.is_set():
+                    self.status.last_error = str(error)
+            except Exception as error:  # noqa: BLE001 - never kill the replica
+                self.status.last_error = f"{type(error).__name__}: {error}"
+            self.status.connected = False
+            if self._stop.wait(self._reconnect_delay):
+                return
+            self.status.reconnects += 1
+
+    def _tail_feed(self) -> None:
+        if self._service is None:
+            # A durable bootstrap hands its state directory over before
+            # building the new engine; if it failed in that window, the
+            # only way forward is another bootstrap, not the feed.
+            raise _NeedBootstrap()
+        # Resume from the synced watermark (maximal: past any trailing
+        # empty leader revisions), never below the engine's revision.
+        cursor = max(self.service.revision, self.status.synced_revision)
+        conn = HTTPConnection(
+            self._leader_host, self._leader_port, timeout=FEED_SOCKET_TIMEOUT
+        )
+        self._feed_conn = conn
+        try:
+            conn.request(
+                "GET", f"/feed?from={cursor}", headers={"Last-Event-ID": str(cursor)}
+            )
+            response = conn.getresponse()
+            if response.status == 410:
+                response.read()
+                raise _NeedBootstrap()
+            if response.status != 200:
+                raise ReplicationError(f"leader /feed returned {response.status}")
+            self.status.connected = True
+            self.status.last_error = None
+            target = None
+            for event in _read_sse(response):
+                if self._stop.is_set():
+                    return
+                if event.event == "hello":
+                    hello = json.loads(event.data)
+                    target = int(hello["revision"])
+                    if target < cursor:
+                        # The leader is behind us: different lineage
+                        # (wiped/replaced leader) — our history is void.
+                        raise _NeedBootstrap()
+                    self._note_progress(leader=target)
+                elif event.event == "commit":
+                    record = FeedRecord.parse(event.data)
+                    self._apply_record(record)
+                elif event.event == "watermark":
+                    watermark = int(json.loads(event.data)["revision"])
+                    self._note_progress(
+                        synced=watermark,
+                        leader=max(self.status.leader_revision, watermark),
+                    )
+                elif event.event == "gone":
+                    raise _NeedBootstrap()
+                if target is not None and self.status.synced_revision >= target:
+                    self._mark_ready()
+        finally:
+            self._feed_conn = None
+            conn.close()
+
+    def _apply_record(self, record: FeedRecord) -> None:
+        service = self.service
+        if record.revision <= service.revision:
+            return  # duplicate delivery (reconnect race): already applied
+        service.commit_replicated(record.revision, record.to_delta())
+        self.status.records_applied += 1
+        self._note_progress(
+            applied=record.revision,
+            leader=max(self.status.leader_revision, record.revision),
+        )
+
+    def _note_progress(
+        self,
+        applied: int | None = None,
+        leader: int | None = None,
+        synced: int | None = None,
+    ):
+        with self._progress:
+            if applied is not None:
+                self.status.applied_revision = applied
+                self.status.synced_revision = max(
+                    self.status.synced_revision, applied
+                )
+            if synced is not None:
+                self.status.synced_revision = max(
+                    self.status.synced_revision, synced
+                )
+            if leader is not None:
+                self.status.leader_revision = leader
+            self._progress.notify_all()
+
+    def _mark_ready(self) -> None:
+        if not self.status.ready:
+            self.status.ready = True
+            with self._progress:
+                self._progress.notify_all()
+
+    def __repr__(self):
+        return f"<Follower of {self.leader_url} {self.status!r}>"

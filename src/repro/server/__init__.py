@@ -36,7 +36,7 @@ from .coalescer import (
     PendingWrite,
     WriteCoalescer,
 )
-from .http import ReasoningHTTPServer, serve
+from .http import MAX_BODY_BYTES, ReasoningHTTPServer, serve
 from .service import ReasoningService, ServiceClosedError, SubscriptionChannel
 from .views import ReadView, RevisionGoneError, ViewRegistry
 from .wire import PatternSyntaxError, parse_patterns, parse_statements, parse_term
@@ -45,6 +45,7 @@ __all__ = [
     "ReasoningService",
     "ReasoningHTTPServer",
     "serve",
+    "MAX_BODY_BYTES",
     "ReadView",
     "ViewRegistry",
     "RevisionGoneError",

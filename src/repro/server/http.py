@@ -8,10 +8,16 @@ A :class:`ReasoningHTTPServer` (a ``ThreadingHTTPServer``) exposes one
 ``/ask``              GET     does the BGP have at least one solution?
 ``/construct``        GET     instantiate ``template`` for every ``query`` solution
 ``/triples``          GET     pattern dump (``s``/``p``/``o`` N-Triples terms)
-``/stats``            GET     revision, engine, write-queue, recovery state
-``/healthz``          GET     liveness: ``{"ok": true, "revision": N}``
+``/stats``            GET     revision, engine, write-queue, replication state
+``/healthz``          GET     liveness: ``{"ok": true, "revision": N, "role": ...}``
+``/readyz``           GET     readiness: 503 while a replica catches up
 ``/apply``            POST    assert/retract batch -> coalesced commit + report
+                              (followers answer 307 -> leader, or 403)
 ``/subscribe``        GET     SSE stream of a standing BGP's binding deltas
+                              (``Last-Event-ID``/``from=`` replays missed ones)
+``/feed``             GET     SSE replication feed of committed deltas
+                              (``from=N`` resumes; 410 once compacted away)
+``/snapshot``         GET     binary state image for replica bootstrap
 ====================  ======  ====================================================
 
 Consistency model: every read endpoint runs against a snapshot
@@ -50,13 +56,18 @@ from .wire import (
     render_triple,
 )
 
-__all__ = ["ReasoningHTTPServer", "serve"]
+__all__ = ["ReasoningHTTPServer", "serve", "MAX_BODY_BYTES"]
 
 #: Idle seconds between SSE keepalive comments.
 SSE_HEARTBEAT_SECONDS = 5.0
 
 #: Default row/triple cap on read endpoints (override with ``limit=``).
 DEFAULT_LIMIT = 10_000
+
+#: Request bodies above this are refused with ``413`` before being read
+#: — a malicious (or confused) client must not make the server buffer
+#: an arbitrarily large ``/apply`` payload.
+MAX_BODY_BYTES = 8 * 1024 * 1024
 
 
 class _BadRequest(ValueError):
@@ -79,7 +90,10 @@ class _Handler(BaseHTTPRequestHandler):
 
     @property
     def service(self) -> ReasoningService:
-        return self.server.service
+        # Snapshotted per request in _dispatch: a follower re-bootstrap
+        # swaps the server's service, and one request must not straddle
+        # two engines.
+        return self._service
 
     def _send_json(self, payload: dict, status: int = 200) -> None:
         body = json.dumps(payload).encode("utf-8")
@@ -138,10 +152,29 @@ class _Handler(BaseHTTPRequestHandler):
         self._dispatch(_POST_ROUTES)
 
     def _dispatch(self, routes: dict) -> None:
+        try:
+            self._service = self.server.service
+        except Exception:  # noqa: BLE001 - provider gap, not a handler bug
+            # A follower's service provider has no service during the
+            # handover window of a durable re-bootstrap: that is a 503,
+            # not a dropped connection.
+            self._send_error_json(503, "service is restarting (replica bootstrap)")
+            return
         # Drain the request body up front, whatever happens next: an
         # error response sent with unread body bytes on the socket would
         # desync every subsequent request of a keep-alive connection.
+        # Oversized bodies are refused *unread* — draining them would be
+        # the very buffering the cap exists to prevent — at the price of
+        # closing this connection.
         length = int(self.headers.get("Content-Length") or 0)
+        if length > self.server.max_body_bytes:
+            self.close_connection = True
+            self._send_error_json(
+                413,
+                f"request body of {length} bytes exceeds the "
+                f"{self.server.max_body_bytes}-byte limit",
+            )
+            return
         self._body = self.rfile.read(length) if length > 0 else b""
         handler = routes.get(self._route())
         if handler is None:
@@ -154,6 +187,8 @@ class _Handler(BaseHTTPRequestHandler):
         except PatternSyntaxError as error:
             self._send_error_json(400, f"bad query: {error}")
         except RevisionGoneError as error:
+            # Includes the feed's FeedTruncatedError subclass: a resume
+            # point compacted away is "revision gone", the at=N way.
             self._send_error_json(410, str(error))
         except (ServiceClosedError, CoalescerClosedError):
             self._send_error_json(503, "service is shutting down")
@@ -245,10 +280,57 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json(self.service.stats())
 
     def _ep_healthz(self) -> None:
-        self._send_json({"ok": True, "revision": self.service.revision})
+        """Liveness only: a catching-up follower is alive but not ready."""
+        service = self.service
+        self._send_json(
+            {
+                "ok": True,
+                "revision": service.revision,
+                "role": service.role,
+                "replication_lag_revisions": service.replication_lag,
+            }
+        )
+
+    def _ep_readyz(self) -> None:
+        """Readiness: 503 while a replica recovers / catches up.
+
+        Load balancers poll this to hold a node out of rotation until it
+        serves current data; liveness stays on ``/healthz``.
+        """
+        service = self.service
+        ready = service.ready
+        self._send_json(
+            {
+                "ready": ready,
+                "role": service.role,
+                "revision": service.revision,
+                "replication_lag_revisions": service.replication_lag,
+            },
+            status=200 if ready else 503,
+        )
 
     # --- write endpoint -----------------------------------------------------
     def _ep_apply(self) -> None:
+        service = self.service
+        if service.role == "follower":
+            # Replicas are read-only; the delta pipeline lives on the
+            # leader.  With a known leader the client is redirected with
+            # 307 (method + body preserved); otherwise refused.
+            if service.leader_url:
+                body = json.dumps(
+                    {"error": "this node is a read replica", "leader": service.leader_url}
+                ).encode("utf-8")
+                self.send_response(307)
+                self.send_header("Location", f"{service.leader_url}/apply")
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+            else:
+                self._send_error_json(
+                    403, "this node is a read replica and accepts no writes"
+                )
+            return
         if not self._body:
             raise _BadRequest("POST /apply requires a JSON body")
         try:
@@ -277,10 +359,116 @@ class _Handler(BaseHTTPRequestHandler):
             }
         )
 
+    # --- replication endpoints ----------------------------------------------
+    def _ep_snapshot(self) -> None:
+        """Replica bootstrap: the committed state as one binary image."""
+        blob = self.service.snapshot_bytes()
+        self.send_response(200)
+        self.send_header("Content-Type", "application/octet-stream")
+        # The engine revision, not the view registry's: replication
+        # coordinates are engine revision ids (an explicit compaction
+        # commits a flush revision the views never see).
+        self.send_header("X-Slider-Revision", str(self.service.reasoner.revision))
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def _ep_feed(self) -> None:
+        """SSE change feed: one ``commit`` event per committed revision.
+
+        ``?from=N`` (or ``Last-Event-ID: N``) resumes after revision N;
+        ``410`` when that revision was compacted away (the follower
+        bootstraps from ``/snapshot`` instead); an in-stream ``gone``
+        event signals the same mid-stream (slow consumer outrun by
+        compaction).
+        """
+        service = self.service
+        feed = service.feed
+        if feed is None:
+            self._send_error_json(
+                404, "this node has no change feed (replication not enabled)"
+            )
+            return
+        params = self._params()
+        cursor = self._int(params, "from")
+        if cursor is None:
+            raw = self.headers.get("Last-Event-ID")
+            if raw is not None:
+                try:
+                    cursor = int(raw)
+                except ValueError:
+                    raise _BadRequest(f"Last-Event-ID must be an integer, got {raw!r}")
+        if cursor is None:
+            cursor = feed.latest_revision  # tail-only consumer
+        feed.check_resumable(cursor)  # may raise 410 pre-headers; no WAL read
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+        self._sse_event(
+            "hello",
+            {
+                # The feed's watermark — the engine revision counter,
+                # advanced on every commit (the view registry can trail
+                # it by trailing empty revisions, e.g. an explicit
+                # compaction's flush; followers measure catch-up against
+                # the counter, not the views).
+                "revision": feed.latest_revision,
+                "from": cursor,
+                "fragment": feed.fragment,
+                "role": service.role,
+                "oldest_resumable": feed.oldest_resumable(),
+            },
+        )
+        while not (service.closed or feed.closed):
+            try:
+                records, watermark = feed.wait(
+                    cursor, timeout=self.server.sse_heartbeat
+                )
+            except RevisionGoneError as error:
+                self._sse_event("gone", {"error": str(error)})
+                break
+            for record in records:
+                self._sse_raw("commit", record.encode(), event_id=record.revision)
+                cursor = record.revision
+            if watermark > cursor:
+                # Revisions in (cursor, watermark] were empty commits:
+                # nothing to replay, but the follower's lag/readiness
+                # tracks the leader's revision counter through them.
+                self._sse_event(
+                    "watermark", {"revision": watermark}, event_id=watermark
+                )
+                cursor = watermark
+            elif not records:
+                if service.closed or feed.closed:
+                    break
+                self.wfile.write(b": keepalive\n\n")
+                self.wfile.flush()
+
     # --- SSE ----------------------------------------------------------------
     def _ep_subscribe(self) -> None:
         params = self._params()
         patterns = parse_patterns(self._one(params, "query", required=True))
+        last_seen = self._int(params, "from")
+        if last_seen is None:
+            raw = self.headers.get("Last-Event-ID")
+            if raw is not None:
+                try:
+                    last_seen = int(raw)
+                except ValueError:
+                    raise _BadRequest(f"Last-Event-ID must be an integer, got {raw!r}")
+        # Reconnect replay: solutions at the client's last-seen revision
+        # come from the retained view ring — 410 (before any SSE bytes)
+        # when it was evicted, exactly like ``at=N`` reads — so a client
+        # that drops mid-stream never silently skips binding deltas.
+        replay_from = None
+        if last_seen is not None:
+            replay_from = {
+                frozenset(s.items()): s
+                for s in solve(self.service.graph(last_seen), patterns)
+            }
         channel = self.service.subscribe_channel(patterns)
         try:
             self.send_response(200)
@@ -289,13 +477,31 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_header("Connection", "close")
             self.end_headers()
             self.close_connection = True
+            current = channel.initial_solutions()
             self._sse_event(
                 "hello",
                 {
                     "revision": channel.seeded_revision,
-                    "solutions": len(channel.initial_solutions()),
+                    "solutions": len(current),
                 },
+                event_id=channel.seeded_revision,
             )
+            if replay_from is not None:
+                now = {frozenset(s.items()): s for s in current}
+                added = [s for key, s in now.items() if key not in replay_from]
+                removed = [s for key, s in replay_from.items() if key not in now]
+                if added or removed:
+                    # One coalesced delta covering (last_seen, seeded].
+                    self._sse_event(
+                        "delta",
+                        {
+                            "revision": channel.seeded_revision,
+                            "replayed_from": last_seen,
+                            "added": [render_binding(b) for b in added],
+                            "removed": [render_binding(b) for b in removed],
+                        },
+                        event_id=channel.seeded_revision,
+                    )
             while not (channel.closed or self.service.closed):
                 event = channel.get(timeout=self.server.sse_heartbeat)
                 if event is None:
@@ -311,15 +517,20 @@ class _Handler(BaseHTTPRequestHandler):
                         "added": [render_binding(b) for b in event.added],
                         "removed": [render_binding(b) for b in event.removed],
                     },
+                    event_id=event.revision,
                 )
         except (BrokenPipeError, ConnectionResetError):
             pass  # client went away: normal stream end
         finally:
             channel.close()
 
-    def _sse_event(self, event: str, payload: dict) -> None:
-        data = json.dumps(payload)
-        self.wfile.write(f"event: {event}\ndata: {data}\n\n".encode("utf-8"))
+    def _sse_event(self, event: str, payload: dict, event_id=None) -> None:
+        self._sse_raw(event, json.dumps(payload), event_id=event_id)
+
+    def _sse_raw(self, event: str, data: str, event_id=None) -> None:
+        head = f"id: {event_id}\n" if event_id is not None else ""
+        body = "".join(f"data: {line}\n" for line in data.split("\n"))
+        self.wfile.write(f"{head}event: {event}\n{body}\n".encode("utf-8"))
         self.wfile.flush()
 
 
@@ -337,7 +548,10 @@ _GET_ROUTES = {
     "/triples": _Handler._ep_triples,
     "/stats": _Handler._ep_stats,
     "/healthz": _Handler._ep_healthz,
+    "/readyz": _Handler._ep_readyz,
     "/subscribe": _Handler._ep_subscribe,
+    "/feed": _Handler._ep_feed,
+    "/snapshot": _Handler._ep_snapshot,
 }
 
 _POST_ROUTES = {
@@ -359,14 +573,27 @@ class ReasoningHTTPServer(ThreadingHTTPServer):
     def __init__(
         self,
         address: tuple[str, int],
-        service: ReasoningService,
+        service: ReasoningService | None = None,
         verbose: bool = False,
         sse_heartbeat: float = SSE_HEARTBEAT_SECONDS,
+        service_provider=None,
+        max_body_bytes: int = MAX_BODY_BYTES,
     ):
+        if (service is None) == (service_provider is None):
+            raise ValueError("pass exactly one of service / service_provider")
         super().__init__(address, _Handler)
-        self.service = service
+        # A provider re-resolves per request: a follower swaps its
+        # service atomically when it re-bootstraps from a fresh snapshot.
+        self._service_provider = (
+            service_provider if service_provider is not None else (lambda: service)
+        )
         self.verbose = verbose
         self.sse_heartbeat = sse_heartbeat
+        self.max_body_bytes = max_body_bytes
+
+    @property
+    def service(self) -> ReasoningService:
+        return self._service_provider()
 
     @property
     def port(self) -> int:

@@ -132,20 +132,38 @@ class ReasoningService:
         reasoner: Slider | None = None,
         coalesce_tick: float = 0.002,
         retain_views: int = 8,
+        role: str = "leader",
+        quiesce: bool = True,
         **slider_options,
     ):
         if reasoner is not None and slider_options:
             raise ValueError(
                 "pass either a pre-built reasoner or Slider options, not both"
             )
+        if role not in ("leader", "follower"):
+            raise ValueError(f"role must be 'leader' or 'follower', got {role!r}")
         self.reasoner = reasoner if reasoner is not None else Slider(**slider_options)
         self._closed = False
         self._lock = threading.Lock()
         self._channels: list[SubscriptionChannel] = []
+        #: ``"leader"`` (accepts writes) or ``"follower"`` (read replica
+        #: — the HTTP layer rejects/forwards ``/apply``).
+        self.role = role
+        #: The leader's base URL (followers; used for 307 forwarding).
+        self.leader_url: str | None = None
+        #: Live :class:`~repro.replication.follower.ReplicationStatus`
+        #: on followers; ``None`` on leaders/standalone nodes.
+        self.replication = None
+        #: The attached :class:`~repro.replication.feed.ChangeFeed`
+        #: (nodes that can be followed), or ``None``.
+        self.feed = None
         # Quiesce before the first view: axioms (and any preloaded data)
-        # must be part of revision 0's image, recovery replay is already
-        # complete by construction.
-        self.reasoner.flush()
+        # must be part of the initial image, recovery replay is already
+        # complete by construction.  Replicas skip the flush — their
+        # engine is settled by the follower and must not consume a
+        # revision id of its own (ids belong to the leader).
+        if quiesce:
+            self.reasoner.flush()
         self.views = ViewRegistry(
             ReadView.from_store(self.reasoner.revision, self.reasoner.store),
             retain=retain_views,
@@ -181,6 +199,42 @@ class ReasoningService:
         """Queue a write without waiting (pipelined callers)."""
         self._check_open()
         return self.writes.submit(assertions, retractions)
+
+    def commit_replicated(self, revision: int, delta: Delta) -> InferenceReport:
+        """Commit one leader revision on a replica (bypasses coalescing).
+
+        The follower's single-threaded tail calls this for each feed
+        record: the engine commits under the leader's exact revision id
+        (:meth:`~repro.reasoner.engine.Slider.apply_at`) and the read
+        views advance, so ``at=N`` pins, subscriptions and stats behave
+        identically to the leader's.
+        """
+        self._check_open()
+        report = self.reasoner.apply_at(revision, delta)
+        self.views.advance(report)
+        return report
+
+    # --- replication wiring -------------------------------------------------
+    def attach_feed(self, feed) -> None:
+        """Install the node's outgoing change feed (``GET /feed``)."""
+        self.feed = feed
+
+    @property
+    def ready(self) -> bool:
+        """Readiness (``/readyz``): leaders are ready once constructed
+        (recovery happens in ``__init__``); followers once caught up."""
+        if self._closed:
+            return False
+        if self.replication is not None:
+            return bool(self.replication.ready)
+        return True
+
+    @property
+    def replication_lag(self) -> int:
+        """Revisions behind the leader (0 on leaders/standalone)."""
+        if self.replication is not None:
+            return self.replication.lag
+        return 0
 
     # --- read path ----------------------------------------------------------
     def view(self, at: int | None = None) -> ReadView:
@@ -258,6 +312,11 @@ class ReasoningService:
     def persist_dir(self) -> Path | None:
         return self.reasoner.persist_dir
 
+    def snapshot_bytes(self) -> bytes:
+        """The committed state as one snapshot blob (replica bootstrap)."""
+        self._check_open()
+        return self.reasoner.snapshot_bytes()
+
     def stats(self) -> dict:
         """One JSON-ready dict: consistency state, engine, writes, views."""
         self._check_open()
@@ -266,6 +325,12 @@ class ReasoningService:
         recovery = reasoner.recovery
         return {
             "revision": view.revision,
+            "role": self.role,
+            "ready": self.ready,
+            "replication": (
+                None if self.replication is None else self.replication.as_dict()
+            ),
+            "feed": None if self.feed is None else self.feed.stats(),
             "triples": len(view),
             "engine": {
                 "fragment": reasoner.fragment.name,
@@ -314,6 +379,8 @@ class ReasoningService:
             return
         self._closed = True
         self.writes.close()
+        if self.feed is not None:
+            self.feed.close()
         with self._lock:
             channels, self._channels = self._channels, []
         for channel in channels:

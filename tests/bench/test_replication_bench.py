@@ -1,0 +1,35 @@
+"""Smoke test for the replication bench harness (full runs live in
+benchmarks/bench_replication.py; this pins correctness, not numbers)."""
+
+from repro.bench import run_replication_bench
+from repro.bench.compare import extract_metrics
+
+
+def test_short_replication_run_round_trips():
+    result = run_replication_bench(
+        follower_counts=(1,),
+        duration=0.5,
+        writers=1,
+        readers_per_follower=1,
+        workers=0,
+        seed_classes=4,
+        seed_instances=5,
+        catchup_timeout=30,
+    )
+    assert result.error_count == 0
+    assert result.read_rps_by_followers[1] > 0
+    assert result.write_rps_by_followers[1] > 0
+    # Both catch-up paths really ran (the harness asserts the mechanism:
+    # WAL tail without a bootstrap, snapshot path with exactly one).
+    assert result.catchup_wal_seconds > 0
+    assert result.catchup_snapshot_seconds > 0
+    payload = result.as_dict()
+    assert payload["kind"] == "replication"
+    assert payload["peak_read_rps"] == result.peak_read_rps
+    # The regression comparator understands the artifact.
+    metrics = extract_metrics(payload)
+    assert set(metrics) == {
+        "replication.peak_read_rps",
+        "replication.catchup_wal_seconds",
+        "replication.catchup_snapshot_seconds",
+    }

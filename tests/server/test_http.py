@@ -178,19 +178,19 @@ class TestApplyEndpoint:
 class SSEReader:
     """Collects parsed SSE events from a /subscribe stream."""
 
-    def __init__(self, port: int, query: str):
+    def __init__(self, port: int, query: str, params: str = ""):
         self.events: list[dict] = []
         self.hello = threading.Event()
         self.got_delta = threading.Event()
         self._thread = threading.Thread(
-            target=self._run, args=(port, query), daemon=True
+            target=self._run, args=(port, query, params), daemon=True
         )
         self._thread.start()
 
-    def _run(self, port: int, query: str) -> None:
+    def _run(self, port: int, query: str, params: str) -> None:
         conn = HTTPConnection("127.0.0.1", port, timeout=20)
         try:
-            conn.request("GET", f"/subscribe?query={quote(query, safe='')}")
+            conn.request("GET", f"/subscribe?query={quote(query, safe='')}{params}")
             response = conn.getresponse()
             assert response.status == 200
             assert response.getheader("Content-Type") == "text/event-stream"
@@ -270,3 +270,104 @@ class TestSSE:
 
     def test_bad_subscribe_query_is_400(self, client):
         assert get(client, "/subscribe?query=%3F%3F")[0] == 400
+
+
+class TestSSEReconnect:
+    """Last-Event-ID / ``from=`` replay: a dropped client misses nothing."""
+
+    def test_replay_missed_binding_deltas(self, server, client):
+        _, applied = apply_schema(client)
+        seen_revision = applied["revision"]
+        # The client is *not* connected while rex and felix arrive.
+        post(client, "/apply", {"assert": [
+            f"{EX.rex.n3()} {RDF_TYPE} {EX.Cat.n3()}",
+        ]})
+        _, applied3 = post(client, "/apply", {"assert": [
+            f"{EX.felix.n3()} {RDF_TYPE} {EX.Cat.n3()}",
+        ]})
+        reader = SSEReader(server.port, ANIMAL_QUERY, params=f"&from={seen_revision}")
+        assert reader.hello.wait(10)
+        assert reader.got_delta.wait(10)
+        [replay] = reader.deltas()
+        assert replay["replayed_from"] == seen_revision
+        assert replay["revision"] >= applied3["revision"]
+        assert sorted(b["x"] for b in replay["added"]) == [
+            EX.felix.n3(),
+            EX.rex.n3(),
+        ]
+        assert replay["removed"] == []
+
+    def test_replay_of_removals(self, server, client):
+        _, applied = apply_schema(client)
+        seen_revision = applied["revision"]
+        post(client, "/apply", {
+            "retract": [f"{EX.tom.n3()} {RDF_TYPE} {EX.Cat.n3()}"]
+        })
+        reader = SSEReader(server.port, ANIMAL_QUERY, params=f"&from={seen_revision}")
+        assert reader.got_delta.wait(10)
+        [replay] = reader.deltas()
+        assert replay["added"] == []
+        assert replay["removed"] == [{"x": EX.tom.n3()}]
+
+    def test_no_replay_event_when_nothing_missed(self, server, client):
+        _, applied = apply_schema(client)
+        reader = SSEReader(
+            server.port, ANIMAL_QUERY, params=f"&from={applied['revision']}"
+        )
+        assert reader.hello.wait(10)
+        # Only a subsequent live commit produces a delta.
+        _, applied2 = post(client, "/apply", {"assert": [
+            f"{EX.rex.n3()} {RDF_TYPE} {EX.Cat.n3()}",
+        ]})
+        assert reader.got_delta.wait(10)
+        [delta] = reader.deltas()
+        assert "replayed_from" not in delta
+        assert delta["revision"] == applied2["revision"]
+
+    def test_evicted_revision_is_410(self, server, client):
+        """Replaying from a revision outside the retained ring matches
+        the ``at=N`` contract: 410, not a silent skip."""
+        apply_schema(client)
+        for n in range(10):  # push revision 1 out of the 8-deep view ring
+            post(client, "/apply", {"assert": [
+                f"{EX[f'extra{n}'].n3()} {RDF_TYPE} {EX.Cat.n3()}",
+            ]})
+        status, body = get(
+            client, f"/subscribe?query={quote(ANIMAL_QUERY, safe='')}&from=1"
+        )
+        assert status == 410
+        assert "retained" in body["error"]
+
+    def test_bad_last_event_id_is_400(self, client):
+        conn_status, body = get(
+            client,
+            f"/subscribe?query={quote(ANIMAL_QUERY, safe='')}&from=xyz",
+        )
+        assert conn_status == 400
+
+
+class TestBodyCap:
+    def test_oversized_body_is_413_unread(self, server):
+        """A Content-Length over the cap is refused before the body is
+        buffered (the connection closes: the body was never drained)."""
+        conn = HTTPConnection("127.0.0.1", server.port, timeout=10)
+        try:
+            conn.putrequest("POST", "/apply")
+            conn.putheader("Content-Type", "application/json")
+            conn.putheader("Content-Length", str(9 * 1024 * 1024))
+            conn.endheaders()
+            response = conn.getresponse()
+            assert response.status == 413
+            assert b"exceeds" in response.read()
+        finally:
+            conn.close()
+
+    def test_body_at_limit_passes(self, client):
+        """A large-but-legal body still parses (the cap, not the parser,
+        is the only size gate)."""
+        big = "x" * 100_000
+        status, out = post(client, "/apply", {"assert": [
+            f'{EX.a.n3()} {EX.says.n3()} "{big}"',
+        ]})
+        assert status == 200
+        assert out["report"]["explicit_added"] == 1

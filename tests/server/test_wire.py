@@ -76,6 +76,83 @@ class TestParseStatements:
             parse_statements(["?x <http://ex/p> <http://ex/b> ."])  # no vars in data
 
 
+class TestLiteralEdges:
+    """Escaping edges of the shared wire format (feed records reuse it)."""
+
+    def test_escaped_quotes_in_literals(self):
+        patterns = parse_patterns(
+            r'?x <http://ex/says> "he said \"hi\" twice"'
+        )
+        literal = patterns[0][2]
+        assert isinstance(literal, Literal)
+        assert literal.lexical == 'he said "hi" twice'
+
+    def test_control_escapes_round_trip(self):
+        tricky = Literal('line one\nline two\ttabbed \\ backslash "q"')
+        statement = Triple(IRI("http://ex/a"), IRI("http://ex/p"), tricky).n3()
+        assert parse_statements([statement])[0].object == tricky
+
+    def test_unicode_literals(self):
+        for lexical in ("héllo wörld", "☃ snowman", "日本語", "emoji 🎉"):
+            literal = Literal(lexical, language="en")
+            statement = Triple(IRI("http://ex/a"), IRI("http://ex/p"), literal).n3()
+            assert parse_statements([statement])[0].object == literal
+
+    def test_unicode_escape_sequences(self):
+        patterns = parse_patterns(r'?x <http://ex/p> "café"')
+        assert patterns[0][2].lexical == "café"
+
+    def test_unterminated_literal(self):
+        with pytest.raises(PatternSyntaxError):
+            parse_patterns('?x <http://ex/p> "no closing quote')
+
+
+class TestVariableEdges:
+    def test_malformed_variable_positions(self):
+        for bad in (
+            "? <http://ex/p> ?y",        # bare question mark
+            "?1x <http://ex/p> ?y",      # digit-leading name
+            "?x <http://ex/p> ?",        # bare mark as object
+            "?x ?p? ?y",                 # trailing junk on the variable
+            "?-x <http://ex/p> ?y",      # invalid leading character
+        ):
+            with pytest.raises(PatternSyntaxError):
+                parse_patterns(bad)
+
+    def test_variable_self_delimits_before_term(self):
+        """Terms are self-delimiting (N-Triples grammar): a variable name
+        ends exactly where the next term's opening bracket begins."""
+        patterns = parse_patterns("?x<http://ex/p> ?y")
+        assert patterns == [
+            (Variable("x"), IRI("http://ex/p"), Variable("y"))
+        ]
+
+    def test_variables_never_valid_in_data_statements(self):
+        for bad in (
+            "?x <http://ex/p> <http://ex/b>",
+            "<http://ex/a> ?p <http://ex/b>",
+            "<http://ex/a> <http://ex/p> ?o",
+        ):
+            with pytest.raises(PatternSyntaxError):
+                parse_statements([bad])
+
+
+class TestOversizedInput:
+    def test_large_literal_statement_parses(self):
+        """Size alone is not an error at the wire-format layer — the
+        HTTP layer enforces the request-body cap (413) before parsing."""
+        big = "x" * 1_000_000
+        statement = f'<http://ex/a> <http://ex/p> "{big}"'
+        [triple] = parse_statements([statement])
+        assert triple.object.lexical == big
+
+    def test_many_statements_parse(self):
+        statements = [
+            f"<http://ex/s{i}> <http://ex/p> <http://ex/o{i}>" for i in range(2000)
+        ]
+        assert len(parse_statements(statements)) == 2000
+
+
 class TestRender:
     def test_binding(self):
         rendered = render_binding({Variable("x"): IRI("http://ex/a")})

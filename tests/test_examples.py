@@ -64,6 +64,12 @@ def test_reasoning_service():
     assert "✗" not in out
 
 
+def test_replication():
+    out = run_example("replication.py")
+    assert "all replication checks passed" in out
+    assert "✗" not in out
+
+
 def test_stream_reasoning():
     out = run_example("stream_reasoning.py")
     assert "inferred" in out
