@@ -1,5 +1,6 @@
 """Benchmark harness: timed runs, gains, paper-style tables and charts."""
 
+from .micro import MicroResult, run_micro
 from .recovery import RecoveryResult, run_recovery
 from .replication import ReplicationBenchResult, run_replication_bench
 from .server_load import ServerLoadResult, run_server_load
@@ -25,6 +26,8 @@ from .tables import (
 
 __all__ = [
     "RunResult",
+    "MicroResult",
+    "run_micro",
     "RecoveryResult",
     "run_recovery",
     "ReplicationBenchResult",

@@ -69,6 +69,11 @@ def extract_metrics(artifact) -> dict[str, float]:
             "server.read_rps": float(artifact["read_rps"]),
             "server.read_p99_ms": float(artifact["read_p99_ms"]),
         }
+    if kind == "micro":
+        return {
+            "micro.v2_load_speedup": float(artifact["v2_load_speedup"]),
+            "micro.kernel_join_speedup": float(artifact["kernel_join_speedup"]),
+        }
     if kind == "replication":
         return {
             "replication.peak_read_rps": float(artifact["peak_read_rps"]),

@@ -1,0 +1,389 @@
+"""Snapshot format v2: columnar, mmap-able, zero-copy.
+
+The v1 snapshot (:mod:`repro.persist.snapshot`) is a varint stream —
+compact, but loading it constructs every term and triple as Python
+objects before the first read can be served.  Format v2 restructures
+the image into fixed-width sorted id columns so a reader can *map* the
+file and serve lookups straight off the mapped bytes:
+
+::
+
+    SLSNAP02                                   magic (8 bytes)
+    header     varints: revision, axiom_count, fragment, store_spec,
+               term_count, explicit_count, inferred_count, id_width
+    ----8-byte aligned sections follow----
+    term index (term_count + 1) u64 cumulative offsets into the blob
+    term blob  concatenated v1 term encodings (term i occupies
+               bytes index[i]:index[i+1])
+    SPO cols   3 arrays of triple_count ids (s, p, o columns),
+               rows sorted by (s, p, o)
+    POS cols   3 arrays of triple_count ids (p, o, s columns),
+               rows sorted by (p, o, s)
+    explicit   explicit_count ascending row indexes into the SPO
+               ordering marking the explicit partition
+    crc        u32 crc32 of everything after the magic
+
+Ids are little-endian ``id_width``-byte integers (4 unless the term
+table overflows u32); columns are exposed as ``memoryview.cast``
+windows, so a lookup is a pair of bisects over the mapped file — no
+per-triple object construction, no heap-resident copy of the store.
+Term payloads reuse the v1 ``write_term`` encoding, decoded lazily
+per id through the offset index.
+
+:class:`ColumnarSnapshot` is duck-compatible with
+:class:`~repro.persist.snapshot.Snapshot` (same metadata attributes,
+same ``restore`` contract), so every v1 consumer — engine recovery,
+follower bootstrap, the CLI inspector — accepts either format.
+Integrity is the trailing whole-image CRC, exactly as in v1.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import struct
+import zlib
+from array import array
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..dictionary.encoder import EncodedTriple, TermDictionary
+from ..rdf.terms import Term
+from .format import (
+    FormatError,
+    fsync_dir,
+    read_string,
+    read_term,
+    read_varint,
+    write_string,
+    write_term,
+    write_varint,
+)
+from .snapshot import SnapshotError
+
+__all__ = [
+    "COLUMNAR_MAGIC",
+    "ColumnarSnapshot",
+    "encode_columnar_snapshot",
+    "parse_columnar_snapshot",
+    "write_columnar_snapshot",
+    "load_columnar_snapshot",
+]
+
+COLUMNAR_MAGIC = b"SLSNAP02"
+
+_CRC = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+
+def _align8(offset: int) -> int:
+    return (offset + 7) & ~7
+
+
+def _pad8(out: bytearray) -> None:
+    out.extend(b"\x00" * (_align8(len(out)) - len(out)))
+
+
+def _typecode(id_width: int) -> str:
+    return "I" if id_width == 4 else "Q"
+
+
+# --- writer ------------------------------------------------------------------
+def encode_columnar_snapshot(
+    *,
+    revision: int,
+    fragment: str,
+    store_spec: str,
+    axiom_count: int,
+    terms: Sequence[Term],
+    explicit: Iterable[EncodedTriple],
+    inferred: Iterable[EncodedTriple],
+) -> bytes:
+    """The complete v2 image as bytes (same keyword surface as v1)."""
+    explicit = list(explicit)
+    inferred = list(inferred)
+    explicit_set = set(explicit)
+    rows = sorted(explicit_set.union(inferred))
+    term_count = len(terms)
+    id_width = 4 if term_count <= 0xFFFFFFFF and len(rows) <= 0xFFFFFFFF else 8
+    code = _typecode(id_width)
+
+    out = bytearray(COLUMNAR_MAGIC)
+    write_varint(out, revision)
+    write_varint(out, axiom_count)
+    write_string(out, fragment)
+    write_string(out, store_spec)
+    write_varint(out, term_count)
+    write_varint(out, len(explicit))
+    write_varint(out, len(rows) - len(explicit))
+    write_varint(out, id_width)
+
+    # Term blob + cumulative offset index (encoded in id order, exactly
+    # as v1, so restore reproduces dictionary ids bit for bit).
+    blob = bytearray()
+    offsets = array("Q", [0])
+    for term in terms:
+        write_term(blob, term)
+        offsets.append(len(blob))
+    _pad8(out)
+    out.extend(offsets.tobytes())
+    out.extend(blob)
+
+    # Sorted column sections.
+    _pad8(out)
+    for column in range(3):
+        out.extend(array(code, [row[column] for row in rows]).tobytes())
+        _pad8(out)
+    rows_pos = sorted(rows, key=lambda row: (row[1], row[2], row[0]))
+    for column in (1, 2, 0):
+        out.extend(array(code, [row[column] for row in rows_pos]).tobytes())
+        _pad8(out)
+
+    # Explicit partition: ascending row indexes into the SPO ordering.
+    explicit_rows = array(
+        code, (i for i, row in enumerate(rows) if row in explicit_set)
+    )
+    if len(explicit_rows) != len(explicit_set):
+        raise FormatError("explicit partition is not a subset of the image")
+    out.extend(explicit_rows.tobytes())
+
+    out.extend(_CRC.pack(zlib.crc32(memoryview(out)[len(COLUMNAR_MAGIC):])))
+    return bytes(out)
+
+
+def write_columnar_snapshot(path, *, fsync: bool = True, **state) -> int:
+    """Write a v2 snapshot atomically; returns the file size in bytes."""
+    path = Path(path)
+    blob = encode_columnar_snapshot(**state)
+    temp_path = path.with_name(path.name + ".tmp")
+    with open(temp_path, "wb") as handle:
+        handle.write(blob)
+        handle.flush()
+        if fsync:
+            os.fsync(handle.fileno())
+    os.replace(temp_path, path)
+    if fsync:
+        fsync_dir(path.parent)
+    return len(blob)
+
+
+# --- reader ------------------------------------------------------------------
+class ColumnarSnapshot:
+    """A mapped v2 snapshot: metadata eagerly, everything else lazily.
+
+    Duck-compatible with :class:`~repro.persist.snapshot.Snapshot`:
+    ``revision`` / ``fragment`` / ``store_spec`` / ``axiom_count`` /
+    ``terms`` / ``explicit`` / ``inferred`` / ``triple_count`` /
+    ``restore``.  The list-shaped attributes are materialized on first
+    access; zero-copy consumers use the column accessors instead.
+    """
+
+    __slots__ = (
+        "revision",
+        "fragment",
+        "store_spec",
+        "axiom_count",
+        "term_count",
+        "explicit_count",
+        "inferred_count",
+        "id_width",
+        "term_index",
+        "term_blob",
+        "spo",
+        "pos",
+        "explicit_rows",
+        "_buffer",
+        "_terms",
+        "_explicit",
+        "_inferred",
+    )
+
+    def __init__(self, **fields):
+        for name in self.__slots__:
+            setattr(self, name, fields.get(name))
+
+    @property
+    def triple_count(self) -> int:
+        return self.explicit_count + self.inferred_count
+
+    # --- lazy v1-compatible views ----------------------------------------
+    @property
+    def terms(self) -> list[Term]:
+        if self._terms is None:
+            self._terms = [self.term(i) for i in range(self.term_count)]
+        return self._terms
+
+    @property
+    def explicit(self) -> list[EncodedTriple]:
+        if self._explicit is None:
+            spo_s, spo_p, spo_o = self.spo
+            self._explicit = [
+                (spo_s[i], spo_p[i], spo_o[i]) for i in self.explicit_rows
+            ]
+        return self._explicit
+
+    @property
+    def inferred(self) -> list[EncodedTriple]:
+        if self._inferred is None:
+            explicit = set(self.explicit_rows)
+            spo_s, spo_p, spo_o = self.spo
+            self._inferred = [
+                (spo_s[i], spo_p[i], spo_o[i])
+                for i in range(self.triple_count)
+                if i not in explicit
+            ]
+        return self._inferred
+
+    def term(self, term_id: int) -> Term:
+        """Decode one term by id, straight from the mapped blob."""
+        start = self.term_index[term_id]
+        term, _ = read_term(self.term_blob[start:self.term_index[term_id + 1]], 0)
+        return term
+
+    def restore(self, dictionary: TermDictionary, store) -> set[EncodedTriple]:
+        """Load the image into ``dictionary`` + ``store`` (v1 contract).
+
+        Explicit rows land before inferred rows, both in (s, p, o)
+        order — the same order the engine's snapshot writer uses — so a
+        fresh dictionary + empty store end up bit-identical to a v1
+        restore of the same closure.
+        """
+        mapping = [dictionary.encode(term) for term in self.terms]
+        identity = all(new == old for old, new in enumerate(mapping))
+        if identity:
+            explicit = self.explicit
+            inferred = self.inferred
+        else:
+            explicit = [(mapping[s], mapping[p], mapping[o]) for s, p, o in self.explicit]
+            inferred = [(mapping[s], mapping[p], mapping[o]) for s, p, o in self.inferred]
+        store.add_all(explicit)
+        store.add_all(inferred)
+        return set(explicit)
+
+    def close(self) -> None:
+        """Release the underlying map (a no-op for in-memory images)."""
+        buffer = self._buffer
+        self._buffer = None
+        self.term_index = self.term_blob = None
+        self.spo = self.pos = self.explicit_rows = None
+        if isinstance(buffer, mmap.mmap):
+            buffer.close()
+
+    def __repr__(self):
+        return (
+            f"<ColumnarSnapshot rev={self.revision} fragment={self.fragment!r} "
+            f"terms={self.term_count} explicit={self.explicit_count} "
+            f"inferred={self.inferred_count}>"
+        )
+
+
+def parse_columnar_snapshot(data, source: str = "<bytes>") -> ColumnarSnapshot:
+    """Verify and parse a v2 image over any buffer (bytes or mmap).
+
+    The columns returned are zero-copy windows into ``data``; the
+    snapshot keeps ``data`` alive for as long as it is open.
+    """
+    view = memoryview(data)
+    # Every window and cast exports a pointer into ``data``; on a failed
+    # parse they must all be released before the caller can close an
+    # ``mmap`` buffer (the traceback would otherwise pin this frame and
+    # its views alive, making the close a BufferError).
+    held: list[memoryview] = [view]
+    try:
+        return _parse_columnar(view, held, data, source)
+    except Exception:
+        for window in reversed(held):
+            window.release()
+        raise
+
+
+def _parse_columnar(view, held, data, source) -> ColumnarSnapshot:
+    magic = len(COLUMNAR_MAGIC)
+    if bytes(view[:magic]) != COLUMNAR_MAGIC:
+        raise SnapshotError(f"{source} is not a v2 Slider snapshot (bad magic)")
+    if len(view) < magic + _CRC.size:
+        raise SnapshotError(f"snapshot {source} is truncated")
+    (expected_crc,) = _CRC.unpack(view[-_CRC.size:])
+    if zlib.crc32(view[magic:-_CRC.size]) != expected_crc:
+        raise SnapshotError(f"snapshot {source} failed its checksum (corrupt)")
+    try:
+        offset = magic
+        revision, offset = read_varint(view, offset)
+        axiom_count, offset = read_varint(view, offset)
+        fragment, offset = read_string(view, offset)
+        store_spec, offset = read_string(view, offset)
+        term_count, offset = read_varint(view, offset)
+        explicit_count, offset = read_varint(view, offset)
+        inferred_count, offset = read_varint(view, offset)
+        id_width, offset = read_varint(view, offset)
+    except FormatError as error:
+        raise SnapshotError(f"snapshot {source} is malformed: {error}") from None
+    if id_width not in (4, 8):
+        raise SnapshotError(f"snapshot {source} has invalid id width {id_width}")
+    code = _typecode(id_width)
+    triple_count = explicit_count + inferred_count
+
+    def section(start: int, size: int) -> tuple[memoryview, int]:
+        start = _align8(start)
+        end = start + size
+        if end > len(view) - _CRC.size:
+            raise SnapshotError(f"snapshot {source} is truncated mid-section")
+        window = view[start:end]
+        held.append(window)
+        return window, end
+
+    def cast(window: memoryview, typecode: str) -> memoryview:
+        column = window.cast(typecode)
+        held.append(column)
+        return column
+
+    index_bytes, offset = section(offset, 8 * (term_count + 1))
+    term_index = cast(index_bytes, "Q")
+    blob_len = term_index[term_count] if term_count else 0
+    term_blob, offset = section(offset, blob_len)
+
+    columns: list[memoryview] = []
+    for _ in range(6):
+        col_bytes, offset = section(offset, id_width * triple_count)
+        columns.append(cast(col_bytes, code))
+    explicit_bytes, offset = section(offset, id_width * explicit_count)
+
+    return ColumnarSnapshot(
+        revision=revision,
+        fragment=fragment,
+        store_spec=store_spec,
+        axiom_count=axiom_count,
+        term_count=term_count,
+        explicit_count=explicit_count,
+        inferred_count=inferred_count,
+        id_width=id_width,
+        term_index=term_index,
+        term_blob=term_blob,
+        spo=tuple(columns[:3]),
+        pos=tuple(columns[3:]),
+        explicit_rows=explicit_bytes.cast(code),
+        _buffer=data,
+    )
+
+
+def load_columnar_snapshot(path) -> ColumnarSnapshot:
+    """Map a v2 snapshot file read-only and parse it in place.
+
+    The file is ``mmap``-ed, so "loading" is O(header) — column bytes
+    fault in on first access.  Falls back to a plain read for empty
+    files or filesystems that cannot map.
+    """
+    try:
+        with open(path, "rb") as handle:
+            try:
+                buffer = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+            except (ValueError, OSError):
+                buffer = handle.read()
+    except OSError as error:
+        raise SnapshotError(f"cannot read snapshot {path}: {error}") from error
+    try:
+        return parse_columnar_snapshot(buffer, source=str(path))
+    except Exception:
+        if isinstance(buffer, mmap.mmap):
+            buffer.close()
+        raise

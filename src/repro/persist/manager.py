@@ -63,12 +63,18 @@ class PersistenceManager:
         fsync: bool = True,
         compact_bytes: int | None = DEFAULT_COMPACT_BYTES,
         fragment: str = "",
+        snapshot_format: str = "v1",
     ):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.fsync = fsync
         self.compact_bytes = compact_bytes
         self.fragment = fragment
+        if snapshot_format not in ("v1", "v2"):
+            raise ValueError(f"unknown snapshot format {snapshot_format!r}")
+        #: The format new snapshots are *written* in; either format is
+        #: always readable (load dispatches on the file magic).
+        self.snapshot_format = snapshot_format
         self.snapshot_path = self.directory / SNAPSHOT_FILENAME
         self.journal_path = self.directory / JOURNAL_FILENAME
         self._writer: JournalWriter | None = None
@@ -177,7 +183,14 @@ class PersistenceManager:
         # feed reader that re-checks the floor after scanning the WAL
         # then can never miss records the truncation just dropped.
         self.last_snapshot_revision = state.get("revision", 0)
-        written = write_snapshot(self.snapshot_path, fsync=self.fsync, **state)
+        if self.snapshot_format == "v2":
+            from .columnar import write_columnar_snapshot
+
+            written = write_columnar_snapshot(
+                self.snapshot_path, fsync=self.fsync, **state
+            )
+        else:
+            written = write_snapshot(self.snapshot_path, fsync=self.fsync, **state)
         self._journal().reset()
         self.compactions += 1
         return written

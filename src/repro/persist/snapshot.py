@@ -208,8 +208,23 @@ def write_snapshot(
     return len(blob)
 
 
-def load_snapshot(path) -> Snapshot:
-    """Read and verify a snapshot file; raises :class:`SnapshotError`."""
+def load_snapshot(path):
+    """Read and verify a snapshot file of either format.
+
+    Returns a :class:`Snapshot` for v1 images and a duck-compatible
+    :class:`~repro.persist.columnar.ColumnarSnapshot` for v2 images —
+    the latter is mmap-ed, so its load cost is O(header) and the column
+    bytes fault in on demand.  Raises :class:`SnapshotError` either way.
+    """
+    from .columnar import COLUMNAR_MAGIC, load_columnar_snapshot
+
+    try:
+        with open(path, "rb") as handle:
+            head = handle.read(len(COLUMNAR_MAGIC))
+    except OSError as error:
+        raise SnapshotError(f"cannot read snapshot {path}: {error}") from error
+    if head == COLUMNAR_MAGIC:
+        return load_columnar_snapshot(path)
     try:
         data = Path(path).read_bytes()
     except OSError as error:
@@ -217,14 +232,23 @@ def load_snapshot(path) -> Snapshot:
     return parse_snapshot(data, source=str(path))
 
 
-def parse_snapshot(data: bytes, source: str = "<bytes>") -> Snapshot:
-    """Verify and parse one snapshot image (file bytes or wire bytes)."""
+def parse_snapshot(data: bytes, source: str = "<bytes>"):
+    """Verify and parse one snapshot image (file bytes or wire bytes).
+
+    Dispatches on the magic: v1 images parse into :class:`Snapshot`,
+    v2 images into a :class:`~repro.persist.columnar.ColumnarSnapshot`
+    over the same buffer (zero-copy columns).
+    """
     path = source
+    from .columnar import COLUMNAR_MAGIC, parse_columnar_snapshot
+
+    if data[:len(COLUMNAR_MAGIC)] == COLUMNAR_MAGIC:
+        return parse_columnar_snapshot(data, source=source)
     if not data.startswith(SNAPSHOT_MAGIC):
         raise SnapshotError(f"{path} is not a Slider snapshot (bad magic)")
     if len(data) < len(SNAPSHOT_MAGIC) + 4:
         raise SnapshotError(f"snapshot {path} is truncated")
-    payload = data[len(SNAPSHOT_MAGIC):-4]
+    payload = memoryview(data)[len(SNAPSHOT_MAGIC):-4]
     (expected_crc,) = struct.unpack("<I", data[-4:])
     if zlib.crc32(payload) != expected_crc:
         raise SnapshotError(f"snapshot {path} failed its checksum (corrupt)")

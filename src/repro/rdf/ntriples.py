@@ -17,6 +17,7 @@ Entry points:
 from __future__ import annotations
 
 import io
+import re
 from typing import Iterable, Iterator, TextIO
 
 from .terms import BNode, IRI, Literal, Term, Triple
@@ -216,16 +217,99 @@ class _LineParser:
         raise self.error(f"invalid escape sequence \\{escape_char}")
 
 
+# Vectorized fast path: one compiled regex recognizes the overwhelmingly
+# common statement shapes (no backslash escapes anywhere, ASCII language
+# tags) in a single C-level scan instead of the per-character cursor of
+# :class:`_LineParser`.  Anything the pattern does not match — escapes,
+# unicode language tags, malformed lines — falls back to the strict
+# parser, which either parses it or raises the precise positioned error.
+# The fast path therefore accepts exactly the strict parser's language.
+_IRI_BODY = r"[^>\\]*"
+# Blank-node labels that do not end in '.' — a trailing dot belongs to the
+# statement terminator in the strict grammar, and the ambiguous glued forms
+# (`_:b1.`) must take the fallback so both parsers agree on every line.
+_BNODE_BODY = r"[A-Za-z0-9_](?:[A-Za-z0-9_.-]*[A-Za-z0-9_-])?"
+_FAST_LINE = re.compile(
+    rf"[ \t]*(?:<({_IRI_BODY})>|_:({_BNODE_BODY}))"          # subject
+    rf"[ \t]*<({_IRI_BODY})>"                                # predicate
+    rf"[ \t]*(?:<({_IRI_BODY})>|_:({_BNODE_BODY})"           # object: IRI/bnode
+    rf'|"([^"\\]*)"(?:@([A-Za-z0-9][A-Za-z0-9-]*)'           # ... or literal
+    rf"|\^\^<({_IRI_BODY})>)?)"
+    r"[ \t]+\.[ \t]*(?:#.*)?$"
+).match
+
+
+def _fast_triple(
+    line: str, iris: dict, bnodes: dict
+) -> "Triple | None | bool":
+    """Parse one line via the fast path.
+
+    Returns a :class:`Triple`, ``None`` for blank/comment lines, or
+    ``False`` when the line needs the strict parser.  ``iris``/``bnodes``
+    memoize token → term across lines (RDF data repeats terms heavily,
+    so most lines construct no new term objects at all).
+    """
+    stripped = line.lstrip(" \t")
+    if not stripped or stripped[0] == "#":
+        return None
+    found = _FAST_LINE(line)
+    if found is None:
+        return False
+    s_iri, s_bnode, p_iri, o_iri, o_bnode, o_lex, o_lang, o_dt = found.groups()
+    try:
+        if s_iri is not None:
+            subject = iris.get(s_iri)
+            if subject is None:
+                subject = iris[s_iri] = IRI(s_iri)
+        else:
+            subject = bnodes.get(s_bnode)
+            if subject is None:
+                subject = bnodes[s_bnode] = BNode(s_bnode)
+        predicate = iris.get(p_iri)
+        if predicate is None:
+            predicate = iris[p_iri] = IRI(p_iri)
+        if o_iri is not None:
+            obj = iris.get(o_iri)
+            if obj is None:
+                obj = iris[o_iri] = IRI(o_iri)
+        elif o_bnode is not None:
+            obj = bnodes.get(o_bnode)
+            if obj is None:
+                obj = bnodes[o_bnode] = BNode(o_bnode)
+        elif o_lang is not None:
+            obj = Literal(o_lex, language=o_lang)
+        elif o_dt is not None:
+            datatype = iris.get(o_dt)
+            if datatype is None:
+                datatype = iris[o_dt] = IRI(o_dt)
+            obj = Literal(o_lex, datatype=datatype)
+        else:
+            obj = Literal(o_lex)
+        return Triple(subject, predicate, obj)
+    except (ValueError, TypeError):
+        # Term validation rejected it (e.g. an IRI with control chars):
+        # re-parse strictly for the positioned error message.
+        return False
+
+
 def iter_ntriples(lines: Iterable[str]) -> Iterator[Triple]:
     """Lazily parse an iterable of N-Triples lines into triples.
 
     Blank lines and ``#`` comment lines are skipped.  This is the
     streaming entry point used by :class:`repro.reasoner.stream.FileStream`.
     """
+    iris: dict = {}
+    bnodes: dict = {}
     for line_number, line in enumerate(lines, start=1):
-        triple = _LineParser(line.rstrip("\r\n"), line_number).parse_triple()
-        if triple is not None:
-            yield triple
+        line = line.rstrip("\r\n")
+        triple = _fast_triple(line, iris, bnodes)
+        if triple is None:
+            continue
+        if triple is False:
+            triple = _LineParser(line, line_number).parse_triple()
+            if triple is None:
+                continue
+        yield triple
 
 
 def parse_ntriples(text: str) -> list[Triple]:

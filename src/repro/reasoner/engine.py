@@ -257,9 +257,15 @@ class Slider:
         persist_dir: "str | Path | None" = None,
         persist_fsync: bool = True,
         compact_journal_bytes: int | None = DEFAULT_COMPACT_BYTES,
+        snapshot_format: str = "v1",
     ):
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
+        if snapshot_format not in ("v1", "v2"):
+            raise ValueError(f"unknown snapshot format {snapshot_format!r}")
+        #: Format used when *writing* snapshots (durable seals and
+        #: ``snapshot_bytes``); both formats are always readable.
+        self.snapshot_format = snapshot_format
         if timeout is not None and timeout <= 0:
             raise ValueError(f"timeout must be positive or None, got {timeout}")
         if routing not in ("predicate", "broadcast"):
@@ -291,6 +297,7 @@ class Slider:
                 fsync=persist_fsync,
                 compact_bytes=compact_journal_bytes,
                 fragment=self.fragment.name,
+                snapshot_format=snapshot_format,
             )
             try:
                 loaded_snapshot, replay_records = self._persist.load()
@@ -431,6 +438,10 @@ class Slider:
             except BaseException:
                 self._persist.close()
                 raise
+            finally:
+                close_image = getattr(loaded_snapshot, "close", None)
+                if close_image is not None:  # v2 images hold an mmap
+                    close_image()
 
     # --- delta pipeline (the transactional entry point) ---------------------
     def apply(self, delta: Delta) -> InferenceReport:
@@ -668,7 +679,7 @@ class Slider:
             if self._persist is not None:
                 self._write_snapshot_locked()
 
-    def snapshot_bytes(self) -> bytes:
+    def snapshot_bytes(self, format: str | None = None) -> bytes:
         """The committed state as one self-verifying snapshot blob.
 
         Serves replica bootstrap (the leader's ``GET /snapshot``)
@@ -678,13 +689,24 @@ class Slider:
         legacy ``add`` shim are settled into the image without a commit
         — on the coalesced service path every write commits, so the
         image and revision always agree.)
+
+        ``format`` overrides the engine's ``snapshot_format`` for this
+        one image — the leader uses it to honour a bootstrap client's
+        requested wire format.
         """
+        format = format or self.snapshot_format
+        if format not in ("v1", "v2"):
+            raise ValueError(f"unknown snapshot format {format!r}")
         self._check_open()
         with self._commit_lock, self._tx_lock:
             self._quiesce()
             explicit = set(self.input_manager.explicit)
             inferred = [t for t in self.store if t not in explicit]
-            return encode_snapshot(
+            if format == "v2":
+                from ..persist.columnar import encode_columnar_snapshot as encode
+            else:
+                encode = encode_snapshot
+            return encode(
                 revision=self._revision,
                 fragment=self.fragment.name,
                 store_spec=self._store_spec,

@@ -1,0 +1,296 @@
+"""Vectorized rule-join kernels: batch joins instead of per-triple probes.
+
+The classic inner loop of Algorithm 1 (:meth:`JoinRule._half_join`)
+probes the store once per new triple: build a binding dict, derive a
+lookup key, take the store's read lock, materialize the matching
+partners, re-match each partner to extend the binding.  Correct, but
+every step is per-triple Python work.
+
+This module compiles each half-join direction of a
+:class:`~repro.reasoner.rules.JoinRule` into a positional
+:class:`HalfJoinPlan` — constants to check, slots to join on, how to
+build the head — and executes a whole firing batch through one of two
+batch kernels:
+
+* **hash join** (mutable stores): fetch the stored partner partition
+  *once* (one lock acquisition), group it by join key, then stream the
+  new batch through plain dict lookups;
+* **galloping merge join** (columnar stores): the partner partition is
+  already a sorted ``memoryview`` column of the mapped snapshot, so the
+  batch is sorted by join key and intersected with the column by
+  exponential (galloping) search — no partner materialization at all.
+
+Kernel selection is per pass, by operand cardinality: tiny batches keep
+the classic per-triple probes (building a partition index would cost
+more than it saves), as do passes where the stored partition dwarfs the
+batch.  Both kernels emit through the same
+:class:`~repro.reasoner.rules.OutputBuffer` and apply the same RDF
+well-formedness guards as ``Rule._emit``, so the derived closure is
+identical triple-for-triple — the differential harness holds either
+way.
+
+Snapshotting the partner partition at firing start is as complete as
+live probing: a partner inserted mid-pass is routed to this rule
+itself, and *its* half-join finds today's batch already in the store
+(the same argument that justifies the empty-partition short-circuit in
+``_half_join``).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Sequence
+
+from ..dictionary.encoder import EncodedTriple
+
+__all__ = [
+    "KERNEL_MIN_BATCH",
+    "HalfJoinPlan",
+    "compile_half_join",
+    "gallop_left",
+    "intersect_sorted",
+]
+
+#: Below this batch size the per-triple probe path wins (no index build).
+KERNEL_MIN_BATCH = 8
+
+#: Skip the hash kernel when the stored partition is more than this many
+#: times larger than the batch — per-triple probes touch less of it.
+_INDEX_MAX_RATIO = 64
+
+# Head-slot op kinds.
+_CONST = 0   # value is the constant itself
+_NEW = 1     # value indexes the new triple (0..2)
+_PARTNER = 2  # value indexes the partner (s, o) pair (0..1)
+
+
+def gallop_left(column, value, lo: int, hi: int) -> int:
+    """Leftmost index in sorted ``column[lo:hi]`` with ``column[i] >= value``.
+
+    Exponential (galloping) search: doubles the probe distance from
+    ``lo`` before binary-searching the bracketed window — O(log d) for a
+    partner d positions ahead, which is what makes a merge join over a
+    long sorted column proportional to the *output*, not the column.
+    """
+    if lo >= hi or column[lo] >= value:
+        return lo
+    step = 1
+    while lo + step < hi and column[lo + step] < value:
+        step <<= 1
+    return bisect_left(column, value, lo + (step >> 1) + 1, min(lo + step, hi))
+
+
+def intersect_sorted(a, b) -> list:
+    """Galloping intersection of two sorted, duplicate-free sequences.
+
+    Works over any indexable sequence — lists, arrays, or the
+    ``memoryview`` id columns of a mapped columnar snapshot.
+    """
+    out: list = []
+    i, j = 0, 0
+    len_a, len_b = len(a), len(b)
+    while i < len_a and j < len_b:
+        va, vb = a[i], b[j]
+        if va == vb:
+            out.append(va)
+            i += 1
+            j += 1
+        elif va < vb:
+            i = gallop_left(a, vb, i + 1, len_a)
+        else:
+            j = gallop_left(b, va, j + 1, len_b)
+    return out
+
+
+class HalfJoinPlan:
+    """One compiled half-join direction of a two-pattern rule body.
+
+    Positional program: every check and projection is a (slot, value)
+    pair — no binding dicts, no pattern re-matching.  Built once per
+    rule by :func:`compile_half_join`; ``execute`` runs one firing's
+    batch and returns ``False`` when the pass should fall back to the
+    classic per-triple probe loop (tiny batch, unfavourable
+    cardinalities), in which case it has emitted nothing.
+    """
+
+    __slots__ = (
+        "store_pred",
+        "new_pred",
+        "new_checks",
+        "new_eq",
+        "partner_checks",
+        "partner_eq",
+        "probe",
+        "head_ops",
+    )
+
+    def __init__(self, store_pred, new_pred, new_checks, new_eq,
+                 partner_checks, partner_eq, probe, head_ops):
+        self.store_pred = store_pred
+        self.new_pred = new_pred
+        self.new_checks = tuple(new_checks)
+        self.new_eq = tuple(new_eq)
+        self.partner_checks = tuple(partner_checks)
+        self.partner_eq = tuple(partner_eq)
+        self.probe = tuple(probe)
+        self.head_ops = tuple(head_ops)
+
+    # --- batch filtering ---------------------------------------------------
+    def _filter_batch(self, new_triples: Sequence[EncodedTriple]) -> list:
+        batch = new_triples
+        if self.new_pred is not None:
+            batch = [t for t in batch if t[1] == self.new_pred]
+        for pos, val in self.new_checks:
+            batch = [t for t in batch if t[pos] == val]
+        for i, j in self.new_eq:
+            batch = [t for t in batch if t[i] == t[j]]
+        return batch if isinstance(batch, list) else list(batch)
+
+    def _partner_ok(self, pair) -> bool:
+        for ppos, val in self.partner_checks:
+            if pair[ppos] != val:
+                return False
+        for i, j in self.partner_eq:
+            if pair[i] != pair[j]:
+                return False
+        return True
+
+    def _emit_join(self, t, pair, is_literal, out) -> None:
+        (ks, vs), (kp, vp), (ko, vo) = self.head_ops
+        s = vs if ks == _CONST else (t[vs] if ks == _NEW else pair[vs])
+        p = vp if kp == _CONST else (t[vp] if kp == _NEW else pair[vp])
+        if is_literal(s) or is_literal(p):
+            return
+        o = vo if ko == _CONST else (t[vo] if ko == _NEW else pair[vo])
+        out.emit((s, p, o))
+
+    # --- execution ---------------------------------------------------------
+    def execute(self, store, new_triples, is_literal, out) -> bool:
+        """Run one firing batch; ``False`` defers to the classic loop."""
+        if len(new_triples) < KERNEL_MIN_BATCH:
+            return False
+        batch = self._filter_batch(new_triples)
+        if not batch:
+            return True  # handled: nothing can join
+        if not store.has_predicate(self.store_pred):
+            return True  # empty partition short-circuit, as in _half_join
+        partition = getattr(store, "pos_partition", None)
+        if partition is not None and len(self.probe) == 1 and self.probe[0][0] == 1:
+            self._merge_join_columnar(partition(self.store_pred), batch,
+                                      is_literal, out)
+            return True
+        if store.count_predicate(self.store_pred) > _INDEX_MAX_RATIO * len(batch):
+            return False  # probing beats indexing at this ratio
+        self._hash_join(store, batch, is_literal, out)
+        return True
+
+    def _hash_join(self, store, batch, is_literal, out) -> None:
+        """Group the stored partition by join key, stream the batch through."""
+        probe = self.probe
+        index: dict = {}
+        if len(probe) == 1:
+            ppos, new_pos = probe[0]
+            for pair in store.pairs_for_predicate(self.store_pred):
+                if self._partner_ok(pair):
+                    index.setdefault(pair[ppos], []).append(pair)
+            for t in batch:
+                partners = index.get(t[new_pos])
+                if partners:
+                    for pair in partners:
+                        self._emit_join(t, pair, is_literal, out)
+            return
+        for pair in store.pairs_for_predicate(self.store_pred):
+            if self._partner_ok(pair):
+                key = tuple(pair[ppos] for ppos, _ in probe)
+                index.setdefault(key, []).append(pair)
+        for t in batch:
+            partners = index.get(tuple(t[new_pos] for _, new_pos in probe))
+            if partners:
+                for pair in partners:
+                    self._emit_join(t, pair, is_literal, out)
+
+    def _merge_join_columnar(self, partition, batch, is_literal, out) -> None:
+        """Gallop the sorted batch along the mapped partition columns.
+
+        ``partition`` is ``(o_col, s_col, lo, hi)`` — the predicate's
+        span of the POS ordering, sorted by object then subject, served
+        as zero-copy ``memoryview`` windows.  The batch is sorted by its
+        probe value, so the cursor only ever moves forward.
+        """
+        o_col, s_col, lo, hi = partition
+        _, new_pos = self.probe[0]
+        batch = sorted(batch, key=lambda t: t[new_pos])
+        partner_ok = self._partner_ok
+        for t in batch:
+            value = t[new_pos]
+            lo = gallop_left(o_col, value, lo, hi)
+            i = lo
+            while i < hi and o_col[i] == value:
+                pair = (s_col[i], value)
+                if partner_ok(pair):
+                    self._emit_join(t, pair, is_literal, out)
+                i += 1
+
+
+def compile_half_join(new_side, store_side, head) -> HalfJoinPlan | None:
+    """Compile one half-join direction into a plan, or ``None``.
+
+    ``None`` means this direction stays on the classic loop for good:
+    the stored side's predicate is a variable (no partition to batch
+    over) or the body is cartesian (no join slot).  Import is deferred
+    by the caller; this function only needs the pattern structure.
+    """
+    from .rules import Var  # local import: rules imports this module
+
+    store_pred = store_side.predicate
+    if isinstance(store_pred, Var):
+        return None
+
+    new_checks: list = []
+    new_eq: list = []
+    new_vars: dict = {}
+    new_pred = None
+    for pos, slot in enumerate(new_side):
+        if isinstance(slot, Var):
+            first = new_vars.setdefault(slot.name, pos)
+            if first != pos:
+                new_eq.append((first, pos))
+        elif pos == 1:
+            new_pred = slot
+        else:
+            new_checks.append((pos, slot))
+
+    partner_checks: list = []
+    partner_eq: list = []
+    probe: list = []
+    partner_vars: dict = {}
+    for ppos, slot in enumerate((store_side.subject, store_side.object)):
+        if not isinstance(slot, Var):
+            partner_checks.append((ppos, slot))
+        elif slot.name in new_vars:
+            probe.append((ppos, new_vars[slot.name]))
+        else:
+            first = partner_vars.setdefault(slot.name, ppos)
+            if first != ppos:
+                partner_eq.append((first, ppos))
+    if not probe:
+        return None  # cartesian body: stay on the classic loop
+
+    head_ops: list = []
+    for slot in head:
+        if isinstance(slot, Var):
+            # Probed store-side vars are, by construction, also new-side
+            # vars (that is what makes them probes), so every head var is
+            # reachable through one of these two tables.
+            if slot.name in new_vars:
+                head_ops.append((_NEW, new_vars[slot.name]))
+            elif slot.name in partner_vars:
+                head_ops.append((_PARTNER, partner_vars[slot.name]))
+            else:
+                return None  # bound through an unsupported slot shape
+        else:
+            head_ops.append((_CONST, slot))
+    return HalfJoinPlan(
+        store_pred, new_pred, new_checks, new_eq,
+        partner_checks, partner_eq, probe, head_ops,
+    )

@@ -42,6 +42,7 @@ from typing import Sequence
 
 from ..dictionary.encoder import EncodedTriple
 from ..store.backends.base import TripleStore
+from .kernels import compile_half_join
 from .vocabulary import Vocabulary
 
 __all__ = [
@@ -368,6 +369,13 @@ class JoinRule(Rule):
         self.right = right
         if not (left.variables() & right.variables()) and not self._ground_join():
             raise RuleViolation(f"rule {name}: body patterns share no variable")
+        # Compiled batch kernels, one per half-join direction (None when
+        # the direction's shape is not batchable — it stays on the
+        # classic per-triple loop below).
+        self._plans = (
+            compile_half_join(left, right, head),
+            compile_half_join(right, left, head),
+        )
 
     def _ground_join(self) -> bool:
         # A cartesian body (no shared variable) is legal only if one side
@@ -376,8 +384,19 @@ class JoinRule(Rule):
         return not self.left.variables() or not self.right.variables()
 
     def apply_into(self, store, new_triples, vocab, out: OutputBuffer) -> None:
-        self._half_join(store, new_triples, self.left, self.right, vocab, out)
-        self._half_join(store, new_triples, self.right, self.left, vocab, out)
+        # Each direction runs its compiled batch kernel when the pass's
+        # cardinalities make batching profitable (see
+        # :mod:`repro.reasoner.kernels`), else the classic probe loop.
+        is_literal = vocab.dictionary.is_literal
+        left_plan, right_plan = self._plans
+        if left_plan is None or not left_plan.execute(
+            store, new_triples, is_literal, out
+        ):
+            self._half_join(store, new_triples, self.left, self.right, vocab, out)
+        if right_plan is None or not right_plan.execute(
+            store, new_triples, is_literal, out
+        ):
+            self._half_join(store, new_triples, self.right, self.left, vocab, out)
 
     def _half_join(
         self,

@@ -43,6 +43,8 @@ __all__ = [
     "Follower",
     "ReplicationStatus",
     "ReplicationError",
+    "ColumnarBootstrapService",
+    "ColumnarTermView",
 ]
 
 
@@ -54,4 +56,8 @@ def __getattr__(name: str):
         from . import follower as _follower
 
         return getattr(_follower, name)
+    if name in ("ColumnarBootstrapService", "ColumnarTermView"):
+        from . import bootstrap as _bootstrap
+
+        return getattr(_bootstrap, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -85,6 +85,10 @@ class ReplicationStatus:
         self.synced_revision = 0
         self.records_applied = 0
         self.bootstraps = 0
+        #: Re-bootstraps that reused the cached columnar image because
+        #: the leader's snapshot revision had not moved (304 on
+        #: ``If-None-Match`` — no redundant download).
+        self.snapshot_reuses = 0
         self.reconnects = 0
         self.last_error: str | None = None
 
@@ -104,6 +108,7 @@ class ReplicationStatus:
             "lag_revisions": self.lag,
             "records_applied": self.records_applied,
             "bootstraps": self.bootstraps,
+            "snapshot_reuses": self.snapshot_reuses,
             "reconnects": self.reconnects,
             "last_error": self.last_error,
         }
@@ -199,6 +204,14 @@ class Follower:
         self._http_timeout = http_timeout
 
         self.status = ReplicationStatus(self.leader_url)
+        # The last columnar bootstrap image and its wire bytes, kept for
+        # ETag-conditional re-bootstraps (304 -> restore from the cached
+        # image instead of downloading it again).  Bytes-backed, so
+        # dropping the references is release enough — there is no file
+        # map to close, and a superseded serving window may still be
+        # mid-read on another thread.
+        self._image = None
+        self._image_blob: bytes | None = None
         self._service = None
         self._service_lock = threading.Lock()
         self._stop = threading.Event()
@@ -252,11 +265,25 @@ class Follower:
         thread.start()
         return server, thread
 
+    def _mid_hydration(self) -> bool:
+        """True while a bootstrap image serves ahead of the real engine."""
+        from .bootstrap import ColumnarBootstrapService
+
+        return isinstance(self._service, ColumnarBootstrapService)
+
     def wait_ready(self, timeout: float | None = None) -> bool:
-        """Block until the replica first catches up to the leader."""
+        """Block until the replica first catches up to the leader.
+
+        This waits past any lazy-hydration window too: callers of the
+        in-process API get the real engine behind :attr:`service`.
+        ``/readyz`` itself flips earlier — as soon as a mapped bootstrap
+        image is serving reads.
+        """
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._progress:
-            while not self.status.ready and not self.closed:
+            while (
+                not self.status.ready or self._mid_hydration()
+            ) and not self.closed:
                 remaining = None if deadline is None else deadline - time.monotonic()
                 if remaining is not None and remaining <= 0:
                     return False
@@ -272,7 +299,9 @@ class Follower:
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._progress:
-            while self.status.synced_revision < revision and not self.closed:
+            while (
+                self.status.synced_revision < revision or self._mid_hydration()
+            ) and not self.closed:
                 remaining = None if deadline is None else deadline - time.monotonic()
                 if remaining is not None and remaining <= 0:
                     return False
@@ -297,6 +326,8 @@ class Follower:
             service, self._service = self._service, None
         if service is not None:
             service.close()
+        self._image = None
+        self._image_blob = None
         with self._progress:
             self._progress.notify_all()
 
@@ -307,12 +338,14 @@ class Follower:
         self.close()
 
     # --- leader HTTP --------------------------------------------------------
-    def _leader_request(self, path: str) -> tuple[int, bytes]:
+    def _leader_request(
+        self, path: str, headers: dict[str, str] | None = None
+    ) -> tuple[int, bytes]:
         conn = HTTPConnection(
             self._leader_host, self._leader_port, timeout=self._http_timeout
         )
         try:
-            conn.request("GET", path)
+            conn.request("GET", path, headers=headers or {})
             response = conn.getresponse()
             return response.status, response.read()
         finally:
@@ -369,28 +402,79 @@ class Follower:
         if old is not None:
             old.close()
 
-    def _bootstrap(self) -> None:
-        """Fetch the leader's snapshot and rebuild the local engine.
+    def _fetch_image(self) -> tuple:
+        """``GET /snapshot?format=v2``, reusing the cached image on 304.
 
-        The old service keeps answering reads until the new engine is
-        ready (non-durable) or until the state directory must be handed
-        over (durable — the brief window surfaces as 503s, and
-        ``/readyz`` already reports not-ready).
+        The conditional request carries the cached image's revision as
+        ``If-None-Match``: when the leader's snapshot revision has not
+        moved (a re-bootstrap forced by WAL compaction, not by new
+        data), the answer is a body-less 304 and the previously
+        downloaded image is restored from instead of re-downloaded.
+        Pre-v2 leaders ignore the ``format`` parameter and serve v1 —
+        ``parse_snapshot`` dispatches on the magic either way.
         """
-        self.status.ready = False
-        status, blob = self._leader_request("/snapshot")
+        headers: dict[str, str] = {}
+        cached = self._image
+        if cached is not None:
+            headers["If-None-Match"] = f'"{cached.revision}"'
+        status, blob = self._leader_request("/snapshot?format=v2", headers=headers)
+        if status == 304 and cached is not None:
+            self.status.snapshot_reuses += 1
+            return cached, self._image_blob
         if status != 200:
             raise ReplicationError(f"leader /snapshot returned {status}")
         try:
             snapshot = parse_snapshot(blob, source=f"{self.leader_url}/snapshot")
         except SnapshotError as error:
             raise ReplicationError(f"leader snapshot is invalid: {error}") from None
+        from ..persist.columnar import ColumnarSnapshot
+
+        if isinstance(snapshot, ColumnarSnapshot):
+            self._image, self._image_blob = snapshot, blob
+        return snapshot, blob
+
+    def _bootstrap(self) -> None:
+        """Fetch the leader's snapshot and rebuild the local engine.
+
+        With a columnar (v2) image the replica starts serving *before*
+        hydration: a :class:`ColumnarBootstrapService` over the mapped
+        columns is swapped in as soon as the image parses — ``/readyz``
+        flips immediately, because the image is a complete committed
+        leader revision — and the expensive rebuild of the mutable
+        engine proceeds behind it on this (the tailing) thread.  With a
+        v1 image the old service keeps answering reads until the new
+        engine is ready (non-durable) or until the state directory must
+        be handed over (durable — the brief window surfaces as 503s,
+        and ``/readyz`` already reports not-ready).
+        """
+        from ..persist.columnar import ColumnarSnapshot
+        from .bootstrap import ColumnarBootstrapService
+
+        self.status.ready = False
+        snapshot, blob = self._fetch_image()
         self._fragment = snapshot.fragment or self._fragment
+        columnar = isinstance(snapshot, ColumnarSnapshot)
+        if columnar:
+            image_service = ColumnarBootstrapService(
+                snapshot, blob, replication=self.status, leader_url=self.leader_url
+            )
+            self._swap_service(image_service)
+            # The bootstrap *is* serving now — counter and readiness
+            # flip here, not after hydration.
+            self.status.bootstraps += 1
+            with self._progress:
+                self.status.applied_revision = snapshot.revision
+                self.status.synced_revision = snapshot.revision
+                self.status.leader_revision = snapshot.revision
+                self.status.ready = True  # the mapped image is serving
+                self._progress.notify_all()
         if self._persist_dir is not None:
             # The durable replica's history is superseded wholesale: the
             # old files must go before a fresh engine can own the
-            # directory (the directory lock is released by the close).
-            self._swap_service(None)
+            # directory (the directory lock is released when the swap
+            # closed the old service; the image service holds no files).
+            if not columnar:
+                self._swap_service(None)
             for name in (SNAPSHOT_FILENAME, JOURNAL_FILENAME):
                 stale = self._persist_dir / name
                 if stale.exists():
@@ -410,7 +494,8 @@ class Follower:
             reasoner.close()
             raise
         self._swap_service(self._build_service(reasoner))
-        self.status.bootstraps += 1
+        if not columnar:
+            self.status.bootstraps += 1
         # A bootstrap is a lineage reset: the watermark from the old
         # stream is void (a wiped-and-replaced leader may legitimately
         # stand *below* it — carrying the old maximum forward would
@@ -443,10 +528,17 @@ class Follower:
             self.status.reconnects += 1
 
     def _tail_feed(self) -> None:
-        if self._service is None:
-            # A durable bootstrap hands its state directory over before
-            # building the new engine; if it failed in that window, the
-            # only way forward is another bootstrap, not the feed.
+        from .bootstrap import ColumnarBootstrapService
+
+        if self._service is None or isinstance(
+            self._service, ColumnarBootstrapService
+        ):
+            # A bootstrap that failed mid-way: either the durable
+            # directory handover left no service at all, or hydration
+            # died behind a still-serving image service (which cannot
+            # apply feed records).  Only a fresh bootstrap moves things
+            # forward — and with a cached image it is a 304, not a
+            # re-download.
             raise _NeedBootstrap()
         # Resume from the synced watermark (maximal: past any trailing
         # empty leader revisions), never below the engine's revision.

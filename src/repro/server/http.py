@@ -361,14 +361,36 @@ class _Handler(BaseHTTPRequestHandler):
 
     # --- replication endpoints ----------------------------------------------
     def _ep_snapshot(self) -> None:
-        """Replica bootstrap: the committed state as one binary image."""
-        blob = self.service.snapshot_bytes()
-        self.send_response(200)
-        self.send_header("Content-Type", "application/octet-stream")
+        """Replica bootstrap: the committed state as one binary image.
+
+        ``?format=v1|v2`` picks the snapshot encoding (default: the
+        engine's own); the response carries an ``ETag`` of the engine
+        revision, and an ``If-None-Match`` hit answers 304 with no body
+        — a follower re-bootstrapping after WAL compaction reuses its
+        cached image instead of downloading an identical one.
+        """
+        service = self.service
+        params = self._params()
+        fmt = self._one(params, "format")
+        if fmt is not None and fmt not in ("v1", "v2"):
+            raise _BadRequest(f"parameter 'format' must be 'v1' or 'v2', got {fmt!r}")
         # The engine revision, not the view registry's: replication
         # coordinates are engine revision ids (an explicit compaction
         # commits a flush revision the views never see).
-        self.send_header("X-Slider-Revision", str(self.service.reasoner.revision))
+        revision = service.reasoner.revision
+        if self.headers.get("If-None-Match") == f'"{revision}"':
+            self.send_response(304)
+            self.send_header("ETag", f'"{revision}"')
+            self.send_header("X-Slider-Revision", str(revision))
+            self.send_header("Content-Length", "0")
+            self.end_headers()
+            return
+        blob = service.snapshot_bytes(format=fmt)
+        revision = service.reasoner.revision
+        self.send_response(200)
+        self.send_header("Content-Type", "application/octet-stream")
+        self.send_header("ETag", f'"{revision}"')
+        self.send_header("X-Slider-Revision", str(revision))
         self.send_header("Content-Length", str(len(blob)))
         self.end_headers()
         self.wfile.write(blob)

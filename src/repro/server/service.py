@@ -312,10 +312,14 @@ class ReasoningService:
     def persist_dir(self) -> Path | None:
         return self.reasoner.persist_dir
 
-    def snapshot_bytes(self) -> bytes:
-        """The committed state as one snapshot blob (replica bootstrap)."""
+    def snapshot_bytes(self, format: str | None = None) -> bytes:
+        """The committed state as one snapshot blob (replica bootstrap).
+
+        ``format`` picks the encoding (``"v1"`` / ``"v2"``); ``None``
+        uses the engine's configured snapshot format.
+        """
         self._check_open()
-        return self.reasoner.snapshot_bytes()
+        return self.reasoner.snapshot_bytes(format=format)
 
     def stats(self) -> dict:
         """One JSON-ready dict: consistency state, engine, writes, views."""

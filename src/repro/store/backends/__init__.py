@@ -15,6 +15,11 @@ string that travels through configuration untouched:
     (:mod:`~repro.store.backends.sharded`); writers of different
     predicates proceed in parallel.
 
+``"columnar:<path>"``
+    A read-only store served straight off a mapped columnar (v2)
+    snapshot file (:mod:`~repro.store.backends.columnar`); zero-copy,
+    writes raise.
+
 Third-party backends register with :func:`register_backend`; anything
 satisfying the :class:`~repro.store.backends.base.TripleStore` protocol
 plugs into the whole stack (engine, baselines, CLI, benchmarks).
@@ -25,6 +30,7 @@ from __future__ import annotations
 from typing import Callable
 
 from .base import TripleStore
+from .columnar import ColumnarReadStore
 from .hashdict import HashDictStore
 from .sharded import DEFAULT_SHARDS, ShardedTripleStore
 
@@ -32,6 +38,7 @@ __all__ = [
     "TripleStore",
     "HashDictStore",
     "ShardedTripleStore",
+    "ColumnarReadStore",
     "DEFAULT_SHARDS",
     "UnknownBackendError",
     "register_backend",
@@ -104,5 +111,14 @@ def _sharded_factory(parameter: str | None) -> ShardedTripleStore:
     return ShardedTripleStore(shards)
 
 
+def _columnar_factory(parameter: str | None) -> ColumnarReadStore:
+    if not parameter:
+        raise ValueError(
+            "the columnar backend needs a snapshot path: 'columnar:<path>'"
+        )
+    return ColumnarReadStore.open(parameter)
+
+
 register_backend("hashdict", _hashdict_factory)
 register_backend("sharded", _sharded_factory)
+register_backend("columnar", _columnar_factory)

@@ -1,0 +1,240 @@
+"""Columnar (v2) snapshot format: cross-format identity, bit-for-bit.
+
+The acceptance line: a v2 image and a v1 image of the same engine state
+parse to the same revision, terms, and partitions, restore into
+identical substrates over every backend, and ``load_snapshot`` keeps
+reading both formats forever — pinned by a golden v1 fixture committed
+to the repo.
+"""
+
+import hashlib
+
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Delta, Slider
+from repro.dictionary import TermDictionary
+from repro.persist import SnapshotError, load_snapshot, parse_snapshot
+from repro.persist.columnar import (
+    ColumnarSnapshot,
+    encode_columnar_snapshot,
+    parse_columnar_snapshot,
+    write_columnar_snapshot,
+)
+from repro.persist.snapshot import encode_snapshot
+from repro.rdf import BNode, IRI, Literal
+from repro.store.backends import create_store
+
+from ..conftest import EX, STORE_BACKENDS, make_chain, small_ontology
+
+GOLDEN_V1 = Path(__file__).parent / "fixtures" / "golden-v1.slider"
+
+#: The exact state sealed into the committed golden fixture.  The terms
+#: deliberately cover every shape the wire format must round-trip.
+GOLDEN_STATE = dict(
+    revision=7,
+    fragment="rhodf",
+    store_spec="hashdict",
+    axiom_count=2,
+    terms=[
+        EX.Cat,
+        BNode("b0"),
+        Literal("plain"),
+        Literal("hallo", language="de"),
+        Literal("42", datatype=IRI("http://www.w3.org/2001/XMLSchema#integer")),
+        EX.p,
+    ],
+    explicit=[(0, 5, 1), (0, 5, 2)],
+    inferred=[(1, 5, 3), (1, 5, 4)],
+)
+
+
+def snapshot_pair(store, extra_deltas=()):
+    """(v1 blob, v2 blob, expected state) for one engine run."""
+    with Slider(fragment="rhodf", store=store, workers=0, timeout=None) as r:
+        r.apply(Delta(assertions=small_ontology() + make_chain(6)))
+        r.apply(Delta(retractions=[small_ontology()[0]]))
+        for delta in extra_deltas:
+            r.apply(delta)
+        expected = dict(
+            revision=r.revision,
+            terms=r.dictionary.snapshot_terms(),
+            explicit=set(r.input_manager.explicit),
+            store=set(r.store),
+        )
+        return r.snapshot_bytes(format="v1"), r.snapshot_bytes(format="v2"), expected
+
+
+class TestCrossFormatIdentity:
+    @pytest.mark.parametrize("store", STORE_BACKENDS)
+    def test_both_formats_parse_to_the_same_state(self, store):
+        v1_blob, v2_blob, expected = snapshot_pair(store)
+        v1 = parse_snapshot(v1_blob)
+        v2 = parse_snapshot(v2_blob)
+        assert isinstance(v2, ColumnarSnapshot)
+        assert (v1.revision, v1.fragment, v1.store_spec, v1.axiom_count) == (
+            v2.revision, v2.fragment, v2.store_spec, v2.axiom_count
+        )
+        assert v2.revision == expected["revision"]
+        # Term ids are positional: the lists must agree element-wise.
+        assert list(v1.terms) == list(v2.terms) == expected["terms"]
+        assert set(v1.explicit) == set(v2.explicit) == expected["explicit"]
+        assert set(v1.inferred) == set(v2.inferred)
+        assert set(v2.explicit) | set(v2.inferred) == expected["store"]
+        v2.close()
+
+    @pytest.mark.parametrize("target_spec", STORE_BACKENDS)
+    @pytest.mark.parametrize("store", STORE_BACKENDS)
+    def test_restore_is_identical_across_formats_and_backends(
+        self, store, target_spec
+    ):
+        v1_blob, v2_blob, expected = snapshot_pair(store)
+        substrates = []
+        for blob in (v1_blob, v2_blob):
+            dictionary, target = TermDictionary(), create_store(target_spec)
+            explicit = parse_snapshot(blob).restore(dictionary, target)
+            substrates.append((dictionary.snapshot_terms(), set(target), explicit))
+        assert substrates[0] == substrates[1]
+        assert substrates[0][0] == expected["terms"]  # ids bit-for-bit
+        assert substrates[0][1] == expected["store"]
+        assert substrates[0][2] == expected["explicit"]
+
+    def test_term_accessor_matches_term_list(self):
+        _, v2_blob, expected = snapshot_pair("hashdict")
+        v2 = parse_columnar_snapshot(v2_blob)
+        for term_id, term in enumerate(expected["terms"]):
+            assert v2.term(term_id) == term
+        v2.close()
+
+
+class TestColumnarDurabilitySafety:
+    def write_v2(self, tmp_path):
+        path = tmp_path / "snapshot.slider"
+        write_columnar_snapshot(path, **GOLDEN_STATE)
+        return path
+
+    def test_load_dispatches_on_magic(self, tmp_path):
+        path = self.write_v2(tmp_path)
+        assert isinstance(load_snapshot(path), ColumnarSnapshot)
+        assert isinstance(load_snapshot(GOLDEN_V1), type(parse_snapshot(
+            encode_snapshot(**GOLDEN_STATE)
+        )))
+
+    def test_corrupt_byte_is_detected(self, tmp_path):
+        path = self.write_v2(tmp_path)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(SnapshotError, match="checksum|malformed|term"):
+            load_snapshot(path)
+
+    def test_truncated_image_is_detected(self, tmp_path):
+        path = self.write_v2(tmp_path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) - 5])
+        with pytest.raises(SnapshotError):
+            load_snapshot(path)
+
+
+class TestDurableV2Engine:
+    def test_seal_recover_and_downgrade(self, tmp_path):
+        state = tmp_path / "state"
+        with Slider(
+            fragment="rhodf", workers=0, timeout=None,
+            persist_dir=state, snapshot_format="v2",
+        ) as r:
+            r.apply(Delta(assertions=small_ontology()))
+            path = r.snapshot()
+            expected = set(r.graph)
+            revision = r.revision
+        assert path.read_bytes()[:8] == b"SLSNAP02"
+        # A v1-configured engine recovers from the v2 seal (and vice
+        # versa): the reader side is format-agnostic.
+        with Slider(
+            fragment="rhodf", workers=0, timeout=None,
+            persist_dir=state, snapshot_format="v1",
+        ) as revived:
+            assert revived.revision == revision
+            assert set(revived.graph) == expected
+
+
+ids = st.integers(min_value=0, max_value=11)
+encoded_triples = st.tuples(ids, ids, ids)
+
+
+class TestEncodedRoundTripProperties:
+    @given(
+        explicit=st.sets(encoded_triples, max_size=40),
+        inferred=st.sets(encoded_triples, max_size=40),
+        revision=st.integers(min_value=0, max_value=2**40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_encode_parse_restore_identity(self, explicit, inferred, revision):
+        inferred -= explicit  # the partitions are disjoint by contract
+        terms = [IRI(f"http://prop.example/t{i}") for i in range(12)]
+        blob = encode_columnar_snapshot(
+            revision=revision, fragment="rdfs", store_spec="hashdict",
+            axiom_count=0, terms=terms,
+            explicit=sorted(explicit), inferred=sorted(inferred),
+        )
+        snapshot = parse_columnar_snapshot(blob)
+        assert snapshot.revision == revision
+        assert set(snapshot.explicit) == explicit
+        assert set(snapshot.inferred) == inferred
+        dictionary, target = TermDictionary(), create_store("hashdict")
+        restored = snapshot.restore(dictionary, target)
+        assert restored == explicit
+        assert set(target) == explicit | inferred
+        assert dictionary.snapshot_terms() == terms
+        snapshot.close()
+
+
+class TestGoldenV1Fixture:
+    """Old v1 files must stay readable, bit for bit, forever."""
+
+    def test_fixture_parses_to_the_pinned_state(self):
+        snapshot = load_snapshot(GOLDEN_V1)
+        assert snapshot.revision == GOLDEN_STATE["revision"]
+        assert snapshot.fragment == GOLDEN_STATE["fragment"]
+        assert snapshot.store_spec == GOLDEN_STATE["store_spec"]
+        assert snapshot.axiom_count == GOLDEN_STATE["axiom_count"]
+        assert snapshot.terms == GOLDEN_STATE["terms"]
+        assert snapshot.explicit == GOLDEN_STATE["explicit"]
+        assert snapshot.inferred == GOLDEN_STATE["inferred"]
+
+    def test_v1_writer_is_frozen(self):
+        """The v1 encoder is a frozen format: it must keep producing the
+        committed fixture's exact bytes (new formats get new magic)."""
+        assert encode_snapshot(**GOLDEN_STATE) == GOLDEN_V1.read_bytes()
+
+    def test_cross_format_migration_preserves_state(self, tmp_path):
+        """v1 fixture -> restore -> re-seal as v2 -> restore: identical."""
+        v1 = load_snapshot(GOLDEN_V1)
+        v2_blob = encode_columnar_snapshot(
+            revision=v1.revision, fragment=v1.fragment,
+            store_spec=v1.store_spec, axiom_count=v1.axiom_count,
+            terms=v1.terms, explicit=sorted(v1.explicit),
+            inferred=sorted(v1.inferred),
+        )
+        v2 = parse_columnar_snapshot(v2_blob)
+        for snapshot in (v1, v2):
+            dictionary, target = TermDictionary(), create_store("hashdict")
+            explicit = snapshot.restore(dictionary, target)
+            assert dictionary.snapshot_terms() == GOLDEN_STATE["terms"]
+            assert explicit == set(GOLDEN_STATE["explicit"])
+            assert set(target) == set(GOLDEN_STATE["explicit"]) | set(
+                GOLDEN_STATE["inferred"]
+            )
+        v2.close()
+
+    def test_fixture_bytes_are_untouched(self):
+        """Guard against accidental fixture edits (regenerating it is a
+        deliberate act: update this digest in the same commit)."""
+        digest = hashlib.sha256(GOLDEN_V1.read_bytes()).hexdigest()
+        assert digest == GOLDEN_SHA256
+
+
+# Computed once from the committed fixture; see test_fixture_bytes_are_untouched.
+GOLDEN_SHA256 = "acb7cfc3fa995d25b2ff53afa51711c86f8b403e628f8f58b75ade9f55d82217"

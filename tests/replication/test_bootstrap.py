@@ -1,0 +1,154 @@
+"""Lazy follower bootstrap: serving off the mapped image, 304 reuse.
+
+Differential bar for the pre-hydration window: a
+:class:`ColumnarBootstrapService` over the leader's v2 image must answer
+reads identically to the leader's own graph at that revision — for the
+seeded random scripts the replication differential already runs — while
+writes and pinned-revision reads refuse with the documented statuses.
+The wire side: ``GET /snapshot`` is revision-ETagged, a follower
+re-bootstrapping at an unchanged leader revision reuses its cached image
+(HTTP 304) instead of downloading again.
+"""
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.persist import parse_snapshot
+from repro.persist.columnar import ColumnarSnapshot
+from repro.replication import ColumnarBootstrapService
+from repro.server.service import ServiceClosedError
+from repro.server.views import RevisionGoneError
+
+from ..differential.test_differential import SEEDS, generate_script
+from .test_follower import (
+    assert_converged,
+    boot_leader,
+    new_follower,
+    shutdown_leader,
+)
+
+
+def fetch(url, headers=None):
+    request = urllib.request.Request(url, headers=headers or {})
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+def leader_with_script(tmp_path, seed=None, feed_retain=1024):
+    service, server = boot_leader(
+        "hashdict", persist_dir=tmp_path / "leader", feed_retain=feed_retain
+    )
+    script = generate_script(seed if seed is not None else SEEDS[0])
+    for delta in script:
+        service.apply(delta.assertions, delta.retractions)
+    return service, server
+
+
+class TestSnapshotEndpoint:
+    def test_etag_formats_and_304(self, tmp_path):
+        service, server = leader_with_script(tmp_path)
+        try:
+            revision = service.reasoner.revision
+            etag = f'"{revision}"'
+            # The bare endpoint serves the engine's configured format
+            # (v1 here) so pre-columnar clients keep working; followers
+            # opt into the columnar wire format explicitly.
+            status, headers, body = fetch(f"{server.url}/snapshot")
+            assert status == 200
+            assert headers["ETag"] == etag
+            assert body[:8] == b"SLSNAP01"
+            status, _, v2_body = fetch(f"{server.url}/snapshot?format=v2")
+            assert status == 200 and v2_body[:8] == b"SLSNAP02"
+            # Conditional refetch at the same revision: no body.
+            status, headers, body = fetch(
+                f"{server.url}/snapshot?format=v2", headers={"If-None-Match": etag}
+            )
+            assert status == 304 and body == b""
+            assert headers["ETag"] == etag
+            # A stale validator still gets the full image.
+            status, _, body = fetch(
+                f"{server.url}/snapshot?format=v2", headers={"If-None-Match": '"0"'}
+            )
+            assert status == 200 and body[:8] == b"SLSNAP02"
+            status, _, _ = fetch(f"{server.url}/snapshot?format=v3")
+            assert status == 400
+        finally:
+            shutdown_leader(service, server)
+
+
+class TestBootstrapServiceDifferential:
+    @pytest.mark.parametrize("seed", SEEDS[:2])
+    def test_image_reads_match_the_leader(self, tmp_path, seed):
+        """Pre-hydration serving is differential-identical to the leader."""
+        service, server = leader_with_script(tmp_path, seed=seed)
+        try:
+            blob = service.snapshot_bytes(format="v2")
+            snapshot = parse_snapshot(blob)
+            assert isinstance(snapshot, ColumnarSnapshot)
+            image = ColumnarBootstrapService(snapshot, blob, replication=None)
+            assert image.revision == service.reasoner.revision
+            assert image.ready
+            # Triple-for-triple, term-level: the image decodes its own
+            # dictionary, the leader decodes its own.
+            assert set(image.graph()) == set(service.reasoner.graph)
+            # Constant-bearing pattern reads force the lazy reverse map.
+            leader_graph = service.reasoner.graph
+            for triple in list(leader_graph)[:5]:
+                assert list(image.graph().triples(triple.subject, None, None))
+            stats = image.stats()
+            assert stats["bootstrap"]["hydrating"] is True
+            assert stats["revision"] == image.revision
+            assert image.snapshot_bytes() is blob  # chained bootstraps
+        finally:
+            shutdown_leader(service, server)
+
+    def test_hydration_window_refusals(self, tmp_path):
+        service, server = leader_with_script(tmp_path)
+        try:
+            blob = service.snapshot_bytes(format="v2")
+            image = ColumnarBootstrapService(
+                parse_snapshot(blob), blob, replication=None
+            )
+            with pytest.raises(RevisionGoneError):
+                image.graph(at=image.revision - 1)
+            with pytest.raises(ServiceClosedError, match="hydrating"):
+                image.apply([], [])
+            with pytest.raises(ServiceClosedError, match="hydrating"):
+                image.subscribe()
+            image.close()
+            assert not image.ready
+            with pytest.raises(ServiceClosedError):
+                image.graph()
+        finally:
+            shutdown_leader(service, server)
+
+
+class TestImageReuse:
+    def test_rebootstrap_at_unchanged_revision_reuses_the_image(self, tmp_path):
+        # A one-record feed ring plus a compacted WAL: no resume point
+        # for a newcomer, forcing the snapshot bootstrap path.
+        service, server = leader_with_script(tmp_path, feed_retain=1)
+        try:
+            service.reasoner.snapshot()
+            follower = new_follower(server, persist_dir=tmp_path / "follower")
+            try:
+                revision = service.reasoner.revision
+                assert follower.wait_for_revision(revision, timeout=30)
+                assert follower.status.bootstraps >= 1
+                assert follower.status.snapshot_reuses == 0
+                assert_converged(service, follower)
+                # Re-bootstrap with the leader unchanged: the cached
+                # image must satisfy the fetch via 304, no new download.
+                follower._bootstrap()
+                assert follower.wait_for_revision(revision, timeout=30)
+                assert follower.status.snapshot_reuses == 1
+                assert_converged(service, follower)
+            finally:
+                follower.close()
+        finally:
+            shutdown_leader(service, server)

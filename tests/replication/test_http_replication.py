@@ -263,7 +263,15 @@ class TestFollowerServing:
         try:
             assert follower.wait_ready(30)
             fserver, _thread = follower.serve_http()
-            stats = json.loads(get(fserver.port, "/stats")[1])
+            # A lazily-bootstrapped follower is ready (serving the
+            # image revision) before the feed tail reconnects; give the
+            # connection a moment to surface in /stats.
+            deadline = time.monotonic() + 10
+            while True:
+                stats = json.loads(get(fserver.port, "/stats")[1])
+                if stats["replication"]["connected"] or time.monotonic() > deadline:
+                    break
+                time.sleep(0.05)
             assert stats["role"] == "follower"
             replication = stats["replication"]
             assert replication["leader"] == server.url
