@@ -4,6 +4,7 @@ from .micro import MicroResult, run_micro
 from .recovery import RecoveryResult, run_recovery
 from .replication import ReplicationBenchResult, run_replication_bench
 from .server_load import ServerLoadResult, run_server_load
+from .sharding import ShardingBenchResult, run_sharding_bench
 from .harness import (
     RunResult,
     Table1Row,
@@ -34,6 +35,8 @@ __all__ = [
     "run_replication_bench",
     "ServerLoadResult",
     "run_server_load",
+    "ShardingBenchResult",
+    "run_sharding_bench",
     "Table1Row",
     "run_slider",
     "run_batch",

@@ -38,12 +38,12 @@ def _load(path: Path):
 def extract_metrics(artifact) -> dict[str, float]:
     """Flatten one bench artifact into ``{metric name: value}``.
 
-    Understands the three artifact shapes the suite emits:
+    Understands the artifact shapes the suite emits:
 
     * recovery — a JSON *list* of per-run dicts (the pre-existing
       ``bench_recovery`` format, kept stable for old artifacts);
-    * headline — a dict with ``"kind": "headline"``;
-    * server   — a dict with ``"kind": "server"``.
+    * dicts tagged by ``"kind"`` — ``headline``, ``server``, ``micro``,
+      ``replication``, ``sharding``.
     """
     if isinstance(artifact, list):  # recovery rows
         speedups = [row["speedup"] for row in artifact if "speedup" in row]
@@ -84,6 +84,16 @@ def extract_metrics(artifact) -> dict[str, float]:
                 artifact["catchup_snapshot_seconds"]
             ),
         }
+    if kind == "sharding":
+        metrics = {
+            f"sharding.write_scaleup_{count}": float(factor)
+            for count, factor in artifact["write_scaleup_by_shards"].items()
+            if str(count) != "1"  # the single-shard control is the 1.0 denominator
+        }
+        metrics["sharding.forward_assertions"] = float(
+            artifact["forward_assertions"]
+        )
+        return metrics
     raise ValueError(f"artifact has unknown kind: {kind!r}")
 
 

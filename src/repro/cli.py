@@ -50,6 +50,7 @@ examples:
   slider-reason recover --persist state/ --output closure.nt
   slider-reason bench --experiment table1 --store sharded:8
   slider-reason serve data.nt --port 8080 --persist state/   # HTTP service (leader)
+  slider-reason serve data.nt --shards 4 --persist state/    # partitioned leader (4 commit pipelines)
   slider-reason serve --follow http://leader:8080 --port 8081  # read replica
   slider-reason replicate --connect http://127.0.0.1:8081    # replication status
   curl 'http://127.0.0.1:8080/select?query=%3Fx%20%3Chttp%3A//ex/p%3E%20%3Fy'
@@ -95,6 +96,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default %(default)s)")
     serve.add_argument("--retain-views", type=int, default=8,
                        help="recent revisions pinnable via at= (default %(default)s)")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="partition the triple space across N leader engines "
+                            "(one commit pipeline each; 1 = single-node, "
+                            "default %(default)s)")
+    serve.add_argument("--router", choices=("subject", "predicate"),
+                       default="subject",
+                       help="partition key for --shards > 1: subject hash or "
+                            "predicate group (default %(default)s)")
     serve.add_argument("--follow", metavar="URL", default=None,
                        help="run as a read replica of the leader at URL "
                             "(bootstraps from its snapshot, tails its feed; "
@@ -225,6 +234,14 @@ def _print_recovery(reasoner: Slider) -> None:
     info = reasoner.recovery
     if info is None:
         return
+    if hasattr(info, "revision_vector"):  # cluster recovery
+        vector = ",".join(str(r) for r in info.revision_vector)
+        torn = ", torn manifest reconciled" if info.torn else ""
+        print(
+            f"recovered global revision {info.recovered_revision} "
+            f"across {info.shards} shards (revision vector [{vector}]{torn})"
+        )
+        return
     torn = f", dropped {info.torn_bytes_dropped} torn bytes" if info.torn_bytes_dropped else ""
     print(
         f"recovered revision {info.recovered_revision} "
@@ -277,14 +294,36 @@ def _cmd_reason(args) -> int:
 def _cmd_serve(args) -> int:
     import signal
 
+    if args.shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
+        return 2
     if args.follow:
+        if args.shards > 1:
+            print("error: --shards applies to leaders only (a --follow "
+                  "replica replays the leader's single feed)", file=sys.stderr)
+            return 2
         return _cmd_serve_follower(args)
 
     from .replication.feed import ChangeFeed
     from .server import ReasoningService
     from .server.http import serve as start_server
 
-    reasoner = _make_reasoner(args)
+    if args.shards > 1:
+        from .sharding import ShardedReasoner
+
+        reasoner = ShardedReasoner(
+            fragment=args.fragment,
+            shards=args.shards,
+            router=args.router,
+            buffer_size=args.buffer_size,
+            timeout=None if not args.timeout else args.timeout,
+            workers=args.workers,
+            store=args.store,
+            persist_dir=args.persist,
+            persist_fsync=not args.no_fsync,
+        )
+    else:
+        reasoner = _make_reasoner(args)
     _print_recovery(reasoner)
     if args.dataset:
         reasoner.add(load_dataset(args.dataset, args.scale))
@@ -301,9 +340,11 @@ def _cmd_serve(args) -> int:
     server, _thread = start_server(
         service, host=args.host, port=args.port, verbose=args.verbose
     )
+    topology = f", {args.shards} shards" if args.shards > 1 else ""
     # Parseable by scripts (and tests) even on ephemeral --port 0.
     print(f"listening on {server.url} as leader "
-          f"(revision {service.revision}, {len(service.view())} triples)",
+          f"(revision {service.revision}, {len(service.view())} triples"
+          f"{topology})",
           flush=True)
 
     stop = threading.Event()
@@ -415,6 +456,17 @@ def _cmd_replicate(args) -> int:
     print(f"revision  : {stats.get('revision')}")
     print(f"triples   : {stats.get('triples'):,}")
     print(f"ready     : {stats.get('ready')} (/readyz -> {ready_code})")
+    sharding = stats.get("sharding")
+    if sharding:
+        forwards = sharding["forwards"]
+        print(f"shards    : {sharding['shards']} ({sharding['router']} routing), "
+              f"revision vector [{','.join(str(r) for r in sharding['revision_vector'])}], "
+              f"{forwards['assertions']} assertion / {forwards['retractions']} "
+              f"retraction forwards in {forwards['rounds']} closure rounds")
+        for row in sharding["per_shard"]:
+            print(f"  shard {row['shard']:<3} revision {row['revision']:<6} "
+                  f"{row['triples']:>9,} triples "
+                  f"({row['input']:,} explicit + {row['inferred']:,} inferred)")
     replication = stats.get("replication")
     if replication:
         print(f"leader    : {replication['leader']}")

@@ -198,6 +198,12 @@ class WriteCoalescer:
                 # skips it — shutdown drains immediately.
                 threading.Event().wait(self._tick)
             with self._cond:
+                # A pause can begin while the tick sleep runs; draining
+                # anyway would split the paused caller's batch across two
+                # commits and break arrival-order coalescing.  Hold here
+                # until resumed (or closing, which must drain).
+                while not self._closed and self._paused:
+                    self._cond.wait()
                 batch, self._queue = self._queue, []
             if batch:
                 self._commit_batch(batch)

@@ -282,14 +282,21 @@ class _Handler(BaseHTTPRequestHandler):
     def _ep_healthz(self) -> None:
         """Liveness only: a catching-up follower is alive but not ready."""
         service = self.service
-        self._send_json(
-            {
-                "ok": True,
-                "revision": service.revision,
-                "role": service.role,
-                "replication_lag_revisions": service.replication_lag,
+        body = {
+            "ok": True,
+            "revision": service.revision,
+            "role": service.role,
+            "replication_lag_revisions": service.replication_lag,
+        }
+        cluster = service.sharding
+        if cluster is not None:
+            body["sharding"] = {
+                "shards": cluster["shards"],
+                "revision_vector": cluster["revision_vector"],
+                "forwards": cluster["forwards"],
+                "queue_depth": service.writes.stats()["queued"],
             }
-        )
+        self._send_json(body)
 
     def _ep_readyz(self) -> None:
         """Readiness: 503 while a replica recovers / catches up.

@@ -125,6 +125,17 @@ class ReasoningService:
     closes it).  ``coalesce_tick`` is the write-batching window in
     seconds; ``retain_views`` is how many recent revisions stay pinnable
     via ``view(at=...)``.
+
+    ``shards > 1`` builds a partitioned
+    :class:`~repro.sharding.cluster.ShardedReasoner` instead of a
+    single engine and installs the partition-aware
+    :class:`~repro.sharding.coalescer.ShardedCoalescer`, so each drain
+    tick's submissions commit as concurrent per-shard sub-deltas (one
+    global revision).  The read/subscription surface is unchanged — the
+    cluster duck-types the engine.  ``router`` picks the partition key
+    (``"subject"`` or ``"predicate"``); it is ignored for ``shards=1``.
+    A pre-built :class:`ShardedReasoner` may equally be passed as
+    ``reasoner``.
     """
 
     def __init__(
@@ -134,15 +145,34 @@ class ReasoningService:
         retain_views: int = 8,
         role: str = "leader",
         quiesce: bool = True,
+        shards: int = 1,
+        router: str = "subject",
         **slider_options,
     ):
         if reasoner is not None and slider_options:
             raise ValueError(
                 "pass either a pre-built reasoner or Slider options, not both"
             )
+        if reasoner is not None and shards != 1:
+            raise ValueError(
+                "pass either a pre-built reasoner or shards, not both"
+            )
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
         if role not in ("leader", "follower"):
             raise ValueError(f"role must be 'leader' or 'follower', got {role!r}")
-        self.reasoner = reasoner if reasoner is not None else Slider(**slider_options)
+        if reasoner is None:
+            if shards > 1:
+                # Deferred import: repro.sharding pulls in this package's
+                # coalescer, so a module-level import would be circular.
+                from ..sharding import ShardedReasoner
+
+                reasoner = ShardedReasoner(
+                    shards=shards, router=router, **slider_options
+                )
+            else:
+                reasoner = Slider(**slider_options)
+        self.reasoner = reasoner
         self._closed = False
         self._lock = threading.Lock()
         self._channels: list[SubscriptionChannel] = []
@@ -168,12 +198,26 @@ class ReasoningService:
             ReadView.from_store(self.reasoner.revision, self.reasoner.store),
             retain=retain_views,
         )
-        self.writes = WriteCoalescer(self._commit, tick=coalesce_tick)
+        if hasattr(self.reasoner, "apply_many"):
+            from ..sharding import ShardedCoalescer
+
+            self.writes: WriteCoalescer = ShardedCoalescer(
+                self._commit_many, tick=coalesce_tick
+            )
+        else:
+            self.writes = WriteCoalescer(self._commit, tick=coalesce_tick)
 
     # --- write path ---------------------------------------------------------
     def _commit(self, delta: Delta) -> InferenceReport:
         """Drain-thread hook: engine commit, then view publication."""
         report = self.reasoner.apply(delta)
+        self.views.advance(report)
+        return report
+
+    def _commit_many(self, deltas: Sequence[Delta]) -> InferenceReport:
+        """Sharded drain-thread hook: the batch commits per-partition
+        in parallel but lands as one global revision/report."""
+        report = self.reasoner.apply_many(deltas)
         self.views.advance(report)
         return report
 
@@ -321,6 +365,14 @@ class ReasoningService:
         self._check_open()
         return self.reasoner.snapshot_bytes(format=format)
 
+    @property
+    def sharding(self) -> dict | None:
+        """The cluster's topology/counter block, ``None`` on single-node."""
+        cluster_stats = getattr(self.reasoner, "cluster_stats", None)
+        if cluster_stats is None:
+            return None
+        return cluster_stats()
+
     def stats(self) -> dict:
         """One JSON-ready dict: consistency state, engine, writes, views."""
         self._check_open()
@@ -331,6 +383,7 @@ class ReasoningService:
             "revision": view.revision,
             "role": self.role,
             "ready": self.ready,
+            "sharding": self.sharding,
             "replication": (
                 None if self.replication is None else self.replication.as_dict()
             ),

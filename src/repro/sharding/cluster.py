@@ -1,0 +1,802 @@
+"""The sharded multi-leader cluster: N engines, one logical reasoner.
+
+:class:`ShardedReasoner` partitions the triple space across ``shards``
+in-process :class:`~repro.reasoner.engine.Slider` leader engines — each
+with its own dictionary, store, and (when durable) its own WAL/snapshot
+directory — behind the same duck-typed surface the single-node engine
+presents, so :class:`~repro.server.service.ReasoningService`, the
+replication :class:`~repro.replication.feed.ChangeFeed`, subscriptions,
+and the CLI all compose with it unchanged.
+
+How a commit works
+------------------
+
+1. **Route.**  Each incoming delta is split by the
+   :mod:`~repro.sharding.router`: schema triples (the four RDFS join
+   predicates) broadcast to every shard, instance triples go to their
+   owner; user retractions broadcast (a shard that never held the
+   triple treats it as the ghost retraction it already supports).
+2. **Commit per shard, concurrently.**  Each shard applies its
+   sub-delta stream in order through its own ``apply()`` pipeline —
+   quiesce, local fixpoint, WAL append + fsync.  This is the
+   multi-leader pipeline: per-shard commit latencies (fsync stalls)
+   overlap instead of serializing through one log.
+3. **Merge deterministically.**  Shard reports are folded in shard
+   index order (the stable tie-break) into cluster state: a per-triple
+   holder bitmask, a cluster-wide dictionary + store (what readers
+   see), and a netting change set.
+4. **Forward to fixpoint.**  Derived triples whose routing key lands on
+   a shard that does not hold them are forwarded as follow-on deltas
+   (broadcast for derived schema, owner-directed for instance triples);
+   a shard's net-removed triples that are not user-asserted broadcast
+   as retractions to the shards still holding them, so remotely
+   supported copies are DRed-checked and either re-derived or dropped.
+   Rounds repeat until no forwards remain — the global fixpoint.
+5. **One global revision.**  The vector of per-shard revisions advances
+   by however many sub-commits each shard performed; the cluster
+   commits exactly one monotonic global revision whose
+   :class:`~repro.reasoner.delta.InferenceReport` is the exact global
+   store diff, classified explicit/inferred against the *user's* net
+   assertions.  Commit listeners (the change feed) receive the net
+   user-level delta — a follower replaying it through a single-node
+   engine reaches the identical closure at the identical revision,
+   which is exactly the equivalence the differential harness enforces.
+
+Determinism: with the default ``workers=0`` shard engines, routing,
+stream order, merge order, and forward rounds are all deterministic, so
+reports, subscription events, read views — and the bytes of a snapshot
+— are reproducible run to run.
+
+Supported fragments are ρdf and RDFS (``rhodf``, ``rdfs``): every join
+rule in both joins through the broadcast schema plane, which is what
+makes per-shard closure + forwarding complete.  ``rdfs-full`` (per-shard
+axiomatic preloads would multiply into the merge) and ``owl-horst``
+(stateful transitivity registry outside the store) are rejected at
+construction.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from ..dictionary.encoder import EncodedTriple, TermDictionary
+from ..persist.snapshot import encode_snapshot
+from ..rdf.terms import Triple
+from ..reasoner.delta import Delta, InferenceReport
+from ..reasoner.engine import Slider
+from ..reasoner.subscription import Subscription
+from ..store.backends import DEFAULT_BACKEND, create_store
+from ..store.graph import Graph
+from .router import BROADCAST, Router, create_router
+
+__all__ = [
+    "ShardedReasoner",
+    "ClusterRecoveryInfo",
+    "ClusterError",
+    "SUPPORTED_FRAGMENTS",
+    "CLUSTER_META_FILENAME",
+]
+
+#: Fragments whose rule shape (instance patterns joined through schema
+#: predicates only) makes sharded closure equivalent to single-node.
+SUPPORTED_FRAGMENTS = frozenset(("rhodf", "rdfs"))
+
+CLUSTER_META_FILENAME = "cluster.json"
+
+#: Safety valve for the forward fixpoint; the supported fragments
+#: converge in a handful of rounds (bounded by rule chain depth), so
+#: hitting this indicates a routing/merge bug, not a big dataset.
+MAX_FORWARD_ROUNDS = 100
+
+
+class ClusterError(RuntimeError):
+    """Invalid cluster configuration or a broken on-disk layout."""
+
+
+class ClusterRecoveryInfo:
+    """What reassembling the cluster from per-shard state found."""
+
+    __slots__ = (
+        "shards",
+        "revision",
+        "revision_vector",
+        "saved_revision_vector",
+        "torn",
+        "per_shard",
+    )
+
+    def __init__(
+        self,
+        shards: int,
+        revision: int,
+        revision_vector: list[int],
+        saved_revision_vector: list[int] | None,
+        torn: bool,
+        per_shard: list[dict | None],
+    ):
+        self.shards = shards
+        self.revision = revision
+        self.revision_vector = revision_vector
+        self.saved_revision_vector = saved_revision_vector
+        #: True when the shard WALs are ahead of (or missing from) the
+        #: last recorded global commit — a crash between the shard
+        #: commits and the cluster manifest write.  The reassembled
+        #: state is the shards' durable truth; the next global commit
+        #: re-records the vector.
+        self.torn = torn
+        self.per_shard = per_shard
+
+    @property
+    def recovered_revision(self) -> int:
+        return self.revision
+
+    def as_dict(self) -> dict:
+        return {
+            "shards": self.shards,
+            "revision": self.revision,
+            "revision_vector": list(self.revision_vector),
+            "saved_revision_vector": (
+                list(self.saved_revision_vector)
+                if self.saved_revision_vector is not None
+                else None
+            ),
+            "torn": self.torn,
+            "per_shard": self.per_shard,
+        }
+
+    def __repr__(self):
+        return (
+            f"<ClusterRecoveryInfo revision={self.revision} "
+            f"vector={self.revision_vector} torn={self.torn}>"
+        )
+
+
+class ShardedReasoner:
+    """N partitioned leader engines behind one reasoner surface.
+
+    Accepts the engine options that make sense cluster-wide and passes
+    them through to every shard.  ``store`` must be a backend *spec*
+    (each shard and the cluster-level read store need their own
+    instance); columnar image specs are read-only and rejected.
+    """
+
+    def __init__(
+        self,
+        fragment: str = "rhodf",
+        shards: int = 2,
+        router: str | Router = "subject",
+        store: str | None = None,
+        workers: int = 0,
+        buffer_size: int = 50,
+        timeout: float | None = None,
+        persist_dir=None,
+        persist_fsync: bool = True,
+        snapshot_format: str = "v1",
+    ):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if fragment not in SUPPORTED_FRAGMENTS:
+            supported = ", ".join(sorted(SUPPORTED_FRAGMENTS))
+            raise ClusterError(
+                f"fragment {fragment!r} cannot be sharded (supported: {supported}); "
+                "rdfs-full preloads per-engine axioms and owl-horst keeps "
+                "transitivity state outside the store, both of which break "
+                "the cross-shard closure equivalence"
+            )
+        if store is not None and not isinstance(store, str):
+            raise ClusterError(
+                "sharded clusters take a store *spec* string (each shard "
+                f"builds its own instance), got {type(store).__name__}"
+            )
+        spec = store or DEFAULT_BACKEND
+        if spec.startswith("columnar"):
+            raise ClusterError("columnar image stores are read-only; shards need writable backends")
+
+        self.shards = shards
+        self.router = create_router(router, shards)
+        self._spec = spec
+        self._workers = workers
+        self._snapshot_format = snapshot_format
+        self._persist_fsync = persist_fsync
+        self._root: Path | None = Path(persist_dir) if persist_dir is not None else None
+
+        self.dictionary = TermDictionary()
+        self.store = create_store(spec)
+        #: cluster-encoded triple -> bitmask of shards holding it.
+        self._holders: dict[EncodedTriple, int] = {}
+        #: cluster-encoded triples currently asserted by the user.
+        self._explicit: set[EncodedTriple] = set()
+        self._revision = 0
+        self._lock = threading.RLock()
+        self._closed = False
+        self._staged: list[Triple] = []
+        self._subscriptions: list[Subscription] = []
+        self._commit_listeners: list[Callable] = []
+        self._forwards = {
+            "assertions": 0,
+            "retractions": 0,
+            "broadcasts": 0,
+            "rounds": 0,
+        }
+        self.recovery: ClusterRecoveryInfo | None = None
+
+        meta: dict | None = None
+        if self._root is not None:
+            self._root.mkdir(parents=True, exist_ok=True)
+            # Read + validate the manifest *before* building shard
+            # engines: a topology mismatch must be rejected without
+            # taking (or mutating) any shard's journal lock.
+            meta = self._read_manifest(fragment)
+        engine_options = dict(
+            fragment=fragment,
+            workers=workers,
+            buffer_size=buffer_size,
+            timeout=timeout,
+            store=spec,
+        )
+        self.engines: list[Slider] = []
+        try:
+            for index in range(shards):
+                options = dict(engine_options)
+                if self._root is not None:
+                    options.update(
+                        persist_dir=self._root / f"shard-{index:02d}",
+                        persist_fsync=persist_fsync,
+                        snapshot_format=snapshot_format,
+                    )
+                self.engines.append(Slider(**options))
+        except BaseException:
+            for engine in self.engines:
+                engine.close()
+            raise
+        self._pool = ThreadPoolExecutor(
+            max_workers=shards, thread_name_prefix="slider-shard"
+        )
+        if self._root is not None:
+            self._recover(meta)
+
+    # --- recovery -----------------------------------------------------------
+    def _read_manifest(self, fragment: str) -> dict | None:
+        """Load + topology-check ``cluster.json`` (``None`` when absent)."""
+        meta_path = self._root / CLUSTER_META_FILENAME
+        if not meta_path.exists():
+            return None
+        try:
+            meta = json.loads(meta_path.read_text("utf-8"))
+        except (OSError, ValueError) as error:
+            raise ClusterError(f"unreadable cluster manifest {meta_path}: {error}")
+        self._validate_meta(meta, meta_path, fragment)
+        return meta
+
+    def _recover(self, meta: dict | None) -> None:
+        """Reassemble global state from the per-shard durable layouts."""
+        actual_vector = [engine.revision for engine in self.engines]
+        if meta is None and not any(actual_vector):
+            return  # fresh directory, nothing to reassemble
+
+        # Rebuild holders + the cluster dictionary/store by scanning the
+        # shard stores in index order (shard-local id order within each:
+        # deterministic, because shard recovery itself is).
+        for index, engine in enumerate(self.engines):
+            bit = 1 << index
+            decode = engine.dictionary.decode_triple
+            encode = self.dictionary.encode_triple
+            for local in sorted(engine.store):
+                encoded = encode(decode(local))
+                mask = self._holders.get(encoded, 0)
+                if mask == 0:
+                    self.store.add(encoded)
+                self._holders[encoded] = mask | bit
+
+        saved_vector = None
+        torn = False
+        if meta is not None:
+            self._revision = int(meta["revision"])
+            saved_vector = [int(r) for r in meta["revision_vector"]]
+            torn = saved_vector != actual_vector
+            from ..server.wire import parse_statements
+
+            encode = self.dictionary.encode_triple
+            self._explicit = {encode(t) for t in parse_statements(meta["explicit"])}
+        else:
+            # Shards carry state but the manifest never landed: a crash
+            # inside the very first global commit.  The shards' durable
+            # union is the truth; approximate the user-asserted registry
+            # by per-shard explicitness.
+            torn = True
+            self._revision = max(actual_vector)
+            encode = self.dictionary.encode_triple
+            for engine in self.engines:
+                decode = engine.dictionary.decode_triple
+                for local in sorted(engine.input_manager.explicit):
+                    self._explicit.add(encode(decode(local)))
+            self._explicit &= set(self._holders)
+        self.recovery = ClusterRecoveryInfo(
+            shards=self.shards,
+            revision=self._revision,
+            revision_vector=actual_vector,
+            saved_revision_vector=saved_vector,
+            torn=torn,
+            per_shard=[
+                engine.recovery.as_dict() if engine.recovery is not None else None
+                for engine in self.engines
+            ],
+        )
+
+    def _validate_meta(self, meta: dict, path: Path, fragment: str) -> None:
+        expect = {
+            "shards": self.shards,
+            "router": self.router.name,
+            "fragment": fragment,
+        }
+        for key, wanted in expect.items():
+            found = meta.get(key)
+            if found != wanted:
+                raise ClusterError(
+                    f"cluster manifest {path} was written with {key}={found!r}, "
+                    f"this cluster is configured with {key}={wanted!r} — "
+                    "repartitioning on disk is not supported; start a fresh "
+                    "directory and reload"
+                )
+
+    def _write_meta(self) -> None:
+        if self._root is None:
+            return
+        decode = self.dictionary.decode_triple
+        payload = {
+            "format": 1,
+            "shards": self.shards,
+            "router": self.router.name,
+            "fragment": self.fragment.name,
+            "store": self._spec,
+            "revision": self._revision,
+            "revision_vector": [engine.revision for engine in self.engines],
+            "explicit": [decode(t).n3() for t in sorted(self._explicit)],
+        }
+        path = self._root / CLUSTER_META_FILENAME
+        tmp = path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+            if self._persist_fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+    # --- the commit pipeline ------------------------------------------------
+    def apply(self, delta: Delta) -> InferenceReport:
+        """Commit one delta as one global revision (see module docs)."""
+        return self.apply_many([delta])
+
+    def apply_many(self, deltas: Sequence[Delta]) -> InferenceReport:
+        """Commit a batch of deltas as **one** global revision.
+
+        The batch semantics are the write coalescer's: last-writer-wins
+        netting in arrival order decides the user-level outcome, while
+        each shard journals its sub-delta stream at full granularity —
+        this is the entry point the partitioned coalescer drains into,
+        and the pipeline whose per-shard WAL appends overlap.
+        """
+        self._check_open()
+        for delta in deltas:
+            if not isinstance(delta, Delta):
+                raise TypeError(f"apply_many takes Deltas, got {type(delta).__name__}")
+        with self._lock:
+            started = time.perf_counter()
+            if self._staged:
+                deltas = [Delta(assertions=self._staged), *deltas]
+                self._staged = []
+
+            # User-level outcome: last-writer-wins netting in arrival
+            # order (identical to WriteCoalescer._commit_batch).
+            net_assert: dict[Triple, None] = {}
+            net_retract: dict[Triple, None] = {}
+            for delta in deltas:
+                for triple in delta.retractions:
+                    net_assert.pop(triple, None)
+                    net_retract[triple] = None
+                for triple in delta.assertions:
+                    net_retract.pop(triple, None)
+                    net_assert[triple] = None
+            encode = self.dictionary.encode_triple
+            asserted_ids = {encode(t) for t in net_assert}
+            for triple in net_retract:
+                self._explicit.discard(encode(triple))
+            self._explicit.update(asserted_ids)
+
+            # Split every delta into its per-shard sub-delta stream.
+            streams: list[list[Delta]] = [[] for _ in range(self.shards)]
+            route = self.router.route
+            for delta in deltas:
+                assertions: list[list[Triple]] = [[] for _ in range(self.shards)]
+                for triple in delta.assertions:
+                    owner = route(triple)
+                    if owner == BROADCAST:
+                        for dest in range(self.shards):
+                            assertions[dest].append(triple)
+                    else:
+                        assertions[owner].append(triple)
+                for shard in range(self.shards):
+                    sub = Delta(assertions[shard], delta.retractions)
+                    if sub:
+                        streams[shard].append(sub)
+
+            # Accumulators for the global report (netting across rounds).
+            g_added: dict[EncodedTriple, None] = {}
+            g_removed: dict[EncodedTriple, None] = {}
+            timings: dict[str, float] = {}
+            totals = {"dred_deleted": 0, "dred_rederived": 0}
+
+            reports = self._run_streams(streams)
+            rounds = 0
+            while True:
+                forwards = self._merge(reports, g_added, g_removed, timings, totals)
+                if not any(forwards):
+                    break
+                rounds += 1
+                if rounds > MAX_FORWARD_ROUNDS:
+                    raise ClusterError(
+                        f"forward fixpoint did not converge in {MAX_FORWARD_ROUNDS} "
+                        "rounds — routing/merge invariant broken"
+                    )
+                self._forwards["rounds"] += 1
+                reports = self._run_streams([[d] if d else [] for d in forwards])
+
+            self._revision += 1
+            explicit = tuple(t for t in g_added if t in asserted_ids)
+            inferred = tuple(t for t in g_added if t not in asserted_ids)
+            report = InferenceReport(
+                revision=self._revision,
+                seconds=time.perf_counter() - started,
+                timings=timings,
+                dictionary=self.dictionary,
+                explicit_encoded=explicit,
+                inferred_encoded=inferred,
+                removed_encoded=tuple(g_removed),
+                dred_deleted=totals["dred_deleted"],
+                dred_rederived=totals["dred_rederived"],
+            )
+            self._write_meta()
+            self._fire_commit(tuple(net_assert), tuple(net_retract))
+            self._notify_subscribers(report)
+            return report
+
+    def _run_streams(self, streams: list[list[Delta]]) -> list[list[InferenceReport]]:
+        """Apply per-shard delta streams concurrently; barrier on all.
+
+        One future per shard with work; a shard's stream runs in order
+        on one thread, so per-shard commit order (and its WAL) is the
+        arrival order.  The single-busy-shard case runs inline — no
+        thread hop for the common single-partition delta.
+        """
+        busy = [shard for shard, stream in enumerate(streams) if stream]
+        if not busy:
+            return [[] for _ in streams]
+
+        def run(shard: int) -> list[InferenceReport]:
+            engine = self.engines[shard]
+            return [engine.apply(sub) for sub in streams[shard]]
+
+        results: list[list[InferenceReport]] = [[] for _ in streams]
+        if len(busy) == 1:
+            results[busy[0]] = run(busy[0])
+            return results
+        futures = {shard: self._pool.submit(run, shard) for shard in busy}
+        for shard, future in futures.items():
+            results[shard] = future.result()
+        return results
+
+    def _merge(
+        self,
+        reports: list[list[InferenceReport]],
+        g_added: dict[EncodedTriple, None],
+        g_removed: dict[EncodedTriple, None],
+        timings: dict[str, float],
+        totals: dict[str, int],
+    ) -> list[Delta | None]:
+        """Fold one round of shard reports into cluster state.
+
+        Deterministic: shards in index order, each shard's reports in
+        stream order, triples in report order.  Returns the next
+        round's per-shard forward deltas (``None`` where idle).
+        """
+        fwd_assert: list[dict[Triple, None]] = [{} for _ in range(self.shards)]
+        fwd_retract: list[dict[Triple, None]] = [{} for _ in range(self.shards)]
+        encode = self.dictionary.encode_triple
+        route = self.router.route
+        holders = self._holders
+
+        for shard, shard_reports in enumerate(reports):
+            bit = 1 << shard
+            decode = self.engines[shard].dictionary.decode_triple
+            for report in shard_reports:
+                for rule, seconds in report.timings.items():
+                    timings[rule] = timings.get(rule, 0.0) + seconds
+                totals["dred_deleted"] += report.dred_deleted
+                totals["dred_rederived"] += report.dred_rederived
+
+                for local in report.added_encoded:
+                    triple = decode(local)
+                    encoded = encode(triple)
+                    mask = holders.get(encoded, 0)
+                    if mask & bit:
+                        continue
+                    holders[encoded] = mask | bit
+                    if mask == 0:
+                        self.store.add(encoded)
+                        if encoded in g_removed:
+                            del g_removed[encoded]
+                        else:
+                            g_added[encoded] = None
+                    owner = route(triple)
+                    if owner == BROADCAST:
+                        for dest in range(self.shards):
+                            if not (holders[encoded] >> dest) & 1:
+                                fwd_assert[dest][triple] = None
+                    elif owner != shard and not (holders[encoded] >> owner) & 1:
+                        fwd_assert[owner][triple] = None
+
+                for local in report.removed_encoded:
+                    triple = decode(local)
+                    encoded = encode(triple)
+                    mask = holders.get(encoded, 0)
+                    if not mask & bit:
+                        continue
+                    mask &= ~bit
+                    if mask:
+                        holders[encoded] = mask
+                    else:
+                        del holders[encoded]
+                        self.store.remove(encoded)
+                        if encoded in g_added:
+                            del g_added[encoded]
+                        else:
+                            g_removed[encoded] = None
+                    if encoded not in self._explicit:
+                        # The deriving shard lost this triple's support;
+                        # every shard still holding a copy must DRed-check
+                        # its own (and either re-derive or drop it).
+                        for dest in range(self.shards):
+                            if (mask >> dest) & 1:
+                                fwd_retract[dest][triple] = None
+
+        # A forward computed early in the merge can be satisfied — or its
+        # source triple removed outright — by a later report in the same
+        # round; filter against final holders.  An assertion forwards only
+        # while the triple is still held *somewhere*: once every holder
+        # dropped it, replaying the stale forward would resurrect a triple
+        # the closure already retracted (and plant it as shard-explicit,
+        # beyond DRed's reach).
+        out: list[Delta | None] = []
+        for dest in range(self.shards):
+            assertions = []
+            for t in fwd_assert[dest]:
+                mask = holders.get(encode(t), 0)
+                if mask and not (mask >> dest) & 1:
+                    assertions.append(t)
+            retractions = [
+                t
+                for t in fwd_retract[dest]
+                if (holders.get(encode(t), 0) >> dest) & 1
+            ]
+            delta = Delta(assertions, retractions) if (assertions or retractions) else None
+            if delta is not None and not delta:
+                delta = None  # assert/retract of the same triple cancelled
+            if delta is not None:
+                self._forwards["assertions"] += len(delta.assertions)
+                self._forwards["retractions"] += len(delta.retractions)
+                self._forwards["broadcasts"] += sum(
+                    1 for t in delta.assertions if route(t) == BROADCAST
+                )
+            out.append(delta)
+        return out
+
+    # --- single-node compatible surface -------------------------------------
+    def flush(self) -> InferenceReport:
+        """Commit staged shim adds — or an empty barrier revision.
+
+        Parity with the single-node engine: ``flush()`` always commits,
+        so the service's boot-time quiesce advances the global revision
+        the same way on both topologies.
+        """
+        return self.apply_many([])
+
+    def add(self, triples: Iterable[Triple] | Triple) -> int:
+        """Stage explicit triples for the next commit (legacy shim)."""
+        self._check_open()
+        if isinstance(triples, Triple):
+            triples = (triples,)
+        with self._lock:
+            staged = list(triples)
+            self._staged.extend(staged)
+            return len(staged)
+
+    def load(self, path) -> int:
+        """Stage an N-Triples (``.nt``) or Turtle (``.ttl``) file."""
+        from ..rdf.ntriples import parse_ntriples_file
+        from ..rdf.turtle import parse_turtle_file
+
+        text_path = str(path)
+        if text_path.endswith((".ttl", ".turtle")):
+            return self.add(parse_turtle_file(path))
+        return self.add(parse_ntriples_file(path))
+
+    def settle(self) -> None:
+        """Compatibility no-op: cluster commits are synchronous."""
+        self._check_open()
+
+    def subscribe(self, patterns, callback=None) -> Subscription:
+        """Register a standing BGP over the *global* closure."""
+        self._check_open()
+        with self._lock:
+            subscription = Subscription(patterns, callback)
+            subscription._seed(self.graph)
+            subscription.seeded_revision = self._revision
+            self._subscriptions.append(subscription)
+            return subscription
+
+    def _notify_subscribers(self, report: InferenceReport) -> None:
+        if not self._subscriptions:
+            return
+        graph = self.graph
+        alive = []
+        for subscription in self._subscriptions:
+            if not subscription.active:
+                continue
+            alive.append(subscription)
+            try:
+                subscription._deliver(report, graph)
+            except Exception as error:  # parity with the engine: never poison
+                subscription.error = error
+        self._subscriptions = alive
+
+    def add_commit_listener(self, listener: Callable) -> None:
+        """Register ``listener(revision, assertions, retractions)``.
+
+        Fired once per *global* commit with the net user-level delta —
+        the change feed ships exactly what a follower must replay.
+        """
+        with self._lock:
+            self._commit_listeners.append(listener)
+
+    def remove_commit_listener(self, listener: Callable) -> None:
+        with self._lock:
+            try:
+                self._commit_listeners.remove(listener)
+            except ValueError:
+                pass
+
+    def _fire_commit(self, assertions, retractions) -> None:
+        for listener in list(self._commit_listeners):
+            listener(self._revision, assertions, retractions)
+
+    # --- introspection -------------------------------------------------------
+    @property
+    def revision(self) -> int:
+        return self._revision
+
+    @property
+    def revision_vector(self) -> list[int]:
+        """Per-shard engine revisions, index order."""
+        return [engine.revision for engine in self.engines]
+
+    @property
+    def fragment(self):
+        return self.engines[0].fragment
+
+    @property
+    def rules(self):
+        return self.engines[0].rules
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @property
+    def graph(self) -> Graph:
+        """The global closure (cluster dictionary + cluster store)."""
+        return Graph(self.dictionary, self.store)
+
+    @property
+    def input_count(self) -> int:
+        return len(self._explicit)
+
+    @property
+    def inferred_count(self) -> int:
+        return len(self.store) - len(self._explicit)
+
+    @property
+    def persist_dir(self) -> Path | None:
+        return self._root
+
+    @property
+    def persistence(self):
+        """No single WAL spans the cluster — the feed stays ring-only."""
+        return None
+
+    @property
+    def snapshot_format(self) -> str:
+        return self._snapshot_format
+
+    def cluster_stats(self) -> dict:
+        """Topology + per-shard counters for /stats and /healthz."""
+        return {
+            "shards": self.shards,
+            "router": self.router.name,
+            "revision": self._revision,
+            "revision_vector": self.revision_vector,
+            "forwards": dict(self._forwards),
+            "per_shard": [
+                {
+                    "shard": index,
+                    "revision": engine.revision,
+                    "triples": len(engine.store),
+                    "input": engine.input_count,
+                    "inferred": engine.inferred_count,
+                }
+                for index, engine in enumerate(self.engines)
+            ],
+        }
+
+    def snapshot_bytes(self, format: str | None = None) -> bytes:
+        """The global closure as one self-verifying snapshot blob.
+
+        Identical wire format to the single-node image, so follower
+        bootstrap from a sharded leader is unchanged.
+        """
+        format = format or self._snapshot_format
+        if format not in ("v1", "v2"):
+            raise ValueError(f"unknown snapshot format {format!r}")
+        self._check_open()
+        with self._lock:
+            explicit = sorted(self._explicit)
+            inferred = sorted(t for t in self.store if t not in self._explicit)
+            if format == "v2":
+                from ..persist.columnar import encode_columnar_snapshot as encoder
+            else:
+                encoder = encode_snapshot
+            return encoder(
+                revision=self._revision,
+                fragment=self.fragment.name,
+                store_spec=self._spec,
+                axiom_count=0,
+                terms=self.dictionary.snapshot_terms(),
+                explicit=explicit,
+                inferred=inferred,
+            )
+
+    # --- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            if self._staged:
+                self.apply_many([])
+            self._closed = True
+        self._pool.shutdown(wait=True)
+        for engine in self.engines:
+            engine.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ClusterError("cluster is closed")
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+    def __enter__(self) -> "ShardedReasoner":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self):
+        return (
+            f"<ShardedReasoner shards={self.shards} router={self.router.name} "
+            f"revision={self._revision} triples={len(self.store)}>"
+        )

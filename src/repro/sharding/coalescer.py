@@ -1,0 +1,57 @@
+"""The partition-aware write coalescer.
+
+:class:`ShardedCoalescer` keeps the single-drainer queueing, pausing,
+and netting semantics of the server's
+:class:`~repro.server.coalescer.WriteCoalescer` — same submission API,
+same last-writer-wins outcome, same ``CommitResult`` fan-out — but
+hands each drained batch to the cluster as the *sequence* of submitted
+deltas rather than one pre-netted delta.  The cluster's
+:meth:`~repro.sharding.cluster.ShardedReasoner.apply_many` then splits
+every submission by routing key and pipelines the per-shard sub-delta
+streams through their own commit pipelines (WAL append + fsync per
+sub-commit), so concurrent writers to different partitions overlap
+where the single-node path would serialize.  The batch still lands as
+exactly one global revision shared by every waiter, preserving the
+coalescer contract.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..reasoner.delta import Delta, InferenceReport
+from ..server.coalescer import CommitResult, PendingWrite, WriteCoalescer
+
+__all__ = ["ShardedCoalescer"]
+
+
+class ShardedCoalescer(WriteCoalescer):
+    """A write coalescer draining into a sharded commit pipeline.
+
+    ``apply_many_fn`` is called with the drained batch's deltas in
+    arrival order and must commit them as one global revision, returning
+    its report — the service passes a closure that also advances the
+    read views before waiters resume.
+    """
+
+    def __init__(
+        self,
+        apply_many_fn: Callable[[Sequence[Delta]], InferenceReport],
+        tick: float = 0.002,
+    ):
+        self._apply_many = apply_many_fn
+        super().__init__(lambda delta: apply_many_fn([delta]), tick)
+
+    def _commit_batch(self, batch: list[PendingWrite]) -> None:
+        try:
+            report = self._apply_many([pending.delta for pending in batch])
+        except BaseException as error:
+            self.failed += len(batch)
+            for pending in batch:
+                pending._fail(error)
+            return
+        self.commits += 1
+        self.max_coalesced = max(self.max_coalesced, len(batch))
+        result = CommitResult(report.revision, report, len(batch))
+        for pending in batch:
+            pending._resolve(result)

@@ -1,0 +1,128 @@
+"""Partition routing: which shard owns a triple.
+
+The cluster partitions the *instance* triple space and replicates the
+*schema* triple space.  That split is what makes per-shard closure
+complete: every rule in the supported fragments (ρdf, RDFS) joins at
+most one instance pattern with schema patterns drawn from the four RDFS
+vocabulary predicates, so a shard holding an instance triple plus the
+full (broadcast) schema can fire every rule the single-node engine
+would fire for that triple.  Derived triples that *land* on another
+shard's partition are forwarded by the coalescer afterwards — routing
+only decides ownership, not reachability.
+
+Two routers ship:
+
+* :class:`SubjectHashRouter` (default) — instance triples are owned by
+  ``crc32(subject) % shards``.  Subject locality keeps most rule output
+  on the deriving shard (sc/sp/dom chains preserve the subject); only
+  object-position derivations (``rng``: ``(x p y) ⇒ (y type c)``) hop
+  shards.
+* :class:`PredicateGroupRouter` — instance triples are owned by
+  ``crc32(predicate) % shards``: all triples of one predicate co-locate,
+  the natural split for predicate-skewed workloads (and the routing the
+  in-process buffers already use).
+
+Both hash with :func:`zlib.crc32` over the term's N-Triples rendering —
+**never** Python's ``hash()``, whose per-process salt would make
+ownership (and therefore every persisted shard layout) unstable across
+runs.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from ..rdf import RDFS
+from ..rdf.terms import Term, Triple
+
+__all__ = [
+    "BROADCAST",
+    "SCHEMA_PREDICATES",
+    "Router",
+    "SubjectHashRouter",
+    "PredicateGroupRouter",
+    "create_router",
+    "ROUTERS",
+]
+
+#: Routing verdict for schema triples: every shard holds a copy.
+BROADCAST = -1
+
+#: The predicates whose triples form the replicated schema plane.  They
+#: are exactly the join predicates of the ρdf and RDFS rule fragments.
+SCHEMA_PREDICATES = frozenset(
+    (RDFS.subClassOf, RDFS.subPropertyOf, RDFS.domain, RDFS.range)
+)
+
+
+def _stable_bucket(term: Term, shards: int) -> int:
+    """A process-independent hash bucket for one term."""
+    return zlib.crc32(term.n3().encode("utf-8")) % shards
+
+
+class Router:
+    """Maps triples to owning shards (or :data:`BROADCAST`)."""
+
+    #: Registry key; subclasses override.
+    name = "base"
+
+    def __init__(self, shards: int):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+
+    def route(self, triple: Triple) -> int:
+        """Owning shard index, or :data:`BROADCAST` for schema triples."""
+        if triple.predicate in SCHEMA_PREDICATES:
+            return BROADCAST
+        return self._bucket(triple)
+
+    def _bucket(self, triple: Triple) -> int:
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"<{type(self).__name__} shards={self.shards}>"
+
+
+class SubjectHashRouter(Router):
+    """Instance triples are owned by their subject's hash bucket."""
+
+    name = "subject"
+
+    def _bucket(self, triple: Triple) -> int:
+        return _stable_bucket(triple.subject, self.shards)
+
+
+class PredicateGroupRouter(Router):
+    """Instance triples are owned by their predicate's hash bucket."""
+
+    name = "predicate"
+
+    def _bucket(self, triple: Triple) -> int:
+        return _stable_bucket(triple.predicate, self.shards)
+
+
+ROUTERS: dict[str, type[Router]] = {
+    SubjectHashRouter.name: SubjectHashRouter,
+    PredicateGroupRouter.name: PredicateGroupRouter,
+}
+
+
+def create_router(spec: str | Router, shards: int) -> Router:
+    """Resolve a router name (or pass an instance through).
+
+    Accepts ``"subject"`` / ``"predicate"`` or any :class:`Router`
+    instance whose ``shards`` matches the cluster width.
+    """
+    if isinstance(spec, Router):
+        if spec.shards != shards:
+            raise ValueError(
+                f"router is sized for {spec.shards} shards, cluster has {shards}"
+            )
+        return spec
+    try:
+        factory = ROUTERS[spec]
+    except KeyError:
+        known = ", ".join(sorted(ROUTERS))
+        raise ValueError(f"unknown router {spec!r} (known: {known})") from None
+    return factory(shards)

@@ -155,6 +155,43 @@ class TestCoalescing:
             fourth.wait(10)
             assert triple in service.graph()
 
+    def test_pause_overlapping_drain_tick_holds_the_whole_batch(self):
+        """Regression: a pause that begins *during* the drainer's tick
+        sleep must still hold the queue.  The drainer used to grab the
+        queue unconditionally after the tick, splitting the paused
+        caller's batch across two commits (and two revisions)."""
+        import time
+        import types
+
+        from repro.server import WriteCoalescer
+
+        committed: list[Delta] = []
+
+        def apply_fn(delta: Delta):
+            committed.append(delta)
+            return types.SimpleNamespace(revision=len(committed))
+
+        coalescer = WriteCoalescer(apply_fn, tick=1.0)
+        try:
+            # Wake the drainer into its 1 s tick sleep ...
+            first = coalescer.submit([Triple(EX.a, EX.p, EX.o)])
+            time.sleep(0.1)
+            with coalescer.paused():
+                # ... then pause while it sleeps and queue more writes.
+                second = coalescer.submit([Triple(EX.b, EX.p, EX.o)])
+                third = coalescer.submit((), [Triple(EX.a, EX.p, EX.o)])
+                time.sleep(1.2)  # the tick expires while still paused
+                assert committed == [], "drainer committed during a pause"
+            results = {p.wait(10).revision for p in (first, second, third)}
+            assert results == {1}, "pause/resume split the batch"
+            assert len(committed) == 1
+            # Arrival-order netting held across the pause boundary: the
+            # later retraction cancels the first submission's assertion.
+            assert set(committed[0].assertions) == {Triple(EX.b, EX.p, EX.o)}
+            assert set(committed[0].retractions) == {Triple(EX.a, EX.p, EX.o)}
+        finally:
+            coalescer.close()
+
     def test_writes_visible_before_wait_returns(self):
         """The view registry advances before a waiter resumes."""
         with ReasoningService(fragment="rhodf", workers=0, timeout=None) as service:

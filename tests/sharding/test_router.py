@@ -1,0 +1,85 @@
+"""Partition routing: deterministic ownership, schema broadcast."""
+
+import pytest
+
+from repro.rdf import RDF, Triple
+from repro.sharding import (
+    BROADCAST,
+    PredicateGroupRouter,
+    Router,
+    SCHEMA_PREDICATES,
+    SubjectHashRouter,
+    create_router,
+)
+
+from ..conftest import EX
+
+
+class TestRouting:
+    @pytest.mark.parametrize("factory", (SubjectHashRouter, PredicateGroupRouter))
+    def test_schema_predicates_broadcast(self, factory):
+        router = factory(4)
+        for predicate in SCHEMA_PREDICATES:
+            assert router.route(Triple(EX.a, predicate, EX.b)) == BROADCAST
+
+    @pytest.mark.parametrize("factory", (SubjectHashRouter, PredicateGroupRouter))
+    def test_instance_triples_land_in_range(self, factory):
+        router = factory(4)
+        for i in range(50):
+            shard = router.route(Triple(EX[f"s{i}"], EX[f"p{i % 7}"], EX.o))
+            assert 0 <= shard < 4
+
+    def test_subject_router_keys_on_subject_only(self):
+        router = SubjectHashRouter(8)
+        owners = {
+            router.route(Triple(EX.alice, predicate, EX[f"o{i}"]))
+            for i, predicate in enumerate((RDF.type, EX.knows, EX.likes))
+        }
+        assert len(owners) == 1
+
+    def test_predicate_router_keys_on_predicate_only(self):
+        router = PredicateGroupRouter(8)
+        owners = {
+            router.route(Triple(EX[f"s{i}"], EX.knows, EX[f"o{i}"]))
+            for i in range(10)
+        }
+        assert len(owners) == 1
+
+    def test_routing_is_process_independent(self):
+        """crc32, not the salted builtin hash: ownership is stable, so a
+        persisted shard layout recovers under any interpreter run."""
+        router = SubjectHashRouter(4)
+        expected = [
+            router.route(Triple(EX[f"n{i}"], RDF.type, EX.C)) for i in range(16)
+        ]
+        again = SubjectHashRouter(4)
+        assert [
+            again.route(Triple(EX[f"n{i}"], RDF.type, EX.C)) for i in range(16)
+        ] == expected
+
+    def test_all_shards_reachable(self):
+        router = SubjectHashRouter(4)
+        owners = {
+            router.route(Triple(EX[f"n{i}"], RDF.type, EX.C)) for i in range(200)
+        }
+        assert owners == {0, 1, 2, 3}
+
+
+class TestCreateRouter:
+    def test_resolves_names(self):
+        assert isinstance(create_router("subject", 2), SubjectHashRouter)
+        assert isinstance(create_router("predicate", 2), PredicateGroupRouter)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown router"):
+            create_router("roundrobin", 2)
+
+    def test_instance_passthrough_checks_width(self):
+        router = SubjectHashRouter(4)
+        assert create_router(router, 4) is router
+        with pytest.raises(ValueError, match="sized for 4"):
+            create_router(router, 2)
+
+    def test_shard_count_validated(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            Router(0)

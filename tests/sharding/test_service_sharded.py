@@ -1,0 +1,170 @@
+"""The serving layer over a partitioned cluster.
+
+``ReasoningService(shards=N)`` must keep every single-node service
+contract — snapshot-isolated reads, read-your-writes, coalescing, SSE
+channels — while committing through the partitioned pipeline, and must
+surface the cluster's topology in ``stats()`` (and therefore /stats,
+/healthz).
+"""
+
+import threading
+
+import pytest
+
+from repro import Delta, Slider, Triple, Variable
+from repro.rdf import RDF, RDFS
+from repro.sharding import ShardedCoalescer, ShardedReasoner
+from repro.server import ReasoningService
+
+from ..conftest import EX, small_ontology
+from ..differential.test_differential import generate_script
+
+
+class TestConstruction:
+    def test_shards_builds_a_cluster_and_sharded_coalescer(self):
+        with ReasoningService(shards=2, fragment="rhodf", workers=0) as service:
+            assert isinstance(service.reasoner, ShardedReasoner)
+            assert isinstance(service.writes, ShardedCoalescer)
+            assert service.sharding["shards"] == 2
+
+    def test_single_node_stays_single_node(self):
+        with ReasoningService(fragment="rhodf", workers=0, timeout=None) as service:
+            assert not isinstance(service.writes, ShardedCoalescer)
+            assert service.sharding is None
+            assert service.stats()["sharding"] is None
+
+    def test_prebuilt_cluster_accepted(self):
+        cluster = ShardedReasoner(fragment="rhodf", shards=3)
+        with ReasoningService(reasoner=cluster) as service:
+            assert isinstance(service.writes, ShardedCoalescer)
+            assert service.sharding["shards"] == 3
+
+    def test_shards_and_prebuilt_reasoner_conflict(self):
+        with Slider(fragment="rhodf", workers=0, timeout=None) as reasoner:
+            with pytest.raises(ValueError, match="not both"):
+                ReasoningService(reasoner=reasoner, shards=2)
+
+    def test_shards_validated(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            ReasoningService(shards=0)
+
+
+class TestShardedWrites:
+    def test_read_your_writes(self):
+        with ReasoningService(shards=4, fragment="rhodf", workers=0) as service:
+            result = service.apply(small_ontology())
+            pinned = service.graph(at=result.revision)
+            x = Variable("x")
+            assert pinned.ask([(x, RDF.type, EX.Animal)])
+            assert service.revision >= result.revision
+
+    def test_concurrent_writers_one_global_revision_each(self):
+        """Many racing /apply callers: every write lands, revisions are
+        the cluster's global ones, and the final closure equals a
+        single-node service fed the same triples."""
+        triples = [Triple(EX[f"s{i}"], EX.knows, EX[f"o{i}"]) for i in range(24)]
+        schema = Triple(EX.knows, RDFS.range, EX.Person)
+        with ReasoningService(shards=4, fragment="rhodf", workers=0) as service:
+            service.apply([schema])
+            errors = []
+
+            def writer(triple):
+                try:
+                    service.apply([triple], timeout=30)
+                except Exception as error:  # pragma: no cover - diagnostic
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=writer, args=(t,)) for t in triples
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert not errors
+            graph = service.graph()
+            for triple in triples:
+                assert triple in graph
+                assert Triple(triple.object, RDF.type, EX.Person) in graph
+            # Cross-shard closure really ran (rng-rule hops were forwarded).
+            assert service.sharding["forwards"]["assertions"] > 0
+
+        with ReasoningService(fragment="rhodf", workers=0, timeout=None) as single:
+            single.apply([schema] + triples)
+            reference = set(single.graph())
+        assert {t for t in graph} == reference
+
+    def test_coalesced_batch_matches_sequential(self):
+        script = generate_script(4242, steps=6)
+        with ReasoningService(shards=2, fragment="rhodf", workers=0) as service:
+            for index in range(0, len(script), 2):
+                with service.writes.paused():
+                    batch = [
+                        service.submit(delta.assertions, delta.retractions)
+                        for delta in script[index : index + 2]
+                    ]
+                revisions = {pending.wait(30).revision for pending in batch}
+                assert len(revisions) == 1, "a paused batch split revisions"
+            sharded_closure = set(service.graph())
+
+        with Slider(fragment="rhodf", workers=0, timeout=None) as single:
+            for index in range(0, len(script), 2):
+                assertions, retractions = {}, {}
+                for delta in script[index : index + 2]:
+                    for t in delta.retractions:
+                        assertions.pop(t, None)
+                        retractions[t] = None
+                    for t in delta.assertions:
+                        retractions.pop(t, None)
+                        assertions[t] = None
+                single.apply(Delta(tuple(assertions), tuple(retractions)))
+            assert sharded_closure == set(single.graph)
+
+
+class TestShardedStats:
+    def test_stats_carry_the_cluster_block(self):
+        with ReasoningService(shards=2, fragment="rhodf", workers=0) as service:
+            service.apply(small_ontology())
+            stats = service.stats()
+            block = stats["sharding"]
+            assert block["shards"] == 2
+            assert block["revision"] == stats["revision"]
+            assert len(block["revision_vector"]) == 2
+            assert {"assertions", "retractions", "broadcasts", "rounds"} <= set(
+                block["forwards"]
+            )
+            assert len(block["per_shard"]) == 2
+
+    def test_subscription_channels_over_cluster(self):
+        with ReasoningService(shards=2, fragment="rhodf", workers=0) as service:
+            service.apply(small_ontology())
+            channel = service.subscribe_channel(
+                [(Variable("x"), RDF.type, Variable("c"))]
+            )
+            assert channel.initial_solutions()
+            result = service.apply([Triple(EX.jerry, RDF.type, EX.Cat)])
+            event = channel.get(timeout=10)
+            assert event is not None
+            assert event.revision == result.revision
+            assert event.added
+            channel.close()
+
+
+class TestDurableService:
+    def test_sharded_service_recovers(self, tmp_path):
+        state = tmp_path / "cluster-state"
+        with ReasoningService(
+            shards=2, fragment="rhodf", workers=0, persist_dir=state
+        ) as service:
+            service.apply(small_ontology())
+            revision = service.revision
+            closure = set(service.graph())
+
+        with ReasoningService(
+            shards=2, fragment="rhodf", workers=0, persist_dir=state, quiesce=False
+        ) as revived:
+            assert revived.revision == revision
+            assert set(revived.graph()) == closure
+            stats = revived.stats()
+            assert stats["recovery"]["revision"] == revision
+            assert stats["recovery"]["shards"] == 2
