@@ -1,6 +1,7 @@
 """Benchmark harness: timed runs, gains, paper-style tables and charts."""
 
 from .micro import MicroResult, run_micro
+from .planner import PlannerBenchResult, run_planner_bench
 from .recovery import RecoveryResult, run_recovery
 from .replication import ReplicationBenchResult, run_replication_bench
 from .server_load import ServerLoadResult, run_server_load
@@ -29,6 +30,8 @@ __all__ = [
     "RunResult",
     "MicroResult",
     "run_micro",
+    "PlannerBenchResult",
+    "run_planner_bench",
     "RecoveryResult",
     "run_recovery",
     "ReplicationBenchResult",

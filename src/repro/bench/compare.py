@@ -43,7 +43,7 @@ def extract_metrics(artifact) -> dict[str, float]:
     * recovery — a JSON *list* of per-run dicts (the pre-existing
       ``bench_recovery`` format, kept stable for old artifacts);
     * dicts tagged by ``"kind"`` — ``headline``, ``server``, ``micro``,
-      ``replication``, ``sharding``.
+      ``replication``, ``sharding``, ``planner``.
     """
     if isinstance(artifact, list):  # recovery rows
         speedups = [row["speedup"] for row in artifact if "speedup" in row]
@@ -82,6 +82,13 @@ def extract_metrics(artifact) -> dict[str, float]:
             ),
             "replication.catchup_snapshot_seconds": float(
                 artifact["catchup_snapshot_seconds"]
+            ),
+        }
+    if kind == "planner":
+        return {
+            "planner.query_speedup": float(artifact["query_speedup"]),
+            "planner.subscription_speedup": float(
+                artifact["subscription_speedup"]
             ),
         }
     if kind == "sharding":

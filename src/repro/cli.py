@@ -3,6 +3,8 @@
 Subcommands mirror the demo's three panels plus the benchmark harness:
 
 * ``reason``     — load files (or a named dataset), infer, dump/report.
+* ``explain``    — show the cost-based query plan for a BGP (join order,
+  index permutation per step, estimated vs. actual rows).
 * ``serve``      — run the concurrent reasoning service over HTTP
   (``--follow URL`` turns the node into a read replica of a leader).
 * ``replicate``  — inspect a running node's replication status.
@@ -44,6 +46,7 @@ __all__ = ["main", "build_parser"]
 _EPILOG = """\
 examples:
   slider-reason reason data.nt --fragment rdfs --stats
+  slider-reason explain data.nt --query '?x <http://ex/knows> ?y . ?y <http://ex/age> ?a'
   slider-reason reason --dataset BSBM_100k --scale 0.02 --report -
   slider-reason reason data.nt --persist state/        # durable run (WAL + recovery)
   slider-reason snapshot --persist state/              # compact: snapshot + truncate WAL
@@ -77,6 +80,23 @@ def build_parser() -> argparse.ArgumentParser:
     reason.add_argument("--report", nargs="?", const="-", metavar="PATH",
                         help="write the commit's InferenceReport as JSON "
                              "(to PATH, or stdout when no path is given)")
+
+    explain_parser = subparsers.add_parser(
+        "explain",
+        help="show the cost-based query plan for a BGP over loaded data",
+    )
+    explain_parser.add_argument("inputs", nargs="*", help=".nt / .ttl files to load")
+    explain_parser.add_argument("--dataset",
+                                help="a named benchmark ontology instead of files")
+    explain_parser.add_argument("--scale", type=float, default=DEFAULT_SCALE,
+                                help="size multiplier for --dataset "
+                                     "(default %(default)s)")
+    _add_reasoner_options(explain_parser)
+    explain_parser.add_argument("--query", required=True,
+                                help="the BGP: '.'-separated triple patterns in "
+                                     "N-Triples syntax with ?variables")
+    explain_parser.add_argument("--json", action="store_true",
+                                help="emit the raw explain payload as JSON")
 
     serve = subparsers.add_parser(
         "serve",
@@ -288,6 +308,46 @@ def _cmd_reason(args) -> int:
         written = reasoner.graph.dump_ntriples(args.output)
         print(f"wrote {written} triples to {args.output}")
     reasoner.close()
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    if bool(args.inputs) == bool(args.dataset):
+        print("error: provide input files or --dataset (not both)", file=sys.stderr)
+        return 2
+    from .server.wire import PatternSyntaxError, parse_patterns
+    from .store.query import explain
+
+    try:
+        patterns = parse_patterns(args.query)
+    except PatternSyntaxError as error:
+        print(f"error: bad query: {error}", file=sys.stderr)
+        return 2
+    with _make_reasoner(args) as reasoner:
+        _print_recovery(reasoner)
+        if args.dataset:
+            reasoner.add(load_dataset(args.dataset, args.scale))
+        else:
+            for path in args.inputs:
+                reasoner.load(path)
+        reasoner.flush()
+        payload = explain(reasoner.graph, patterns)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"plan for {payload['pattern_count']} pattern(s) over "
+        f"{payload['backend']} ({payload['store_size']:,} triples), "
+        f"join order {payload['plan_order']}"
+    )
+    print(f"  {'step':<5} {'pattern':<48} {'access':<24} "
+          f"{'est rows':>10} {'actual':>8}")
+    for row in payload["steps"]:
+        print(
+            f"  {row['step']:<5} {row['pattern']:<48} {row['access']:<24} "
+            f"{row['estimated_rows']:>10,.1f} {row['actual_rows']:>8,}"
+        )
+    print(f"{payload['solutions']} solution(s)")
     return 0
 
 
@@ -596,6 +656,7 @@ def _cmd_depgraph(args) -> int:
 
 _COMMANDS = {
     "reason": _cmd_reason,
+    "explain": _cmd_explain,
     "serve": _cmd_serve,
     "replicate": _cmd_replicate,
     "bench": _cmd_bench,

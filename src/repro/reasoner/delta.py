@@ -198,6 +198,7 @@ class InferenceReport:
         "_inferred_encoded",
         "_removed_encoded",
         "_decoded",
+        "_touched_predicates",
     )
 
     def __init__(
@@ -222,6 +223,7 @@ class InferenceReport:
         self._inferred_encoded = inferred_encoded
         self._removed_encoded = removed_encoded
         self._decoded: dict[str, tuple[Triple, ...]] = {}
+        self._touched_predicates: frozenset[Term] | None = None
 
     # --- counts (always cheap) --------------------------------------------
     @property
@@ -329,6 +331,43 @@ class InferenceReport:
         """Removed triples whose predicate is in ``predicates`` (None = all)."""
         ids = self._predicate_ids(predicates)
         return self._filtered(self._removed_encoded, ids)
+
+    def added_matching_encoded(
+        self, predicates: Iterable[Term] | None = None
+    ) -> list[EncodedTriple]:
+        """Added triples matching the predicate filter, *without* decoding.
+
+        The incremental subscription plans join deltas in integer space;
+        handing them encoded triples keeps the whole maintenance path
+        decode-free until final bindings are produced.
+        """
+        encoded = self._explicit_encoded + self._inferred_encoded
+        ids = self._predicate_ids(predicates)
+        if ids is None:
+            return list(encoded)
+        return [triple for triple in encoded if triple[1] in ids]
+
+    def touched_predicates(self) -> frozenset[Term]:
+        """The distinct predicate terms this revision added *or* removed.
+
+        Cached after the first call: the engine uses it to route the
+        revision to interested subscriptions only, so with thousands of
+        standing queries a commit pays one decode pass over the delta's
+        distinct predicates instead of one filter pass per subscription.
+        """
+        if self._touched_predicates is None:
+            ids = {
+                triple[1]
+                for batch in (
+                    self._explicit_encoded,
+                    self._inferred_encoded,
+                    self._removed_encoded,
+                )
+                for triple in batch
+            }
+            decode = self._dictionary.decode
+            self._touched_predicates = frozenset(decode(i) for i in ids)
+        return self._touched_predicates
 
     # --- serialization ------------------------------------------------------
     def as_dict(self) -> dict:

@@ -1153,11 +1153,20 @@ class Slider:
         if not self._subscriptions:
             return
         graph = self.graph
+        # Route by predicate: a revision is delivered only to the
+        # subscriptions whose constant predicates intersect the delta's
+        # touched set (variable-predicate subscriptions always match), so
+        # thousands of standing queries cost one set probe each, not one
+        # delta filter pass each.
+        changed = bool(report)
+        touched = report.touched_predicates() if changed else frozenset()
         alive = []
         for subscription in self._subscriptions:
             if not subscription.active:
                 continue  # pruned
             alive.append(subscription)
+            if not changed or not subscription._wants(touched):
+                continue
             try:
                 subscription._deliver(report, graph)
             except Exception as error:  # a subscriber must never poison a commit

@@ -7,11 +7,13 @@ BGP language as :mod:`repro.store.query`) and is re-evaluated against
 each committed revision's :class:`~repro.reasoner.delta.InferenceReport`
 — *incrementally*:
 
-* **additions** — every added triple is unified with every pattern
-  position; each successful unification seeds a join of the remaining
-  patterns over the new graph (reusing the query planner's
-  selectivity-ordered evaluation), so work scales with the delta, not
-  with the graph;
+* **additions** — the BGP is compiled once, at registration, into an
+  :class:`~repro.store.planner.IncrementalBGPPlan`: one pre-ordered
+  join plan per pattern position a delta triple can enter through.
+  Every added triple is unified against each pattern *in encoded
+  integer space*; each hit seeds that pattern's rest-plan, so work
+  scales with the delta and the plan, not with the graph — and no plan
+  is recomputed per revision;
 * **removals** — a maintained solution dies iff one of its (fully
   instantiated, hence unique) supporting triples is in the revision's
   net-removed set; no re-join is needed because a net-removed triple is
@@ -34,7 +36,8 @@ from typing import Callable, Iterable, Sequence
 
 from ..rdf.terms import Term, Triple, Variable
 from ..store.graph import Graph
-from ..store.query import Binding, TriplePattern, solve, unify
+from ..store.planner import IncrementalBGPPlan
+from ..store.query import Binding, TriplePattern
 from .delta import InferenceReport
 
 __all__ = ["Subscription", "SubscriptionEvent"]
@@ -103,6 +106,9 @@ class Subscription:
         self.events: list[SubscriptionEvent] = []
         self._lock = threading.Lock()
         self._solutions: dict[frozenset, Binding] = {}
+        #: Compiled incremental join plans (full + one rest-plan per
+        #: pattern), built against the graph's statistics at seed time.
+        self._plan = IncrementalBGPPlan(self.patterns)
         # Constant predicates let the delta be filtered in integer space
         # before decoding; any variable predicate disables the filter.
         predicates = [p[1] for p in patterns]
@@ -110,6 +116,18 @@ class Subscription:
             None
             if any(isinstance(p, Variable) for p in predicates)
             else tuple(dict.fromkeys(predicates))
+        )
+        self._predicate_set: frozenset[Term] | None = (
+            None if self._predicates is None else frozenset(self._predicates)
+        )
+
+    def _wants(self, touched: frozenset[Term]) -> bool:
+        """Can a revision touching exactly ``touched`` predicates change
+        this subscription's solutions?  O(min(|touched|, |patterns|)) —
+        the engine's routing check, run for every subscription on every
+        commit, so it must stay trivially cheap."""
+        return self._predicate_set is None or not touched.isdisjoint(
+            self._predicate_set
         )
 
     # --- lifecycle ---------------------------------------------------------
@@ -131,20 +149,26 @@ class Subscription:
 
     # --- engine side -------------------------------------------------------
     def _seed(self, graph: Graph) -> None:
-        """Materialize the initial solution set (no event is emitted)."""
+        """Materialize the initial solution set (no event is emitted).
+
+        Compiles the incremental plans against the graph's statistics as
+        a side effect; they are maintained (and re-planned on size
+        drift) by the plan itself from here on.
+        """
         with self._lock:
-            self._solutions = {_key(s): s for s in solve(graph, self.patterns)}
+            self._plan.compile(graph)
+            self._solutions = {_key(s): s for s in self._plan.solutions(graph)}
 
     def _deliver(self, report: InferenceReport, graph: Graph) -> SubscriptionEvent | None:
         """Fold one revision's delta in; return the binding diff (or None)."""
-        added_triples = report.added_matching(self._predicates)
+        added_encoded = report.added_matching_encoded(self._predicates)
         removed_triples = report.removed_matching(self._predicates)
-        if not added_triples and not removed_triples:
+        if not added_encoded and not removed_triples:
             return None
 
         with self._lock:
             removed_bindings = self._fold_removals(removed_triples)
-            added_bindings = self._fold_additions(added_triples, graph)
+            added_bindings = self._fold_additions(added_encoded, graph)
         if not removed_bindings and not added_bindings:
             return None
         event = SubscriptionEvent(
@@ -168,25 +192,16 @@ class Subscription:
         return dead
 
     def _fold_additions(
-        self, added_triples: Sequence[Triple], graph: Graph
+        self, added_encoded: Sequence[tuple[int, int, int]], graph: Graph
     ) -> list[Binding]:
-        if not added_triples:
+        if not added_encoded:
             return []
         fresh: list[Binding] = []
-        for index, pattern in enumerate(self.patterns):
-            rest = self.patterns[:index] + self.patterns[index + 1 :]
-            seeds = [
-                binding
-                for triple in added_triples
-                if (binding := unify(pattern, triple)) is not None
-            ]
-            if not seeds:
-                continue
-            for solution in solve(graph, rest, bindings=seeds):
-                key = _key(solution)
-                if key not in self._solutions:
-                    self._solutions[key] = solution
-                    fresh.append(solution)
+        for solution in self._plan.additions(graph, added_encoded):
+            key = _key(solution)
+            if key not in self._solutions:
+                self._solutions[key] = solution
+                fresh.append(solution)
         return fresh
 
     @staticmethod

@@ -4,7 +4,9 @@ A :class:`ReasoningHTTPServer` (a ``ThreadingHTTPServer``) exposes one
 :class:`~repro.server.service.ReasoningService`:
 
 ====================  ======  ====================================================
-``/select``           GET     BGP solutions, projected on ``var`` (all by default)
+``/select``           GET     BGP solutions, projected on ``var`` (all by default);
+                              ``explain=1`` returns the query plan instead
+                              (join order, index per step, est. vs. actual rows)
 ``/ask``              GET     does the BGP have at least one solution?
 ``/construct``        GET     instantiate ``template`` for every ``query`` solution
 ``/triples``          GET     pattern dump (``s``/``p``/``o`` N-Triples terms)
@@ -43,7 +45,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
 from ..rdf.terms import Variable
-from ..store.query import ask, construct, solve
+from ..store.query import ask, construct, explain, solve
 from .coalescer import CoalescerClosedError
 from .service import ReasoningService, ServiceClosedError
 from .views import RevisionGoneError
@@ -132,6 +134,11 @@ class _Handler(BaseHTTPRequestHandler):
             raise _BadRequest(f"parameter {name!r} must be an integer, got {raw!r}")
 
     @staticmethod
+    def _flag(params: dict, name: str) -> bool:
+        raw = _Handler._one(params, name)
+        return raw is not None and raw.lower() in ("1", "true", "yes")
+
+    @staticmethod
     def _limit(params: dict) -> int:
         limit = _Handler._int(params, "limit", DEFAULT_LIMIT)
         if limit < 1:
@@ -203,6 +210,11 @@ class _Handler(BaseHTTPRequestHandler):
         patterns = parse_patterns(self._one(params, "query", required=True))
         graph, revision = self._graph_at(params)
         limit = self._limit(params)
+        if self._flag(params, "explain"):
+            # Plan + execute once, reporting estimated vs. actual rows
+            # per join step instead of the solution rows.
+            self._send_json({"revision": revision, "explain": explain(graph, patterns)})
+            return
         solutions = solve(graph, patterns)
         names = params.get("var")
         if names:
@@ -250,7 +262,10 @@ class _Handler(BaseHTTPRequestHandler):
         patterns = parse_patterns(self._one(params, "query", required=True))
         graph, revision = self._graph_at(params)
         limit = self._limit(params)
-        triples = construct(graph, template, patterns)[:limit]
+        try:
+            triples = construct(graph, template, patterns)[:limit]
+        except ValueError as error:  # template variable the body never binds
+            raise _BadRequest(str(error))
         self._send_json(
             {
                 "revision": revision,

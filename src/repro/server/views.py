@@ -55,7 +55,7 @@ class ReadView:
     :meth:`advance` (structure-sharing, delta-proportional cost).
     """
 
-    __slots__ = ("revision", "_by_predicate", "_size")
+    __slots__ = ("revision", "_by_predicate", "_size", "_pred_stats")
 
     def __init__(
         self,
@@ -66,6 +66,9 @@ class ReadView:
         self.revision = revision
         self._by_predicate = by_predicate
         self._size = size
+        #: predicate -> (count, distinct s, distinct o), lazily computed —
+        #: safe to cache because a published view never mutates.
+        self._pred_stats: dict[int, tuple[int, int, int]] = {}
 
     @classmethod
     def from_store(cls, revision: int, store: TripleStore) -> "ReadView":
@@ -169,6 +172,47 @@ class ReadView:
             "predicates": len(self._by_predicate),
             "revision": self.revision,
         }
+
+    # --- permutation-index read surface (planner protocol) ----------------
+    # A view is predicate-partitioned only; subject-/object-first access
+    # falls back to partition scans (the planner's cost model prices these
+    # at store size, so they are only picked when the shape forces them).
+    def triples_for_subject(self, subject: int) -> list[EncodedTriple]:
+        return self.match(subject=subject)
+
+    def triples_for_object(self, obj: int) -> list[EncodedTriple]:
+        return self.match(obj=obj)
+
+    def predicates_between(self, subject: int, obj: int) -> list[int]:
+        return [
+            p
+            for p, pairs in self._by_predicate.items()
+            if (subject, obj) in pairs
+        ]
+
+    def predicate_stats(self, predicate: int) -> tuple[int, int, int]:
+        """``(cardinality, distinct subjects, distinct objects)``, cached."""
+        cached = self._pred_stats.get(predicate)
+        if cached is not None:
+            return cached
+        pairs = self._by_predicate.get(predicate)
+        if not pairs:
+            stats = (0, 0, 0)
+        else:
+            stats = (
+                len(pairs),
+                len({s for s, _ in pairs}),
+                len({o for _, o in pairs}),
+            )
+        self._pred_stats[predicate] = stats
+        return stats
+
+    def stats_vector(self) -> tuple[tuple[int, int, int, int], ...]:
+        """Deterministic per-predicate stats rows, sorted by predicate id."""
+        return tuple(
+            (predicate,) + self.predicate_stats(predicate)
+            for predicate in sorted(self._by_predicate)
+        )
 
     # --- TripleStore write protocol: a view is immutable --------------------
     def _immutable(self, *_args, **_kwargs):

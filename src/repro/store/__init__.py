@@ -11,7 +11,17 @@ from .backends import (
 )
 from .graph import Graph
 from .locks import ReentrantReadWriteLock
-from .query import Binding, TriplePattern, ask, construct, select, solve, unify
+from .query import (
+    Binding,
+    TriplePattern,
+    ask,
+    construct,
+    explain,
+    select,
+    solve,
+    solve_naive,
+    unify,
+)
 from .vertical import VerticalTripleStore
 
 __all__ = [
@@ -28,6 +38,8 @@ __all__ = [
     "TriplePattern",
     "Binding",
     "solve",
+    "solve_naive",
+    "explain",
     "select",
     "ask",
     "construct",

@@ -18,6 +18,23 @@ is swappable as long as it provides:
 
 All triples are *encoded* ``(int, int, int)`` tuples (see
 :mod:`repro.dictionary`); a backend never sees a term object.
+
+**Optional permutation-index extension** (the planner protocol).  The
+cost-based planner (:mod:`repro.store.planner`) probes for these by
+``getattr`` and degrades to :meth:`match` scans when absent, so they are
+deliberately *not* part of the runtime-checkable protocol below (adding
+required methods would silently flip ``isinstance`` for existing
+duck-typed backends):
+
+* ``triples_for_subject(s)`` / ``triples_for_object(o)`` — subject- and
+  object-first lookups (the SPO / OSP permutations);
+* ``count_subject(s)`` / ``count_object(o)`` — their cardinalities;
+* ``predicates_between(s, o)`` — predicates linking a bound pair;
+* ``predicate_stats(p) -> (count, distinct subjects, distinct objects)``
+  — the planner's O(1) per-join-step cost inputs, maintained
+  incrementally on the write path;
+* ``stats_vector() -> ((p, count, ds, do), ...)`` sorted by predicate —
+  the deterministic snapshot durability tests compare across recovery.
 """
 
 from __future__ import annotations

@@ -37,7 +37,7 @@ __all__ = ["ColumnarReadStore"]
 class ColumnarReadStore:
     """Read-only ``TripleStore`` over the sorted columns of a v2 image."""
 
-    __slots__ = ("snapshot", "_spo", "_pos", "_size", "_pred_spans")
+    __slots__ = ("snapshot", "_spo", "_pos", "_size", "_pred_spans", "_pred_stats")
 
     def __init__(self, snapshot):
         self.snapshot = snapshot
@@ -47,6 +47,9 @@ class ColumnarReadStore:
         #: predicate id -> (lo, hi) row span in the POS ordering,
         #: built lazily on the first predicate-shaped lookup.
         self._pred_spans: dict[int, tuple[int, int]] | None = None
+        #: predicate id -> (count, distinct s, distinct o), lazily cached
+        #: per predicate — the planner's cost inputs over a mapped image.
+        self._pred_stats: dict[int, tuple[int, int, int]] = {}
 
     @classmethod
     def open(cls, path) -> "ColumnarReadStore":
@@ -138,6 +141,70 @@ class ColumnarReadStore:
         lo, hi = self._span(o_col, obj, lo, hi)
         return list(s_col[lo:hi])
 
+    # --- permutation-index read surface (planner protocol) ----------------
+    def triples_for_subject(self, subject: int) -> list[EncodedTriple]:
+        """All triples with the given subject: one bisect on SPO."""
+        s_col, p_col, o_col = self._spo
+        lo, hi = self._span(s_col, subject, 0, self._size)
+        return [(subject, p_col[i], o_col[i]) for i in range(lo, hi)]
+
+    def triples_for_object(self, obj: int) -> list[EncodedTriple]:
+        """All triples with the given object: one bisect per POS partition."""
+        return self.match(obj=obj)
+
+    def count_subject(self, subject: int) -> int:
+        s_col, _, _ = self._spo
+        lo, hi = self._span(s_col, subject, 0, self._size)
+        return hi - lo
+
+    def count_object(self, obj: int) -> int:
+        _, o_col, _ = self._pos
+        total = 0
+        for lo, hi in self._predicate_spans().values():
+            first, last = self._span(o_col, obj, lo, hi)
+            total += last - first
+        return total
+
+    def predicates_between(self, subject: int, obj: int) -> list[int]:
+        s_col, p_col, o_col = self._spo
+        lo, hi = self._span(s_col, subject, 0, self._size)
+        return [p_col[i] for i in range(lo, hi) if o_col[i] == obj]
+
+    def predicate_stats(self, predicate: int) -> tuple[int, int, int]:
+        """``(cardinality, distinct subjects, distinct objects)``, cached.
+
+        The POS span is sorted by object, so distinct objects fall out of
+        a run-length walk; distinct subjects need one set pass.  Both are
+        computed once per predicate per image (the image never mutates).
+        """
+        cached = self._pred_stats.get(predicate)
+        if cached is not None:
+            return cached
+        lo, hi = self._predicate_spans().get(predicate, (0, 0))
+        count = hi - lo
+        if not count:
+            stats = (0, 0, 0)
+        else:
+            _, o_col, s_col = self._pos
+            distinct_objects = 1
+            previous = o_col[lo]
+            for i in range(lo + 1, hi):
+                value = o_col[i]
+                if value != previous:
+                    distinct_objects += 1
+                    previous = value
+            distinct_subjects = len({s_col[i] for i in range(lo, hi)})
+            stats = (count, distinct_subjects, distinct_objects)
+        self._pred_stats[predicate] = stats
+        return stats
+
+    def stats_vector(self) -> tuple[tuple[int, int, int, int], ...]:
+        """Deterministic per-predicate stats rows, sorted by predicate id."""
+        return tuple(
+            (predicate,) + self.predicate_stats(predicate)
+            for predicate in sorted(self._predicate_spans())
+        )
+
     def match(
         self,
         subject: int | None = None,
@@ -200,6 +267,7 @@ class ColumnarReadStore:
         """
         self._spo = self._pos = None
         self._pred_spans = None
+        self._pred_stats = {}
         self._size = 0
         self.snapshot.close()
 

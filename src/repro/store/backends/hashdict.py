@@ -12,6 +12,17 @@ This implementation mirrors that design exactly:
 * ``_pso[p][s] -> set of o``  (predicate partition, subject index)
 * ``_pos[p][o] -> set of s``  (predicate partition, object index)
 
+and extends it with the two permutations the cost-based query planner
+binds to when a pattern leaves the predicate free:
+
+* ``_spo[s][p] -> set of o``  (subject-first, for ``(s, ?p, ?o)``)
+* ``_osp[o][s] -> set of p``  (object-first, for ``(?s, ?p, o)`` and
+  the fully predicate-free ``(s, ?p, o)`` probe)
+
+Per-predicate cardinality counters are maintained incrementally on the
+write path, so :meth:`count_predicate` and :meth:`predicate_stats` are
+O(1) — the planner consults them per join step and must not pay a scan.
+
 All triples are *encoded* ``(int, int, int)`` tuples (see
 :mod:`repro.dictionary`).  The store never sees a term object.
 
@@ -44,6 +55,9 @@ class HashDictStore:
     def __init__(self):
         self._pso: dict[int, dict[int, set[int]]] = {}
         self._pos: dict[int, dict[int, set[int]]] = {}
+        self._spo: dict[int, dict[int, set[int]]] = {}
+        self._osp: dict[int, dict[int, set[int]]] = {}
+        self._predicate_counts: dict[int, int] = {}
         self._size = 0
         self.lock = ReentrantReadWriteLock()
 
@@ -85,6 +99,9 @@ class HashDictStore:
             object_index[obj] = {subject}
         else:
             subjects.add(subject)
+        self._spo.setdefault(subject, {}).setdefault(predicate, set()).add(obj)
+        self._osp.setdefault(obj, {}).setdefault(subject, set()).add(predicate)
+        self._predicate_counts[predicate] = self._predicate_counts.get(predicate, 0) + 1
         self._size += 1
         return True
 
@@ -121,6 +138,25 @@ class HashDictStore:
         if not subject_index:
             del self._pso[predicate]
             del self._pos[predicate]
+        spo_predicates = self._spo[subject]
+        spo_objects = spo_predicates[predicate]
+        spo_objects.remove(obj)
+        if not spo_objects:
+            del spo_predicates[predicate]
+            if not spo_predicates:
+                del self._spo[subject]
+        osp_subjects = self._osp[obj]
+        osp_predicates = osp_subjects[subject]
+        osp_predicates.remove(predicate)
+        if not osp_predicates:
+            del osp_subjects[subject]
+            if not osp_subjects:
+                del self._osp[obj]
+        remaining = self._predicate_counts[predicate] - 1
+        if remaining:
+            self._predicate_counts[predicate] = remaining
+        else:
+            del self._predicate_counts[predicate]
         self._size -= 1
         return True
 
@@ -153,12 +189,9 @@ class HashDictStore:
             return list(self._pso.keys())
 
     def count_predicate(self, predicate: int) -> int:
-        """Number of triples stored under ``predicate``."""
+        """Number of triples stored under ``predicate`` (O(1))."""
         with self.lock.read():
-            subject_index = self._pso.get(predicate)
-            if subject_index is None:
-                return 0
-            return sum(len(objects) for objects in subject_index.values())
+            return self._predicate_counts.get(predicate, 0)
 
     def pairs_for_predicate(self, predicate: int) -> list[tuple[int, int]]:
         """All (subject, object) pairs stored under ``predicate``.
@@ -193,6 +226,86 @@ class HashDictStore:
                 return []
             return list(object_index.get(obj, ()))
 
+    # --- permutation-index read surface (planner protocol) ----------------
+    def triples_for_subject(self, subject: int) -> list[EncodedTriple]:
+        """All triples with the given subject, via the SPO permutation."""
+        with self.lock.read():
+            predicate_index = self._spo.get(subject)
+            if predicate_index is None:
+                return []
+            return [
+                (subject, predicate, obj)
+                for predicate, objects in predicate_index.items()
+                for obj in objects
+            ]
+
+    def triples_for_object(self, obj: int) -> list[EncodedTriple]:
+        """All triples with the given object, via the OSP permutation."""
+        with self.lock.read():
+            subject_index = self._osp.get(obj)
+            if subject_index is None:
+                return []
+            return [
+                (subject, predicate, obj)
+                for subject, predicates in subject_index.items()
+                for predicate in predicates
+            ]
+
+    def count_subject(self, subject: int) -> int:
+        """Number of triples with the given subject."""
+        with self.lock.read():
+            predicate_index = self._spo.get(subject)
+            if predicate_index is None:
+                return 0
+            return sum(len(objects) for objects in predicate_index.values())
+
+    def count_object(self, obj: int) -> int:
+        """Number of triples with the given object."""
+        with self.lock.read():
+            subject_index = self._osp.get(obj)
+            if subject_index is None:
+                return 0
+            return sum(len(predicates) for predicates in subject_index.values())
+
+    def predicates_between(self, subject: int, obj: int) -> list[int]:
+        """All predicates p with (subject, p, obj) in the store (OSP probe)."""
+        with self.lock.read():
+            subject_index = self._osp.get(obj)
+            if subject_index is None:
+                return []
+            return list(subject_index.get(subject, ()))
+
+    def predicate_stats(self, predicate: int) -> tuple[int, int, int]:
+        """``(cardinality, distinct subjects, distinct objects)`` for one
+        predicate, all O(1) — the planner's per-join-step cost inputs."""
+        with self.lock.read():
+            count = self._predicate_counts.get(predicate, 0)
+            if not count:
+                return (0, 0, 0)
+            return (
+                count,
+                len(self._pso[predicate]),
+                len(self._pos[predicate]),
+            )
+
+    def stats_vector(self) -> tuple[tuple[int, int, int, int], ...]:
+        """Deterministic per-predicate stats snapshot, sorted by predicate id.
+
+        Each row is ``(predicate, cardinality, distinct subjects, distinct
+        objects)``.  Durability tests compare this bit-identically across
+        snapshot restore, WAL recovery, and follower replay.
+        """
+        with self.lock.read():
+            return tuple(
+                (
+                    predicate,
+                    self._predicate_counts[predicate],
+                    len(self._pso[predicate]),
+                    len(self._pos[predicate]),
+                )
+                for predicate in sorted(self._predicate_counts)
+            )
+
     def match(
         self,
         subject: int | None = None,
@@ -207,9 +320,34 @@ class HashDictStore:
         with self.lock.read():
             if predicate is not None:
                 return self._match_with_predicate(subject, predicate, obj)
+            if subject is not None and obj is not None:
+                subject_index = self._osp.get(obj)
+                if subject_index is None:
+                    return []
+                return [
+                    (subject, p, obj) for p in subject_index.get(subject, ())
+                ]
+            if subject is not None:
+                predicate_index = self._spo.get(subject)
+                if predicate_index is None:
+                    return []
+                return [
+                    (subject, p, o)
+                    for p, objects in predicate_index.items()
+                    for o in objects
+                ]
+            if obj is not None:
+                subject_index = self._osp.get(obj)
+                if subject_index is None:
+                    return []
+                return [
+                    (s, p, obj)
+                    for s, predicates in subject_index.items()
+                    for p in predicates
+                ]
             results: list[EncodedTriple] = []
             for known_predicate in self._pso:
-                results.extend(self._match_with_predicate(subject, known_predicate, obj))
+                results.extend(self._match_with_predicate(None, known_predicate, None))
             return results
 
     def _match_with_predicate(
@@ -252,6 +390,9 @@ class HashDictStore:
         with self.lock.write():
             self._pso.clear()
             self._pos.clear()
+            self._spo.clear()
+            self._osp.clear()
+            self._predicate_counts.clear()
             self._size = 0
 
     # --- statistics -------------------------------------------------------

@@ -147,6 +147,44 @@ class ShardedTripleStore:
     def subjects(self, predicate: int, obj: int) -> list[int]:
         return self.shard_for(predicate).subjects(predicate, obj)
 
+    # --- permutation-index read surface (planner protocol) ----------------
+    # Sharding is by predicate, so subject-/object-first lookups have no
+    # single home shard: concatenate across shards (per-shard-consistent,
+    # same guarantee as the whole-store sweeps above).
+    def triples_for_subject(self, subject: int) -> list[EncodedTriple]:
+        results: list[EncodedTriple] = []
+        for shard in self._shards:
+            results.extend(shard.triples_for_subject(subject))
+        return results
+
+    def triples_for_object(self, obj: int) -> list[EncodedTriple]:
+        results: list[EncodedTriple] = []
+        for shard in self._shards:
+            results.extend(shard.triples_for_object(obj))
+        return results
+
+    def count_subject(self, subject: int) -> int:
+        return sum(shard.count_subject(subject) for shard in self._shards)
+
+    def count_object(self, obj: int) -> int:
+        return sum(shard.count_object(obj) for shard in self._shards)
+
+    def predicates_between(self, subject: int, obj: int) -> list[int]:
+        results: list[int] = []
+        for shard in self._shards:
+            results.extend(shard.predicates_between(subject, obj))
+        return results
+
+    def predicate_stats(self, predicate: int) -> tuple[int, int, int]:
+        return self.shard_for(predicate).predicate_stats(predicate)
+
+    def stats_vector(self) -> tuple[tuple[int, int, int, int], ...]:
+        rows: list[tuple[int, int, int, int]] = []
+        for shard in self._shards:
+            rows.extend(shard.stats_vector())
+        rows.sort()
+        return tuple(rows)
+
     def match(
         self,
         subject: int | None = None,

@@ -1,0 +1,176 @@
+"""Incremental join plans for standing BGPs.
+
+Following the "queries under updates" treatment, a standing BGP is
+compiled *once* into k+1 plans (k = pattern count):
+
+* the **full plan** — used to materialize the initial solution set at
+  registration time;
+* one **rest plan per pattern** — the join of the other k-1 patterns,
+  ordered assuming that pattern's variables are already bound.  When a
+  committed delta adds triples, each added triple is unified against
+  each pattern *in encoded space*; every hit seeds the matching rest
+  plan, so maintenance work is O(delta × plan), never O(data).
+
+Removals need no plan at all: a maintained solution dies iff one of its
+fully-instantiated supporting triples is net-removed (the subscription
+layer keeps that logic).
+
+Plans age as the graph grows — statistics collected over an empty graph
+at subscribe time would order joins arbitrarily forever — so the plan
+recompiles itself when the store size drifts past 2× (either way) of
+the size it was planned at.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...rdf.terms import Variable
+from ..graph import Graph
+from ..query import Binding, TriplePattern
+from .executor import execute_encoded, execute_plan
+from .plan import plan_bgp
+
+__all__ = ["IncrementalBGPPlan"]
+
+#: Recompile when the store size drifts past this factor of the planned
+#: size (with a small absolute floor so tiny graphs don't thrash).
+_REPLAN_FACTOR = 2
+_REPLAN_FLOOR = 64
+
+
+class IncrementalBGPPlan:
+    """Compiled maintenance plans for one standing BGP."""
+
+    __slots__ = (
+        "patterns",
+        "_slots",
+        "_rest_patterns",
+        "_full_plan",
+        "_rest_plans",
+        "_planned_size",
+    )
+
+    def __init__(self, patterns: Sequence[TriplePattern]):
+        self.patterns: tuple[TriplePattern, ...] = tuple(tuple(p) for p in patterns)
+        # Per pattern: ('v', Variable) / ('c', term) slot tags, plus the
+        # written-order rest of the BGP it seeds.
+        self._slots = tuple(
+            tuple(
+                ("v", term) if isinstance(term, Variable) else ("c", term)
+                for term in pattern
+            )
+            for pattern in self.patterns
+        )
+        self._rest_patterns = tuple(
+            self.patterns[:index] + self.patterns[index + 1 :]
+            for index in range(len(self.patterns))
+        )
+        self._full_plan = None
+        self._rest_plans: tuple | None = None
+        self._planned_size = -1
+
+    # --- compilation -------------------------------------------------------
+    def compile(self, graph: Graph) -> None:
+        """(Re)build all plans against the graph's current statistics."""
+        self._full_plan = plan_bgp(graph, self.patterns)
+        self._rest_plans = tuple(
+            plan_bgp(
+                graph,
+                rest,
+                bound=frozenset(
+                    term for term in self.patterns[index] if isinstance(term, Variable)
+                ),
+            )
+            for index, rest in enumerate(self._rest_patterns)
+        )
+        self._planned_size = len(graph.store)
+
+    def _ensure_fresh(self, graph: Graph) -> None:
+        if self._full_plan is None:
+            self.compile(graph)
+            return
+        size = len(graph.store)
+        planned = self._planned_size
+        if (
+            size > planned * _REPLAN_FACTOR + _REPLAN_FLOOR
+            or planned > size * _REPLAN_FACTOR + _REPLAN_FLOOR
+        ):
+            self.compile(graph)
+
+    # --- evaluation --------------------------------------------------------
+    def solutions(self, graph: Graph) -> list[Binding]:
+        """Full materialization (registration / reseeding)."""
+        self._ensure_fresh(graph)
+        return execute_plan(graph, self._full_plan)
+
+    def additions(
+        self, graph: Graph, added_encoded: Sequence[tuple[int, int, int]]
+    ) -> list[Binding]:
+        """Candidate new solutions introduced by a delta's added triples.
+
+        Returns term-level bindings, possibly with duplicates across
+        entry patterns — the caller dedupes against its maintained set.
+        """
+        if not added_encoded:
+            return []
+        self._ensure_fresh(graph)
+        lookup = graph.dictionary.lookup
+        decode = graph.dictionary.decode
+        results: list[Binding] = []
+        for index, slots in enumerate(self._slots):
+            const_ids = self._resolve_constants(slots, lookup)
+            if const_ids is None:
+                continue  # a constant this pattern needs is unseen: no match
+            seeds = []
+            for triple in added_encoded:
+                binding = self._unify_ids(slots, const_ids, triple)
+                if binding is not None:
+                    seeds.append(binding)
+            if not seeds:
+                continue
+            rest_plan = self._rest_plans[index]
+            if rest_plan.patterns:
+                matched = execute_encoded(graph, rest_plan, seeds)
+            else:
+                matched = seeds
+            for solution in matched:
+                results.append(
+                    {variable: decode(value) for variable, value in solution.items()}
+                )
+        return results
+
+    # --- encoded-space helpers --------------------------------------------
+    @staticmethod
+    def _resolve_constants(slots, lookup):
+        const_ids = []
+        for tag, term in slots:
+            if tag == "c":
+                term_id = lookup(term)
+                if term_id is None:
+                    return None
+                const_ids.append(term_id)
+            else:
+                const_ids.append(None)
+        return const_ids
+
+    @staticmethod
+    def _unify_ids(slots, const_ids, triple):
+        binding: dict = {}
+        for (tag, term), const_id, value in zip(slots, const_ids, triple):
+            if tag == "c":
+                if const_id != value:
+                    return None
+            else:
+                previous = binding.get(term)
+                if previous is None:
+                    binding[term] = value
+                elif previous != value:
+                    return None
+        return binding
+
+    def __repr__(self):
+        return (
+            f"<IncrementalBGPPlan patterns={len(self.patterns)} "
+            f"planned_size={self._planned_size}>"
+        )

@@ -2,10 +2,16 @@
 
 The demo lets users "retrieve the original ontology" and inspect inferred
 data; this module provides the query layer for that: conjunctive triple
-patterns with :class:`~repro.rdf.terms.Variable` terms, evaluated with a
-selectivity-ordered nested-index-loop join (the classic strategy for
-vertically-partitioned stores — each pattern probes the predicate
-partition directly).
+patterns with :class:`~repro.rdf.terms.Variable` terms.
+
+:func:`solve` delegates to the cost-based planner
+(:mod:`repro.store.planner`): statistics-driven join ordering, each step
+bound to the cheapest index permutation, executed in encoded integer
+space.  :func:`solve_naive` keeps the original written-order term-level
+nested-loop evaluation — it is the ground truth the differential query
+oracle (``tests/query/``) checks the planner against, and deliberately
+shares no code with it.  :func:`explain` exposes the chosen plan with
+estimated vs. actual rows per join step.
 
 >>> from repro.rdf import IRI, Variable
 >>> x = Variable("x")
@@ -19,7 +25,17 @@ from typing import Iterator, Sequence, Union
 from ..rdf.terms import Term, Triple, Variable
 from .graph import Graph
 
-__all__ = ["TriplePattern", "Binding", "solve", "select", "ask", "construct", "unify"]
+__all__ = [
+    "TriplePattern",
+    "Binding",
+    "solve",
+    "solve_naive",
+    "explain",
+    "select",
+    "ask",
+    "construct",
+    "unify",
+]
 
 PatternTerm = Union[Term, Variable]
 TriplePattern = tuple[PatternTerm, PatternTerm, PatternTerm]
@@ -51,23 +67,6 @@ def unify(
 
 def _pattern_variables(pattern: TriplePattern) -> set[Variable]:
     return {term for term in pattern if isinstance(term, Variable)}
-
-
-def _estimate_cost(graph: Graph, pattern: TriplePattern, bound: set[Variable]) -> tuple[int, int]:
-    """Join-ordering key: fewer free variables first, then more selective.
-
-    Returns (number of unbound variables, crude cardinality estimate).
-    """
-    free = [term for term in pattern if isinstance(term, Variable) and term not in bound]
-    predicate = pattern[1]
-    if isinstance(predicate, Variable):
-        # Variable predicate (even when join-bound, the value is unknown
-        # at planning time): assume the worst case, a full scan.
-        cardinality = len(graph)
-    else:
-        predicate_id = graph.dictionary.lookup(predicate)
-        cardinality = 0 if predicate_id is None else graph.store.count_predicate(predicate_id)
-    return (len(free), cardinality)
 
 
 def _substitute(pattern: TriplePattern, binding: Binding) -> TriplePattern:
@@ -108,22 +107,33 @@ def solve(
     """Evaluate a conjunction of triple patterns; return all solutions.
 
     Each solution maps every variable in the BGP to a concrete term.
-    Patterns are greedily reordered by selectivity at each join step.
-    ``bindings`` optionally seeds the evaluation with partial solutions
-    (the subscription layer passes the bindings a delta triple produced,
-    so only the affected slice of the solution space is re-joined).
+    Evaluation goes through the cost-based planner
+    (:mod:`repro.store.planner`): statistics-driven join order, cheapest
+    index permutation per step, encoded-space execution.  ``bindings``
+    optionally seeds the evaluation with partial solutions (the
+    subscription layer passes the bindings a delta triple produced, so
+    only the affected slice of the solution space is re-joined).
     """
-    seeds: list[Binding] = [dict(b) for b in bindings] if bindings else [{}]
-    if not patterns:
-        return seeds
-    remaining = list(patterns)
-    solutions: list[Binding] = seeds
-    bound: set[Variable] = set()
-    for seed in seeds:
-        bound |= seed.keys()
-    while remaining:
-        remaining.sort(key=lambda p: _estimate_cost(graph, p, bound))
-        pattern = remaining.pop(0)
+    from .planner import solve_planned  # lazy: planner imports this module
+
+    return solve_planned(graph, patterns, bindings)
+
+
+def solve_naive(
+    graph: Graph,
+    patterns: Sequence[TriplePattern],
+    bindings: Sequence[Binding] | None = None,
+) -> list[Binding]:
+    """Written-order, term-level reference evaluation of a BGP.
+
+    Nested-loop join over the patterns exactly as written, matching
+    decoded triples — obviously correct and deliberately independent of
+    the planner's statistics, ordering, and encoded execution.  The
+    differential query oracle asserts ``solve`` ≡ ``solve_naive`` as
+    multisets of bindings.
+    """
+    solutions: list[Binding] = [dict(b) for b in bindings] if bindings else [{}]
+    for pattern in patterns:
         next_solutions: list[Binding] = []
         for solution in solutions:
             concrete = _substitute(pattern, solution)
@@ -134,8 +144,20 @@ def solve(
         solutions = next_solutions
         if not solutions:
             return []
-        bound |= _pattern_variables(pattern)
     return solutions
+
+
+def explain(
+    graph: Graph,
+    patterns: Sequence[TriplePattern],
+    bindings: Sequence[Binding] | None = None,
+) -> dict:
+    """Plan and run a BGP, returning the chosen plan with per-step
+    estimated vs. actual row counts (see
+    :func:`repro.store.planner.plan.explain_plan`)."""
+    from .planner import explain_plan  # lazy: planner imports this module
+
+    return explain_plan(graph, patterns, bindings)
 
 
 def select(
@@ -144,7 +166,20 @@ def select(
     patterns: Sequence[TriplePattern],
     distinct: bool = True,
 ) -> list[tuple[Term, ...]]:
-    """SPARQL-SELECT-like projection of BGP solutions onto ``variables``."""
+    """SPARQL-SELECT-like projection of BGP solutions onto ``variables``.
+
+    Every projected variable must occur in ``patterns`` (a variable no
+    pattern can bind would otherwise KeyError on the first solution).
+    An empty BGP has exactly one (empty) solution, so
+    ``select(graph, [], [])`` returns ``[()]``.
+    """
+    pattern_variables: set[Variable] = set()
+    for pattern in patterns:
+        pattern_variables |= _pattern_variables(pattern)
+    unbound = [v for v in variables if v not in pattern_variables]
+    if unbound:
+        names = ", ".join(f"?{v.name}" for v in unbound)
+        raise ValueError(f"projected variables not bound by any pattern: {names}")
     rows = [
         tuple(solution[variable] for variable in variables)
         for solution in solve(graph, patterns)
@@ -170,14 +205,29 @@ def construct(
     template: Sequence[TriplePattern],
     patterns: Sequence[TriplePattern],
 ) -> list[Triple]:
-    """SPARQL-CONSTRUCT: instantiate ``template`` for every solution."""
+    """SPARQL-CONSTRUCT: instantiate ``template`` for every solution.
+
+    Every template variable must be bound by the body ``patterns``; a
+    variable the body can never bind would silently drop template
+    triples (or worse, emit malformed ones), so it raises instead.
+    """
+    body_variables: set[Variable] = set()
+    for pattern in patterns:
+        body_variables |= _pattern_variables(pattern)
+    unbound = [
+        term
+        for pattern in template
+        for term in pattern
+        if isinstance(term, Variable) and term not in body_variables
+    ]
+    if unbound:
+        names = ", ".join(sorted({f"?{v.name}" for v in unbound}))
+        raise ValueError(f"template variables never bound by the body: {names}")
     results: list[Triple] = []
     seen: set[Triple] = set()
     for solution in solve(graph, patterns):
         for pattern in template:
             subject, predicate, obj = _substitute(pattern, solution)
-            if isinstance(subject, Variable) or isinstance(predicate, Variable) or isinstance(obj, Variable):
-                continue  # unbound template variable: skip (per SPARQL)
             triple = Triple(subject, predicate, obj)
             if triple not in seen:
                 seen.add(triple)

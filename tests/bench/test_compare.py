@@ -37,6 +37,14 @@ class TestExtract:
         assert server["server.total_rps"] == 2000.0
         assert server["server.read_p99_ms"] == 11.0
 
+    def test_planner_artifact(self):
+        assert extract_metrics(
+            {"kind": "planner", "query_speedup": 250.0, "subscription_speedup": 7.5}
+        ) == {
+            "planner.query_speedup": 250.0,
+            "planner.subscription_speedup": 7.5,
+        }
+
     def test_unknown_artifact_rejected(self):
         with pytest.raises(ValueError):
             extract_metrics({"kind": "mystery"})

@@ -1,0 +1,21 @@
+"""The planner bench module: tiny-scale run, sane ratios, artifact shape."""
+
+from repro.bench.planner import run_planner_bench
+
+
+def test_run_planner_bench_tiny():
+    result = run_planner_bench(
+        scale=0.2, standing=40, revisions=3, base_triples=400, rounds=1
+    )
+    # run_planner_bench already asserts planner == reference and
+    # incremental == re-solve before reporting any time; here we pin the
+    # artifact contract the comparator consumes.
+    data = result.as_dict()
+    assert data["kind"] == "planner"
+    assert data["query_speedup"] == result.query_speedup
+    assert data["subscription_speedup"] == result.subscription_speedup
+    assert result.query_speedup > 1.0  # quadratic-as-written vs planned
+    assert result.subscription_speedup > 0.0
+    assert result.standing_queries == 40
+    assert result.revisions == 3
+    assert result.graph_size > 0

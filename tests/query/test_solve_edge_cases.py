@@ -1,0 +1,132 @@
+"""Regression tests for BGP-evaluation edge cases fixed with the planner.
+
+* an empty pattern list has exactly one (empty) solution: ``ask`` is
+  True, ``select`` of nothing returns one empty row, seeds pass through;
+* seed bindings that fully pre-bind a pattern act as membership probes;
+* seed terms the graph's dictionary has never seen kill the seed when a
+  pattern references them, but *carry* variables (bound by no pattern)
+  survive to the output untouched;
+* ``select`` / ``construct`` raise ``ValueError`` for variables no body
+  pattern can bind (previously a KeyError, or silently dropped output);
+* ``explain`` reports the executed plan with comparable estimated and
+  actual per-step row counts, ordered by selectivity.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.rdf import Literal, RDF, Triple, Variable
+from repro.store import Graph, ask, construct, explain, select, solve, solve_naive
+
+from ..conftest import EX
+
+X, Y = Variable("x"), Variable("y")
+
+
+@pytest.fixture()
+def graph() -> Graph:
+    g = Graph()
+    g.add_all(
+        [
+            Triple(EX.a, RDF.type, EX.Widget),
+            Triple(EX.b, RDF.type, EX.Widget),
+            Triple(EX.a, EX.knows, EX.b),
+            Triple(EX.b, EX.age, Literal("7")),
+        ]
+    )
+    return g
+
+
+def as_multiset(solutions) -> Counter:
+    return Counter(frozenset(binding.items()) for binding in solutions)
+
+
+class TestEmptyBGP:
+    def test_solve_empty_is_one_empty_solution(self, graph):
+        assert solve(graph, []) == [{}]
+
+    def test_ask_empty_is_true(self, graph):
+        assert ask(graph, []) is True
+
+    def test_select_empty_is_one_empty_row(self, graph):
+        assert select(graph, [], []) == [()]
+
+    def test_empty_bgp_passes_seeds_through(self, graph):
+        seeds = [{X: EX.a}, {X: EX.b}]
+        result = solve(graph, [], seeds)
+        assert result == seeds
+        result[0][Y] = EX.b  # returned solutions are copies, not aliases
+        assert Y not in seeds[0]
+
+
+class TestPreBoundSeeds:
+    def test_fully_pre_bound_pattern_is_a_membership_probe(self, graph):
+        seeds = [{X: EX.a, Y: EX.b}, {X: EX.b, Y: EX.a}]
+        assert solve(graph, [(X, EX.knows, Y)], seeds) == [{X: EX.a, Y: EX.b}]
+
+    def test_unseen_seed_term_in_pattern_kills_the_seed(self, graph):
+        assert solve(graph, [(X, RDF.type, EX.Widget)], [{X: EX.ghost}]) == []
+
+    def test_unseen_carry_variable_survives(self, graph):
+        carry = Variable("carry")
+        result = solve(graph, [(X, EX.knows, Y)], [{carry: EX.ghost}])
+        assert result == [{X: EX.a, Y: EX.b, carry: EX.ghost}]
+
+    def test_heterogeneous_seed_shapes(self, graph):
+        seeds = [{X: EX.a}, {Y: EX.b}, {}]
+        patterns = [(X, EX.knows, Y)]
+        assert as_multiset(solve(graph, patterns, seeds)) == as_multiset(
+            solve_naive(graph, patterns, seeds)
+        )
+
+    def test_unknown_constant_pattern_matches_nothing(self, graph):
+        assert solve(graph, [(X, EX.never_used, Y)]) == []
+        assert solve_naive(graph, [(X, EX.never_used, Y)]) == []
+
+
+class TestProjectionValidation:
+    def test_select_unbound_projection_raises(self, graph):
+        with pytest.raises(ValueError, match="projected variables not bound"):
+            select(graph, [Variable("nope")], [(X, RDF.type, EX.Widget)])
+
+    def test_construct_unbound_template_raises(self, graph):
+        with pytest.raises(ValueError, match="template variables never bound"):
+            construct(
+                graph,
+                [(X, EX.made, Variable("nope"))],
+                [(X, RDF.type, EX.Widget)],
+            )
+
+    def test_construct_with_bound_template(self, graph):
+        produced = construct(
+            graph, [(X, EX.made, EX.thing)], [(X, RDF.type, EX.Widget)]
+        )
+        assert set(produced) == {
+            Triple(EX.a, EX.made, EX.thing),
+            Triple(EX.b, EX.made, EX.thing),
+        }
+
+
+class TestExplain:
+    def test_explain_reports_executed_plan(self, graph):
+        report = explain(graph, [(X, RDF.type, EX.Widget), (X, EX.knows, Y)])
+        assert report["pattern_count"] == 2
+        assert report["store_size"] == 4
+        assert sorted(report["plan_order"]) == [0, 1]
+        # knows has one triple, type has two: the planner leads with the
+        # selective pattern.
+        assert report["plan_order"][0] == 1
+        assert report["solutions"] == 1
+        assert len(report["steps"]) == 2
+        for row in report["steps"]:
+            assert {
+                "step", "pattern", "written_index", "access",
+                "estimated_rows", "actual_rows",
+            } <= set(row)
+        assert report["steps"][-1]["actual_rows"] == 1
+
+    def test_explain_with_seed_bindings(self, graph):
+        report = explain(graph, [(X, RDF.type, Y)], bindings=[{X: EX.a}])
+        assert report["solutions"] == 1
+        assert report["steps"][0]["actual_rows"] == 1

@@ -53,10 +53,21 @@ def new_follower(server, store="hashdict", persist_dir=None):
     ).start()
 
 
+def term_stats(reasoner):
+    """The planner's per-predicate statistics keyed by *term* (the two
+    dictionaries may assign different ids; the statistics must agree)."""
+    dictionary = reasoner.graph.dictionary
+    return {
+        dictionary.decode(predicate): tuple(counts)
+        for predicate, *counts in reasoner.graph.store.stats_vector()
+    }
+
+
 def assert_converged(service, follower):
     """Closure, revision id, and view contents agree on both ends."""
     leader = service.reasoner
     replica = follower.service.reasoner
+    assert term_stats(replica) == term_stats(leader)
     assert replica.revision == leader.revision
     assert set(replica.graph) == set(leader.graph)
     assert replica.input_count == leader.input_count
@@ -251,3 +262,27 @@ class TestDifferentialReplication:
                 follower.close()
         finally:
             shutdown_leader(service, server)
+
+
+class TestStatsReplay:
+    """``apply_at`` replay rebuilds the planner statistics bit-identically.
+
+    A follower feeds leader deltas through ``apply_at`` pinned to the
+    leader's revision ids; the resulting store must carry the exact
+    statistics vector a direct ``apply`` run produces — same ids, same
+    counts — since both paths run the same commit pipeline.
+    """
+
+    @pytest.mark.parametrize("store", STORE_BACKENDS)
+    def test_apply_at_rebuilds_identical_stats(self, store):
+        script = generate_script(SEEDS[0])
+        with Slider(fragment="rhodf", store=store, **DETERMINISTIC) as leader:
+            revisions = [leader.apply(delta).revision for delta in script]
+            expected_vector = leader.graph.store.stats_vector()
+            expected_terms = term_stats(leader)
+        assert expected_vector, "the script must leave non-trivial statistics"
+        with Slider(fragment="rhodf", store=store, **DETERMINISTIC) as replica:
+            for revision, delta in zip(revisions, script):
+                replica.apply_at(revision, delta)
+            assert replica.graph.store.stats_vector() == expected_vector
+            assert term_stats(replica) == expected_terms

@@ -89,6 +89,29 @@ class TestReadEndpoints:
         status, out = get(client, f"/select?query={query}&limit=1")
         assert len(out["rows"]) == 1
 
+    def test_select_explain(self, client):
+        apply_schema(client)
+        query = quote(f"?x {RDF_TYPE} ?cls . ?cls {SUBCLASS} ?super", safe="")
+        status, out = get(client, f"/select?query={query}&explain=1")
+        assert status == 200
+        plan = out["explain"]
+        assert plan["pattern_count"] == 2
+        assert sorted(plan["plan_order"]) == [0, 1]
+        assert plan["solutions"] >= 1
+        for row in plan["steps"]:
+            assert {"pattern", "access", "estimated_rows", "actual_rows"} <= set(row)
+        # explain=0 keeps the ordinary row response.
+        status, out = get(client, f"/select?query={query}&explain=0")
+        assert status == 200 and "rows" in out
+
+    def test_construct_unbound_template_is_400(self, client):
+        apply_schema(client)
+        template = quote(f"?x {EX.isA.n3()} ?nowhere", safe="")
+        query = quote(ANIMAL_QUERY, safe="")
+        status, out = get(client, f"/construct?template={template}&query={query}")
+        assert status == 400
+        assert "never bound" in out["error"]
+
     def test_ask(self, client):
         apply_schema(client)
         query = quote(ANIMAL_QUERY, safe="")
