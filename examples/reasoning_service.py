@@ -137,7 +137,10 @@ def drive(host: str, port: int) -> int:
         f"events={events}",
     )
 
-    # 4 — bookkeeping.
+    # 4 — bookkeeping.  Since the partitioned-leader work, /stats
+    # carries a "sharding" block (revision vector + cross-shard forward
+    # counters) on sharded leaders, and a "tenancy" summary when
+    # multi-tenant serving is enabled; both are None/absent otherwise.
     status, stats = client.get("/stats")
     failures += not check(
         "GET /stats is consistent",
@@ -146,6 +149,22 @@ def drive(host: str, port: int) -> int:
         and stats["writes"]["commits"] >= 2,
         f"revision={stats.get('revision')} commits={stats.get('writes', {}).get('commits')}",
     )
+    sharding = stats.get("sharding")
+    if sharding is not None:
+        failures += not check(
+            "sharded leader reports its revision vector + forwards",
+            len(sharding["revision_vector"]) == sharding["shards"]
+            and max(sharding["revision_vector"]) <= stats["revision"]
+            and all(k in sharding["forwards"]
+                    for k in ("assertions", "retractions", "broadcasts", "rounds")),
+            f"vector={sharding['revision_vector']} forwards={sharding['forwards']}",
+        )
+    else:
+        check("single-node leader: no sharding block (expected)", True)
+    if stats.get("tenancy") is not None:
+        check("tenancy summary present",
+              "active_engines" in stats["tenancy"],
+              f"engines={stats['tenancy'].get('active_engines')}")
     return failures
 
 

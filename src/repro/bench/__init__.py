@@ -6,6 +6,11 @@ from .recovery import RecoveryResult, run_recovery
 from .replication import ReplicationBenchResult, run_replication_bench
 from .server_load import ServerLoadResult, run_server_load
 from .sharding import ShardingBenchResult, run_sharding_bench
+from .tenancy_load import (
+    RetryAfterClient,
+    TenancyLoadResult,
+    run_tenancy_load,
+)
 from .harness import (
     RunResult,
     Table1Row,
@@ -40,6 +45,9 @@ __all__ = [
     "run_server_load",
     "ShardingBenchResult",
     "run_sharding_bench",
+    "RetryAfterClient",
+    "TenancyLoadResult",
+    "run_tenancy_load",
     "Table1Row",
     "run_slider",
     "run_batch",

@@ -91,6 +91,13 @@ def extract_metrics(artifact) -> dict[str, float]:
                 artifact["subscription_speedup"]
             ),
         }
+    if kind == "tenancy":
+        return {
+            "tenancy.zipf_write_tps": float(artifact["zipf_write_tps"]),
+            "tenancy.noisy_neighbor_p99_factor": float(
+                artifact["noisy_neighbor_p99_factor"]
+            ),
+        }
     if kind == "sharding":
         metrics = {
             f"sharding.write_scaleup_{count}": float(factor)

@@ -131,6 +131,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--feed-retain", type=int, default=1024,
                        help="committed deltas the change feed keeps in memory "
                             "for resuming followers (default %(default)s)")
+    serve.add_argument("--tenancy", action="store_true",
+                       help="enable multi-tenant serving: ?tenant= routing, "
+                            "/tenants management, per-tenant quotas and "
+                            "fair-share write scheduling")
+    serve.add_argument("--tenant-queue-limit", type=int, default=256,
+                       help="bounded per-tenant write queue depth; a full "
+                            "queue answers 429 + Retry-After "
+                            "(default %(default)s)")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request to stderr")
 
@@ -362,6 +370,10 @@ def _cmd_serve(args) -> int:
             print("error: --shards applies to leaders only (a --follow "
                   "replica replays the leader's single feed)", file=sys.stderr)
             return 2
+        if args.tenancy:
+            print("error: --tenancy applies to leaders only (replicas are "
+                  "read-only and hold no tenant engines)", file=sys.stderr)
+            return 2
         return _cmd_serve_follower(args)
 
     from .replication.feed import ChangeFeed
@@ -397,10 +409,38 @@ def _cmd_serve(args) -> int:
     # Every leader exposes the change feed: replicas can attach at any
     # time (the feed itself costs one in-memory ring of recent deltas).
     ChangeFeed(service, retain=args.feed_retain)
+    tenants = None
+    if args.tenancy:
+        from pathlib import Path
+
+        from .tenancy import TenantManager, TenantQuota, TenantRegistry
+
+        tenant_dir = Path(args.persist) / "tenants" if args.persist else None
+        registry = None
+        if tenant_dir is None or not (tenant_dir / "tenants.json").exists():
+            # First boot: an open registry (unlimited default quota) so
+            # tenants self-provision on first write; operators tighten
+            # limits via POST /tenants (persisted thereafter).
+            registry = TenantRegistry(default_quota=TenantQuota())
+        tenants = TenantManager(
+            registry=registry,
+            persist_dir=tenant_dir,
+            coalesce_tick=args.coalesce_ms / 1000.0,
+            queue_limit=args.tenant_queue_limit,
+            fragment=args.fragment,
+            store=args.store,
+            buffer_size=args.buffer_size,
+            workers=args.workers,
+            timeout=None if not args.timeout else args.timeout,
+            persist_fsync=not args.no_fsync,
+        )
     server, _thread = start_server(
-        service, host=args.host, port=args.port, verbose=args.verbose
+        service, host=args.host, port=args.port, verbose=args.verbose,
+        tenants=tenants,
     )
     topology = f", {args.shards} shards" if args.shards > 1 else ""
+    if tenants is not None:
+        topology += f", tenancy ({len(tenants.registry)} tenants)"
     # Parseable by scripts (and tests) even on ephemeral --port 0.
     print(f"listening on {server.url} as leader "
           f"(revision {service.revision}, {len(service.view())} triples"
@@ -421,6 +461,8 @@ def _cmd_serve(args) -> int:
     print("shutting down: draining writes ...", flush=True)
     server.shutdown()
     server.server_close()
+    if tenants is not None:
+        tenants.close()
     service.close()
     print(f"stopped cleanly at revision {reasoner.revision}", flush=True)
     return 0

@@ -63,6 +63,8 @@ from .snapshot import SnapshotError
 
 __all__ = [
     "COLUMNAR_MAGIC",
+    "COLUMNAR_MAGIC_V3",
+    "COLUMNAR_MAGICS",
     "ColumnarSnapshot",
     "encode_columnar_snapshot",
     "parse_columnar_snapshot",
@@ -71,6 +73,13 @@ __all__ = [
 ]
 
 COLUMNAR_MAGIC = b"SLSNAP02"
+#: Format v3: v2 plus a sparse named-graph column (row index + graph
+#: term id pairs).  Written only when the image actually carries graph
+#: data, so default-graph images stay byte-identical v2; the reader
+#: accepts both, loading a v2 image as "everything in the default
+#: graph" — that *is* the migration.
+COLUMNAR_MAGIC_V3 = b"SLSNAP03"
+COLUMNAR_MAGICS = (COLUMNAR_MAGIC, COLUMNAR_MAGIC_V3)
 
 _CRC = struct.Struct("<I")
 _U64 = struct.Struct("<Q")
@@ -98,17 +107,25 @@ def encode_columnar_snapshot(
     terms: Sequence[Term],
     explicit: Iterable[EncodedTriple],
     inferred: Iterable[EncodedTriple],
+    graphs: Iterable[tuple[int, int, int, int]] = (),
 ) -> bytes:
-    """The complete v2 image as bytes (same keyword surface as v1)."""
+    """The complete v2/v3 image as bytes (same keyword surface as v1).
+
+    ``graphs`` is the sparse named-graph column as ``(s, p, o, graph)``
+    id rows; a non-empty column switches the image to format v3 (the v2
+    layout plus a ``graph_count`` header field and two trailing id
+    arrays: SPO row indexes and their graph term ids).
+    """
     explicit = list(explicit)
     inferred = list(inferred)
+    graphs = sorted(graphs)
     explicit_set = set(explicit)
     rows = sorted(explicit_set.union(inferred))
     term_count = len(terms)
     id_width = 4 if term_count <= 0xFFFFFFFF and len(rows) <= 0xFFFFFFFF else 8
     code = _typecode(id_width)
 
-    out = bytearray(COLUMNAR_MAGIC)
+    out = bytearray(COLUMNAR_MAGIC_V3 if graphs else COLUMNAR_MAGIC)
     write_varint(out, revision)
     write_varint(out, axiom_count)
     write_string(out, fragment)
@@ -117,6 +134,8 @@ def encode_columnar_snapshot(
     write_varint(out, len(explicit))
     write_varint(out, len(rows) - len(explicit))
     write_varint(out, id_width)
+    if graphs:
+        write_varint(out, len(graphs))
 
     # Term blob + cumulative offset index (encoded in id order, exactly
     # as v1, so restore reproduces dictionary ids bit for bit).
@@ -146,6 +165,18 @@ def encode_columnar_snapshot(
     if len(explicit_rows) != len(explicit_set):
         raise FormatError("explicit partition is not a subset of the image")
     out.extend(explicit_rows.tobytes())
+
+    if graphs:
+        # Named-graph column: ascending SPO row indexes + graph term ids.
+        row_index = {row: i for i, row in enumerate(rows)}
+        try:
+            tagged = sorted((row_index[(s, p, o)], g) for s, p, o, g in graphs)
+        except KeyError:
+            raise FormatError("graph column references a triple outside the image")
+        _pad8(out)
+        out.extend(array(code, (i for i, _ in tagged)).tobytes())
+        _pad8(out)
+        out.extend(array(code, (g for _, g in tagged)).tobytes())
 
     out.extend(_CRC.pack(zlib.crc32(memoryview(out)[len(COLUMNAR_MAGIC):])))
     return bytes(out)
@@ -192,10 +223,13 @@ class ColumnarSnapshot:
         "spo",
         "pos",
         "explicit_rows",
+        "graph_rows",
+        "graph_ids",
         "_buffer",
         "_terms",
         "_explicit",
         "_inferred",
+        "_graphs",
     )
 
     def __init__(self, **fields):
@@ -234,6 +268,17 @@ class ColumnarSnapshot:
             ]
         return self._inferred
 
+    @property
+    def graphs(self) -> list[tuple[int, int, int, int]]:
+        """The named-graph column as ``(s, p, o, graph)`` id rows."""
+        if self._graphs is None:
+            spo_s, spo_p, spo_o = self.spo
+            self._graphs = [
+                (spo_s[i], spo_p[i], spo_o[i], g)
+                for i, g in zip(self.graph_rows or (), self.graph_ids or ())
+            ]
+        return self._graphs
+
     def term(self, term_id: int) -> Term:
         """Decode one term by id, straight from the mapped blob."""
         start = self.term_index[term_id]
@@ -258,6 +303,9 @@ class ColumnarSnapshot:
             inferred = [(mapping[s], mapping[p], mapping[o]) for s, p, o in self.inferred]
         store.add_all(explicit)
         store.add_all(inferred)
+        from .snapshot import _restore_graphs
+
+        _restore_graphs(self.graphs, mapping, store)
         return set(explicit)
 
     def close(self) -> None:
@@ -266,6 +314,7 @@ class ColumnarSnapshot:
         self._buffer = None
         self.term_index = self.term_blob = None
         self.spo = self.pos = self.explicit_rows = None
+        self.graph_rows = self.graph_ids = None
         if isinstance(buffer, mmap.mmap):
             buffer.close()
 
@@ -299,8 +348,10 @@ def parse_columnar_snapshot(data, source: str = "<bytes>") -> ColumnarSnapshot:
 
 def _parse_columnar(view, held, data, source) -> ColumnarSnapshot:
     magic = len(COLUMNAR_MAGIC)
-    if bytes(view[:magic]) != COLUMNAR_MAGIC:
+    file_magic = bytes(view[:magic])
+    if file_magic not in COLUMNAR_MAGICS:
         raise SnapshotError(f"{source} is not a v2 Slider snapshot (bad magic)")
+    has_graphs = file_magic == COLUMNAR_MAGIC_V3
     if len(view) < magic + _CRC.size:
         raise SnapshotError(f"snapshot {source} is truncated")
     (expected_crc,) = _CRC.unpack(view[-_CRC.size:])
@@ -316,6 +367,9 @@ def _parse_columnar(view, held, data, source) -> ColumnarSnapshot:
         explicit_count, offset = read_varint(view, offset)
         inferred_count, offset = read_varint(view, offset)
         id_width, offset = read_varint(view, offset)
+        graph_count = 0
+        if has_graphs:
+            graph_count, offset = read_varint(view, offset)
     except FormatError as error:
         raise SnapshotError(f"snapshot {source} is malformed: {error}") from None
     if id_width not in (4, 8):
@@ -347,6 +401,12 @@ def _parse_columnar(view, held, data, source) -> ColumnarSnapshot:
         col_bytes, offset = section(offset, id_width * triple_count)
         columns.append(cast(col_bytes, code))
     explicit_bytes, offset = section(offset, id_width * explicit_count)
+    graph_rows = graph_ids = None
+    if has_graphs:
+        graph_row_bytes, offset = section(offset, id_width * graph_count)
+        graph_id_bytes, offset = section(offset, id_width * graph_count)
+        graph_rows = cast(graph_row_bytes, code)
+        graph_ids = cast(graph_id_bytes, code)
 
     return ColumnarSnapshot(
         revision=revision,
@@ -362,6 +422,8 @@ def _parse_columnar(view, held, data, source) -> ColumnarSnapshot:
         spo=tuple(columns[:3]),
         pos=tuple(columns[3:]),
         explicit_rows=explicit_bytes.cast(code),
+        graph_rows=graph_rows,
+        graph_ids=graph_ids,
         _buffer=data,
     )
 

@@ -14,6 +14,14 @@ recomputes it.  Term-level (rather than dictionary-id) encoding keeps
 each record self-contained: the journal never depends on dictionary
 state that only existed in the dead process.
 
+A graph-scoped commit (``Delta(graph=...)``) journals its graph label
+as an optional trailing term on the record — format v2
+(``SLWAL002``).  The extension is self-describing at the record level:
+a record either ends after its retractions (default graph, the v1
+shape) or carries exactly one IRI/BNode graph term, so v1 journals
+replay unchanged under the v2 reader and a v2 journal needs no
+migration pass — recovery simply re-applies each record's graph scope.
+
 Durability contract:
 
 * ``fsync=True`` (the default) fsyncs after every record — commit
@@ -30,7 +38,7 @@ import os
 from pathlib import Path
 from typing import Sequence
 
-from ..rdf.terms import Triple
+from ..rdf.terms import BNode, IRI, Term, Triple
 from .format import (
     FRAME_HEADER,
     FormatError,
@@ -38,9 +46,11 @@ from .format import (
     fsync_dir,
     read_frames,
     read_string,
+    read_term,
     read_triple,
     read_varint,
     write_string,
+    write_term,
     write_triple,
     write_varint,
 )
@@ -51,9 +61,15 @@ __all__ = [
     "JournalWriter",
     "read_journal",
     "JOURNAL_MAGIC",
+    "JOURNAL_MAGICS",
 ]
 
-JOURNAL_MAGIC = b"SLWAL001"
+#: The magic fresh journals are written under (format v2: records may
+#: carry a trailing named-graph term).
+JOURNAL_MAGIC = b"SLWAL002"
+#: Every magic the reader accepts; record decoding is identical for
+#: both — the graph extension is self-describing per record.
+JOURNAL_MAGICS = (JOURNAL_MAGIC, b"SLWAL001")
 
 
 def _encode_header(fragment: str) -> bytes:
@@ -70,10 +86,10 @@ def _decode_header(data: bytes) -> tuple[str, int] | None:
     changelog — damage that truncation cannot explain.
     """
     if len(data) < len(JOURNAL_MAGIC):
-        if JOURNAL_MAGIC.startswith(data):
+        if any(magic.startswith(data) for magic in JOURNAL_MAGICS):
             return None  # torn mid-magic
         raise JournalError("not a Slider changelog (bad magic)")
-    if not data.startswith(JOURNAL_MAGIC):
+    if not any(data.startswith(magic) for magic in JOURNAL_MAGICS):
         raise JournalError("not a Slider changelog (bad magic)")
     try:
         fragment, offset = read_string(data, len(JOURNAL_MAGIC))
@@ -87,22 +103,32 @@ class JournalError(RuntimeError):
 
 
 class JournalRecord:
-    """One committed revision: its id and requested term-level delta."""
+    """One committed revision: its id, requested term-level delta, and —
+    for graph-scoped commits — the named graph the delta targeted."""
 
-    __slots__ = ("revision", "assertions", "retractions")
+    __slots__ = ("revision", "assertions", "retractions", "graph")
 
     def __init__(
         self,
         revision: int,
         assertions: Sequence[Triple] = (),
         retractions: Sequence[Triple] = (),
+        graph: Term | None = None,
     ):
+        if graph is not None and not isinstance(graph, (IRI, BNode)):
+            raise FormatError(f"graph label must be an IRI or BNode, got {graph!r}")
         self.revision = revision
         self.assertions = tuple(assertions)
         self.retractions = tuple(retractions)
+        self.graph = graph
 
     def encode(self) -> bytes:
-        """Serialize to a framed, CRC-protected record."""
+        """Serialize to a framed, CRC-protected record.
+
+        A default-graph record ends after its retractions — the exact v1
+        byte shape — so only graph-scoped commits pay for (and signal)
+        the extension.
+        """
         out = bytearray()
         write_varint(out, self.revision)
         write_varint(out, len(self.assertions))
@@ -111,6 +137,8 @@ class JournalRecord:
         write_varint(out, len(self.retractions))
         for triple in self.retractions:
             write_triple(out, triple)
+        if self.graph is not None:
+            write_term(out, self.graph)
         return frame_record(bytes(out))
 
     @classmethod
@@ -126,14 +154,20 @@ class JournalRecord:
                 triple, offset = read_triple(payload, offset)
                 triples.append(triple)
             groups.append(triples)
+        graph: Term | None = None
+        if offset != len(payload):
+            graph, offset = read_term(payload, offset)
+            if not isinstance(graph, (IRI, BNode)):
+                raise FormatError(f"graph label must be an IRI or BNode, got {graph!r}")
         if offset != len(payload):
             raise FormatError(f"{len(payload) - offset} trailing bytes in record")
-        return cls(revision, groups[0], groups[1])
+        return cls(revision, groups[0], groups[1], graph=graph)
 
     def __repr__(self):
+        scope = f" graph={self.graph.n3()}" if self.graph is not None else ""
         return (
             f"<JournalRecord rev={self.revision} "
-            f"+{len(self.assertions)} -{len(self.retractions)}>"
+            f"+{len(self.assertions)} -{len(self.retractions)}{scope}>"
         )
 
 

@@ -29,7 +29,7 @@ try:  # pragma: no cover - platform availability, not logic
 except ImportError:  # non-POSIX: no advisory locking primitive
     fcntl = None
 
-from ..rdf.terms import Triple
+from ..rdf.terms import Term, Triple
 from .journal import JournalRecord, JournalWriter, read_journal
 from .snapshot import Snapshot, load_snapshot, write_snapshot
 
@@ -157,9 +157,16 @@ class PersistenceManager:
         revision: int,
         assertions: Sequence[Triple],
         retractions: Sequence[Triple],
+        graph: Term | None = None,
     ) -> int:
-        """Durably append one committed revision; returns bytes written."""
-        return self._journal().append(JournalRecord(revision, assertions, retractions))
+        """Durably append one committed revision; returns bytes written.
+
+        ``graph`` is the named graph a graph-scoped delta targeted
+        (``None`` — the common case — journals the v1 record shape).
+        """
+        return self._journal().append(
+            JournalRecord(revision, assertions, retractions, graph=graph)
+        )
 
     def should_compact(self) -> bool:
         """Has the changelog outgrown the compaction threshold?"""

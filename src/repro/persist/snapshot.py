@@ -76,6 +76,7 @@ class Snapshot:
         "terms",
         "explicit",
         "inferred",
+        "graphs",
     )
 
     def __init__(
@@ -87,6 +88,7 @@ class Snapshot:
         terms: list[Term],
         explicit: list[EncodedTriple],
         inferred: list[EncodedTriple],
+        graphs: list[tuple[int, int, int, int]] | None = None,
     ):
         self.revision = revision
         self.fragment = fragment
@@ -95,6 +97,9 @@ class Snapshot:
         self.terms = terms
         self.explicit = explicit
         self.inferred = inferred
+        #: Sparse named-graph column: ``(s, p, o, graph)`` id rows for
+        #: the triples that live outside the default graph.
+        self.graphs = list(graphs) if graphs else []
 
     @property
     def triple_count(self) -> int:
@@ -119,6 +124,7 @@ class Snapshot:
             inferred = [(mapping[s], mapping[p], mapping[o]) for s, p, o in self.inferred]
         store.add_all(explicit)
         store.add_all(inferred)
+        _restore_graphs(self.graphs, mapping, store)
         return set(explicit)
 
     def __repr__(self):
@@ -129,6 +135,26 @@ class Snapshot:
         )
 
 
+def _restore_graphs(graphs, mapping, store) -> None:
+    """Re-tag a restored store's named-graph column (shared by v1/v2).
+
+    ``graphs`` is the snapshot's ``(s, p, o, graph)`` id rows; ids pass
+    through the same old-id → new-id ``mapping`` as the partitions.  A
+    backend without the quad protocol (no ``set_graphs``) simply keeps
+    everything in the default graph — the documented degradation.
+    """
+    if not graphs:
+        return
+    set_graphs = getattr(store, "set_graphs", None)
+    if set_graphs is None:
+        return
+    by_graph: dict[int, list[EncodedTriple]] = {}
+    for s, p, o, g in graphs:
+        by_graph.setdefault(mapping[g], []).append((mapping[s], mapping[p], mapping[o]))
+    for graph_id, triples in by_graph.items():
+        set_graphs(triples, graph_id)
+
+
 def _encode_payload(
     revision: int,
     fragment: str,
@@ -137,6 +163,7 @@ def _encode_payload(
     terms: Sequence[Term],
     explicit: Iterable[EncodedTriple],
     inferred: Iterable[EncodedTriple],
+    graphs: Iterable[tuple[int, int, int, int]] = (),
 ) -> bytes:
     out = bytearray()
     write_varint(out, revision)
@@ -153,6 +180,16 @@ def _encode_payload(
             write_varint(out, s)
             write_varint(out, p)
             write_varint(out, o)
+    graphs = sorted(graphs)
+    if graphs:
+        # Optional trailing section: a default-graph-only image ends
+        # after its partitions, byte-identical to the original format.
+        write_varint(out, len(graphs))
+        for s, p, o, g in graphs:
+            write_varint(out, s)
+            write_varint(out, p)
+            write_varint(out, o)
+            write_varint(out, g)
     return bytes(out)
 
 
@@ -165,6 +202,7 @@ def encode_snapshot(
     terms: Sequence[Term],
     explicit: Iterable[EncodedTriple],
     inferred: Iterable[EncodedTriple],
+    graphs: Iterable[tuple[int, int, int, int]] = (),
 ) -> bytes:
     """The complete snapshot image as bytes (magic + payload + CRC).
 
@@ -174,7 +212,7 @@ def encode_snapshot(
     it back with :func:`parse_snapshot`.
     """
     payload = _encode_payload(
-        revision, fragment, store_spec, axiom_count, terms, explicit, inferred
+        revision, fragment, store_spec, axiom_count, terms, explicit, inferred, graphs
     )
     return SNAPSHOT_MAGIC + payload + struct.pack("<I", zlib.crc32(payload))
 
@@ -216,14 +254,14 @@ def load_snapshot(path):
     the latter is mmap-ed, so its load cost is O(header) and the column
     bytes fault in on demand.  Raises :class:`SnapshotError` either way.
     """
-    from .columnar import COLUMNAR_MAGIC, load_columnar_snapshot
+    from .columnar import COLUMNAR_MAGIC, COLUMNAR_MAGICS, load_columnar_snapshot
 
     try:
         with open(path, "rb") as handle:
             head = handle.read(len(COLUMNAR_MAGIC))
     except OSError as error:
         raise SnapshotError(f"cannot read snapshot {path}: {error}") from error
-    if head == COLUMNAR_MAGIC:
+    if head in COLUMNAR_MAGICS:
         return load_columnar_snapshot(path)
     try:
         data = Path(path).read_bytes()
@@ -240,9 +278,9 @@ def parse_snapshot(data: bytes, source: str = "<bytes>"):
     over the same buffer (zero-copy columns).
     """
     path = source
-    from .columnar import COLUMNAR_MAGIC, parse_columnar_snapshot
+    from .columnar import COLUMNAR_MAGIC, COLUMNAR_MAGICS, parse_columnar_snapshot
 
-    if data[:len(COLUMNAR_MAGIC)] == COLUMNAR_MAGIC:
+    if bytes(data[:len(COLUMNAR_MAGIC)]) in COLUMNAR_MAGICS:
         return parse_columnar_snapshot(data, source=source)
     if not data.startswith(SNAPSHOT_MAGIC):
         raise SnapshotError(f"{path} is not a Slider snapshot (bad magic)")
@@ -273,13 +311,23 @@ def parse_snapshot(data: bytes, source: str = "<bytes>"):
                 o, offset = read_varint(payload, offset)
                 triples.append((s, p, o))
             partitions.append(triples)
+        graphs: list[tuple[int, int, int, int]] = []
+        if offset < len(payload):
+            # The optional named-graph column (absent in older images).
+            count, offset = read_varint(payload, offset)
+            for _ in range(count):
+                s, offset = read_varint(payload, offset)
+                p, offset = read_varint(payload, offset)
+                o, offset = read_varint(payload, offset)
+                g, offset = read_varint(payload, offset)
+                graphs.append((s, p, o, g))
         if offset != len(payload):
             raise FormatError(f"{len(payload) - offset} trailing bytes")
     except FormatError as error:
         raise SnapshotError(f"snapshot {path} is malformed: {error}") from None
     explicit, inferred = partitions
-    for triples in partitions:
-        for encoded in triples:
+    for rows in (*partitions, graphs):
+        for encoded in rows:
             if any(term_id >= term_count for term_id in encoded):
                 raise SnapshotError(
                     f"snapshot {path} references a term id outside its dictionary"
@@ -292,4 +340,5 @@ def parse_snapshot(data: bytes, source: str = "<bytes>"):
         terms=terms,
         explicit=explicit,
         inferred=inferred,
+        graphs=graphs,
     )

@@ -8,6 +8,15 @@ Turtle parsers and serializers.
 """
 
 from .namespaces import OWL, RDF, RDFS, XSD, Namespace, split_iri
+from .nquads import (
+    NQuadsError,
+    iter_nquads,
+    parse_nquads,
+    parse_nquads_file,
+    serialize_nquads,
+    write_nquads,
+    write_nquads_file,
+)
 from .ntriples import (
     NTriplesError,
     iter_ntriples,
@@ -17,7 +26,7 @@ from .ntriples import (
     write_ntriples,
     write_ntriples_file,
 )
-from .terms import BNode, IRI, Literal, Term, Triple, Variable, term_sort_key
+from .terms import BNode, IRI, Literal, Quad, Term, Triple, Variable, term_sort_key
 from .turtle import TurtleError, parse_turtle, parse_turtle_file, serialize_turtle
 
 __all__ = [
@@ -27,6 +36,7 @@ __all__ = [
     "Variable",
     "Term",
     "Triple",
+    "Quad",
     "term_sort_key",
     "Namespace",
     "RDF",
@@ -34,6 +44,13 @@ __all__ = [
     "OWL",
     "XSD",
     "split_iri",
+    "NQuadsError",
+    "iter_nquads",
+    "parse_nquads",
+    "parse_nquads_file",
+    "serialize_nquads",
+    "write_nquads",
+    "write_nquads_file",
     "NTriplesError",
     "iter_ntriples",
     "parse_ntriples",

@@ -1,0 +1,127 @@
+"""N-Quads parser and serializer (W3C N-Quads, RDF 1.1).
+
+N-Quads is N-Triples plus an optional fourth term — the named graph
+label — before the terminating ``.``.  A statement without a graph
+label belongs to the *default graph*, so every valid N-Triples document
+is also a valid N-Quads document (and parses here to quads with
+``graph=None``).
+
+Entry points mirror :mod:`repro.rdf.ntriples`:
+
+* :func:`parse_nquads` — parse a string into a list of quads.
+* :func:`iter_nquads` — lazily parse an iterable of lines (streams).
+* :func:`parse_nquads_file` / :func:`write_nquads_file`.
+* :func:`serialize_nquads` — deterministic (sorted) serialization.
+
+The grammar is enforced by reusing the N-Triples recursive-descent
+parser (:class:`repro.rdf.ntriples._LineParser`) for the subject /
+predicate / object positions, so escapes, literals, and error positions
+behave identically across both syntaxes.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Iterator, TextIO
+
+from .ntriples import NTriplesError, _LineParser
+from .terms import BNode, IRI, Quad
+
+__all__ = [
+    "NQuadsError",
+    "parse_nquads",
+    "iter_nquads",
+    "parse_nquads_file",
+    "serialize_nquads",
+    "write_nquads",
+    "write_nquads_file",
+]
+
+
+class NQuadsError(NTriplesError):
+    """Raised on malformed N-Quads input, with line/column context."""
+
+
+class _QuadLineParser(_LineParser):
+    """One N-Quads line: ``subject predicate object [graph] .``"""
+
+    def error(self, message: str) -> NQuadsError:
+        return NQuadsError(message, self.line_number, self.pos)
+
+    def parse_quad(self) -> Quad | None:
+        """Parse the line into a :class:`Quad`; ``None`` for blank/comment."""
+        self.skip_whitespace()
+        if self.at_end() or self.peek() == "#":
+            return None
+        subject = self.parse_subject()
+        self.skip_whitespace()
+        predicate = self.parse_iri("predicate")
+        self.skip_whitespace()
+        obj = self.parse_object()
+        self.skip_whitespace()
+        graph: IRI | BNode | None = None
+        char = self.peek()
+        if char == "<":
+            graph = self.parse_iri("graph label")
+            self.skip_whitespace()
+        elif char == "_":
+            graph = self.parse_bnode()
+            self.skip_whitespace()
+        self.expect(".")
+        self.skip_whitespace()
+        if not self.at_end() and self.peek() != "#":
+            raise self.error("unexpected content after terminating '.'")
+        return Quad(subject, predicate, obj, graph)
+
+
+def iter_nquads(lines: Iterable[str]) -> Iterator[Quad]:
+    """Lazily parse an iterable of N-Quads lines into quads.
+
+    Blank lines and ``#`` comment lines are skipped.  Statements without
+    a graph label yield quads in the default graph (``graph=None``).
+    """
+    for line_number, line in enumerate(lines, start=1):
+        quad = _QuadLineParser(line.rstrip("\r\n"), line_number).parse_quad()
+        if quad is not None:
+            yield quad
+
+
+def parse_nquads(text: str) -> list[Quad]:
+    """Parse an entire N-Quads document into a list of quads."""
+    return list(iter_nquads(io.StringIO(text)))
+
+
+def parse_nquads_file(path) -> list[Quad]:
+    """Parse an N-Quads file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return list(iter_nquads(handle))
+
+
+def write_nquads(quads: Iterable[Quad], handle: TextIO, sort: bool = False) -> int:
+    """Write quads in N-Quads syntax to an open text handle.
+
+    Returns the number of statements written.  With ``sort=True`` the
+    output is deterministic (default graph first, then named graphs in
+    term order), making serializations byte-comparable across runs.
+    """
+    if sort:
+        quads = sorted(quads)
+    count = 0
+    for quad in quads:
+        handle.write(quad.n3())
+        handle.write("\n")
+        count += 1
+    return count
+
+
+def serialize_nquads(quads: Iterable[Quad], sort: bool = True) -> str:
+    """Serialize quads to an N-Quads string (sorted by default)."""
+    buffer = io.StringIO()
+    write_nquads(quads, buffer, sort=sort)
+    return buffer.getvalue()
+
+
+def write_nquads_file(quads: Iterable[Quad], path, sort: bool = False) -> int:
+    """Write quads to a file in N-Quads syntax."""
+    with open(path, "w", encoding="utf-8") as handle:
+        return write_nquads(quads, handle, sort=sort)

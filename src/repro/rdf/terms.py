@@ -7,6 +7,8 @@ This module provides the core value types used throughout the library:
 * :class:`Literal` — a literal with optional language tag or datatype.
 * :class:`Variable` — a query/pattern variable (``?x``); never stored.
 * :class:`Triple` — an (subject, predicate, object) statement.
+* :class:`Quad` — a triple plus an optional named graph (RDF dataset
+  statement; ``graph=None`` means the default graph).
 
 All term types are immutable, hashable, and totally ordered so they can be
 used as dictionary keys, stored in sets, and sorted into deterministic
@@ -31,6 +33,7 @@ __all__ = [
     "Variable",
     "Term",
     "Triple",
+    "Quad",
     "term_sort_key",
 ]
 
@@ -369,3 +372,96 @@ class Triple:
     def n3(self) -> str:
         """Render as one N-Triples statement (without trailing newline)."""
         return f"{self.subject.n3()} {self.predicate.n3()} {self.object.n3()} ."
+
+
+class Quad:
+    """An RDF dataset statement: a :class:`Triple` plus an optional graph.
+
+    ``graph`` is the named graph the statement belongs to — an
+    :class:`IRI` or :class:`BNode` label, or ``None`` for the default
+    graph (making every triple a quad and vice versa).  Quads are
+    immutable and hashable; a quad in the default graph is *not* equal
+    to its bare triple (they are different types), but :meth:`triple`
+    recovers the statement for triple-shaped consumers.
+    """
+
+    __slots__ = ("subject", "predicate", "object", "graph", "_hash")
+
+    def __init__(self, subject, predicate, object, graph=None):
+        if not isinstance(subject, (IRI, BNode)):
+            raise TypeError(f"quad subject must be IRI or BNode, got {type(subject).__name__}")
+        if not isinstance(predicate, IRI):
+            raise TypeError(f"quad predicate must be IRI, got {type(predicate).__name__}")
+        if not isinstance(object, (IRI, BNode, Literal)):
+            raise TypeError(f"quad object must be IRI, BNode or Literal, got {type(object).__name__}")
+        if graph is not None and not isinstance(graph, (IRI, BNode)):
+            raise TypeError(f"quad graph must be IRI, BNode or None, got {type(graph).__name__}")
+        __o = object  # keep the builtin name shadow local
+        super(Quad, self).__setattr__("subject", subject)
+        super(Quad, self).__setattr__("predicate", predicate)
+        super(Quad, self).__setattr__("object", __o)
+        super(Quad, self).__setattr__("graph", graph)
+        super(Quad, self).__setattr__("_hash", hash((subject, predicate, __o, graph)))
+
+    @classmethod
+    def from_triple(cls, triple: Triple, graph=None) -> "Quad":
+        """Lift a :class:`Triple` into ``graph`` (default graph when None)."""
+        return cls(triple.subject, triple.predicate, triple.object, graph)
+
+    def triple(self) -> Triple:
+        """The statement without its graph dimension."""
+        return Triple(self.subject, self.predicate, self.object)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Quad is immutable")
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Quad)
+            and other.subject == self.subject
+            and other.predicate == self.predicate
+            and other.object == self.object
+            and other.graph == self.graph
+        )
+
+    def __hash__(self):
+        return self._hash
+
+    def __lt__(self, other):
+        if not isinstance(other, Quad):
+            return NotImplemented
+        return self.sort_key() < other.sort_key()
+
+    def sort_key(self) -> tuple:
+        """Total-order key: default graph first, then named graphs."""
+        graph_key = ((), ) if self.graph is None else ((1,) + term_sort_key(self.graph),)
+        return (
+            graph_key,
+            term_sort_key(self.subject),
+            term_sort_key(self.predicate),
+            term_sort_key(self.object),
+        )
+
+    def __iter__(self):
+        yield self.subject
+        yield self.predicate
+        yield self.object
+        yield self.graph
+
+    def __getitem__(self, index: int):
+        return (self.subject, self.predicate, self.object, self.graph)[index]
+
+    def __repr__(self):
+        return (
+            f"Quad({self.subject!r}, {self.predicate!r}, {self.object!r}, "
+            f"{self.graph!r})"
+        )
+
+    def n3(self) -> str:
+        """Render as one N-Quads statement (without trailing newline)."""
+        if self.graph is None:
+            return f"{self.subject.n3()} {self.predicate.n3()} {self.object.n3()} ."
+        return (
+            f"{self.subject.n3()} {self.predicate.n3()} {self.object.n3()} "
+            f"{self.graph.n3()} ."
+        )

@@ -32,7 +32,7 @@ import time
 from typing import TYPE_CHECKING, Iterable
 
 from ..dictionary.encoder import EncodedTriple, TermDictionary
-from ..rdf.terms import Term, Triple
+from ..rdf.terms import BNode, IRI, Quad, Term, Triple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
     from .engine import Slider
@@ -55,6 +55,33 @@ def _as_triples(triples: Iterable[Triple] | Triple) -> list[Triple]:
     return items
 
 
+def _as_statements(
+    statements: "Iterable[Triple | Quad] | Triple | Quad",
+    graphs_seen: set,
+) -> list[Triple]:
+    """Normalize a mixed Triple/Quad batch into triples.
+
+    Quads contribute their graph label to ``graphs_seen`` (``None`` for
+    default-graph quads); bare triples are graph-agnostic and adopt the
+    delta's graph.  The caller reconciles ``graphs_seen`` against the
+    explicit ``graph=`` argument — a delta targets exactly one graph.
+    """
+    if isinstance(statements, (Triple, Quad)):
+        statements = [statements]
+    items: list[Triple] = []
+    for item in statements:
+        if isinstance(item, Quad):
+            graphs_seen.add(item.graph)
+            items.append(item.triple())
+        elif isinstance(item, Triple):
+            items.append(item)
+        else:
+            raise TypeError(
+                f"deltas take Triples or Quads, got {type(item).__name__}: {item!r}"
+            )
+    return items
+
+
 class Delta:
     """One batch of mutations: triples to assert and triples to retract.
 
@@ -62,23 +89,59 @@ class Delta:
     (first occurrence wins, order preserved) and a triple appearing on
     both sides cancels entirely — asserting and retracting the same
     triple within one transaction is a no-op, regardless of call order.
+
+    A delta targets exactly one graph of the RDF dataset: ``graph=None``
+    (the default graph, fully backward compatible) or one named graph
+    (:class:`~repro.rdf.terms.IRI` / :class:`~repro.rdf.terms.BNode`
+    label).  :class:`~repro.rdf.terms.Quad` statements are accepted on
+    either side; their graph labels must agree with each other and with
+    ``graph=`` when given (default-graph quads adopt the delta's graph,
+    like bare triples do).
     """
 
-    __slots__ = ("assertions", "retractions")
+    __slots__ = ("assertions", "retractions", "graph")
 
     def __init__(
         self,
-        assertions: Iterable[Triple] | Triple = (),
-        retractions: Iterable[Triple] | Triple = (),
+        assertions: "Iterable[Triple | Quad] | Triple | Quad" = (),
+        retractions: "Iterable[Triple | Quad] | Triple | Quad" = (),
+        graph: "IRI | BNode | None" = None,
     ):
-        adds = list(dict.fromkeys(_as_triples(assertions)))
-        rems = list(dict.fromkeys(_as_triples(retractions)))
+        if graph is not None and not isinstance(graph, (IRI, BNode)):
+            raise TypeError(
+                f"delta graph must be IRI, BNode or None, got {type(graph).__name__}"
+            )
+        graphs_seen: set = set()
+        adds = list(dict.fromkeys(_as_statements(assertions, graphs_seen)))
+        rems = list(dict.fromkeys(_as_statements(retractions, graphs_seen)))
+        graphs_seen.discard(None)  # default-graph quads adopt the delta's graph
+        if len(graphs_seen) > 1:
+            labels = ", ".join(sorted(g.n3() for g in graphs_seen))
+            raise ValueError(
+                f"a delta targets exactly one graph; quads span: {labels}"
+            )
+        if graphs_seen:
+            quad_graph = next(iter(graphs_seen))
+            if graph is not None and graph != quad_graph:
+                raise ValueError(
+                    f"delta graph {graph.n3()} conflicts with quad graph "
+                    f"{quad_graph.n3()}"
+                )
+            graph = quad_graph
         common = set(adds) & set(rems)
         if common:
             adds = [t for t in adds if t not in common]
             rems = [t for t in rems if t not in common]
         self.assertions: tuple[Triple, ...] = tuple(adds)
         self.retractions: tuple[Triple, ...] = tuple(rems)
+        self.graph: "IRI | BNode | None" = graph
+
+    def quads(self) -> tuple[Quad, ...]:
+        """Both sides of the delta as quads in its target graph."""
+        return tuple(
+            Quad.from_triple(t, self.graph)
+            for t in self.assertions + self.retractions
+        )
 
     def __bool__(self) -> bool:
         return bool(self.assertions or self.retractions)
@@ -87,8 +150,9 @@ class Delta:
         return len(self.assertions) + len(self.retractions)
 
     def __repr__(self):
+        scope = f" graph={self.graph.n3()}" if self.graph is not None else ""
         return (
-            f"<Delta +{len(self.assertions)} -{len(self.retractions)}>"
+            f"<Delta +{len(self.assertions)} -{len(self.retractions)}{scope}>"
         )
 
 
@@ -107,31 +171,45 @@ class Transaction:
     :class:`InferenceReport`.
     """
 
-    __slots__ = ("_reasoner", "_assertions", "_retractions", "_state", "_report")
+    __slots__ = (
+        "_reasoner", "_assertions", "_retractions", "_graph", "_graphs_seen",
+        "_state", "_report",
+    )
 
-    def __init__(self, reasoner: "Slider"):
+    def __init__(self, reasoner: "Slider", graph: "IRI | BNode | None" = None):
         self._reasoner = reasoner
         self._assertions: list[Triple] = []
         self._retractions: list[Triple] = []
+        self._graph = graph
+        self._graphs_seen: set = set()
         self._state = "open"
         self._report: InferenceReport | None = None
 
     # --- building ---------------------------------------------------------
-    def add(self, triples: Iterable[Triple] | Triple) -> "Transaction":
-        """Stage assertions; returns self for chaining."""
+    def add(self, triples: "Iterable[Triple | Quad] | Triple | Quad") -> "Transaction":
+        """Stage assertions (triples or quads); returns self for chaining."""
         self._require_open()
-        self._assertions.extend(_as_triples(triples))
+        self._assertions.extend(_as_statements(triples, self._graphs_seen))
         return self
 
-    def retract(self, triples: Iterable[Triple] | Triple) -> "Transaction":
-        """Stage retractions; returns self for chaining."""
+    def retract(self, triples: "Iterable[Triple | Quad] | Triple | Quad") -> "Transaction":
+        """Stage retractions (triples or quads); returns self for chaining."""
         self._require_open()
-        self._retractions.extend(_as_triples(triples))
+        self._retractions.extend(_as_statements(triples, self._graphs_seen))
         return self
 
     def delta(self) -> Delta:
         """The net-normalized delta staged so far."""
-        return Delta(self._assertions, self._retractions)
+        graph = self._graph
+        named = {g for g in self._graphs_seen if g is not None}
+        if named:
+            if len(named) > 1 or (graph is not None and graph not in named):
+                labels = sorted(g.n3() for g in named | ({graph} if graph else set()))
+                raise ValueError(
+                    f"a transaction targets exactly one graph; saw: {', '.join(labels)}"
+                )
+            graph = next(iter(named))
+        return Delta(self._assertions, self._retractions, graph=graph)
 
     # --- lifecycle --------------------------------------------------------
     def commit(self) -> "InferenceReport":
@@ -193,6 +271,7 @@ class InferenceReport:
         "timings",
         "dred_deleted",
         "dred_rederived",
+        "graph",
         "_dictionary",
         "_explicit_encoded",
         "_inferred_encoded",
@@ -212,12 +291,18 @@ class InferenceReport:
         removed_encoded: tuple[EncodedTriple, ...],
         dred_deleted: int = 0,
         dred_rederived: int = 0,
+        graph: "IRI | BNode | None" = None,
     ):
         self.revision = revision
         self.seconds = seconds
         self.timings = timings
         self.dred_deleted = dred_deleted
         self.dred_rederived = dred_rederived
+        #: The graph the committed delta targeted (None = default graph).
+        #: Inferred triples always land in the default graph — rule
+        #: conclusions are dataset-wide — so this scopes the *explicit*
+        #: side of the revision.
+        self.graph = graph
         self._dictionary = dictionary
         self._explicit_encoded = explicit_encoded
         self._inferred_encoded = inferred_encoded
@@ -375,6 +460,7 @@ class InferenceReport:
         return {
             "revision": self.revision,
             "seconds": self.seconds,
+            "graph": self.graph.n3() if self.graph is not None else None,
             "explicit_added": self.explicit_added_count,
             "inferred_added": self.inferred_added_count,
             "removed": self.removed_count,
@@ -518,7 +604,12 @@ class ChangeLog:
         with self._lock:
             return bool(self._explicit or self._inferred or self._removed)
 
-    def snapshot(self, revision: int, dictionary: TermDictionary) -> InferenceReport:
+    def snapshot(
+        self,
+        revision: int,
+        dictionary: TermDictionary,
+        graph: "IRI | BNode | None" = None,
+    ) -> InferenceReport:
         """Close the epoch: build the revision's report and reset."""
         with self._lock:
             report = InferenceReport(
@@ -531,6 +622,7 @@ class ChangeLog:
                 removed_encoded=tuple(self._removed),
                 dred_deleted=self._dred_deleted,
                 dred_rederived=self._dred_rederived,
+                graph=graph,
             )
             self._reset()
         return report

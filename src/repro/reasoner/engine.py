@@ -75,7 +75,7 @@ from typing import Callable, Iterable, Sequence
 from ..dictionary.encoder import EncodedTriple, TermDictionary, encode_batch
 from ..persist.manager import DEFAULT_COMPACT_BYTES, PersistenceManager
 from ..persist.snapshot import Snapshot, encode_snapshot
-from ..rdf.terms import Triple
+from ..rdf.terms import BNode, IRI, Term, Triple
 from ..store.backends import TripleStore, create_store
 from ..store.graph import Graph
 from ..store.query import TriplePattern
@@ -461,23 +461,33 @@ class Slider:
         one-shot :meth:`add` shim, stream chunks) are folded into this
         revision, so the report remains the precise diff against the
         previous revision.
+
+        A graph-scoped delta (``Delta(graph=...)``) additionally tags
+        the revision's newly-explicit assertions — including any folded
+        deferred mutations, which join the revision *and* its scope —
+        into the named graph's sparse store column, journals the graph
+        label with the revision's changelog record, and stamps it on
+        the returned report.  Inferred consequences stay in the default
+        graph: rule conclusions are dataset-wide.
         """
         self._check_open()
         if not isinstance(delta, Delta):
             raise TypeError(f"apply() takes a Delta, got {type(delta).__name__}")
         with self._commit_lock, self._tx_lock:
             staged_mark = (len(self._staged_assertions), len(self._staged_retractions))
-            if self._staging_enabled:
+            fresh: list[Triple] | None = None
+            if self._staging_enabled or delta.graph is not None:
                 # Re-asserting an already-explicit triple is a complete
-                # no-op; journaling only the rest keeps re-ingestion of
-                # a persisted dataset from bloating the changelog while
-                # still recording explicitness *promotions* (assertion
-                # of a currently-inferred triple).
+                # no-op; journaling (and graph-tagging) only the rest
+                # keeps re-ingestion of a persisted dataset from
+                # bloating the changelog while still recording
+                # explicitness *promotions* (assertion of a
+                # currently-inferred triple).
                 explicit = self.input_manager.explicit
                 encode = self.dictionary.encode_triple
-                self._staged_assertions.extend(
-                    t for t in delta.assertions if encode(t) not in explicit
-                )
+                fresh = [t for t in delta.assertions if encode(t) not in explicit]
+            if self._staging_enabled:
+                self._staged_assertions.extend(fresh)
                 self._staged_retractions.extend(delta.retractions)
             try:
                 if delta.retractions:
@@ -488,7 +498,15 @@ class Slider:
                 if delta.assertions:
                     self.input_manager.add(delta.assertions)
                 self._quiesce()
-                return self._commit_revision()
+                if delta.graph is not None:
+                    # Tag everything this commit will journal, so a
+                    # recovered engine (which re-tags each record's
+                    # assertions) reproduces the column exactly.
+                    to_tag = (
+                        self._staged_assertions if self._staging_enabled else fresh
+                    )
+                    self._tag_graph(to_tag, delta.graph)
+                return self._commit_revision(graph=delta.graph)
             except BaseException:
                 # A failed apply must not poison the *next* commit's
                 # journal record with this delta's staged mutations.
@@ -496,8 +514,11 @@ class Slider:
                 del self._staged_retractions[staged_mark[1]:]
                 raise
 
-    def transaction(self) -> Transaction:
+    def transaction(self, graph: Term | None = None) -> Transaction:
         """Open a :class:`~repro.reasoner.delta.Transaction` builder.
+
+        ``graph`` scopes the whole transaction to one named graph — the
+        built delta carries it exactly as ``Delta(graph=...)`` would.
 
         >>> with reasoner.transaction() as tx:
         ...     tx.add(fresh_triples)
@@ -505,12 +526,13 @@ class Slider:
         >>> tx.report.revision
         """
         self._check_open()
-        return Transaction(self)
+        return Transaction(self, graph=graph)
 
     def subscribe(
         self,
         patterns: Sequence[TriplePattern],
         callback: Callable[..., None] | None = None,
+        graph: Term | None = None,
     ) -> Subscription:
         """Register a standing BGP, notified with binding-level deltas.
 
@@ -523,11 +545,16 @@ class Slider:
         :class:`~repro.reasoner.subscription.SubscriptionEvent` whenever
         — and only when — its solution set actually changed.  With no
         ``callback``, events queue on the subscription for polling.
+
+        ``graph`` filters delivery by commit scope: the subscription
+        only sees revisions whose delta targeted that named graph —
+        the tenant-isolation primitive of the serving layer.  (Default
+        ``None`` delivers every revision, regardless of scope.)
         """
         self._check_open()
         with self._commit_lock, self._tx_lock:
             self._quiesce()
-            subscription = Subscription(patterns, callback)
+            subscription = Subscription(patterns, callback, graph=graph)
             subscription._seed(self.graph)
             # Recorded under the commit lock: the solution set above is
             # exactly the state of this revision (consumers pair the two,
@@ -714,6 +741,7 @@ class Slider:
                 terms=self.dictionary.snapshot_terms(),
                 explicit=sorted(explicit),
                 inferred=sorted(inferred),
+                graphs=self._graph_column(),
             )
 
     # --- durability ---------------------------------------------------------
@@ -764,6 +792,15 @@ class Slider:
                         self._write_snapshot_locked()
                         return self._persist.snapshot_path
 
+    def _graph_column(self) -> list[tuple[int, int, int, int]]:
+        """The store's sparse named-graph column as sorted (s, p, o, g)
+        rows — the snapshot writers' input (empty without the quad
+        protocol or when everything lives in the default graph)."""
+        assignments = getattr(self.store, "graph_assignments", None)
+        if assignments is None:
+            return []
+        return sorted((s, p, o, g) for (s, p, o), g in assignments().items())
+
     def _write_snapshot_locked(self) -> None:
         """Serialize the quiesced state (callers hold both locks)."""
         explicit = set(self.input_manager.explicit)
@@ -776,6 +813,7 @@ class Slider:
             terms=self.dictionary.snapshot_terms(),
             explicit=sorted(explicit),
             inferred=sorted(inferred),
+            graphs=self._graph_column(),
         )
 
     def _recover(self, snapshot, records) -> None:
@@ -802,7 +840,11 @@ class Slider:
                 # deliberately not journaled: fast-forward over them.
                 self._revision = record.revision - 1
                 report = self.apply(
-                    Delta(assertions=record.assertions, retractions=record.retractions)
+                    Delta(
+                        assertions=record.assertions,
+                        retractions=record.retractions,
+                        graph=record.graph,
+                    )
                 )
                 assert report.revision == record.revision
                 reports.append(report)
@@ -1066,6 +1108,48 @@ class Slider:
         """Term-level view over the reasoner's dictionary + store."""
         return Graph(self.dictionary, self.store)
 
+    # --- named graphs --------------------------------------------------------
+    def _tag_graph(self, triples: Sequence[Triple], graph: Term) -> None:
+        """Tag ``triples`` into ``graph``'s sparse store column."""
+        set_graphs = getattr(self.store, "set_graphs", None)
+        if set_graphs is None:
+            raise SliderError(
+                f"store backend {type(self.store).__name__} does not support "
+                "named graphs (no set_graphs)"
+            )
+        if triples:
+            encode = self.dictionary.encode_triple
+            set_graphs([encode(t) for t in triples], self.dictionary.encode(graph))
+
+    def graph_counts(self) -> dict[Term, int]:
+        """Per-named-graph explicit triple counts, at term level.
+
+        The default graph is not listed (its size is the store total
+        minus every named graph's).  Backends without the quad protocol
+        report no named graphs — everything is default-graph.
+        """
+        self._check_open()
+        counts = getattr(self.store, "graph_counts", None)
+        if counts is None:
+            return {}
+        decode = self.dictionary.decode
+        return {decode(graph_id): count for graph_id, count in counts().items()}
+
+    def triples_in_graph(self, graph: Term | None) -> list[Triple]:
+        """One named graph's explicit triples (``None``: the default graph,
+        i.e. every stored triple not tagged into any named graph)."""
+        self._check_open()
+        if graph is not None and not isinstance(graph, (IRI, BNode)):
+            raise TypeError(f"graph must be an IRI, BNode or None, got {graph!r}")
+        in_graph = getattr(self.store, "triples_in_graph", None)
+        if in_graph is None:
+            encoded = list(self.store) if graph is None else []
+        else:
+            graph_id = None if graph is None else self.dictionary.encode(graph)
+            encoded = in_graph(graph_id)
+        decode = self.dictionary.decode_triple
+        return [decode(t) for t in encoded]
+
     @property
     def input_count(self) -> int:
         """Live asserted triples (excluding fragment axioms).
@@ -1110,10 +1194,15 @@ class Slider:
         """Change-log hook: store-new triples from a distributor."""
         self._changes.record_added(triples, explicit=False)
 
-    def _commit_revision(self) -> InferenceReport:
-        """Seal the current change epoch into a numbered revision."""
+    def _commit_revision(self, graph: Term | None = None) -> InferenceReport:
+        """Seal the current change epoch into a numbered revision.
+
+        ``graph`` is the named graph a graph-scoped ``apply`` targeted;
+        it is stamped on the report and journaled with the record so
+        recovery re-tags the store column.
+        """
         self._revision += 1
-        report = self._changes.snapshot(self._revision, self.dictionary)
+        report = self._changes.snapshot(self._revision, self.dictionary, graph=graph)
         # Drain the staged requested delta in every case (replay stages
         # too); journal/feed it only for live, content-bearing commits —
         # the replay source *is* the journal, and a completely empty
@@ -1127,7 +1216,9 @@ class Slider:
         self._staged_retractions = []
         content = not self._replaying and bool(assertions or retractions or report)
         if self._persist is not None and content:
-            self._persist.journal_commit(self._revision, assertions, retractions)
+            self._persist.journal_commit(
+                self._revision, assertions, retractions, graph=graph
+            )
             if self._persist.should_compact():
                 self._write_snapshot_locked()
         if self._commit_listeners and not self._replaying:
@@ -1167,6 +1258,8 @@ class Slider:
             alive.append(subscription)
             if not changed or not subscription._wants(touched):
                 continue
+            if subscription.graph is not None and report.graph != subscription.graph:
+                continue  # scoped to another graph's commits
             try:
                 subscription._deliver(report, graph)
             except Exception as error:  # a subscriber must never poison a commit

@@ -89,6 +89,7 @@ class Subscription:
         self,
         patterns: Sequence[TriplePattern],
         callback: Callable[[SubscriptionEvent], None] | None = None,
+        graph: Term | None = None,
     ):
         patterns = tuple(tuple(p) for p in patterns)
         for pattern in patterns:
@@ -98,6 +99,9 @@ class Subscription:
             raise ValueError("a subscription needs at least one pattern")
         self.patterns: tuple[TriplePattern, ...] = patterns
         self.callback = callback
+        #: Named-graph delivery filter: when set, only revisions whose
+        #: delta targeted this graph are folded in (tenant isolation).
+        self.graph = graph
         self.active = True
         #: The revision the initial solution set was materialized at
         #: (set by the engine under the commit lock during registration).

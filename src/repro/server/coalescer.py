@@ -65,6 +65,7 @@ class PendingWrite:
         self._error: BaseException | None = None
 
     def done(self) -> bool:
+        """True once the write committed or failed (``wait`` won't block)."""
         return self._event.is_set()
 
     def wait(self, timeout: float | None = None) -> CommitResult:
@@ -164,6 +165,7 @@ class WriteCoalescer:
                 self._cond.notify_all()
 
     def stats(self) -> dict[str, int | float]:
+        """Queue counters (submitted/commits/failed/queued) for ``/stats``."""
         return {
             "submitted": self.submitted,
             "commits": self.commits,

@@ -20,7 +20,18 @@ A :class:`ReasoningHTTPServer` (a ``ThreadingHTTPServer``) exposes one
 ``/feed``             GET     SSE replication feed of committed deltas
                               (``from=N`` resumes; 410 once compacted away)
 ``/snapshot``         GET     binary state image for replica bootstrap
+``/tenants``          GET     registered tenants + quotas (tenancy mode)
+``/tenants``          POST    register / re-quota a tenant
+``/tenants``          DELETE  unregister a tenant (``?name=``; data kept on disk)
 ====================  ======  ====================================================
+
+Multi-tenant mode (``tenants=TenantManager`` / ``slider-reason serve
+--tenancy``): read endpoints, ``/apply``, ``/subscribe`` and ``/stats``
+accept ``?tenant=<name>`` and run against that tenant's isolated
+engine.  Tenant admission maps onto HTTP statuses: an unknown tenant is
+``404``; an over-rate or queue-full write is ``429`` with a
+``Retry-After`` header; a write that would exceed a hard quota is
+``413`` and commits nothing.
 
 Consistency model: every read endpoint runs against a snapshot
 :class:`~repro.server.views.ReadView` — reads see *committed revisions
@@ -40,12 +51,21 @@ with ``: keepalive`` comments while idle.
 from __future__ import annotations
 
 import json
+import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
 from ..rdf.terms import Variable
 from ..store.query import ask, construct, explain, solve
+from ..tenancy.errors import (
+    AdmissionRejectedError,
+    QuotaExceededError,
+    RateLimitedError,
+    TenancyError,
+    UnknownTenantError,
+)
+from ..tenancy.registry import TenantQuota
 from .coalescer import CoalescerClosedError
 from .service import ReasoningService, ServiceClosedError
 from .views import RevisionGoneError
@@ -105,8 +125,21 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, status: int, message: str) -> None:
-        self._send_json({"error": message}, status=status)
+    def _send_error_json(
+        self, status: int, message: str, retry_after: float | None = None
+    ) -> None:
+        body = {"error": message}
+        if retry_after is not None:
+            body["retry_after"] = retry_after
+        payload = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        if retry_after is not None:
+            # Whole seconds per RFC 9110; never advertise 0 ("retry now").
+            self.send_header("Retry-After", str(max(1, math.ceil(retry_after))))
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
 
     def _params(self) -> dict[str, list[str]]:
         return parse_qs(urlsplit(self.path).query, keep_blank_values=True)
@@ -145,10 +178,27 @@ class _Handler(BaseHTTPRequestHandler):
             raise _BadRequest(f"parameter 'limit' must be >= 1, got {limit}")
         return limit
 
+    def _tenant_manager(self):
+        """The server's TenantManager; 400 when tenancy is not enabled."""
+        manager = self.server.tenants
+        if manager is None:
+            raise _BadRequest(
+                "tenancy is not enabled on this server (start with --tenancy)"
+            )
+        return manager
+
     def _graph_at(self, params: dict):
-        """(graph, revision) for the request's (possibly pinned) view."""
+        """(graph, revision) for the request's (possibly pinned) view.
+
+        With ``?tenant=`` the view comes from that tenant's isolated
+        engine instead of the shared service.
+        """
         at = self._int(params, "at")
-        graph = self.service.graph(at)
+        tenant = self._one(params, "tenant")
+        if tenant is not None:
+            graph = self._tenant_manager().view_graph(tenant, at)
+        else:
+            graph = self.service.graph(at)
         return graph, graph.store.revision
 
     # --- dispatch -----------------------------------------------------------
@@ -157,6 +207,9 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         self._dispatch(_POST_ROUTES)
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch(_DELETE_ROUTES)
 
     def _dispatch(self, routes: dict) -> None:
         try:
@@ -199,6 +252,16 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(410, str(error))
         except (ServiceClosedError, CoalescerClosedError):
             self._send_error_json(503, "service is shutting down")
+        except UnknownTenantError as error:
+            self._send_error_json(404, str(error))
+        except QuotaExceededError as error:
+            # Hard quota: atomic reject, nothing committed (cf. 429,
+            # which means "slow down and retry the same request").
+            self._send_error_json(413, str(error))
+        except (RateLimitedError, AdmissionRejectedError) as error:
+            self._send_error_json(429, str(error), retry_after=error.retry_after)
+        except TenancyError as error:
+            self._send_error_json(400, str(error))
         except (BrokenPipeError, ConnectionResetError):
             self.close_connection = True
         except Exception as error:  # noqa: BLE001 - a request must not kill the thread
@@ -292,7 +355,17 @@ class _Handler(BaseHTTPRequestHandler):
         )
 
     def _ep_stats(self) -> None:
-        self._send_json(self.service.stats())
+        params = self._params()
+        tenant = self._one(params, "tenant")
+        if tenant is not None:
+            manager = self._tenant_manager()
+            self._send_json({"tenant": tenant, **manager.tenant_stats(tenant)})
+            return
+        stats = self.service.stats()
+        if self.server.tenants is not None:
+            # Aggregates only: per-tenant detail via /stats?tenant=.
+            stats["tenancy"] = self.server.tenants.summary()
+        self._send_json(stats)
 
     def _ep_healthz(self) -> None:
         """Liveness only: a catching-up follower is alive but not ready."""
@@ -368,18 +441,77 @@ class _Handler(BaseHTTPRequestHandler):
         timeout = body.get("timeout", 30.0)
         if not isinstance(timeout, (int, float)) or timeout <= 0:
             raise _BadRequest('"timeout" must be a positive number of seconds')
+        tenant = body.get("tenant") or self._one(self._params(), "tenant")
+        if tenant is not None and not isinstance(tenant, str):
+            raise _BadRequest('"tenant" must be a string')
         try:
-            result = self.service.apply(assertions, retractions, timeout=timeout)
+            if tenant is not None:
+                # Tenant admission (404/413/429) surfaces via _dispatch.
+                result = self._tenant_manager().apply(
+                    tenant, assertions, retractions, timeout=timeout
+                )
+            else:
+                result = self.service.apply(assertions, retractions, timeout=timeout)
         except TimeoutError:
             self._send_error_json(504, "write was not committed in time")
             return
+        payload = {
+            "revision": result.revision,
+            "coalesced": result.coalesced,
+            "report": result.report.as_dict(),
+        }
+        if tenant is not None:
+            payload["tenant"] = tenant
+        self._send_json(payload)
+
+    # --- tenancy endpoints --------------------------------------------------
+    def _ep_tenants_list(self) -> None:
+        """Registered tenants with their quotas (names stay sorted)."""
+        manager = self._tenant_manager()
+        tenants = [
+            {
+                "name": name,
+                "graph": f"urn:tenant:{name}",
+                "quota": manager.registry.quota(name).as_dict(),
+            }
+            for name in manager.tenants()
+        ]
+        self._send_json({"count": len(tenants), "tenants": tenants})
+
+    def _ep_tenants_register(self) -> None:
+        """Register (or re-quota) a tenant: ``{"name": ..., "quota": {...}}``."""
+        manager = self._tenant_manager()
+        if not self._body:
+            raise _BadRequest('POST /tenants requires a JSON body with "name"')
+        try:
+            body = json.loads(self._body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise _BadRequest(f"body is not valid JSON: {error}")
+        if not isinstance(body, dict) or not isinstance(body.get("name"), str):
+            raise _BadRequest('body must be a JSON object with a string "name"')
+        quota_spec = body.get("quota")
+        quota = None
+        if quota_spec is not None:
+            if not isinstance(quota_spec, dict):
+                raise _BadRequest('"quota" must be a JSON object')
+            quota = TenantQuota.from_dict(quota_spec)
+        known = body["name"] in manager.registry
+        effective = manager.register(body["name"], quota)
         self._send_json(
             {
-                "revision": result.revision,
-                "coalesced": result.coalesced,
-                "report": result.report.as_dict(),
-            }
+                "name": body["name"],
+                "graph": f"urn:tenant:{body['name']}",
+                "quota": effective.as_dict(),
+            },
+            status=200 if known else 201,
         )
+
+    def _ep_tenants_remove(self) -> None:
+        """Unregister ``?name=`` (state directory survives on disk)."""
+        manager = self._tenant_manager()
+        name = self._one(self._params(), "name", required=True)
+        manager.remove(name)
+        self._send_json({"removed": name})
 
     # --- replication endpoints ----------------------------------------------
     def _ep_snapshot(self) -> None:
@@ -507,13 +639,21 @@ class _Handler(BaseHTTPRequestHandler):
         # come from the retained view ring — 410 (before any SSE bytes)
         # when it was evicted, exactly like ``at=N`` reads — so a client
         # that drops mid-stream never silently skips binding deltas.
+        tenant = self._one(params, "tenant")
         replay_from = None
         if last_seen is not None:
-            replay_from = {
-                frozenset(s.items()): s
-                for s in solve(self.service.graph(last_seen), patterns)
-            }
-        channel = self.service.subscribe_channel(patterns)
+            source = (
+                self._tenant_manager().view_graph(tenant, last_seen)
+                if tenant is not None
+                else self.service.graph(last_seen)
+            )
+            replay_from = {frozenset(s.items()): s for s in solve(source, patterns)}
+        if tenant is not None:
+            # Tenant-scoped stream: the channel rides the tenant's own
+            # engine and counts against its standing-query quota.
+            channel = self._tenant_manager().subscribe_channel(tenant, patterns)
+        else:
+            channel = self.service.subscribe_channel(patterns)
         try:
             self.send_response(200)
             self.send_header("Content-Type", "text/event-stream")
@@ -596,10 +736,16 @@ _GET_ROUTES = {
     "/subscribe": _Handler._ep_subscribe,
     "/feed": _Handler._ep_feed,
     "/snapshot": _Handler._ep_snapshot,
+    "/tenants": _Handler._ep_tenants_list,
 }
 
 _POST_ROUTES = {
     "/apply": _Handler._ep_apply,
+    "/tenants": _Handler._ep_tenants_register,
+}
+
+_DELETE_ROUTES = {
+    "/tenants": _Handler._ep_tenants_remove,
 }
 
 
@@ -622,6 +768,7 @@ class ReasoningHTTPServer(ThreadingHTTPServer):
         sse_heartbeat: float = SSE_HEARTBEAT_SECONDS,
         service_provider=None,
         max_body_bytes: int = MAX_BODY_BYTES,
+        tenants=None,
     ):
         if (service is None) == (service_provider is None):
             raise ValueError("pass exactly one of service / service_provider")
@@ -634,9 +781,15 @@ class ReasoningHTTPServer(ThreadingHTTPServer):
         self.verbose = verbose
         self.sse_heartbeat = sse_heartbeat
         self.max_body_bytes = max_body_bytes
+        #: Optional :class:`~repro.tenancy.TenantManager` — enables the
+        #: ``?tenant=`` routing and the ``/tenants`` endpoints.  Like
+        #: the service, the server does not own it: callers close the
+        #: manager after ``shutdown()``.
+        self.tenants = tenants
 
     @property
     def service(self) -> ReasoningService:
+        """The service handlers dispatch to (may change on re-bootstrap)."""
         return self._service_provider()
 
     @property
@@ -646,6 +799,7 @@ class ReasoningHTTPServer(ThreadingHTTPServer):
 
     @property
     def url(self) -> str:
+        """The server's base URL, e.g. ``http://127.0.0.1:8080``."""
         host = self.server_address[0]
         return f"http://{host}:{self.port}"
 
@@ -655,14 +809,16 @@ def serve(
     host: str = "127.0.0.1",
     port: int = 0,
     verbose: bool = False,
+    tenants=None,
 ) -> tuple[ReasoningHTTPServer, threading.Thread]:
     """Bind and start serving on a background thread.
 
     Returns ``(server, thread)``; callers stop with ``server.shutdown()``
-    then ``service.close()``.  ``port=0`` binds an ephemeral port
-    (``server.port`` has the real one).
+    then ``service.close()`` (and ``tenants.close()`` in tenancy mode).
+    ``port=0`` binds an ephemeral port (``server.port`` has the real
+    one); ``tenants`` enables multi-tenant routing.
     """
-    server = ReasoningHTTPServer((host, port), service, verbose=verbose)
+    server = ReasoningHTTPServer((host, port), service, verbose=verbose, tenants=tenants)
     thread = threading.Thread(
         target=server.serve_forever, name="slider-http", daemon=True
     )

@@ -354,6 +354,7 @@ class ReasoningService:
 
     @property
     def persist_dir(self) -> Path | None:
+        """The engine's durable state directory (``None`` when in-memory)."""
         return self.reasoner.persist_dir
 
     def snapshot_bytes(self, format: str | None = None) -> bytes:
@@ -418,6 +419,7 @@ class ReasoningService:
     # --- lifecycle ----------------------------------------------------------
     @property
     def closed(self) -> bool:
+        """True after :meth:`close`; further calls raise ``ServiceClosed``."""
         return self._closed
 
     def _check_open(self) -> None:

@@ -124,25 +124,31 @@ class ReadView:
                 yield (s, predicate, o)
 
     def has_predicate(self, predicate: int) -> bool:
+        """Does any triple with this predicate id exist in the view?"""
         return predicate in self._by_predicate
 
     def predicates(self) -> list[int]:
+        """Every predicate id with at least one triple, unordered."""
         return list(self._by_predicate)
 
     def count_predicate(self, predicate: int) -> int:
+        """Number of triples in this predicate's partition."""
         pairs = self._by_predicate.get(predicate)
         return len(pairs) if pairs is not None else 0
 
     def pairs_for_predicate(self, predicate: int) -> list[tuple[int, int]]:
+        """The ``(subject, object)`` pairs of one predicate partition."""
         return list(self._by_predicate.get(predicate, ()))
 
     def objects(self, predicate: int, subject: int) -> list[int]:
+        """Object ids of ``(subject, predicate, ?o)`` triples."""
         pairs = self._by_predicate.get(predicate)
         if not pairs:
             return []
         return [o for s, o in pairs if s == subject]
 
     def subjects(self, predicate: int, obj: int) -> list[int]:
+        """Subject ids of ``(?s, predicate, obj)`` triples."""
         pairs = self._by_predicate.get(predicate)
         if not pairs:
             return []
@@ -154,6 +160,7 @@ class ReadView:
         predicate: int | None = None,
         obj: int | None = None,
     ) -> list[EncodedTriple]:
+        """All triples matching the given bound positions (None = any)."""
         if predicate is not None:
             pairs = self._by_predicate.get(predicate)
             partitions: Iterable = ((predicate, pairs),) if pairs else ()
@@ -167,6 +174,7 @@ class ReadView:
         return matches
 
     def stats(self) -> dict[str, int]:
+        """Triple/predicate counts and the revision, JSON-ready."""
         return {
             "triples": self._size,
             "predicates": len(self._by_predicate),
@@ -178,12 +186,15 @@ class ReadView:
     # falls back to partition scans (the planner's cost model prices these
     # at store size, so they are only picked when the shape forces them).
     def triples_for_subject(self, subject: int) -> list[EncodedTriple]:
+        """All triples of one subject (partition scan, priced as such)."""
         return self.match(subject=subject)
 
     def triples_for_object(self, obj: int) -> list[EncodedTriple]:
+        """All triples of one object (partition scan, priced as such)."""
         return self.match(obj=obj)
 
     def predicates_between(self, subject: int, obj: int) -> list[int]:
+        """Predicate ids linking ``subject`` to ``obj``."""
         return [
             p
             for p, pairs in self._by_predicate.items()
@@ -273,6 +284,7 @@ class ViewRegistry:
         return view
 
     def oldest_revision(self) -> int:
+        """The oldest revision still pinnable via ``at=``."""
         with self._lock:
             return next(iter(self._by_revision))
 

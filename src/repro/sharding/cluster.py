@@ -134,9 +134,11 @@ class ClusterRecoveryInfo:
 
     @property
     def recovered_revision(self) -> int:
+        """Alias of :attr:`revision` (single-node ``RecoveryInfo`` parity)."""
         return self.revision
 
     def as_dict(self) -> dict:
+        """JSON-ready summary for ``/stats``'s recovery block."""
         return {
             "shards": self.shards,
             "revision": self.revision,
@@ -665,6 +667,7 @@ class ShardedReasoner:
             self._commit_listeners.append(listener)
 
     def remove_commit_listener(self, listener: Callable) -> None:
+        """Detach a commit listener; unknown listeners are ignored."""
         with self._lock:
             try:
                 self._commit_listeners.remove(listener)
@@ -678,6 +681,7 @@ class ShardedReasoner:
     # --- introspection -------------------------------------------------------
     @property
     def revision(self) -> int:
+        """The merged monotonic global revision."""
         return self._revision
 
     @property
@@ -687,14 +691,17 @@ class ShardedReasoner:
 
     @property
     def fragment(self):
+        """The rule fragment (identical on every shard)."""
         return self.engines[0].fragment
 
     @property
     def rules(self):
+        """The rule set (identical on every shard)."""
         return self.engines[0].rules
 
     @property
     def workers(self) -> int:
+        """Worker threads configured per shard engine."""
         return self._workers
 
     @property
@@ -704,14 +711,17 @@ class ShardedReasoner:
 
     @property
     def input_count(self) -> int:
+        """Explicit (user-asserted) triples across the cluster."""
         return len(self._explicit)
 
     @property
     def inferred_count(self) -> int:
+        """Rule-derived triples across the cluster."""
         return len(self.store) - len(self._explicit)
 
     @property
     def persist_dir(self) -> Path | None:
+        """The cluster's root state directory (``None`` when in-memory)."""
         return self._root
 
     @property
@@ -721,6 +731,7 @@ class ShardedReasoner:
 
     @property
     def snapshot_format(self) -> str:
+        """The snapshot format shard engines seal (``v1`` or ``v2``)."""
         return self._snapshot_format
 
     def cluster_stats(self) -> dict:
@@ -772,6 +783,7 @@ class ShardedReasoner:
 
     # --- lifecycle -----------------------------------------------------------
     def close(self) -> None:
+        """Flush staged deltas, stop the pool, close every shard engine."""
         with self._lock:
             if self._closed:
                 return

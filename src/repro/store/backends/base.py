@@ -35,6 +35,25 @@ duck-typed backends):
   incrementally on the write path;
 * ``stats_vector() -> ((p, count, ds, do), ...)`` sorted by predicate —
   the deterministic snapshot durability tests compare across recovery.
+
+**Optional named-graph extension** (the quad protocol).  The engine
+tags the explicit triples of graph-scoped deltas
+(:class:`~repro.reasoner.delta.Delta` with ``graph=``) in a sparse
+side column; like the planner protocol, consumers probe by ``getattr``
+and treat an absent column as "everything is in the default graph":
+
+* ``set_graphs(triples, graph_id)`` — tag stored triples with a graph
+  term id (``None`` clears the tag; missing triples are ignored);
+* ``graph_of(triple) -> int | None`` — the tag (None = default graph);
+* ``graph_counts() -> {graph_id: count}`` — per-named-graph sizes;
+* ``triples_in_graph(graph_id)`` — one graph's triples (``None`` lists
+  the untagged default graph);
+* ``graph_assignments() -> {triple: graph_id}`` — the sparse column as
+  a copy, for snapshot writers.
+
+Graph ids are ordinary term-dictionary ids of the graph's IRI/BNode
+label, so the column journals and snapshots like any other id data.
+Removing a triple always clears its tag.
 """
 
 from __future__ import annotations

@@ -58,6 +58,10 @@ class HashDictStore:
         self._spo: dict[int, dict[int, set[int]]] = {}
         self._osp: dict[int, dict[int, set[int]]] = {}
         self._predicate_counts: dict[int, int] = {}
+        # Sparse named-graph column: triple -> graph term id.  Absence
+        # means the default graph, so triple-only workloads pay nothing.
+        self._graphs: dict[EncodedTriple, int] = {}
+        self._graph_counts: dict[int, int] = {}
         self._size = 0
         self.lock = ReentrantReadWriteLock()
 
@@ -157,8 +161,70 @@ class HashDictStore:
             self._predicate_counts[predicate] = remaining
         else:
             del self._predicate_counts[predicate]
+        graph_id = self._graphs.pop(triple, None)
+        if graph_id is not None:
+            graph_remaining = self._graph_counts[graph_id] - 1
+            if graph_remaining:
+                self._graph_counts[graph_id] = graph_remaining
+            else:
+                del self._graph_counts[graph_id]
         self._size -= 1
         return True
+
+    # --- named-graph column (optional protocol extension) -------------------
+    def set_graphs(self, triples: Iterable[EncodedTriple], graph_id: int | None) -> None:
+        """Tag stored triples with a named-graph term id.
+
+        ``graph_id=None`` clears the tag (moves the triples back to the
+        default graph).  Triples not present in the store are ignored —
+        the engine tags exactly the explicit triples it just inserted.
+        """
+        with self.lock.write():
+            graphs, counts = self._graphs, self._graph_counts
+            for triple in triples:
+                subject_index = self._pso.get(triple[1])
+                if subject_index is None:
+                    continue
+                objects = subject_index.get(triple[0])
+                if objects is None or triple[2] not in objects:
+                    continue
+                previous = graphs.pop(triple, None)
+                if previous is not None:
+                    remaining = counts[previous] - 1
+                    if remaining:
+                        counts[previous] = remaining
+                    else:
+                        del counts[previous]
+                if graph_id is not None:
+                    graphs[triple] = graph_id
+                    counts[graph_id] = counts.get(graph_id, 0) + 1
+
+    def graph_of(self, triple: EncodedTriple) -> int | None:
+        """The graph term id tagged on ``triple`` (None = default graph)."""
+        with self.lock.read():
+            return self._graphs.get(triple)
+
+    def graph_counts(self) -> dict[int, int]:
+        """``{graph term id: triple count}`` over the named graphs (copy)."""
+        with self.lock.read():
+            return dict(self._graph_counts)
+
+    def triples_in_graph(self, graph_id: int | None) -> list[EncodedTriple]:
+        """All triples tagged into one named graph (None = default graph).
+
+        The default graph is everything *not* tagged, so listing it costs
+        a full scan; named graphs cost one pass over the sparse column.
+        """
+        with self.lock.read():
+            if graph_id is None:
+                tagged = self._graphs
+                return [t for t in self._iter_unlocked() if t not in tagged]
+            return [t for t, g in self._graphs.items() if g == graph_id]
+
+    def graph_assignments(self) -> dict[EncodedTriple, int]:
+        """A copy of the sparse graph column (snapshot writers)."""
+        with self.lock.read():
+            return dict(self._graphs)
 
     # --- read path -----------------------------------------------------------
     def __len__(self) -> int:
@@ -374,15 +440,18 @@ class HashDictStore:
             for o in objects
         ]
 
+    def _iter_unlocked(self) -> Iterator[EncodedTriple]:
+        return (
+            (subject, predicate, obj)
+            for predicate, subject_index in self._pso.items()
+            for subject, objects in subject_index.items()
+            for obj in objects
+        )
+
     def __iter__(self) -> Iterator[EncodedTriple]:
         """Iterate a consistent snapshot of all triples."""
         with self.lock.read():
-            snapshot = [
-                (subject, predicate, obj)
-                for predicate, subject_index in self._pso.items()
-                for subject, objects in subject_index.items()
-                for obj in objects
-            ]
+            snapshot = list(self._iter_unlocked())
         return iter(snapshot)
 
     def clear(self) -> None:
@@ -393,6 +462,8 @@ class HashDictStore:
             self._spo.clear()
             self._osp.clear()
             self._predicate_counts.clear()
+            self._graphs.clear()
+            self._graph_counts.clear()
             self._size = 0
 
     # --- statistics -------------------------------------------------------

@@ -112,6 +112,44 @@ class ShardedTripleStore:
         for shard in self._shards:
             shard.clear()
 
+    # --- named-graph column (optional protocol extension) -------------------
+    # A triple's graph tag lives on the shard that owns its predicate
+    # partition, so tagging groups by shard exactly like the write batches.
+    def set_graphs(self, triples: Iterable[EncodedTriple], graph_id: int | None) -> None:
+        """Tag stored triples with a named-graph term id (see HashDictStore)."""
+        per_shard: dict[int, list[EncodedTriple]] = {}
+        shard_count = len(self._shards)
+        for triple in triples:
+            per_shard.setdefault(hash(triple[1]) % shard_count, []).append(triple)
+        for shard_index, items in per_shard.items():
+            self._shards[shard_index].set_graphs(items, graph_id)
+
+    def graph_of(self, triple: EncodedTriple) -> int | None:
+        """The graph term id tagged on ``triple`` (None = default graph)."""
+        return self.shard_for(triple[1]).graph_of(triple)
+
+    def graph_counts(self) -> dict[int, int]:
+        """``{graph term id: triple count}`` merged across all shards."""
+        merged: dict[int, int] = {}
+        for shard in self._shards:
+            for graph_id, count in shard.graph_counts().items():
+                merged[graph_id] = merged.get(graph_id, 0) + count
+        return merged
+
+    def triples_in_graph(self, graph_id: int | None) -> list[EncodedTriple]:
+        """All triples tagged into one graph, per-shard-consistent."""
+        results: list[EncodedTriple] = []
+        for shard in self._shards:
+            results.extend(shard.triples_in_graph(graph_id))
+        return results
+
+    def graph_assignments(self) -> dict[EncodedTriple, int]:
+        """The merged sparse graph column (snapshot writers)."""
+        merged: dict[EncodedTriple, int] = {}
+        for shard in self._shards:
+            merged.update(shard.graph_assignments())
+        return merged
+
     # --- read path --------------------------------------------------------
     def __len__(self) -> int:
         return sum(len(shard) for shard in self._shards)

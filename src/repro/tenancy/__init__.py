@@ -1,0 +1,42 @@
+"""Multi-tenant serving: registry, admission control, fair-share writes.
+
+The tenancy layer turns one reasoning process into a multi-tenant
+service.  Each tenant gets hard isolation (its own engine, writing
+under the named graph ``urn:tenant:<name>``), declared limits
+(:class:`TenantQuota`), rate-gated admission
+(:class:`AdmissionController`) and weighted-fair drain bandwidth
+(:class:`FairShareCoalescer`), all fronted by the
+:class:`TenantManager` facade the HTTP server and the tenancy
+benchmark drive.
+
+See ``docs/architecture.md`` (the tenancy section) for how the layers
+stack and ``docs/operations.md`` for quota/limit tuning.
+"""
+
+from .admission import AdmissionController, TokenBucket
+from .errors import (
+    AdmissionRejectedError,
+    QuotaExceededError,
+    RateLimitedError,
+    TenancyError,
+    UnknownTenantError,
+)
+from .fairshare import FairShareCoalescer
+from .manager import TenantManager
+from .registry import TENANTS_FILENAME, TenantQuota, TenantRegistry, tenant_graph_iri
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionRejectedError",
+    "FairShareCoalescer",
+    "QuotaExceededError",
+    "RateLimitedError",
+    "TenancyError",
+    "TenantManager",
+    "TenantQuota",
+    "TenantRegistry",
+    "TENANTS_FILENAME",
+    "TokenBucket",
+    "UnknownTenantError",
+    "tenant_graph_iri",
+]

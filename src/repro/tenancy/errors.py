@@ -1,0 +1,82 @@
+"""Typed tenancy failures, each mapped to one HTTP status by the server.
+
+The hierarchy keeps admission decisions machine-readable: every
+rejection carries enough structure (``retry_after``, the tenant, the
+exceeded limit) for the HTTP layer to emit the right status code and
+``Retry-After`` header without string matching, and for the bench
+client to honour the backoff it is told.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TenancyError",
+    "UnknownTenantError",
+    "QuotaExceededError",
+    "RateLimitedError",
+    "AdmissionRejectedError",
+]
+
+
+class TenancyError(RuntimeError):
+    """Base class of every tenancy-layer failure."""
+
+
+class UnknownTenantError(TenancyError):
+    """The tenant is not registered (HTTP 404)."""
+
+    def __init__(self, tenant: str):
+        super().__init__(f"unknown tenant {tenant!r}")
+        self.tenant = tenant
+
+
+class QuotaExceededError(TenancyError):
+    """A hard per-tenant quota would be exceeded (HTTP 413).
+
+    Raised *before* any store mutation — a quota-rejected apply commits
+    nothing (checked atomically on the tenant's single drain thread).
+    """
+
+    def __init__(self, tenant: str, quota: str, limit: int, requested: int):
+        super().__init__(
+            f"tenant {tenant!r} exceeds {quota} quota: "
+            f"limit {limit}, would reach {requested}"
+        )
+        self.tenant = tenant
+        self.quota = quota
+        self.limit = limit
+        self.requested = requested
+
+
+class RateLimitedError(TenancyError):
+    """The tenant's write-rate token bucket is empty (HTTP 429).
+
+    ``retry_after`` is the seconds until the bucket refills enough for
+    the rejected request — the value of the ``Retry-After`` header.
+    """
+
+    def __init__(self, tenant: str, retry_after: float):
+        super().__init__(
+            f"tenant {tenant!r} is over its write rate "
+            f"(retry after {retry_after:.3f}s)"
+        )
+        self.tenant = tenant
+        self.retry_after = retry_after
+
+
+class AdmissionRejectedError(TenancyError):
+    """The tenant's bounded write queue is full (HTTP 429).
+
+    Overload shedding: the queue bound holds the coalescer's memory and
+    the tenant's tail latency; ``retry_after`` is a drain-time estimate.
+    """
+
+    def __init__(self, tenant: str, queued: int, limit: int, retry_after: float):
+        super().__init__(
+            f"tenant {tenant!r} write queue is full ({queued}/{limit}); "
+            f"retry after {retry_after:.3f}s"
+        )
+        self.tenant = tenant
+        self.queued = queued
+        self.limit = limit
+        self.retry_after = retry_after

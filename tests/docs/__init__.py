@@ -1,0 +1,1 @@
+"""Documentation gates: conformance, snippet execution, docstring coverage."""

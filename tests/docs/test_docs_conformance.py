@@ -1,0 +1,122 @@
+"""Docs cannot silently drift from the code.
+
+Two conformance directions, both derived from the *live* objects (the
+route tables in ``repro.server.http`` and the argparse tree in
+``repro.cli``), never from a hand-maintained list:
+
+* every registered HTTP route must appear in ``docs/http-api.md``;
+* every CLI subcommand — and every ``serve`` flag — must appear in the
+  CLI docs section (``docs/operations.md``).
+
+The reverse direction (documented-but-gone) is covered for routes,
+where the docs table is easy to parse back out.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+from repro.server import http as server_http
+
+DOCS = Path(__file__).resolve().parent.parent.parent / "docs"
+HTTP_API = (DOCS / "http-api.md").read_text(encoding="utf-8")
+OPERATIONS = (DOCS / "operations.md").read_text(encoding="utf-8")
+README = (DOCS.parent / "README.md").read_text(encoding="utf-8")
+
+
+def registered_routes() -> dict[str, set[str]]:
+    return {
+        "GET": set(server_http._GET_ROUTES),
+        "POST": set(server_http._POST_ROUTES),
+        "DELETE": set(server_http._DELETE_ROUTES),
+    }
+
+
+def subcommands() -> list:
+    parser = build_parser()
+    actions = [
+        a for a in parser._subparsers._group_actions if hasattr(a, "choices")
+    ]
+    assert actions, "CLI parser grew no subcommands?"
+    return sorted(actions[0].choices)
+
+
+class TestHTTPRouteConformance:
+    @pytest.mark.parametrize(
+        "method,route",
+        [(m, r) for m, routes in registered_routes().items() for r in routes],
+    )
+    def test_every_registered_route_is_documented(self, method, route):
+        # The endpoint table lists each route as `/path` with its method
+        # on the same row.
+        row = re.compile(
+            rf"^\|\s*`{re.escape(route)}`\s*\|\s*{method}\s*\|", re.MULTILINE
+        )
+        assert row.search(HTTP_API), (
+            f"{method} {route} is registered in server/http.py but missing "
+            f"from the endpoint table in docs/http-api.md"
+        )
+
+    def test_every_documented_route_is_registered(self):
+        documented = {
+            (match.group(2), match.group(1))
+            for match in re.finditer(
+                r"^\|\s*`(/[a-z]+)`\s*\|\s*(GET|POST|DELETE)\s*\|",
+                HTTP_API,
+                re.MULTILINE,
+            )
+        }
+        registered = {
+            (method, route)
+            for method, routes in registered_routes().items()
+            for route in routes
+        }
+        stale = documented - registered
+        assert not stale, f"docs/http-api.md documents unregistered routes: {stale}"
+        assert documented, "failed to parse any route out of the docs table"
+
+
+class TestCLIConformance:
+    @pytest.mark.parametrize("command", subcommands())
+    def test_every_subcommand_is_documented(self, command):
+        row = re.compile(rf"^\|\s*`{re.escape(command)}`\s*\|", re.MULTILINE)
+        assert row.search(OPERATIONS), (
+            f"CLI subcommand {command!r} is missing from the CLI reference "
+            f"table in docs/operations.md"
+        )
+
+    def test_every_serve_flag_is_documented(self):
+        parser = build_parser()
+        serve = next(
+            a for a in parser._subparsers._group_actions if hasattr(a, "choices")
+        ).choices["serve"]
+        flags = {
+            option
+            for action in serve._actions
+            for option in action.option_strings
+            if option.startswith("--") and option != "--help"
+        }
+        missing = {f for f in flags if f"`{f}`" not in OPERATIONS}
+        assert not missing, (
+            f"serve flags missing from docs/operations.md: {sorted(missing)}"
+        )
+
+
+class TestREADMEIsAnIndex:
+    def test_readme_links_every_docs_page(self):
+        for page in sorted(DOCS.glob("*.md")):
+            assert f"docs/{page.name}" in README, (
+                f"README.md does not link {page.name}"
+            )
+
+    def test_docs_cross_links_resolve(self):
+        # Relative links between docs pages must point at files that exist.
+        for page in DOCS.glob("*.md"):
+            text = page.read_text(encoding="utf-8")
+            for match in re.finditer(r"\]\(([a-z-]+\.md)(#[a-z-]+)?\)", text):
+                target = DOCS / match.group(1)
+                assert target.exists(), (
+                    f"{page.name} links to missing docs page {match.group(1)}"
+                )

@@ -1,0 +1,72 @@
+"""Documented snippets must run against the current API.
+
+Every fenced ``python`` code block in ``README.md`` and ``docs/*.md``
+executes in a fresh namespace (same interpreter, ``src/`` layout on the
+path). A block opts out by placing ``<!-- snippet: no-run -->`` on the
+line directly above its opening fence — reserved for fragments that
+need external processes or long-lived ports, and kept rare on purpose:
+an undocumented marker on every block would gut the gate.
+
+Parametrization is per-block, so a failure names the file and line of
+the snippet that no longer matches the API.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent.parent
+SKIP_MARKER = "<!-- snippet: no-run -->"
+
+_FENCE = re.compile(r"^```python\s*$")
+_CLOSE = re.compile(r"^```\s*$")
+
+
+def python_blocks(path: Path):
+    """Yield ``(lineno, source, skipped)`` for each fenced python block."""
+    lines = path.read_text(encoding="utf-8").splitlines()
+    i = 0
+    while i < len(lines):
+        if _FENCE.match(lines[i]):
+            skipped = any(
+                SKIP_MARKER in prev
+                for prev in lines[max(0, i - 2): i]
+                if prev.strip()
+            )
+            start = i + 1
+            j = start
+            while j < len(lines) and not _CLOSE.match(lines[j]):
+                j += 1
+            yield start + 1, "\n".join(lines[start:j]), skipped
+            i = j + 1
+        else:
+            i += 1
+
+
+def collect() -> list:
+    documents = [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]
+    cases = []
+    for document in documents:
+        for lineno, source, skipped in python_blocks(document):
+            label = f"{document.relative_to(ROOT)}:{lineno}"
+            cases.append(pytest.param(source, skipped, id=label))
+    return cases
+
+
+CASES = collect()
+
+
+def test_docs_have_executable_snippets():
+    # The gate is meaningless if every block is opted out (or the
+    # parser stops finding any); pin a floor of genuinely-run blocks.
+    runnable = [c for c in CASES if not c.values[1]]
+    assert len(runnable) >= 6
+
+
+@pytest.mark.parametrize("source,skipped", CASES)
+def test_snippet_executes(source, skipped, tmp_path, monkeypatch):
+    if skipped:
+        pytest.skip("marked <!-- snippet: no-run -->")
+    monkeypatch.chdir(tmp_path)  # snippets writing files stay in the sandbox
+    exec(compile(source, "<doc-snippet>", "exec"), {"__name__": "__docs__"})

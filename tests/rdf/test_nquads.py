@@ -1,0 +1,157 @@
+"""Quad term semantics and the N-Quads parser/serializer round trip."""
+
+import pytest
+
+from repro.rdf import (
+    BNode,
+    IRI,
+    Literal,
+    NQuadsError,
+    Quad,
+    Triple,
+    parse_nquads,
+    parse_ntriples,
+    serialize_nquads,
+    serialize_ntriples,
+    write_nquads_file,
+    parse_nquads_file,
+)
+
+EX = "http://example.org/"
+
+
+def q(s, p, o, g=None):
+    graph = IRI(EX + g) if isinstance(g, str) else g
+    return Quad(IRI(EX + s), IRI(EX + p), IRI(EX + o), graph)
+
+
+class TestQuadTerm:
+    def test_default_graph_is_none(self):
+        quad = q("a", "p", "b")
+        assert quad.graph is None
+        assert quad.n3() == f"<{EX}a> <{EX}p> <{EX}b> ."
+
+    def test_named_graph_renders_fourth_term(self):
+        quad = q("a", "p", "b", "g1")
+        assert quad.n3() == f"<{EX}a> <{EX}p> <{EX}b> <{EX}g1> ."
+
+    def test_graph_participates_in_equality_and_hash(self):
+        assert q("a", "p", "b", "g1") == q("a", "p", "b", "g1")
+        assert q("a", "p", "b", "g1") != q("a", "p", "b", "g2")
+        assert q("a", "p", "b", "g1") != q("a", "p", "b")
+        assert len({q("a", "p", "b", "g1"), q("a", "p", "b", "g1")}) == 1
+
+    def test_quad_is_immutable(self):
+        with pytest.raises(AttributeError):
+            q("a", "p", "b").graph = IRI(EX + "g")
+
+    def test_graph_type_validation(self):
+        with pytest.raises(TypeError):
+            Quad(IRI(EX + "a"), IRI(EX + "p"), IRI(EX + "b"), "not-a-term")
+        with pytest.raises(TypeError):
+            Quad(IRI(EX + "a"), IRI(EX + "p"), IRI(EX + "b"), Literal("x"))
+
+    def test_bnode_graph_label_allowed(self):
+        quad = Quad(IRI(EX + "a"), IRI(EX + "p"), IRI(EX + "b"), BNode("g"))
+        assert quad.n3().endswith("_:g .")
+
+    def test_triple_round_trip(self):
+        triple = Triple(IRI(EX + "a"), IRI(EX + "p"), Literal("x"))
+        quad = Quad.from_triple(triple, IRI(EX + "g"))
+        assert quad.triple() == triple
+        assert quad.graph == IRI(EX + "g")
+
+    def test_iteration_and_indexing(self):
+        quad = q("a", "p", "b", "g")
+        s, p, o, g = quad
+        assert (s, p, o, g) == (quad[0], quad[1], quad[2], quad[3])
+        assert g == IRI(EX + "g")
+
+    def test_sort_order_default_graph_first(self):
+        default = q("z", "p", "z")
+        named = q("a", "p", "a", "g")
+        assert sorted([named, default]) == [default, named]
+
+
+class TestNQuadsParsing:
+    def test_triple_statement_lands_in_default_graph(self):
+        quads = parse_nquads(f"<{EX}a> <{EX}p> <{EX}b> .")
+        assert quads == [q("a", "p", "b")]
+
+    def test_graph_label_parsed(self):
+        quads = parse_nquads(f"<{EX}a> <{EX}p> <{EX}b> <{EX}g1> .")
+        assert quads == [q("a", "p", "b", "g1")]
+
+    def test_bnode_graph_label(self):
+        quads = parse_nquads(f"<{EX}a> <{EX}p> <{EX}b> _:g .")
+        assert quads[0].graph == BNode("g")
+
+    def test_literal_object_with_graph(self):
+        quads = parse_nquads(f'<{EX}a> <{EX}p> "hi"@en <{EX}g> .')
+        assert quads[0].object == Literal("hi", language="en")
+        assert quads[0].graph == IRI(EX + "g")
+
+    def test_escapes_and_comments(self):
+        text = "\n".join(
+            [
+                "# a comment",
+                "",
+                f'<{EX}a> <{EX}p> "line\\nbreak" <{EX}g> .   # trailing',
+            ]
+        )
+        quads = parse_nquads(text)
+        assert quads[0].object.lexical == "line\nbreak"
+
+    def test_every_ntriples_doc_is_nquads(self):
+        text = "\n".join(
+            [
+                f"<{EX}a> <{EX}p> <{EX}b> .",
+                f'<{EX}a> <{EX}q> "42"^^<http://www.w3.org/2001/XMLSchema#integer> .',
+                f"_:b1 <{EX}p> _:b2 .",
+            ]
+        )
+        triples = parse_ntriples(text)
+        quads = parse_nquads(text)
+        assert [quad.triple() for quad in quads] == triples
+        assert all(quad.graph is None for quad in quads)
+
+    def test_malformed_statement_raises_positioned_error(self):
+        with pytest.raises(NQuadsError) as excinfo:
+            parse_nquads(f"<{EX}a> <{EX}p> <{EX}b> <{EX}g> <{EX}extra> .")
+        assert "line 1" in str(excinfo.value)
+
+    def test_missing_terminator_raises(self):
+        with pytest.raises(NQuadsError):
+            parse_nquads(f"<{EX}a> <{EX}p> <{EX}b> <{EX}g>")
+
+    def test_literal_graph_label_rejected(self):
+        with pytest.raises(NQuadsError):
+            parse_nquads(f'<{EX}a> <{EX}p> <{EX}b> "g" .')
+
+
+class TestNQuadsSerialization:
+    def test_round_trip(self):
+        quads = [
+            q("a", "p", "b"),
+            q("a", "p", "b", "g1"),
+            q("c", "p", "d", "g2"),
+        ]
+        assert parse_nquads(serialize_nquads(quads)) == sorted(quads)
+
+    def test_sorted_serialization_is_deterministic(self):
+        quads = [q("b", "p", "b", "g2"), q("a", "p", "a", "g1"), q("z", "p", "z")]
+        assert serialize_nquads(quads) == serialize_nquads(reversed(quads))
+        # Default graph first.
+        assert serialize_nquads(quads).splitlines()[0] == q("z", "p", "z").n3()
+
+    def test_default_graph_serialization_matches_ntriples(self):
+        quads = [q("a", "p", "b"), q("c", "p", "d")]
+        triples = [quad.triple() for quad in quads]
+        assert serialize_nquads(quads) == serialize_ntriples(triples)
+
+    def test_file_round_trip(self, tmp_path):
+        quads = [q("a", "p", "b", "g1"), q("c", "p", "d")]
+        path = tmp_path / "data.nq"
+        written = write_nquads_file(quads, path, sort=True)
+        assert written == 2
+        assert parse_nquads_file(path) == sorted(quads)

@@ -1,0 +1,113 @@
+"""Token-bucket admission under a fake clock — no sleeps, no flakes."""
+
+import pytest
+
+from repro.tenancy import (
+    AdmissionController,
+    RateLimitedError,
+    TenantQuota,
+    TenantRegistry,
+    TokenBucket,
+    UnknownTenantError,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=3.0, clock=clock)
+        assert [bucket.try_acquire() for _ in range(3)] == [0.0, 0.0, 0.0]
+        wait = bucket.try_acquire()
+        assert wait == pytest.approx(0.5)
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2.0, clock=clock)
+        bucket.try_acquire(2)
+        clock.advance(1.0)  # 2 tokens back
+        assert bucket.try_acquire(2) == 0.0
+
+    def test_never_exceeds_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        clock.advance(100.0)
+        assert bucket.available == pytest.approx(2.0)
+
+    def test_rejection_leaves_bucket_untouched(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=1.0, clock=clock)
+        assert bucket.try_acquire(5) > 0
+        assert bucket.try_acquire(1) == 0.0  # the failed acquire took nothing
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1, burst=0)
+
+
+class TestAdmissionController:
+    def make(self, **quota):
+        clock = FakeClock()
+        registry = TenantRegistry()
+        registry.register("acme", TenantQuota(**quota))
+        return AdmissionController(registry, clock=clock), clock
+
+    def test_unlimited_tenant_always_admitted(self):
+        controller, _ = self.make()
+        for _ in range(100):
+            controller.admit("acme")
+        assert controller.stats("acme") == {"admitted": 100, "rejected_rate": 0}
+
+    def test_rate_limit_carries_retry_after(self):
+        controller, _ = self.make(writes_per_second=2.0, burst=2)
+        controller.admit("acme")
+        controller.admit("acme")
+        with pytest.raises(RateLimitedError) as info:
+            controller.admit("acme")
+        assert info.value.tenant == "acme"
+        assert 0.0 < info.value.retry_after <= 0.501
+        assert controller.stats("acme")["rejected_rate"] == 1
+
+    def test_bucket_refills_with_time(self):
+        controller, clock = self.make(writes_per_second=1.0, burst=1)
+        controller.admit("acme")
+        with pytest.raises(RateLimitedError):
+            controller.admit("acme")
+        clock.advance(1.0)
+        controller.admit("acme")
+        assert controller.stats("acme")["admitted"] == 2
+
+    def test_unknown_tenant_propagates(self):
+        controller, _ = self.make()
+        with pytest.raises(UnknownTenantError):
+            controller.admit("ghost")
+
+    def test_requota_rebuilds_bucket(self):
+        clock = FakeClock()
+        registry = TenantRegistry()
+        registry.register("acme", TenantQuota(writes_per_second=1.0, burst=1))
+        controller = AdmissionController(registry, clock=clock)
+        controller.admit("acme")
+        with pytest.raises(RateLimitedError):
+            controller.admit("acme")
+        registry.register("acme", TenantQuota(writes_per_second=100.0, burst=50))
+        for _ in range(50):
+            controller.admit("acme")
+
+    def test_forget_clears_counters(self):
+        controller, _ = self.make()
+        controller.admit("acme")
+        controller.forget("acme")
+        assert controller.stats("acme") == {"admitted": 0, "rejected_rate": 0}
