@@ -1,6 +1,7 @@
 """Benchmark harness: timed runs, gains, paper-style tables and charts."""
 
 from .micro import MicroResult, run_micro
+from .obs_overhead import OBSOverheadResult, run_obs_overhead
 from .planner import PlannerBenchResult, run_planner_bench
 from .recovery import RecoveryResult, run_recovery
 from .replication import ReplicationBenchResult, run_replication_bench
@@ -35,6 +36,8 @@ __all__ = [
     "RunResult",
     "MicroResult",
     "run_micro",
+    "OBSOverheadResult",
+    "run_obs_overhead",
     "PlannerBenchResult",
     "run_planner_bench",
     "RecoveryResult",

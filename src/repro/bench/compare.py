@@ -43,7 +43,7 @@ def extract_metrics(artifact) -> dict[str, float]:
     * recovery — a JSON *list* of per-run dicts (the pre-existing
       ``bench_recovery`` format, kept stable for old artifacts);
     * dicts tagged by ``"kind"`` — ``headline``, ``server``, ``micro``,
-      ``replication``, ``sharding``, ``planner``.
+      ``replication``, ``sharding``, ``planner``, ``tenancy``, ``obs``.
     """
     if isinstance(artifact, list):  # recovery rows
         speedups = [row["speedup"] for row in artifact if "speedup" in row]
@@ -96,6 +96,12 @@ def extract_metrics(artifact) -> dict[str, float]:
             "tenancy.zipf_write_tps": float(artifact["zipf_write_tps"]),
             "tenancy.noisy_neighbor_p99_factor": float(
                 artifact["noisy_neighbor_p99_factor"]
+            ),
+        }
+    if kind == "obs":
+        return {
+            "obs.instrumented_throughput_ratio": float(
+                artifact["instrumented_throughput_ratio"]
             ),
         }
     if kind == "sharding":
@@ -153,9 +159,13 @@ def compare_metrics(
             f"({bound})  {verdict}"
         )
         if not ok:
+            # Everything a triager needs on ONE line: the metric, the
+            # committed pin, what this run measured, and the tolerance
+            # band it fell out of — no cross-referencing the baseline.
             failures.append(
-                f"{name}: {observed:,.1f} vs baseline {value:,.1f} "
-                f"(allowed {bound}, direction={direction})"
+                f"{name}: measured {observed:,.4f} vs baseline {value:,.4f} "
+                f"(tolerance {tolerance:.0%}, allowed {bound}, "
+                f"direction={direction})"
             )
     if compared == 0:
         failures.append("no baseline metric had a current counterpart")

@@ -8,6 +8,9 @@ Subcommands mirror the demo's three panels plus the benchmark harness:
 * ``serve``      — run the concurrent reasoning service over HTTP
   (``--follow URL`` turns the node into a read replica of a leader).
 * ``replicate``  — inspect a running node's replication status.
+* ``metrics``    — scrape and print a running node's ``/metrics``
+  (optionally filtered, optionally validated for exposition-format
+  correctness and layer coverage).
 * ``bench``      — regenerate Table 1 / Figure 3 at a chosen scale.
 * ``demo``       — run a traced inference and write the HTML report.
 * ``snapshot``   — compact a durable state directory (snapshot + truncate).
@@ -56,6 +59,7 @@ examples:
   slider-reason serve data.nt --shards 4 --persist state/    # partitioned leader (4 commit pipelines)
   slider-reason serve --follow http://leader:8080 --port 8081  # read replica
   slider-reason replicate --connect http://127.0.0.1:8081    # replication status
+  slider-reason metrics --connect http://127.0.0.1:8080 --filter slider_http
   curl 'http://127.0.0.1:8080/select?query=%3Fx%20%3Chttp%3A//ex/p%3E%20%3Fy'
 """
 
@@ -139,6 +143,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bounded per-tenant write queue depth; a full "
                             "queue answers 429 + Retry-After "
                             "(default %(default)s)")
+    serve.add_argument("--slow-query-ms", type=float, default=250.0,
+                       help="log /select, /ask and /construct slower than this "
+                            "many milliseconds with their timing breakdown and "
+                            "query plan; 0 disables (default %(default)s)")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request to stderr")
 
@@ -148,6 +156,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replicate.add_argument("--connect", required=True, metavar="URL",
                            help="base URL of the node to inspect")
+
+    metrics = subparsers.add_parser(
+        "metrics",
+        help="scrape and print a running node's /metrics exposition",
+    )
+    metrics.add_argument("--connect", required=True, metavar="URL",
+                         help="base URL of the node to scrape")
+    metrics.add_argument("--filter", default=None, metavar="SUBSTR",
+                         help="only print metric families whose name contains "
+                              "SUBSTR (HELP/TYPE lines included)")
+    metrics.add_argument("--check", action="store_true",
+                         help="validate the exposition format and require one "
+                              "metric family per instrumented layer "
+                              "(exit 1 on violation)")
 
     bench = subparsers.add_parser("bench", help="regenerate the paper's experiments")
     bench.add_argument("--experiment", choices=("table1", "fig3"), default="table1")
@@ -436,7 +458,7 @@ def _cmd_serve(args) -> int:
         )
     server, _thread = start_server(
         service, host=args.host, port=args.port, verbose=args.verbose,
-        tenants=tenants,
+        tenants=tenants, slow_query_seconds=args.slow_query_ms / 1000.0,
     )
     topology = f", {args.shards} shards" if args.shards > 1 else ""
     if tenants is not None:
@@ -497,7 +519,8 @@ def _cmd_serve_follower(args) -> int:
         print(f"error: cannot follow {args.follow}: {error}", file=sys.stderr)
         return 1
     server, _thread = follower.serve_http(
-        host=args.host, port=args.port, verbose=args.verbose
+        host=args.host, port=args.port, verbose=args.verbose,
+        slow_query_seconds=args.slow_query_ms / 1000.0,
     )
     print(f"listening on {server.url} as follower of {follower.leader_url} "
           f"(revision {follower.status.applied_revision})", flush=True)
@@ -588,6 +611,43 @@ def _cmd_replicate(args) -> int:
               f"resumable from {feed['oldest_resumable']}"
               f"{' (WAL-backed)' if feed.get('wal_backed') else ''}")
     return 0 if ready_code == 200 else 2
+
+
+def _cmd_metrics(args) -> int:
+    """Scrape ``<url>/metrics``; print it, optionally filtered/validated."""
+    import urllib.error
+    import urllib.request
+
+    from .obs import LAYER_PREFIXES, validate_exposition
+
+    base = args.connect if "//" in args.connect else f"http://{args.connect}"
+    try:
+        with urllib.request.urlopen(f"{base.rstrip('/')}/metrics", timeout=10) as resp:
+            text = resp.read().decode("utf-8")
+    except (OSError, ValueError) as error:
+        print(f"error: cannot scrape {base}/metrics: {error}", file=sys.stderr)
+        return 1
+    if args.check:
+        try:
+            families = validate_exposition(text, require_layers=LAYER_PREFIXES)
+        except ValueError as error:
+            print(f"error: invalid exposition: {error}", file=sys.stderr)
+            return 1
+        print(f"# exposition valid: {len(families)} families, "
+              f"layers {', '.join(LAYER_PREFIXES)}", file=sys.stderr)
+    for line in text.splitlines():
+        if args.filter is not None:
+            # Match on the metric name: token 3 of HELP/TYPE comments,
+            # the text before '{' or ' ' of sample lines.
+            if line.startswith("#"):
+                parts = line.split(None, 3)
+                name = parts[2] if len(parts) > 2 else ""
+            else:
+                name = line.split("{", 1)[0].split(" ", 1)[0]
+            if args.filter not in name:
+                continue
+        print(line)
+    return 0
 
 
 def _cmd_bench(args) -> int:
@@ -701,6 +761,7 @@ _COMMANDS = {
     "explain": _cmd_explain,
     "serve": _cmd_serve,
     "replicate": _cmd_replicate,
+    "metrics": _cmd_metrics,
     "bench": _cmd_bench,
     "demo": _cmd_demo,
     "snapshot": _cmd_snapshot,

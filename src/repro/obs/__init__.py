@@ -1,0 +1,71 @@
+"""End-to-end observability: metrics, tracing, and the slow-query log.
+
+Three pillars, stdlib only (see ``docs/observability.md``):
+
+* :mod:`repro.obs.metrics` — a lock-striped :class:`MetricsRegistry`
+  with bounded label cardinality, exposed in Prometheus text format at
+  ``GET /metrics`` and via ``slider-reason metrics``;
+* :mod:`repro.obs.tracing` — ``trace_id`` propagation from the HTTP
+  edge through coalescing, commit, per-shard sub-commits and
+  subscription delivery, recorded into a bounded span ring served at
+  ``GET /debug/traces``;
+* :mod:`repro.obs.slowlog` — reads over a configurable latency
+  threshold logged with BGP, tenant, timing breakdown and the
+  planner's ``explain()`` payload.
+
+Every layer records into the process-global :data:`REGISTRY` /
+:data:`TRACER` pair defined in :mod:`repro.obs.instruments`;
+``set_enabled(False)`` turns the whole subsystem into attribute
+checks (the overhead bench's baseline mode).
+"""
+
+from .instruments import (
+    LAYER_PREFIXES,
+    REGISTRY,
+    TRACER,
+    process_rss_bytes,
+    set_enabled,
+)
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_MAX_LABEL_SETS,
+    OVERFLOW_LABEL,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .promcheck import parse_exposition, validate_exposition
+from .slowlog import SlowQueryLog
+from .tracing import (
+    BoundedEventLog,
+    Span,
+    SpanContext,
+    SpanRing,
+    Tracer,
+    new_trace_id,
+)
+
+__all__ = [
+    "BoundedEventLog",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_MAX_LABEL_SETS",
+    "Gauge",
+    "Histogram",
+    "LAYER_PREFIXES",
+    "MetricsRegistry",
+    "OVERFLOW_LABEL",
+    "REGISTRY",
+    "SlowQueryLog",
+    "Span",
+    "SpanContext",
+    "SpanRing",
+    "TRACER",
+    "Tracer",
+    "new_trace_id",
+    "parse_exposition",
+    "process_rss_bytes",
+    "set_enabled",
+    "validate_exposition",
+]

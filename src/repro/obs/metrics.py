@@ -1,0 +1,529 @@
+"""Lock-striped metrics registry with Prometheus text exposition.
+
+The production stack (HTTP server, coalescer, engine, persistence,
+replication, sharding, tenancy) records into one process-global
+:class:`MetricsRegistry` (see :mod:`repro.obs.instruments`), which the
+server exposes at ``GET /metrics`` and the CLI prints via
+``slider-reason metrics``.
+
+Design constraints, in order:
+
+* **stdlib only** — no prometheus_client;
+* **cheap on the hot path** — a counter increment is one dict lookup
+  plus one striped-lock acquire; when the registry is disabled it is a
+  single attribute check;
+* **bounded label cardinality** — every metric family caps its
+  distinct label sets (default :data:`DEFAULT_MAX_LABEL_SETS`); once
+  the cap is hit new label sets collapse into one explicit
+  ``__overflow__`` child so a misbehaving dimension (10k tenants, say)
+  cannot grow the scrape without bound;
+* **valid exposition** — the text format follows the Prometheus
+  0.0.4 conventions: ``# HELP`` / ``# TYPE`` headers, escaped label
+  values, histograms rendered as cumulative ``_bucket`` series ending
+  in ``+Inf`` plus ``_sum`` / ``_count``.
+
+Lock striping: the registry owns :data:`STRIPES` locks; each child
+(one label set of one family) is pinned to a stripe by hash at
+creation, so concurrent writers on different series rarely contend
+while writers on the *same* series stay exact.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_MAX_LABEL_SETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "OVERFLOW_LABEL",
+]
+
+#: Number of locks a registry stripes its children across.
+STRIPES = 16
+
+#: Per-family cap on distinct label sets before the overflow child
+#: absorbs new ones.
+DEFAULT_MAX_LABEL_SETS = 128
+
+#: Label value substituted for every label of a series that landed in
+#: the overflow bucket.
+OVERFLOW_LABEL = "__overflow__"
+
+#: Fixed log-scaled latency buckets (seconds), 100 µs → 60 s.  Shared
+#: by every latency histogram so dashboards line up across layers.
+DEFAULT_LATENCY_BUCKETS = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+)
+
+_NAME_OK = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:")
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format."""
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _escape_help(text: str) -> str:
+    """Escape a HELP string per the exposition format."""
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _render_value(value: float) -> str:
+    """Render a sample value the way Prometheus expects."""
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+class _Child:
+    """One (family, label set) series pinned to a registry stripe."""
+
+    __slots__ = ("labels", "lock")
+
+    def __init__(self, labels: tuple, lock: threading.Lock) -> None:
+        self.labels = labels
+        self.lock = lock
+
+
+class _CounterChild(_Child):
+    """A monotonically increasing series."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, labels: tuple, lock: threading.Lock) -> None:
+        super().__init__(labels, lock)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError("counters can only go up")
+        with self.lock:
+            self.value += amount
+
+
+class _GaugeChild(_Child):
+    """A series that can go up, down, or be set outright."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, labels: tuple, lock: threading.Lock) -> None:
+        super().__init__(labels, lock)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the gauge to ``value``."""
+        with self.lock:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative) to the gauge."""
+        with self.lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount`` from the gauge."""
+        self.inc(-amount)
+
+
+class _HistogramChild(_Child):
+    """Bucketed observations; counts are per-bucket, cumulated on render."""
+
+    __slots__ = ("bucket_counts", "count", "sum", "uppers")
+
+    def __init__(self, labels: tuple, lock: threading.Lock, uppers: tuple) -> None:
+        super().__init__(labels, lock)
+        self.uppers = uppers
+        self.bucket_counts = [0] * (len(uppers) + 1)  # last = +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        idx = bisect_left(self.uppers, value)
+        with self.lock:
+            self.bucket_counts[idx] += 1
+            self.sum += value
+            self.count += 1
+
+
+class _Family:
+    """A named metric with a fixed label schema and bounded children."""
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        help: str,
+        labelnames: tuple,
+        max_label_sets: int,
+    ) -> None:
+        if not name or not set(name) <= _NAME_OK or name[0].isdigit():
+            raise ValueError(f"invalid metric name: {name!r}")
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._registry = registry
+        self._children: dict = {}
+        self._children_lock = threading.Lock()
+        self._max_label_sets = max_label_sets
+        self._overflowed = 0
+        if not self.labelnames:
+            # Eager default child: unlabeled families always expose a
+            # sample, so a fresh process still scrapes every layer.
+            self._default = self._get_child(())
+        else:
+            self._default = None
+
+    # -- child management ------------------------------------------------
+    def _new_child(self, labels: tuple) -> _Child:
+        raise NotImplementedError
+
+    def _get_child(self, labelvalues: tuple) -> _Child:
+        child = self._children.get(labelvalues)
+        if child is not None:
+            return child
+        with self._children_lock:
+            child = self._children.get(labelvalues)
+            if child is not None:
+                return child
+            if (
+                len(self._children) >= self._max_label_sets
+                and labelvalues != (OVERFLOW_LABEL,) * len(self.labelnames)
+            ):
+                # Cardinality cap: collapse into the overflow series.
+                self._overflowed += 1
+                overflow = (OVERFLOW_LABEL,) * len(self.labelnames)
+                child = self._children.get(overflow)
+                if child is None:
+                    child = self._new_child(overflow)
+                    self._children[overflow] = child
+                return child
+            child = self._new_child(labelvalues)
+            self._children[labelvalues] = child
+            return child
+
+    def labels(self, *labelvalues: str):
+        """Return the child series for ``labelvalues`` (creating it)."""
+        if len(labelvalues) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected {len(self.labelnames)} label values, "
+                f"got {len(labelvalues)}"
+            )
+        return self._get_child(tuple(str(v) for v in labelvalues))
+
+    @property
+    def overflowed(self) -> int:
+        """How many label sets were collapsed into the overflow child."""
+        return self._overflowed
+
+    def children(self) -> dict:
+        """Snapshot of label-values tuple -> child."""
+        with self._children_lock:
+            return dict(self._children)
+
+    # -- convenience on the default (unlabeled) child --------------------
+    def _require_default(self) -> _Child:
+        if self._default is None:
+            raise ValueError(f"{self.name} has labels; use .labels(...)")
+        return self._default
+
+    # -- exposition ------------------------------------------------------
+    def _label_str(self, labelvalues: tuple, extra: str = "") -> str:
+        parts = [
+            f'{name}="{_escape_label_value(value)}"'
+            for name, value in zip(self.labelnames, labelvalues)
+        ]
+        if extra:
+            parts.append(extra)
+        return "{" + ",".join(parts) + "}" if parts else ""
+
+    def render(self, out: list) -> None:
+        """Append this family's exposition lines to ``out``."""
+        out.append(f"# HELP {self.name} {_escape_help(self.help)}")
+        out.append(f"# TYPE {self.name} {self.kind}")
+        self._render_samples(out)
+
+    def _render_samples(self, out: list) -> None:
+        raise NotImplementedError
+
+
+class Counter(_Family):
+    """A monotonically increasing metric family."""
+
+    kind = "counter"
+
+    def _new_child(self, labels: tuple) -> _CounterChild:
+        return _CounterChild(labels, self._registry._stripe_for(self.name, labels))
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment the unlabeled series (no-op while disabled)."""
+        if self._registry.enabled:
+            self._require_default().inc(amount)
+
+    def labels(self, *labelvalues: str) -> _CounterChild:
+        """Return the counter child for ``labelvalues``."""
+        return super().labels(*labelvalues)
+
+    def inc_labels(self, *labelvalues: str, amount: float = 1.0) -> None:
+        """Increment a labeled series (no-op while disabled)."""
+        if self._registry.enabled:
+            self.labels(*labelvalues).inc(amount)
+
+    def value(self, *labelvalues: str) -> float:
+        """Current value of one series (0.0 if never touched)."""
+        child = self._children.get(tuple(str(v) for v in labelvalues))
+        return child.value if child is not None else 0.0
+
+    def _render_samples(self, out: list) -> None:
+        for labelvalues, child in sorted(self.children().items()):
+            out.append(
+                f"{self.name}{self._label_str(labelvalues)} "
+                f"{_render_value(child.value)}"
+            )
+
+
+class Gauge(_Family):
+    """A metric family whose series can move in both directions."""
+
+    kind = "gauge"
+
+    def _new_child(self, labels: tuple) -> _GaugeChild:
+        return _GaugeChild(labels, self._registry._stripe_for(self.name, labels))
+
+    def set(self, value: float) -> None:
+        """Set the unlabeled series (no-op while disabled)."""
+        if self._registry.enabled:
+            self._require_default().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment the unlabeled series (no-op while disabled)."""
+        if self._registry.enabled:
+            self._require_default().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Decrement the unlabeled series (no-op while disabled)."""
+        self.inc(-amount)
+
+    def labels(self, *labelvalues: str) -> _GaugeChild:
+        """Return the gauge child for ``labelvalues``."""
+        return super().labels(*labelvalues)
+
+    def set_labels(self, *labelvalues: str, value: float = 0.0) -> None:
+        """Set a labeled series (no-op while disabled)."""
+        if self._registry.enabled:
+            self.labels(*labelvalues).set(value)
+
+    def value(self, *labelvalues: str) -> float:
+        """Current value of one series (0.0 if never touched)."""
+        child = self._children.get(tuple(str(v) for v in labelvalues))
+        return child.value if child is not None else 0.0
+
+    def _render_samples(self, out: list) -> None:
+        for labelvalues, child in sorted(self.children().items()):
+            out.append(
+                f"{self.name}{self._label_str(labelvalues)} "
+                f"{_render_value(child.value)}"
+            )
+
+
+class Histogram(_Family):
+    """Log-scaled latency (or size) distribution family."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        help: str,
+        labelnames: tuple,
+        max_label_sets: int,
+        buckets: tuple = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        uppers = tuple(sorted(float(b) for b in buckets))
+        if not uppers:
+            raise ValueError("histogram needs at least one finite bucket")
+        self._uppers = uppers
+        super().__init__(registry, name, help, labelnames, max_label_sets)
+
+    def _new_child(self, labels: tuple) -> _HistogramChild:
+        return _HistogramChild(
+            labels, self._registry._stripe_for(self.name, labels), self._uppers
+        )
+
+    def observe(self, value: float) -> None:
+        """Record one observation on the unlabeled series."""
+        if self._registry.enabled:
+            self._require_default().observe(value)
+
+    def labels(self, *labelvalues: str) -> _HistogramChild:
+        """Return the histogram child for ``labelvalues``."""
+        return super().labels(*labelvalues)
+
+    def observe_labels(self, *labelvalues: str, value: float = 0.0) -> None:
+        """Record one observation on a labeled series."""
+        if self._registry.enabled:
+            self.labels(*labelvalues).observe(value)
+
+    def time(self) -> "_HistogramTimer":
+        """Context manager timing a block into the unlabeled series."""
+        return _HistogramTimer(self)
+
+    def _render_samples(self, out: list) -> None:
+        for labelvalues, child in sorted(self.children().items()):
+            with child.lock:
+                counts = list(child.bucket_counts)
+                total = child.count
+                ssum = child.sum
+            running = 0
+            for upper, n in zip(child.uppers, counts):
+                running += n
+                le = f'le="{_render_value(upper)}"'
+                out.append(
+                    f"{self.name}_bucket{self._label_str(labelvalues, le)} {running}"
+                )
+            running += counts[-1]
+            inf = 'le="+Inf"'
+            out.append(
+                f"{self.name}_bucket{self._label_str(labelvalues, inf)} {running}"
+            )
+            out.append(
+                f"{self.name}_sum{self._label_str(labelvalues)} {_render_value(ssum)}"
+            )
+            out.append(f"{self.name}_count{self._label_str(labelvalues)} {total}")
+
+
+class _HistogramTimer:
+    """Times a ``with`` block into a histogram's unlabeled series."""
+
+    __slots__ = ("_hist", "_start")
+
+    def __init__(self, hist: Histogram) -> None:
+        self._hist = hist
+        self._start = 0.0
+
+    def __enter__(self) -> "_HistogramTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._hist.observe(time.perf_counter() - self._start)
+
+
+class MetricsRegistry:
+    """Lock-striped home of every metric family in one process.
+
+    ``enabled=False`` turns every ``inc``/``set``/``observe`` done
+    through the family-level convenience methods into a single
+    attribute check — the switch the overhead bench flips to measure
+    instrumentation cost.
+    """
+
+    def __init__(
+        self,
+        *,
+        stripes: int = STRIPES,
+        max_label_sets: int = DEFAULT_MAX_LABEL_SETS,
+    ) -> None:
+        self.enabled = True
+        self._stripes = tuple(threading.Lock() for _ in range(max(1, stripes)))
+        self._families: dict = {}
+        self._families_lock = threading.Lock()
+        self._max_label_sets = max_label_sets
+        self._collect_hooks: list = []
+
+    # -- internals -------------------------------------------------------
+    def _stripe_for(self, name: str, labels: tuple) -> threading.Lock:
+        return self._stripes[hash((name, labels)) % len(self._stripes)]
+
+    def _register(self, family: _Family) -> _Family:
+        with self._families_lock:
+            existing = self._families.get(family.name)
+            if existing is not None:
+                if type(existing) is not type(family):
+                    raise ValueError(
+                        f"metric {family.name} already registered as "
+                        f"{existing.kind}"
+                    )
+                return existing
+            self._families[family.name] = family
+            return family
+
+    # -- family constructors ---------------------------------------------
+    def counter(self, name: str, help: str, labelnames: tuple = ()) -> Counter:
+        """Get or create a counter family."""
+        return self._register(
+            Counter(self, name, help, tuple(labelnames), self._max_label_sets)
+        )
+
+    def gauge(self, name: str, help: str, labelnames: tuple = ()) -> Gauge:
+        """Get or create a gauge family."""
+        return self._register(
+            Gauge(self, name, help, tuple(labelnames), self._max_label_sets)
+        )
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        labelnames: tuple = (),
+        buckets: tuple = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        """Get or create a histogram family."""
+        return self._register(
+            Histogram(
+                self, name, help, tuple(labelnames), self._max_label_sets, buckets
+            )
+        )
+
+    # -- exposition ------------------------------------------------------
+    def on_collect(self, hook) -> None:
+        """Register a zero-arg hook run before every exposition."""
+        self._collect_hooks.append(hook)
+
+    def families(self) -> dict:
+        """Snapshot of name -> family."""
+        with self._families_lock:
+            return dict(self._families)
+
+    def expose(self) -> str:
+        """Render the whole registry in Prometheus text format."""
+        for hook in list(self._collect_hooks):
+            hook()
+        out: list = []
+        for _, family in sorted(self.families().items()):
+            family.render(out)
+        return "\n".join(out) + "\n" if out else ""

@@ -1,0 +1,212 @@
+"""Prometheus text-exposition parser + validator.
+
+The single checker behind three consumers:
+
+* the exposition-correctness unit tests (``tests/obs/``),
+* the CI server/replication smoke jobs, which scrape a live node's
+  ``/metrics`` and run ``python -m repro.obs.promcheck <url>``,
+* the acceptance conformance test asserting every instrumented layer
+  shows up in one scrape.
+
+The parser is strict about what our registry promises: declared
+``# TYPE`` for every sampled family, well-formed label syntax,
+histogram bucket monotonicity, a ``+Inf`` bucket equal to ``_count``,
+and a ``_sum`` series per histogram child.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import urllib.request
+
+__all__ = ["parse_exposition", "validate_exposition"]
+
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)(?:\s+\d+)?$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape(value: str) -> str:
+    return (
+        value.replace(r"\n", "\n").replace(r"\"", '"').replace(r"\\", "\\")
+    )
+
+
+def _parse_value(raw: str) -> float:
+    if raw == "+Inf":
+        return float("inf")
+    if raw == "-Inf":
+        return float("-inf")
+    return float(raw)
+
+
+def _parse_labels(raw: str, line: str) -> dict:
+    labels = {}
+    rest = raw
+    while rest:
+        match = _LABEL_RE.match(rest)
+        if match is None:
+            raise ValueError(f"malformed labels in sample: {line!r}")
+        labels[match.group(1)] = _unescape(match.group(2))
+        rest = rest[match.end():]
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest:
+            raise ValueError(f"malformed label separator in sample: {line!r}")
+    return labels
+
+
+def parse_exposition(text: str) -> dict:
+    """Parse exposition text into ``{family: {type, help, samples}}``.
+
+    ``samples`` is a list of ``(sample_name, labels_dict, value)``;
+    histogram/summary suffixes (``_bucket``/``_sum``/``_count``) are
+    grouped under their base family.  Raises :class:`ValueError` on
+    any syntax violation or undeclared sample.
+    """
+    families: dict = {}
+    declared_for: dict = {}
+
+    for raw_line in text.splitlines():
+        line = raw_line.rstrip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            parts = line[len("# HELP ") :].split(" ", 1)
+            name = parts[0]
+            families.setdefault(name, {"type": None, "help": None, "samples": []})
+            families[name]["help"] = parts[1] if len(parts) > 1 else ""
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE ") :].split(" ", 1)
+            if len(parts) != 2:
+                raise ValueError(f"malformed TYPE line: {line!r}")
+            name, kind = parts
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ValueError(f"unknown metric type in: {line!r}")
+            families.setdefault(name, {"type": None, "help": None, "samples": []})
+            families[name]["type"] = kind
+            declared_for[name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"malformed sample line: {line!r}")
+        sample_name, raw_labels, raw_value = match.groups()
+        labels = _parse_labels(raw_labels, line) if raw_labels else {}
+        value = _parse_value(raw_value)
+        base = sample_name if sample_name in declared_for else None
+        if base is None:
+            for suffix in ("_bucket", "_sum", "_count"):
+                if sample_name.endswith(suffix):
+                    candidate = sample_name[: -len(suffix)]
+                    if declared_for.get(candidate) == "histogram":
+                        base = candidate
+                        break
+        if base is None:
+            raise ValueError(
+                f"sample {sample_name!r} has no preceding # TYPE declaration"
+            )
+        families[base]["samples"].append((sample_name, labels, value))
+    return families
+
+
+def _check_histogram(name: str, info: dict) -> None:
+    by_child: dict = {}
+    for sample_name, labels, value in info["samples"]:
+        key = tuple(
+            sorted((k, v) for k, v in labels.items() if k != "le")
+        )
+        child = by_child.setdefault(key, {"buckets": [], "sum": None, "count": None})
+        if sample_name == f"{name}_bucket":
+            if "le" not in labels:
+                raise ValueError(f"{name}: _bucket sample missing le label")
+            child["buckets"].append((_parse_value(labels["le"]), value))
+        elif sample_name == f"{name}_sum":
+            child["sum"] = value
+        elif sample_name == f"{name}_count":
+            child["count"] = value
+        else:
+            raise ValueError(f"{name}: unexpected histogram sample {sample_name}")
+    if not by_child:
+        return
+    for key, child in by_child.items():
+        buckets = child["buckets"]
+        if not buckets:
+            raise ValueError(f"{name}{dict(key)}: histogram child has no buckets")
+        uppers = [u for u, _ in buckets]
+        if uppers != sorted(uppers):
+            raise ValueError(f"{name}{dict(key)}: bucket le values out of order")
+        counts = [c for _, c in buckets]
+        if any(b > a for a, b in zip(counts[1:], counts)):
+            raise ValueError(f"{name}{dict(key)}: bucket counts not cumulative")
+        if uppers[-1] != float("inf"):
+            raise ValueError(f"{name}{dict(key)}: missing +Inf bucket")
+        if child["count"] is None or child["sum"] is None:
+            raise ValueError(f"{name}{dict(key)}: missing _sum or _count")
+        if counts[-1] != child["count"]:
+            raise ValueError(
+                f"{name}{dict(key)}: +Inf bucket {counts[-1]} != _count "
+                f"{child['count']}"
+            )
+
+
+def validate_exposition(text: str, *, require_layers: tuple = ()) -> dict:
+    """Parse and validate; optionally require layer prefixes present.
+
+    ``require_layers`` entries are layer names (``http``, ``engine``,
+    ...); each must have at least one ``slider_<layer>_`` family in
+    the scrape.  Returns the parsed families on success.
+    """
+    families = parse_exposition(text)
+    for name, info in families.items():
+        if info["type"] is None:
+            raise ValueError(f"{name}: sampled without a # TYPE declaration")
+        if info["type"] == "counter":
+            for _, _, value in info["samples"]:
+                if value < 0:
+                    raise ValueError(f"{name}: negative counter sample {value}")
+        if info["type"] == "histogram":
+            _check_histogram(name, info)
+    for layer in require_layers:
+        prefix = f"slider_{layer}_"
+        if not any(name.startswith(prefix) for name in families):
+            raise ValueError(f"no {prefix}* family in exposition (layer {layer})")
+    return families
+
+
+def _fetch(target: str) -> str:
+    if target.startswith(("http://", "https://")):
+        with urllib.request.urlopen(target, timeout=10) as resp:
+            return resp.read().decode("utf-8")
+    with open(target, encoding="utf-8") as fh:
+        return fh.read()
+
+
+def main(argv: list | None = None) -> int:
+    """``python -m repro.obs.promcheck <url-or-file> [layer,...]``."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv:
+        print("usage: promcheck <url-or-file> [required-layer,...]", file=sys.stderr)
+        return 2
+    target = argv[0]
+    layers = tuple(argv[1].split(",")) if len(argv) > 1 and argv[1] else ()
+    text = _fetch(target)
+    try:
+        families = validate_exposition(text, require_layers=layers)
+    except ValueError as exc:
+        print(f"promcheck: INVALID: {exc}", file=sys.stderr)
+        return 1
+    samples = sum(len(info["samples"]) for info in families.values())
+    print(
+        f"promcheck: ok — {len(families)} families, {samples} samples"
+        + (f", layers {','.join(layers)} present" if layers else "")
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,115 @@
+"""Slow-query log for the read endpoints.
+
+``/select`` / ``/ask`` / ``/construct`` calls that exceed a
+configurable threshold are logged (logger ``repro.obs.slowlog``) with
+the BGP, tenant, timing breakdown, and — when the caller provides a
+``explain_fn`` — the cost-based planner's ``explain()`` payload, and
+retained in a bounded ring for inspection from tests and tooling.
+
+The threshold is wall-clock seconds; ``threshold <= 0`` disables the
+log entirely (the hot path then pays one float compare).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+from collections import deque
+
+__all__ = ["SlowQueryLog"]
+
+LOGGER = logging.getLogger("repro.obs.slowlog")
+
+#: Retained slow-query records.
+DEFAULT_CAPACITY = 256
+
+
+class SlowQueryLog:
+    """Bounded, thread-safe record of queries over a latency threshold."""
+
+    def __init__(
+        self,
+        threshold_seconds: float = 0.25,
+        *,
+        capacity: int = DEFAULT_CAPACITY,
+        logger: logging.Logger | None = None,
+    ) -> None:
+        self.threshold_seconds = float(threshold_seconds)
+        self._entries: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._logger = logger if logger is not None else LOGGER
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the log records anything at all."""
+        return self.threshold_seconds > 0
+
+    def observe(
+        self,
+        *,
+        endpoint: str,
+        seconds: float,
+        query: str = "",
+        tenant: str | None = None,
+        trace_id: str | None = None,
+        breakdown: dict | None = None,
+        explain_fn=None,
+    ) -> dict | None:
+        """Record one query if it crossed the threshold.
+
+        ``explain_fn`` is only invoked for queries that were actually
+        slow, so the planner's explain cost is never paid on the fast
+        path.  Returns the recorded entry, or ``None`` when fast.
+        """
+        if not self.enabled or seconds < self.threshold_seconds:
+            return None
+        explain = None
+        if explain_fn is not None:
+            try:
+                explain = explain_fn()
+            except Exception as exc:  # explain must never fail the query
+                explain = {"error": str(exc)}
+        entry = {
+            "t": time.time(),
+            "endpoint": endpoint,
+            "seconds": round(seconds, 6),
+            "threshold_seconds": self.threshold_seconds,
+            "query": query,
+            "tenant": tenant,
+            "trace_id": trace_id,
+            "breakdown": breakdown or {},
+            "explain": explain,
+        }
+        with self._lock:
+            self._entries.append(entry)
+        self._logger.warning(
+            "slow query %s %.1f ms (threshold %.1f ms) tenant=%s "
+            "trace_id=%s query=%s breakdown=%s",
+            endpoint,
+            seconds * 1000.0,
+            self.threshold_seconds * 1000.0,
+            tenant or "-",
+            trace_id or "-",
+            query,
+            json.dumps(breakdown or {}, sort_keys=True),
+        )
+        return entry
+
+    def recent(self, limit: int | None = None) -> list:
+        """Most-recent-last slow-query entries."""
+        with self._lock:
+            entries = list(self._entries)
+        if limit is not None and limit >= 0:
+            entries = entries[-limit:]
+        return entries
+
+    def clear(self) -> None:
+        """Drop retained entries."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

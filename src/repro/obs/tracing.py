@@ -1,0 +1,399 @@
+"""Cross-layer request/commit tracing with a bounded span ring.
+
+A ``trace_id`` is minted (or honored from an ``X-Trace-Id`` header) at
+the HTTP edge and carried through coalescer batching → ``apply()`` →
+per-shard sub-commits → subscription delivery.  Every completed span
+lands in a bounded :class:`SpanRing` the server exports as JSON lines
+at ``GET /debug/traces``.
+
+Because the write path hops threads (handler thread → coalescer drain
+thread → shard worker pool), context is *explicit* where it must be:
+:meth:`Tracer.current` captures a :class:`SpanContext` that any other
+thread can pass back as ``parent=``.  Within one thread a plain
+thread-local stack keeps nesting implicit.
+
+Coalescing is first-class: a commit span carries ``trace_ids`` — the
+trace ids of **every** writer netted into that commit — so batching is
+visible, and each writer's id is findable on the shared commit span
+and all of its children.
+
+:class:`BoundedEventLog` is the sequenced, bounded event primitive
+shared with the paper-demo :class:`repro.reasoner.trace.Trace`; both
+the span ring and the inference trace are bounded the same way.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import NamedTuple
+
+__all__ = [
+    "BoundedEventLog",
+    "Span",
+    "SpanContext",
+    "SpanRing",
+    "Tracer",
+    "new_trace_id",
+]
+
+#: Default number of finished spans the ring retains.
+DEFAULT_RING_CAPACITY = 2048
+
+#: Default bound on a demo/inference event log (satellite: the
+#: ``Trace`` event list is bounded the same way the span ring is).
+DEFAULT_EVENT_CAPACITY = 65536
+
+#: Per-span cap on attached events.
+MAX_SPAN_EVENTS = 64
+
+
+# Ids are a random per-process prefix plus an atomic counter: unique
+# across processes, ordered within one, and ~5x cheaper to mint than a
+# uuid4 — ids are minted on every commit, so this is hot-path cost.
+_ID_PREFIX = os.urandom(4).hex()
+_ID_COUNTER = itertools.count()
+
+
+def new_trace_id() -> str:
+    """Mint a fresh 16-hex-char trace id."""
+    return f"{_ID_PREFIX}{next(_ID_COUNTER) & 0xFFFFFFFF:08x}"
+
+
+def _new_span_id() -> str:
+    """Mint a fresh 8-hex-char span id (process-unique, cheap)."""
+    return f"{next(_ID_COUNTER) & 0xFFFFFFFF:08x}"
+
+
+class SpanContext(NamedTuple):
+    """Thread-portable handle on an open span."""
+
+    trace_ids: tuple
+    span_id: str
+
+
+class Span:
+    """One timed operation; use via ``with tracer.span(...)``."""
+
+    __slots__ = (
+        "attrs",
+        "duration",
+        "events",
+        "name",
+        "parent_id",
+        "span_id",
+        "start",
+        "trace_ids",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_ids: tuple,
+        span_id: str,
+        parent_id: str | None,
+        attrs: dict,
+    ) -> None:
+        self.name = name
+        self.trace_ids = trace_ids
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self.events: list = []
+        self.start = time.time()
+        self.duration = 0.0
+
+    @property
+    def trace_id(self) -> str:
+        """Primary trace id (the first writer's, under coalescing)."""
+        return self.trace_ids[0]
+
+    def context(self) -> SpanContext:
+        """Capture a context other threads can parent spans on."""
+        return SpanContext(self.trace_ids, self.span_id)
+
+    def set(self, **attrs) -> None:
+        """Attach attributes to the span."""
+        self.attrs.update(attrs)
+
+    def event(self, kind: str, **payload) -> None:
+        """Attach a point-in-time event (bounded per span)."""
+        if len(self.events) < MAX_SPAN_EVENTS:
+            self.events.append({"t": time.time(), "kind": kind, **payload})
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (one ``/debug/traces`` line)."""
+        record = {
+            "trace_id": self.trace_id,
+            "trace_ids": list(self.trace_ids),
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "duration_ms": round(self.duration * 1000.0, 3),
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        if self.events:
+            record["events"] = self.events
+        return record
+
+
+class _NoopSpan:
+    """Stand-in when tracing is disabled; absorbs the span API."""
+
+    __slots__ = ()
+    trace_ids = ("",)
+    trace_id = ""
+    span_id = ""
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+    def context(self) -> None:
+        """Disabled tracing has no context to capture."""
+        return None
+
+    def set(self, **attrs) -> None:
+        """No-op."""
+
+    def event(self, kind: str, **payload) -> None:
+        """No-op."""
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class SpanRing:
+    """Thread-safe bounded ring of finished spans."""
+
+    def __init__(self, capacity: int = DEFAULT_RING_CAPACITY) -> None:
+        self.capacity = capacity
+        self._spans: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def add(self, span: Span) -> None:
+        """Record a finished span (oldest evicted past capacity).
+
+        Stores the span object itself — rendering to a dict is deferred
+        to :meth:`snapshot`, so the per-commit hot path pays one append,
+        and the (rare) scrape pays the conversion.
+        """
+        with self._lock:
+            self._spans.append(span)
+
+    def snapshot(
+        self, *, trace_id: str | None = None, limit: int | None = None
+    ) -> list:
+        """Most-recent-last span dicts, optionally filtered."""
+        with self._lock:
+            spans = list(self._spans)
+        if trace_id is not None:
+            spans = [s for s in spans if trace_id in s.trace_ids]
+        if limit is not None and limit >= 0:
+            spans = spans[-limit:]
+        return [s.as_dict() for s in spans]
+
+    def to_jsonl(
+        self, *, trace_id: str | None = None, limit: int | None = None
+    ) -> str:
+        """Render the ring as JSON lines (the ``/debug/traces`` body)."""
+        spans = self.snapshot(trace_id=trace_id, limit=limit)
+        return "".join(json.dumps(s, sort_keys=True) + "\n" for s in spans)
+
+    def clear(self) -> None:
+        """Drop every retained span."""
+        with self._lock:
+            self._spans.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+class _SpanHandle:
+    """Context manager pushing/popping one span on the tracer."""
+
+    __slots__ = ("_span", "_started", "_tracer")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+        self._started = 0.0
+
+    def __enter__(self) -> Span:
+        self._started = time.perf_counter()
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._span.duration = time.perf_counter() - self._started
+        if exc_type is not None:
+            self._span.attrs["error"] = exc_type.__name__
+        self._tracer._pop(self._span)
+        self._tracer.ring.add(self._span)
+
+
+class Tracer:
+    """Mints spans, keeps per-thread nesting, records into a ring."""
+
+    def __init__(
+        self, ring: SpanRing | None = None, *, enabled: bool = True
+    ) -> None:
+        self.ring = ring if ring is not None else SpanRing()
+        self.enabled = enabled
+        self._local = threading.local()
+
+    # -- thread-local stack ----------------------------------------------
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+
+    def current(self) -> SpanContext | None:
+        """Context of the innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1].context() if stack else None
+
+    # -- span construction -----------------------------------------------
+    def span(
+        self,
+        name: str,
+        *,
+        parent: SpanContext | Span | None = None,
+        trace_ids: tuple | list | None = None,
+        **attrs,
+    ):
+        """Open a span as a context manager.
+
+        ``parent`` may be a :class:`SpanContext` captured on another
+        thread; omitted, the innermost open span on *this* thread is
+        the parent.  ``trace_ids`` seeds/overrides the trace ids (the
+        coalescer passes every batched writer's id here); a root span
+        with no ids mints one.
+        """
+        if not self.enabled:
+            return _NOOP_SPAN
+        if parent is None:
+            ctx = self.current()
+        elif isinstance(parent, Span):
+            ctx = parent.context()
+        else:
+            ctx = parent
+        if trace_ids:
+            ids = tuple(dict.fromkeys(t for t in trace_ids if t)) or (
+                new_trace_id(),
+            )
+        elif ctx is not None:
+            ids = ctx.trace_ids
+        else:
+            ids = (new_trace_id(),)
+        span = Span(
+            name,
+            ids,
+            _new_span_id(),
+            ctx.span_id if ctx is not None else None,
+            attrs,
+        )
+        return _SpanHandle(self, span)
+
+    def event(self, kind: str, **payload) -> None:
+        """Attach an event to the innermost open span, if any."""
+        if not self.enabled:
+            return
+        stack = self._stack()
+        if stack:
+            stack[-1].event(kind, **payload)
+
+
+class BoundedEventLog:
+    """Sequenced, thread-safe, bounded event storage.
+
+    The primitive behind both span events and the paper-demo
+    :class:`repro.reasoner.trace.Trace`: events are ``(seq, timestamp,
+    kind, payload)`` tuples, sequence numbers keep increasing after
+    eviction so truncation is detectable.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_EVENT_CAPACITY) -> None:
+        self.capacity = capacity
+        self._events: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._seq = 0
+
+    def record(self, kind: str, payload: dict, stamp: float | None = None) -> tuple:
+        """Append one event; returns its ``(seq, timestamp)``.
+
+        ``stamp`` overrides the wall-clock timestamp — the demo trace
+        records deterministic run-relative times through it.
+        """
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+            if stamp is None:
+                stamp = time.time()
+            self._events.append((seq, stamp, kind, payload))
+        return seq, stamp
+
+    def snapshot(self) -> list:
+        """Ordered copy of the retained ``(seq, ts, kind, payload)``."""
+        with self._lock:
+            return list(self._events)
+
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next event will get."""
+        with self._lock:
+            return self._seq
+
+    @property
+    def dropped(self) -> int:
+        """How many events eviction has discarded so far."""
+        with self._lock:
+            return self._seq - len(self._events)
+
+    def clear(self, reset_seq: bool = False) -> None:
+        """Drop retained events.
+
+        Sequence numbering continues by default (truncation stays
+        detectable); ``reset_seq`` restarts it from zero — the demo
+        trace's ``clear()`` contract.
+        """
+        with self._lock:
+            self._events.clear()
+            if reset_seq:
+                self._seq = 0
+
+    def restore(self, events) -> None:
+        """Replace the contents with pre-recorded ``(seq, ts, kind, payload)``.
+
+        Sequence numbering resumes after the highest restored ``seq``;
+        more events than ``capacity`` keeps only the newest (the load
+        path stays bounded like the live one).
+        """
+        with self._lock:
+            self._events.clear()
+            for event in events:
+                self._events.append(tuple(event))
+            self._seq = self._events[-1][0] + 1 if self._events else 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)

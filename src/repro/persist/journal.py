@@ -35,9 +35,11 @@ Durability contract:
 from __future__ import annotations
 
 import os
+import time
 from pathlib import Path
 from typing import Sequence
 
+from ..obs import instruments as _obs
 from ..rdf.terms import BNode, IRI, Term, Triple
 from .format import (
     FRAME_HEADER,
@@ -207,15 +209,21 @@ class JournalWriter:
 
     def append(self, record: JournalRecord) -> int:
         """Durably append one record; returns its size in bytes."""
+        started = time.perf_counter()
         blob = record.encode()
         self._handle.write(blob)
         self._flush()
+        if _obs.REGISTRY.enabled:
+            _obs.PERSIST_WAL_APPEND_SECONDS.observe(time.perf_counter() - started)
+            _obs.PERSIST_WAL_BYTES.inc(len(blob))
         return len(blob)
 
     def _flush(self) -> None:
         self._handle.flush()
         if self.fsync:
+            started = time.perf_counter()
             os.fsync(self._handle.fileno())
+            _obs.PERSIST_FSYNC_SECONDS.observe(time.perf_counter() - started)
 
     def reset(self) -> None:
         """Truncate to an empty journal (post-snapshot compaction)."""

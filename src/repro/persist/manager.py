@@ -21,6 +21,7 @@ bytes and back.  The engine decides *when*; the manager decides *how*.
 from __future__ import annotations
 
 import os
+import time
 from pathlib import Path
 from typing import Sequence
 
@@ -29,6 +30,7 @@ try:  # pragma: no cover - platform availability, not logic
 except ImportError:  # non-POSIX: no advisory locking primitive
     fcntl = None
 
+from ..obs import instruments as _obs
 from ..rdf.terms import Term, Triple
 from .journal import JournalRecord, JournalWriter, read_journal
 from .snapshot import Snapshot, load_snapshot, write_snapshot
@@ -190,6 +192,7 @@ class PersistenceManager:
         # feed reader that re-checks the floor after scanning the WAL
         # then can never miss records the truncation just dropped.
         self.last_snapshot_revision = state.get("revision", 0)
+        started = time.perf_counter()
         if self.snapshot_format == "v2":
             from .columnar import write_columnar_snapshot
 
@@ -200,6 +203,10 @@ class PersistenceManager:
             written = write_snapshot(self.snapshot_path, fsync=self.fsync, **state)
         self._journal().reset()
         self.compactions += 1
+        if _obs.REGISTRY.enabled:
+            _obs.PERSIST_SNAPSHOT_SECONDS.observe(time.perf_counter() - started)
+            _obs.PERSIST_SNAPSHOT_BYTES.inc(written)
+            _obs.PERSIST_COMPACTIONS.inc()
         return written
 
     def close(self) -> None:

@@ -73,6 +73,7 @@ from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
 from ..dictionary.encoder import EncodedTriple, TermDictionary, encode_batch
+from ..obs import TRACER, instruments as _obs
 from ..persist.manager import DEFAULT_COMPACT_BYTES, PersistenceManager
 from ..persist.snapshot import Snapshot, encode_snapshot
 from ..rdf.terms import BNode, IRI, Term, Triple
@@ -356,6 +357,9 @@ class Slider:
         # compute the fixpoint while service threads keep queueing.
         self._changes = ChangeLog()
         self._revision = 0 if loaded_snapshot is None else loaded_snapshot.revision
+        # Per-rule-module metric children, resolved lazily on the first
+        # commit and reused on every one after (see _commit_revision).
+        self._obs_rule_children: dict[str, object] = {}
         self._commit_lock = threading.RLock()
         self._tx_lock = threading.RLock()
         self._subscriptions: list[Subscription] = []
@@ -1237,12 +1241,37 @@ class Slider:
                 removed=report.removed_count,
                 store_size=len(self.store),
             )
+        if _obs.REGISTRY.enabled:
+            _obs.ENGINE_COMMITS.inc()
+            _obs.ENGINE_APPLY_SECONDS.observe(report.seconds)
+            if report.dred_deleted:
+                _obs.ENGINE_DRED_DELETED.inc(report.dred_deleted)
+            if report.dred_rederived:
+                _obs.ENGINE_DRED_REDERIVED.inc(report.dred_rederived)
+            # The rule-module set is fixed per engine, so the label
+            # children are resolved once and cached — this loop runs on
+            # every commit.
+            children = self._obs_rule_children
+            for module_name, module_seconds in report.timings.items():
+                child = children.get(module_name)
+                if child is None:
+                    child = _obs.ENGINE_RULE_SECONDS.labels(module_name)
+                    children[module_name] = child
+                child.inc(module_seconds)
         self._notify_subscribers(report)
         return report
 
     def _notify_subscribers(self, report: InferenceReport) -> None:
         if not self._subscriptions:
             return
+        with TRACER.span(
+            "subscription.delivery",
+            revision=report.revision,
+            subscriptions=len(self._subscriptions),
+        ):
+            self._notify_subscribers_traced(report)
+
+    def _notify_subscribers_traced(self, report: InferenceReport) -> None:
         graph = self.graph
         # Route by predicate: a revision is delivered only to the
         # subscriptions whose constant predicates intersect the delta's

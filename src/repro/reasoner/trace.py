@@ -22,14 +22,24 @@ Event kinds
 ``flush``           an explicit flush/quiescence barrier was requested
 ``done``            the engine reached quiescence
 ==================  =====================================================
+
+Storage rides the observability layer's
+:class:`~repro.obs.tracing.BoundedEventLog` — the same primitive behind
+span events — so a runaway engine can no longer grow the demo log
+without bound: past ``capacity`` events the oldest are evicted, exactly
+like the span ring, and :attr:`Trace.dropped` counts the loss.  Every
+record is also forwarded to the ambient tracer as a span event, so
+engine steps surface on the enclosing commit span at ``/debug/traces``.
 """
 
 from __future__ import annotations
 
 import json
-import threading
 import time
 from typing import Any, Callable, Iterator
+
+from ..obs import TRACER
+from ..obs.tracing import DEFAULT_EVENT_CAPACITY, BoundedEventLog
 
 __all__ = ["TraceEvent", "Trace", "NullTrace", "save_trace", "load_trace"]
 
@@ -60,16 +70,20 @@ class TraceEvent:
 
 
 class Trace:
-    """Thread-safe append-only event log.
+    """Thread-safe, bounded, append-only event log.
 
     The engine records through :meth:`record`; readers iterate a snapshot
-    (never the live list).  A ``clock`` injectable makes tests
-    deterministic.
+    (never the live storage).  A ``clock`` injectable makes tests
+    deterministic; ``capacity`` bounds retention (oldest evicted first,
+    counted by :attr:`dropped`).
     """
 
-    def __init__(self, clock: Callable[[], float] = time.monotonic):
-        self._events: list[TraceEvent] = []
-        self._lock = threading.Lock()
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.monotonic,
+        capacity: int = DEFAULT_EVENT_CAPACITY,
+    ):
+        self._log = BoundedEventLog(capacity=capacity)
         self._clock = clock
         self._start = clock()
 
@@ -77,42 +91,52 @@ class Trace:
     def enabled(self) -> bool:
         return True
 
+    @property
+    def capacity(self) -> int:
+        """Retention bound: past this many events the oldest are evicted."""
+        return self._log.capacity
+
+    @property
+    def dropped(self) -> int:
+        """Events lost to eviction (0 while the run fits the bound)."""
+        return self._log.dropped
+
     def record(self, kind: str, **payload: Any) -> TraceEvent:
-        """Append one event; returns it (tests use the return value)."""
-        with self._lock:
-            event = TraceEvent(
-                seq=len(self._events),
-                timestamp=self._clock() - self._start,
-                kind=kind,
-                payload=payload,
-            )
-            self._events.append(event)
-            return event
+        """Append one event; returns it (tests use the return value).
+
+        The event is also attached to the innermost open span of this
+        thread (if any), unifying the demo trace with request tracing.
+        """
+        seq, stamp = self._log.record(
+            kind, payload, stamp=self._clock() - self._start
+        )
+        TRACER.event(kind, **payload)
+        return TraceEvent(seq=seq, timestamp=stamp, kind=kind, payload=payload)
 
     def __len__(self) -> int:
-        with self._lock:
-            return len(self._events)
+        return len(self._log)
 
     def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self.snapshot())
 
     def __getitem__(self, index: int) -> TraceEvent:
-        with self._lock:
-            return self._events[index]
+        seq, stamp, kind, payload = self._log.snapshot()[index]
+        return TraceEvent(seq=seq, timestamp=stamp, kind=kind, payload=payload)
 
     def snapshot(self) -> list[TraceEvent]:
-        """A consistent copy of all events recorded so far."""
-        with self._lock:
-            return list(self._events)
+        """A consistent copy of all retained events."""
+        return [
+            TraceEvent(seq=seq, timestamp=stamp, kind=kind, payload=payload)
+            for seq, stamp, kind, payload in self._log.snapshot()
+        ]
 
     def events_of(self, kind: str) -> list[TraceEvent]:
-        """All events of one kind."""
+        """All retained events of one kind."""
         return [event for event in self.snapshot() if event.kind == kind]
 
     def clear(self) -> None:
-        with self._lock:
-            self._events.clear()
-            self._start = self._clock()
+        self._log.clear(reset_seq=True)
+        self._start = self._clock()
 
 
 def save_trace(trace: "Trace", path, config: dict | None = None) -> int:
@@ -145,21 +169,19 @@ def load_trace(path) -> tuple["Trace", dict]:
     if payload.get("format") != "slider-trace/1":
         raise ValueError(f"{path}: not a slider trace file")
     trace = Trace()
-    with trace._lock:
-        for data in payload["events"]:
-            event_payload = {
+    trace._log.restore(
+        (
+            data["seq"],
+            data["timestamp"],
+            data["kind"],
+            {
                 key: value
                 for key, value in data.items()
                 if key not in ("seq", "timestamp", "kind")
-            }
-            trace._events.append(
-                TraceEvent(
-                    seq=data["seq"],
-                    timestamp=data["timestamp"],
-                    kind=data["kind"],
-                    payload=event_payload,
-                )
-            )
+            },
+        )
+        for data in payload["events"]
+    )
     return trace, payload.get("config", {})
 
 

@@ -44,6 +44,7 @@ import zlib
 from collections import OrderedDict
 from typing import Sequence
 
+from ..obs import instruments as _obs
 from ..persist.journal import JournalError, read_journal
 from ..persist.manager import JOURNAL_FILENAME
 from ..rdf.terms import Triple
@@ -89,6 +90,7 @@ class FeedTruncatedError(RevisionGoneError):
         )
         self.requested = requested
         self.oldest = oldest
+        _obs.REPLICATION_TRUNCATIONS.inc()
 
 
 class FeedRecord:

@@ -35,10 +35,12 @@ from __future__ import annotations
 import json
 import threading
 import time
+import weakref
 from http.client import HTTPConnection, HTTPException
 from pathlib import Path
 from urllib.parse import urlsplit
 
+from ..obs import instruments as _obs
 from ..persist.manager import JOURNAL_FILENAME, SNAPSHOT_FILENAME
 from ..persist.snapshot import SnapshotError, parse_snapshot
 from ..reasoner.engine import Slider, SliderError
@@ -61,6 +63,18 @@ class ReplicationError(RuntimeError):
 
 class _NeedBootstrap(Exception):
     """Internal: the feed cannot resume us; fetch a snapshot instead."""
+
+
+#: Live follower statuses; the scrape-time collector exports the worst
+#: (max) lag across them so ``/metrics`` on a follower is always fresh.
+_LIVE_STATUSES: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def _collect_replication_lag() -> None:
+    _obs.REPLICATION_LAG.set(max((s.lag for s in _LIVE_STATUSES), default=0))
+
+
+_obs.REGISTRY.on_collect(_collect_replication_lag)
 
 
 class ReplicationStatus:
@@ -91,6 +105,17 @@ class ReplicationStatus:
         self.snapshot_reuses = 0
         self.reconnects = 0
         self.last_error: str | None = None
+        _LIVE_STATUSES.add(self)
+
+    def note_bootstrap(self) -> None:
+        """Count one snapshot bootstrap (status + metrics)."""
+        self.bootstraps += 1
+        _obs.REPLICATION_BOOTSTRAPS.inc()
+
+    def note_applied(self) -> None:
+        """Count one replicated record applied (status + metrics)."""
+        self.records_applied += 1
+        _obs.REPLICATION_APPLIED.inc()
 
     @property
     def lag(self) -> int:
@@ -248,7 +273,13 @@ class Follower:
         self._thread.start()
         return self
 
-    def serve_http(self, host: str = "127.0.0.1", port: int = 0, verbose: bool = False):
+    def serve_http(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        verbose: bool = False,
+        slow_query_seconds: float = 0.25,
+    ):
         """Serve this follower's read API over HTTP (like ``serve()``).
 
         The server resolves :attr:`service` per request, so re-bootstrap
@@ -257,7 +288,10 @@ class Follower:
         from ..server.http import ReasoningHTTPServer
 
         server = ReasoningHTTPServer(
-            (host, port), service_provider=lambda: self.service, verbose=verbose
+            (host, port),
+            service_provider=lambda: self.service,
+            verbose=verbose,
+            slow_query_seconds=slow_query_seconds,
         )
         thread = threading.Thread(
             target=server.serve_forever, name="slider-follower-http", daemon=True
@@ -461,7 +495,7 @@ class Follower:
             self._swap_service(image_service)
             # The bootstrap *is* serving now — counter and readiness
             # flip here, not after hydration.
-            self.status.bootstraps += 1
+            self.status.note_bootstrap()
             with self._progress:
                 self.status.applied_revision = snapshot.revision
                 self.status.synced_revision = snapshot.revision
@@ -495,7 +529,7 @@ class Follower:
             raise
         self._swap_service(self._build_service(reasoner))
         if not columnar:
-            self.status.bootstraps += 1
+            self.status.note_bootstrap()
         # A bootstrap is a lineage reset: the watermark from the old
         # stream is void (a wiped-and-replaced leader may legitimately
         # stand *below* it — carrying the old maximum forward would
@@ -593,7 +627,7 @@ class Follower:
         if record.revision <= service.revision:
             return  # duplicate delivery (reconnect race): already applied
         service.commit_replicated(record.revision, record.to_delta())
-        self.status.records_applied += 1
+        self.status.note_applied()
         self._note_progress(
             applied=record.revision,
             leader=max(self.status.leader_revision, record.revision),

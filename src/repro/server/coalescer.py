@@ -28,6 +28,7 @@ import contextlib
 import threading
 from typing import Callable, Iterable
 
+from ..obs import TRACER, instruments as _obs
 from ..rdf.terms import Triple
 from ..reasoner.delta import Delta, InferenceReport
 
@@ -56,10 +57,13 @@ class CommitResult:
 class PendingWrite:
     """A queued submission; :meth:`wait` blocks until its commit lands."""
 
-    __slots__ = ("delta", "_event", "_result", "_error")
+    __slots__ = ("delta", "trace_id", "_event", "_result", "_error")
 
-    def __init__(self, delta: Delta):
+    def __init__(self, delta: Delta, trace_id: str | None = None):
         self.delta = delta
+        #: Client trace id riding this write into its coalesced commit
+        #: span (minted/honored at the HTTP edge; may be ``None``).
+        self.trace_id = trace_id
         self._event = threading.Event()
         self._result: CommitResult | None = None
         self._error: BaseException | None = None
@@ -70,8 +74,17 @@ class PendingWrite:
 
     def wait(self, timeout: float | None = None) -> CommitResult:
         """Block until the commit containing this write completes."""
-        if not self._event.wait(timeout):
-            raise TimeoutError("write was not committed in time")
+        if self._event.is_set():
+            waited = False
+        else:
+            waited = True
+            _obs.COALESCER_WAITERS.inc()
+        try:
+            if not self._event.wait(timeout):
+                raise TimeoutError("write was not committed in time")
+        finally:
+            if waited:
+                _obs.COALESCER_WAITERS.dec()
         if self._error is not None:
             raise self._error
         assert self._result is not None
@@ -126,15 +139,18 @@ class WriteCoalescer:
         self,
         assertions: Iterable[Triple] | Triple = (),
         retractions: Iterable[Triple] | Triple = (),
+        trace_id: str | None = None,
     ) -> PendingWrite:
         """Queue one write; returns immediately with its pending handle."""
         delta = Delta(assertions, retractions)
-        pending = PendingWrite(delta)
+        pending = PendingWrite(delta, trace_id)
         with self._cond:
             if self._closed:
                 raise CoalescerClosedError("write queue is closed")
             self._queue.append(pending)
             self.submitted += 1
+            _obs.COALESCER_SUBMITTED.inc()
+            _obs.COALESCER_QUEUE_DEPTH.set(len(self._queue))
             self._cond.notify_all()
         return pending
 
@@ -143,9 +159,10 @@ class WriteCoalescer:
         assertions: Iterable[Triple] | Triple = (),
         retractions: Iterable[Triple] | Triple = (),
         timeout: float | None = 30.0,
+        trace_id: str | None = None,
     ) -> CommitResult:
         """Submit and wait: the blocking convenience most callers want."""
-        return self.submit(assertions, retractions).wait(timeout)
+        return self.submit(assertions, retractions, trace_id=trace_id).wait(timeout)
 
     # --- test/ops hooks -----------------------------------------------------
     @contextlib.contextmanager
@@ -207,10 +224,12 @@ class WriteCoalescer:
                 while not self._closed and self._paused:
                     self._cond.wait()
                 batch, self._queue = self._queue, []
+                _obs.COALESCER_QUEUE_DEPTH.set(len(self._queue))
             if batch:
                 self._commit_batch(batch)
 
-    def _commit_batch(self, batch: list[PendingWrite]) -> None:
+    def _apply_batch(self, batch: list[PendingWrite]) -> InferenceReport:
+        """Net the batch into one delta and commit it (subclass hook)."""
         # Last-writer-wins netting in arrival order (module docstring).
         assertions: dict[Triple, None] = {}
         retractions: dict[Triple, None] = {}
@@ -221,18 +240,32 @@ class WriteCoalescer:
             for triple in pending.delta.assertions:
                 retractions.pop(triple, None)
                 assertions[triple] = None
-        try:
-            report = self._apply(Delta(tuple(assertions), tuple(retractions)))
-        except BaseException as error:
-            self.failed += len(batch)
+        return self._apply(Delta(tuple(assertions), tuple(retractions)))
+
+    def _commit_batch(self, batch: list[PendingWrite]) -> None:
+        # One commit span shared by every writer netted into this batch:
+        # the engine/sharding/subscription spans opened while _apply_batch
+        # runs on this drain thread nest under it, so a client trace id
+        # is findable on the whole commit subtree.
+        trace_ids = [p.trace_id for p in batch if p.trace_id]
+        with TRACER.span("commit", trace_ids=trace_ids, coalesced=len(batch)) as span:
+            try:
+                report = self._apply_batch(batch)
+            except BaseException as error:
+                span.set(error=type(error).__name__)
+                self.failed += len(batch)
+                _obs.COALESCER_FAILED.inc(len(batch))
+                for pending in batch:
+                    pending._fail(error)
+                return
+            span.set(revision=report.revision)
+            self.commits += 1
+            _obs.COALESCER_COMMITS.inc()
+            _obs.COALESCER_BATCH_SIZE.observe(len(batch))
+            self.max_coalesced = max(self.max_coalesced, len(batch))
+            result = CommitResult(report.revision, report, len(batch))
             for pending in batch:
-                pending._fail(error)
-            return
-        self.commits += 1
-        self.max_coalesced = max(self.max_coalesced, len(batch))
-        result = CommitResult(report.revision, report, len(batch))
-        for pending in batch:
-            pending._resolve(result)
+                pending._resolve(result)
 
     def __repr__(self):
         return (

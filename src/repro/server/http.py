@@ -20,6 +20,8 @@ A :class:`ReasoningHTTPServer` (a ``ThreadingHTTPServer``) exposes one
 ``/feed``             GET     SSE replication feed of committed deltas
                               (``from=N`` resumes; 410 once compacted away)
 ``/snapshot``         GET     binary state image for replica bootstrap
+``/metrics``          GET     Prometheus text exposition of every layer's metrics
+``/debug/traces``     GET     recent spans as JSON lines (``?trace_id=``/``limit=``)
 ``/tenants``          GET     registered tenants + quotas (tenancy mode)
 ``/tenants``          POST    register / re-quota a tenant
 ``/tenants``          DELETE  unregister a tenant (``?name=``; data kept on disk)
@@ -46,6 +48,16 @@ initial solution count), then one ``delta`` event per committed revision
 that changed the solution set — binding-level ``added`` / ``removed``
 arrays, exactly the diffs the in-process subscription API delivers —
 with ``: keepalive`` comments while idle.
+
+Observability: every request carries a trace id — honoured from the
+client's ``X-Trace-Id`` header or minted at the edge — echoed back in
+the response's ``X-Trace-Id`` header and threaded through the write
+pipeline, so a coalesced ``/apply``'s commit span (and, under sharding,
+every per-shard sub-commit span) names the client's id.  Request
+counts/latency land in the ``slider_http_*`` metric families served at
+``/metrics``; ``/select``, ``/ask`` and ``/construct`` over the server's
+slow-query threshold are logged with their timing breakdown and the
+planner's ``explain()`` output.
 """
 
 from __future__ import annotations
@@ -53,9 +65,11 @@ from __future__ import annotations
 import json
 import math
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
+from ..obs import SlowQueryLog, TRACER, instruments as _obs, new_trace_id
 from ..rdf.terms import Variable
 from ..store.query import ask, construct, explain, solve
 from ..tenancy.errors import (
@@ -116,6 +130,17 @@ class _Handler(BaseHTTPRequestHandler):
         # swaps the server's service, and one request must not straddle
         # two engines.
         return self._service
+
+    def send_response(self, code, message=None):  # noqa: A003 - stdlib naming
+        # Central choke point: every response (including redirects, SSE
+        # headers and 304s) records its status for the request metrics
+        # and echoes the request's trace id so clients can correlate
+        # their call with the spans at /debug/traces.
+        super().send_response(code, message)
+        self._status = code
+        trace_id = getattr(self, "_trace_id", None)
+        if trace_id is not None:
+            self.send_header("X-Trace-Id", trace_id)
 
     def _send_json(self, payload: dict, status: int = 200) -> None:
         body = json.dumps(payload).encode("utf-8")
@@ -212,6 +237,41 @@ class _Handler(BaseHTTPRequestHandler):
         self._dispatch(_DELETE_ROUTES)
 
     def _dispatch(self, routes: dict) -> None:
+        # Trace id: honour the client's X-Trace-Id (bounded, so a hostile
+        # header cannot bloat every span) or mint one at the edge.
+        raw = (self.headers.get("X-Trace-Id") or "").strip()
+        self._trace_id = raw[:64] if raw else new_trace_id()
+        self._status = 0
+        route = self._route()
+        # Unknown paths share one label: request metrics must not let an
+        # URL scanner mint a label set per probe.
+        endpoint = route if route in _KNOWN_ROUTES else "__unknown__"
+        enabled = _obs.REGISTRY.enabled
+        if enabled:
+            _obs.HTTP_IN_FLIGHT.inc()
+        started = time.perf_counter()
+        try:
+            if route in _UNTRACED_ROUTES:
+                # Scrapes would otherwise flood the span ring they serve.
+                self._handle_request(routes)
+            else:
+                with TRACER.span(
+                    "http.request",
+                    trace_ids=[self._trace_id],
+                    endpoint=endpoint,
+                    method=self.command,
+                ) as span:
+                    self._handle_request(routes)
+                    span.set(status=self._status)
+        finally:
+            if enabled:
+                _obs.HTTP_IN_FLIGHT.dec()
+                _obs.HTTP_REQUESTS.inc_labels(endpoint, self.command, str(self._status))
+                _obs.HTTP_REQUEST_SECONDS.observe_labels(
+                    endpoint, value=time.perf_counter() - started
+                )
+
+    def _handle_request(self, routes: dict) -> None:
         try:
             self._service = self.server.service
         except Exception:  # noqa: BLE001 - provider gap, not a handler bug
@@ -267,12 +327,52 @@ class _Handler(BaseHTTPRequestHandler):
         except Exception as error:  # noqa: BLE001 - a request must not kill the thread
             self._send_error_json(500, f"{type(error).__name__}: {error}")
 
+    def _note_slow(
+        self,
+        endpoint: str,
+        started: float,
+        query: str,
+        params: dict,
+        breakdown: dict,
+        graph=None,
+        patterns=None,
+    ) -> None:
+        """Feed the server's slow-query log (cheap below the threshold).
+
+        The planner's ``explain()`` is handed in lazily — it only runs
+        for queries that actually crossed the threshold.
+        """
+        log = self.server.slow_queries
+        seconds = time.perf_counter() - started
+        if log is None or not log.enabled or seconds < log.threshold_seconds:
+            return
+        explain_fn = None
+        if graph is not None and patterns is not None:
+
+            def explain_fn():
+                return explain(graph, patterns)
+
+        entry = log.observe(
+            endpoint=endpoint,
+            seconds=seconds,
+            query=query,
+            tenant=self._one(params, "tenant"),
+            trace_id=self._trace_id,
+            breakdown=breakdown,
+            explain_fn=explain_fn,
+        )
+        if entry is not None and _obs.REGISTRY.enabled:
+            _obs.HTTP_SLOW_QUERIES.inc_labels(endpoint)
+
     # --- read endpoints -----------------------------------------------------
     def _ep_select(self) -> None:
+        started = time.perf_counter()
         params = self._params()
-        patterns = parse_patterns(self._one(params, "query", required=True))
+        query = self._one(params, "query", required=True)
+        patterns = parse_patterns(query)
         graph, revision = self._graph_at(params)
         limit = self._limit(params)
+        parsed = time.perf_counter()
         if self._flag(params, "explain"):
             # Plan + execute once, reporting estimated vs. actual rows
             # per join step instead of the solution rows.
@@ -305,6 +405,19 @@ class _Handler(BaseHTTPRequestHandler):
                 rows.append(list(row))
             if len(rows) >= limit:
                 break
+        solved = time.perf_counter()
+        self._note_slow(
+            "/select",
+            started,
+            query,
+            params,
+            {
+                "parse_ms": round((parsed - started) * 1000.0, 3),
+                "solve_ms": round((solved - parsed) * 1000.0, 3),
+            },
+            graph,
+            patterns,
+        )
         self._send_json(
             {
                 "revision": revision,
@@ -314,21 +427,52 @@ class _Handler(BaseHTTPRequestHandler):
         )
 
     def _ep_ask(self) -> None:
+        started = time.perf_counter()
         params = self._params()
-        patterns = parse_patterns(self._one(params, "query", required=True))
+        query = self._one(params, "query", required=True)
+        patterns = parse_patterns(query)
         graph, revision = self._graph_at(params)
-        self._send_json({"revision": revision, "result": ask(graph, patterns)})
+        parsed = time.perf_counter()
+        result = ask(graph, patterns)
+        self._note_slow(
+            "/ask",
+            started,
+            query,
+            params,
+            {
+                "parse_ms": round((parsed - started) * 1000.0, 3),
+                "solve_ms": round((time.perf_counter() - parsed) * 1000.0, 3),
+            },
+            graph,
+            patterns,
+        )
+        self._send_json({"revision": revision, "result": result})
 
     def _ep_construct(self) -> None:
+        started = time.perf_counter()
         params = self._params()
+        query = self._one(params, "query", required=True)
         template = parse_patterns(self._one(params, "template", required=True))
-        patterns = parse_patterns(self._one(params, "query", required=True))
+        patterns = parse_patterns(query)
         graph, revision = self._graph_at(params)
         limit = self._limit(params)
+        parsed = time.perf_counter()
         try:
             triples = construct(graph, template, patterns)[:limit]
         except ValueError as error:  # template variable the body never binds
             raise _BadRequest(str(error))
+        self._note_slow(
+            "/construct",
+            started,
+            query,
+            params,
+            {
+                "parse_ms": round((parsed - started) * 1000.0, 3),
+                "solve_ms": round((time.perf_counter() - parsed) * 1000.0, 3),
+            },
+            graph,
+            patterns,
+        )
         self._send_json(
             {
                 "revision": revision,
@@ -384,6 +528,11 @@ class _Handler(BaseHTTPRequestHandler):
                 "forwards": cluster["forwards"],
                 "queue_depth": service.writes.stats()["queued"],
             }
+        if self.server.tenants is not None:
+            # Aggregate write-queue saturation: 1.0 means the worst
+            # tenant's next submit takes a 429 — scrape this before the
+            # rejections start, not after.
+            body["tenancy"] = self.server.tenants.writes.saturation()
         self._send_json(body)
 
     def _ep_readyz(self) -> None:
@@ -448,10 +597,16 @@ class _Handler(BaseHTTPRequestHandler):
             if tenant is not None:
                 # Tenant admission (404/413/429) surfaces via _dispatch.
                 result = self._tenant_manager().apply(
-                    tenant, assertions, retractions, timeout=timeout
+                    tenant,
+                    assertions,
+                    retractions,
+                    timeout=timeout,
+                    trace_id=self._trace_id,
                 )
             else:
-                result = self.service.apply(assertions, retractions, timeout=timeout)
+                result = self.service.apply(
+                    assertions, retractions, timeout=timeout, trace_id=self._trace_id
+                )
         except TimeoutError:
             self._send_error_json(504, "write was not committed in time")
             return
@@ -623,6 +778,30 @@ class _Handler(BaseHTTPRequestHandler):
                 self.wfile.write(b": keepalive\n\n")
                 self.wfile.flush()
 
+    # --- observability endpoints --------------------------------------------
+    def _ep_metrics(self) -> None:
+        """Prometheus text exposition (format 0.0.4) of every layer."""
+        body = _obs.REGISTRY.expose().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _ep_debug_traces(self) -> None:
+        """Recent spans as JSON lines; ``?trace_id=`` narrows to one trace."""
+        params = self._params()
+        trace_id = self._one(params, "trace_id")
+        limit = self._int(params, "limit")
+        if limit is not None and limit < 1:
+            raise _BadRequest(f"parameter 'limit' must be >= 1, got {limit}")
+        body = TRACER.ring.to_jsonl(trace_id=trace_id, limit=limit).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     # --- SSE ----------------------------------------------------------------
     def _ep_subscribe(self) -> None:
         params = self._params()
@@ -736,6 +915,8 @@ _GET_ROUTES = {
     "/subscribe": _Handler._ep_subscribe,
     "/feed": _Handler._ep_feed,
     "/snapshot": _Handler._ep_snapshot,
+    "/metrics": _Handler._ep_metrics,
+    "/debug/traces": _Handler._ep_debug_traces,
     "/tenants": _Handler._ep_tenants_list,
 }
 
@@ -747,6 +928,17 @@ _POST_ROUTES = {
 _DELETE_ROUTES = {
     "/tenants": _Handler._ep_tenants_remove,
 }
+
+#: Every routable path, for the request metrics' ``endpoint`` label —
+#: anything else is folded into ``__unknown__`` so path scanners cannot
+#: mint unbounded label sets.
+_KNOWN_ROUTES = frozenset(_GET_ROUTES) | frozenset(_POST_ROUTES) | frozenset(
+    _DELETE_ROUTES
+)
+
+#: Scrape endpoints are metered but not traced: a 15 s Prometheus scrape
+#: interval would otherwise evict every span it exists to serve.
+_UNTRACED_ROUTES = frozenset({"/metrics", "/debug/traces"})
 
 
 class ReasoningHTTPServer(ThreadingHTTPServer):
@@ -769,6 +961,7 @@ class ReasoningHTTPServer(ThreadingHTTPServer):
         service_provider=None,
         max_body_bytes: int = MAX_BODY_BYTES,
         tenants=None,
+        slow_query_seconds: float = 0.25,
     ):
         if (service is None) == (service_provider is None):
             raise ValueError("pass exactly one of service / service_provider")
@@ -786,6 +979,9 @@ class ReasoningHTTPServer(ThreadingHTTPServer):
         #: the service, the server does not own it: callers close the
         #: manager after ``shutdown()``.
         self.tenants = tenants
+        #: Queries slower than this are logged with their breakdown and
+        #: plan; ``<= 0`` disables the log.
+        self.slow_queries = SlowQueryLog(threshold_seconds=slow_query_seconds)
 
     @property
     def service(self) -> ReasoningService:
@@ -810,15 +1006,23 @@ def serve(
     port: int = 0,
     verbose: bool = False,
     tenants=None,
+    slow_query_seconds: float = 0.25,
 ) -> tuple[ReasoningHTTPServer, threading.Thread]:
     """Bind and start serving on a background thread.
 
     Returns ``(server, thread)``; callers stop with ``server.shutdown()``
     then ``service.close()`` (and ``tenants.close()`` in tenancy mode).
     ``port=0`` binds an ephemeral port (``server.port`` has the real
-    one); ``tenants`` enables multi-tenant routing.
+    one); ``tenants`` enables multi-tenant routing;
+    ``slow_query_seconds`` sets the slow-query log threshold.
     """
-    server = ReasoningHTTPServer((host, port), service, verbose=verbose, tenants=tenants)
+    server = ReasoningHTTPServer(
+        (host, port),
+        service,
+        verbose=verbose,
+        tenants=tenants,
+        slow_query_seconds=slow_query_seconds,
+    )
     thread = threading.Thread(
         target=server.serve_forever, name="slider-http", daemon=True
     )

@@ -32,9 +32,11 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
+from ..obs import process_rss_bytes
 from ..rdf.terms import Triple
 from ..reasoner.delta import Delta, InferenceReport
 from ..reasoner.engine import Slider
@@ -175,6 +177,9 @@ class ReasoningService:
         self.reasoner = reasoner
         self._closed = False
         self._lock = threading.Lock()
+        #: Unix time this service came up; feeds ``stats()``'s
+        #: ``uptime_seconds``.
+        self.started_at = time.time()
         self._channels: list[SubscriptionChannel] = []
         #: ``"leader"`` (accepts writes) or ``"follower"`` (read replica
         #: — the HTTP layer rejects/forwards ``/apply``).
@@ -226,23 +231,29 @@ class ReasoningService:
         assertions: Iterable[Triple] | Triple = (),
         retractions: Iterable[Triple] | Triple = (),
         timeout: float | None = 30.0,
+        trace_id: str | None = None,
     ) -> CommitResult:
         """Commit a write batch (coalesced); blocks for its revision.
 
         Returns the :class:`~repro.server.coalescer.CommitResult` whose
         report covers the whole coalesced revision this write joined.
+        ``trace_id`` rides into the shared commit span (see
+        :mod:`repro.obs.tracing`).
         """
         self._check_open()
-        return self.writes.apply(assertions, retractions, timeout=timeout)
+        return self.writes.apply(
+            assertions, retractions, timeout=timeout, trace_id=trace_id
+        )
 
     def submit(
         self,
         assertions: Iterable[Triple] | Triple = (),
         retractions: Iterable[Triple] | Triple = (),
+        trace_id: str | None = None,
     ) -> PendingWrite:
         """Queue a write without waiting (pipelined callers)."""
         self._check_open()
-        return self.writes.submit(assertions, retractions)
+        return self.writes.submit(assertions, retractions, trace_id=trace_id)
 
     def commit_replicated(self, revision: int, delta: Delta) -> InferenceReport:
         """Commit one leader revision on a replica (bypasses coalescing).
@@ -384,6 +395,11 @@ class ReasoningService:
             "revision": view.revision,
             "role": self.role,
             "ready": self.ready,
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "process": {
+                "rss_bytes": process_rss_bytes(),
+                "started_at": round(self.started_at, 3),
+            },
             "sharding": self.sharding,
             "replication": (
                 None if self.replication is None else self.replication.as_dict()

@@ -66,6 +66,7 @@ from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
 from ..dictionary.encoder import EncodedTriple, TermDictionary
+from ..obs import TRACER, instruments as _obs
 from ..persist.snapshot import encode_snapshot
 from ..rdf.terms import Triple
 from ..reasoner.delta import Delta, InferenceReport
@@ -463,6 +464,11 @@ class ShardedReasoner:
                 dred_deleted=totals["dred_deleted"],
                 dred_rederived=totals["dred_rederived"],
             )
+            if _obs.REGISTRY.enabled:
+                _obs.SHARDING_COMMITS.inc()
+                _obs.SHARDING_FIXPOINT_ROUNDS.observe(rounds)
+                vector = [engine.revision for engine in self.engines]
+                _obs.SHARDING_REVISION_SKEW.set(max(vector) - min(vector))
             self._write_meta()
             self._fire_commit(tuple(net_assert), tuple(net_retract))
             self._notify_subscribers(report)
@@ -480,9 +486,21 @@ class ShardedReasoner:
         if not busy:
             return [[] for _ in streams]
 
+        # Capture the commit span context on *this* thread: the shard
+        # futures run on pool threads, where the thread-local parent is
+        # invisible, and every sub-commit span must carry the commit's
+        # trace ids.
+        parent_ctx = TRACER.current()
+
         def run(shard: int) -> list[InferenceReport]:
             engine = self.engines[shard]
-            return [engine.apply(sub) for sub in streams[shard]]
+            with TRACER.span(
+                "shard.commit",
+                parent=parent_ctx,
+                shard=shard,
+                sub_deltas=len(streams[shard]),
+            ):
+                return [engine.apply(sub) for sub in streams[shard]]
 
         results: list[list[InferenceReport]] = [[] for _ in streams]
         if len(busy) == 1:
@@ -595,6 +613,13 @@ class ShardedReasoner:
                 self._forwards["broadcasts"] += sum(
                     1 for t in delta.assertions if route(t) == BROADCAST
                 )
+                if _obs.REGISTRY.enabled:
+                    _obs.SHARDING_FORWARDS.inc_labels(
+                        "assertions", amount=len(delta.assertions)
+                    )
+                    _obs.SHARDING_FORWARDS.inc_labels(
+                        "retractions", amount=len(delta.retractions)
+                    )
             out.append(delta)
         return out
 
@@ -645,17 +670,22 @@ class ShardedReasoner:
     def _notify_subscribers(self, report: InferenceReport) -> None:
         if not self._subscriptions:
             return
-        graph = self.graph
-        alive = []
-        for subscription in self._subscriptions:
-            if not subscription.active:
-                continue
-            alive.append(subscription)
-            try:
-                subscription._deliver(report, graph)
-            except Exception as error:  # parity with the engine: never poison
-                subscription.error = error
-        self._subscriptions = alive
+        with TRACER.span(
+            "subscription.delivery",
+            revision=report.revision,
+            subscriptions=len(self._subscriptions),
+        ):
+            graph = self.graph
+            alive = []
+            for subscription in self._subscriptions:
+                if not subscription.active:
+                    continue
+                alive.append(subscription)
+                try:
+                    subscription._deliver(report, graph)
+                except Exception as error:  # parity with the engine: never poison
+                    subscription.error = error
+            self._subscriptions = alive
 
     def add_commit_listener(self, listener: Callable) -> None:
         """Register ``listener(revision, assertions, retractions)``.

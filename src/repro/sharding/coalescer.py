@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Callable, Sequence
 
 from ..reasoner.delta import Delta, InferenceReport
-from ..server.coalescer import CommitResult, PendingWrite, WriteCoalescer
+from ..server.coalescer import PendingWrite, WriteCoalescer
 
 __all__ = ["ShardedCoalescer"]
 
@@ -42,16 +42,12 @@ class ShardedCoalescer(WriteCoalescer):
         self._apply_many = apply_many_fn
         super().__init__(lambda delta: apply_many_fn([delta]), tick)
 
-    def _commit_batch(self, batch: list[PendingWrite]) -> None:
-        try:
-            report = self._apply_many([pending.delta for pending in batch])
-        except BaseException as error:
-            self.failed += len(batch)
-            for pending in batch:
-                pending._fail(error)
-            return
-        self.commits += 1
-        self.max_coalesced = max(self.max_coalesced, len(batch))
-        result = CommitResult(report.revision, report, len(batch))
-        for pending in batch:
-            pending._resolve(result)
+    def _apply_batch(self, batch: list[PendingWrite]) -> InferenceReport:
+        """Commit the batch's deltas as one global sharded revision.
+
+        The base class wraps this call in the shared commit span and
+        the coalescer metrics, so per-shard sub-commit spans opened by
+        ``apply_many`` nest under the same trace as single-node
+        commits would.
+        """
+        return self._apply_many([pending.delta for pending in batch])

@@ -9,6 +9,8 @@ client to honour the backoff it is told.
 
 from __future__ import annotations
 
+from ..obs import instruments as _obs
+
 __all__ = [
     "TenancyError",
     "UnknownTenantError",
@@ -46,6 +48,7 @@ class QuotaExceededError(TenancyError):
         self.quota = quota
         self.limit = limit
         self.requested = requested
+        _obs.TENANCY_REJECTED.inc_labels("413")
 
 
 class RateLimitedError(TenancyError):
@@ -62,6 +65,7 @@ class RateLimitedError(TenancyError):
         )
         self.tenant = tenant
         self.retry_after = retry_after
+        _obs.TENANCY_REJECTED.inc_labels("429")
 
 
 class AdmissionRejectedError(TenancyError):
@@ -80,3 +84,4 @@ class AdmissionRejectedError(TenancyError):
         self.queued = queued
         self.limit = limit
         self.retry_after = retry_after
+        _obs.TENANCY_REJECTED.inc_labels("429")

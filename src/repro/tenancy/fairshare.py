@@ -33,6 +33,7 @@ import threading
 from collections import deque
 from typing import Callable, Iterable
 
+from ..obs import instruments as _obs
 from ..rdf.terms import Triple
 from ..reasoner.delta import Delta, InferenceReport
 from ..server.coalescer import CoalescerClosedError, CommitResult, PendingWrite
@@ -107,6 +108,7 @@ class FairShareCoalescer:
         tenant: str,
         assertions: Iterable[Triple] | Triple = (),
         retractions: Iterable[Triple] | Triple = (),
+        trace_id: str | None = None,
     ) -> PendingWrite:
         """Queue one write on the tenant's queue; never blocks.
 
@@ -116,7 +118,7 @@ class FairShareCoalescer:
         weight, and the drain tick.
         """
         delta = Delta(assertions, retractions)
-        pending = PendingWrite(delta)
+        pending = PendingWrite(delta, trace_id)
         with self._cond:
             if self._closed:
                 raise CoalescerClosedError("write queue is closed")
@@ -135,6 +137,8 @@ class FairShareCoalescer:
             queue.pending.append(pending)
             queue.submitted += 1
             self.submitted += 1
+            _obs.TENANCY_ADMITTED.inc()
+            _obs.TENANCY_QUEUE_DEPTH.set_labels(tenant, value=len(queue.pending))
             self._cond.notify_all()
         return pending
 
@@ -187,6 +191,26 @@ class FairShareCoalescer:
                     }
                     for tenant, queue in sorted(self._queues.items())
                 },
+            }
+
+    def saturation(self) -> dict:
+        """Aggregate queue saturation for ``/healthz`` pre-overload probes.
+
+        ``max_saturation`` is the most saturated tenant's queue depth
+        over the per-tenant limit (1.0 = that tenant's next write takes
+        a 429); ``queued`` is the total backlog across tenants.
+        """
+        with self._cond:
+            depths = [len(queue.pending) for queue in self._queues.values()]
+            total = sum(depths)
+            worst = max(depths, default=0)
+            return {
+                "queued": total,
+                "queue_limit": self._queue_limit,
+                "tenants_backlogged": sum(1 for depth in depths if depth),
+                "max_saturation": round(worst / self._queue_limit, 4)
+                if self._queue_limit
+                else 0.0,
             }
 
     def tenant_stats(self, tenant: str) -> dict:
@@ -262,6 +286,7 @@ class FairShareCoalescer:
                 continue
             queue.deficit -= take
             batches.append((tenant, [queue.pending.popleft() for _ in range(take)]))
+            _obs.TENANCY_QUEUE_DEPTH.set_labels(tenant, value=len(queue.pending))
             if not queue.pending:
                 queue.deficit = 0.0
         if self._rotation:
@@ -271,7 +296,9 @@ class FairShareCoalescer:
 
     def _commit_batch(self, tenant: str, batch: list[PendingWrite]) -> None:
         # Last-writer-wins netting in arrival order, per tenant (same
-        # semantics as WriteCoalescer._commit_batch).
+        # semantics as WriteCoalescer._commit_batch).  The commit span
+        # carries every batched writer's trace id, same as the
+        # single-tenant coalescer.
         assertions: dict[Triple, None] = {}
         retractions: dict[Triple, None] = {}
         for pending in batch:
@@ -281,22 +308,30 @@ class FairShareCoalescer:
             for triple in pending.delta.assertions:
                 retractions.pop(triple, None)
                 assertions[triple] = None
-        try:
-            report = self._apply(tenant, Delta(tuple(assertions), tuple(retractions)))
-        except BaseException as error:  # noqa: BLE001 - resolve waiters with the cause
+        trace_ids = [p.trace_id for p in batch if p.trace_id]
+        with _obs.TRACER.span(
+            "commit", trace_ids=trace_ids, tenant=tenant, coalesced=len(batch)
+        ) as span:
+            try:
+                report = self._apply(
+                    tenant, Delta(tuple(assertions), tuple(retractions))
+                )
+            except BaseException as error:  # noqa: BLE001 - resolve with the cause
+                span.set(error=type(error).__name__)
+                with self._cond:
+                    self.failed += len(batch)
+                for pending in batch:
+                    pending._fail(error)
+                return
+            span.set(revision=report.revision)
             with self._cond:
-                self.failed += len(batch)
+                self.commits += 1
+                queue = self._queues.get(tenant)
+                if queue is not None:
+                    queue.commits += 1
+            result = CommitResult(report.revision, report, len(batch))
             for pending in batch:
-                pending._fail(error)
-            return
-        with self._cond:
-            self.commits += 1
-            queue = self._queues.get(tenant)
-            if queue is not None:
-                queue.commits += 1
-        result = CommitResult(report.revision, report, len(batch))
-        for pending in batch:
-            pending._resolve(result)
+                pending._resolve(result)
 
     def __repr__(self):
         return (

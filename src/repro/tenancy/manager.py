@@ -182,6 +182,7 @@ class TenantManager:
         tenant: str,
         assertions: Iterable[Triple] | Triple = (),
         retractions: Iterable[Triple] | Triple = (),
+        trace_id: str | None = None,
     ) -> PendingWrite:
         """Admit and queue one write; returns its pending handle.
 
@@ -194,7 +195,7 @@ class TenantManager:
         validate_tenant_name(tenant)
         self._tenant(tenant)  # membership + engine warm-up
         self.admission.admit(tenant)
-        return self.writes.submit(tenant, assertions, retractions)
+        return self.writes.submit(tenant, assertions, retractions, trace_id=trace_id)
 
     def apply(
         self,
@@ -202,9 +203,12 @@ class TenantManager:
         assertions: Iterable[Triple] | Triple = (),
         retractions: Iterable[Triple] | Triple = (),
         timeout: float | None = 30.0,
+        trace_id: str | None = None,
     ) -> CommitResult:
         """Submit and wait for the tenant's commit (blocking convenience)."""
-        return self.submit(tenant, assertions, retractions).wait(timeout)
+        return self.submit(
+            tenant, assertions, retractions, trace_id=trace_id
+        ).wait(timeout)
 
     def _commit_tenant(self, name: str, delta: Delta) -> InferenceReport:
         """Drain-thread commit hook: quota gate, then the engine apply.

@@ -20,7 +20,7 @@ import pytest
 
 SRC = Path(__file__).resolve().parent.parent.parent / "src" / "repro"
 
-GATED_PACKAGES = ("server", "sharding", "store/planner", "tenancy")
+GATED_PACKAGES = ("obs", "server", "sharding", "store/planner", "tenancy")
 
 
 def _is_public(name: str) -> bool:

@@ -1,0 +1,248 @@
+"""Metrics registry: exposition correctness, concurrency, cardinality.
+
+Every test builds its own :class:`MetricsRegistry` — the process-global
+one in ``repro.obs.instruments`` belongs to the integration tests —
+and round-trips the rendered text through the strict parser in
+``repro.obs.promcheck``, so "the exposition is valid" always means
+"the validator we ship agrees", not "it looks right".
+"""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    OVERFLOW_LABEL,
+    MetricsRegistry,
+)
+from repro.obs.promcheck import parse_exposition, validate_exposition
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestFamilies:
+    def test_counter_inc_and_value(self, registry):
+        hits = registry.counter("slider_test_hits_total", "Hits.")
+        hits.inc()
+        hits.inc(2.5)
+        assert hits.value() == 3.5
+
+    def test_counter_rejects_negative(self, registry):
+        hits = registry.counter("slider_test_hits_total", "Hits.")
+        with pytest.raises(ValueError):
+            hits.labels().inc(-1)
+
+    def test_gauge_moves_both_ways(self, registry):
+        depth = registry.gauge("slider_test_depth", "Depth.")
+        depth.set(10)
+        depth.dec(3)
+        depth.inc(1)
+        assert depth.value() == 8.0
+
+    def test_invalid_metric_name_rejected(self, registry):
+        for bad in ("", "1starts_with_digit", "has-dash", "has space"):
+            with pytest.raises(ValueError):
+                registry.counter(bad, "Bad.")
+
+    def test_reregistering_same_name_returns_same_family(self, registry):
+        first = registry.counter("slider_test_total", "Once.")
+        second = registry.counter("slider_test_total", "Twice.")
+        assert first is second
+
+    def test_reregistering_as_other_kind_rejected(self, registry):
+        registry.counter("slider_test_total", "A counter.")
+        with pytest.raises(ValueError):
+            registry.gauge("slider_test_total", "Now a gauge?")
+
+    def test_labeled_family_rejects_unlabeled_use(self, registry):
+        by_code = registry.counter("slider_test_total", "By code.", ("code",))
+        with pytest.raises(ValueError):
+            by_code.inc()
+        with pytest.raises(ValueError):
+            by_code.labels("a", "b")  # wrong arity
+
+    def test_disabled_registry_is_a_noop(self, registry):
+        hits = registry.counter("slider_test_total", "Hits.", ("code",))
+        lat = registry.histogram("slider_test_seconds", "Latency.")
+        depth = registry.gauge("slider_test_depth", "Depth.")
+        registry.enabled = False
+        hits.inc_labels("200")
+        lat.observe(0.5)
+        depth.set(4)
+        registry.enabled = True
+        assert hits.value("200") == 0.0
+        assert depth.value() == 0.0
+        assert "slider_test_seconds_count 0" in registry.expose()
+
+
+class TestExposition:
+    def test_help_type_and_sample_lines(self, registry):
+        hits = registry.counter("slider_test_hits_total", "Total hits.")
+        hits.inc(3)
+        text = registry.expose()
+        assert "# HELP slider_test_hits_total Total hits." in text
+        assert "# TYPE slider_test_hits_total counter" in text
+        assert "slider_test_hits_total 3" in text
+        assert text.endswith("\n")
+
+    def test_label_escaping_round_trips(self, registry):
+        hits = registry.counter("slider_test_total", "Hits.", ("q",))
+        nasty = 'quote " backslash \\ newline \n end'
+        hits.inc_labels(nasty, amount=7)
+        families = parse_exposition(registry.expose())
+        ((_, labels, value),) = families["slider_test_total"]["samples"]
+        assert labels["q"] == nasty
+        assert value == 7.0
+
+    def test_help_escaping(self, registry):
+        registry.counter("slider_test_total", "line one\nline two \\ done")
+        families = parse_exposition(registry.expose())
+        assert families["slider_test_total"]["help"] == r"line one\nline two \\ done"
+
+    def test_special_float_values_render(self, registry):
+        gauge = registry.gauge("slider_test_gauge", "Specials.", ("k",))
+        gauge.set_labels("inf", value=math.inf)
+        gauge.set_labels("ninf", value=-math.inf)
+        gauge.set_labels("nan", value=math.nan)
+        families = parse_exposition(registry.expose())
+        by_key = {
+            labels["k"]: value
+            for _, labels, value in families["slider_test_gauge"]["samples"]
+        }
+        assert by_key["inf"] == math.inf
+        assert by_key["ninf"] == -math.inf
+        assert math.isnan(by_key["nan"])
+
+    def test_histogram_buckets_cumulative_inf_sum_count(self, registry):
+        lat = registry.histogram("slider_test_seconds", "Latency.")
+        observations = (0.0002, 0.003, 0.003, 0.9, 100.0)  # 100 > every bound
+        for value in observations:
+            lat.observe(value)
+        families = validate_exposition(registry.expose())  # checks invariants
+        samples = families["slider_test_seconds"]["samples"]
+        buckets = [
+            (labels["le"], value)
+            for name, labels, value in samples
+            if name == "slider_test_seconds_bucket"
+        ]
+        counts = [count for _, count in buckets]
+        assert counts == sorted(counts), "bucket counts must be cumulative"
+        assert buckets[-1][0] == "+Inf"
+        assert buckets[-1][1] == len(observations)
+        (total,) = [
+            value for name, _, value in samples if name == "slider_test_seconds_count"
+        ]
+        (ssum,) = [
+            value for name, _, value in samples if name == "slider_test_seconds_sum"
+        ]
+        assert total == len(observations)
+        assert ssum == pytest.approx(sum(observations))
+        assert len(buckets) == len(DEFAULT_LATENCY_BUCKETS) + 1
+
+    def test_histogram_timer_records(self, registry):
+        lat = registry.histogram("slider_test_seconds", "Latency.")
+        with lat.time():
+            pass
+        families = parse_exposition(registry.expose())
+        (total,) = [
+            value
+            for name, _, value in families["slider_test_seconds"]["samples"]
+            if name == "slider_test_seconds_count"
+        ]
+        assert total == 1
+
+    def test_unlabeled_families_expose_eagerly(self, registry):
+        registry.counter("slider_test_total", "Never touched.")
+        registry.histogram("slider_test_seconds", "Never touched.")
+        families = validate_exposition(registry.expose())
+        assert ("slider_test_total", {}, 0.0) in families["slider_test_total"][
+            "samples"
+        ]
+        assert families["slider_test_seconds"]["samples"]  # zero-count histogram
+
+
+class TestConcurrency:
+    def test_racing_writers_exact_totals(self, registry):
+        """Increments from racing threads must never be lost."""
+        hits = registry.counter("slider_test_total", "Hits.", ("worker",))
+        shared = registry.counter("slider_test_shared_total", "Shared.")
+        lat = registry.histogram("slider_test_seconds", "Latency.")
+        threads, per_thread = 8, 5000
+
+        def hammer(worker: int) -> None:
+            for _ in range(per_thread):
+                hits.inc_labels(str(worker))  # distinct series: striped locks
+                shared.inc()  # same series: same lock, must stay exact
+                lat.observe(0.001)
+
+        pool = [threading.Thread(target=hammer, args=(n,)) for n in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert shared.value() == threads * per_thread
+        for worker in range(threads):
+            assert hits.value(str(worker)) == per_thread
+        families = validate_exposition(registry.expose())
+        (total,) = [
+            value
+            for name, _, value in families["slider_test_seconds"]["samples"]
+            if name == "slider_test_seconds_count"
+        ]
+        assert total == threads * per_thread
+
+    def test_expose_while_writing_stays_valid(self, registry):
+        """A scrape racing live writers still parses and validates."""
+        lat = registry.histogram("slider_test_seconds", "Latency.", ("endpoint",))
+        stop = threading.Event()
+
+        def writer() -> None:
+            n = 0
+            while not stop.is_set():
+                lat.observe_labels(f"e{n % 4}", value=0.001 * (n % 7))
+                n += 1
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(50):
+                validate_exposition(registry.expose())
+        finally:
+            stop.set()
+            thread.join()
+
+
+class TestCardinalityGuard:
+    def test_ten_thousand_tenants_collapse_into_overflow(self):
+        """Per-tenant labels cannot explode the scrape (the 10k guard)."""
+        registry = MetricsRegistry(max_label_sets=128)
+        depth = registry.gauge("slider_test_depth", "Per-tenant depth.", ("tenant",))
+        for n in range(10_000):
+            depth.set_labels(f"tenant-{n}", value=n)
+        children = depth.children()
+        assert len(children) <= 129  # 128 distinct + the overflow child
+        assert (OVERFLOW_LABEL,) in children
+        assert depth.overflowed == 10_000 - 128
+        families = validate_exposition(registry.expose())
+        samples = families["slider_test_depth"]["samples"]
+        assert len(samples) <= 129
+        assert any(
+            labels["tenant"] == OVERFLOW_LABEL for _, labels, _ in samples
+        )
+
+    def test_overflow_child_accumulates(self):
+        registry = MetricsRegistry(max_label_sets=2)
+        hits = registry.counter("slider_test_total", "Hits.", ("tenant",))
+        hits.inc_labels("a")
+        hits.inc_labels("b")
+        hits.inc_labels("c", amount=2)  # over the cap
+        hits.inc_labels("d", amount=3)  # also over: same overflow child
+        assert hits.value("a") == 1
+        assert hits.value("b") == 1
+        assert hits.value("c") == 0.0  # never materialized
+        assert hits.value(OVERFLOW_LABEL) == 5

@@ -1,0 +1,150 @@
+"""The exposition parser/validator itself: accepts ours, rejects lies.
+
+The validator backs the CI ``/metrics`` scrapes and the conformance
+tests, so it must actually refuse malformed text — a checker that
+passes everything would make every downstream "validated" claim
+meaningless.
+"""
+
+import pytest
+
+from repro.obs.promcheck import main, parse_exposition, validate_exposition
+
+VALID = """\
+# HELP slider_demo_total A counter.
+# TYPE slider_demo_total counter
+slider_demo_total{code="200"} 3
+slider_demo_total{code="500"} 1
+# HELP slider_demo_seconds A histogram.
+# TYPE slider_demo_seconds histogram
+slider_demo_seconds_bucket{le="0.1"} 2
+slider_demo_seconds_bucket{le="1"} 3
+slider_demo_seconds_bucket{le="+Inf"} 4
+slider_demo_seconds_sum 2.5
+slider_demo_seconds_count 4
+"""
+
+
+class TestParser:
+    def test_parses_families_and_samples(self):
+        families = parse_exposition(VALID)
+        assert families["slider_demo_total"]["type"] == "counter"
+        assert families["slider_demo_total"]["help"] == "A counter."
+        assert len(families["slider_demo_total"]["samples"]) == 2
+        # histogram suffixes group under the base family
+        assert len(families["slider_demo_seconds"]["samples"]) == 5
+
+    def test_unescapes_label_values(self):
+        text = (
+            "# TYPE slider_demo_total counter\n"
+            'slider_demo_total{q="a\\"b\\\\c\\nd"} 1\n'
+        )
+        families = parse_exposition(text)
+        ((_, labels, _),) = families["slider_demo_total"]["samples"]
+        assert labels["q"] == 'a"b\\c\nd'
+
+    def test_sample_without_type_declaration_rejected(self):
+        with pytest.raises(ValueError, match="no preceding # TYPE"):
+            parse_exposition("slider_demo_total 1\n")
+
+    def test_malformed_sample_line_rejected(self):
+        with pytest.raises(ValueError, match="malformed sample"):
+            parse_exposition(
+                "# TYPE slider_demo_total counter\nslider_demo_total\n"
+            )
+
+    def test_malformed_labels_rejected(self):
+        with pytest.raises(ValueError, match="malformed label"):
+            parse_exposition(
+                "# TYPE slider_demo_total counter\n"
+                "slider_demo_total{code=200} 1\n"  # unquoted value
+            )
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown metric type"):
+            parse_exposition("# TYPE slider_demo_total exotic\n")
+
+
+class TestValidator:
+    def test_valid_text_passes(self):
+        validate_exposition(VALID)
+
+    def test_negative_counter_rejected(self):
+        text = "# TYPE slider_demo_total counter\nslider_demo_total -1\n"
+        with pytest.raises(ValueError, match="negative counter"):
+            validate_exposition(text)
+
+    def test_non_cumulative_buckets_rejected(self):
+        text = (
+            "# TYPE slider_demo_seconds histogram\n"
+            'slider_demo_seconds_bucket{le="0.1"} 5\n'
+            'slider_demo_seconds_bucket{le="1"} 3\n'  # went down
+            'slider_demo_seconds_bucket{le="+Inf"} 5\n'
+            "slider_demo_seconds_sum 1\n"
+            "slider_demo_seconds_count 5\n"
+        )
+        with pytest.raises(ValueError, match="not cumulative"):
+            validate_exposition(text)
+
+    def test_out_of_order_bucket_bounds_rejected(self):
+        text = (
+            "# TYPE slider_demo_seconds histogram\n"
+            'slider_demo_seconds_bucket{le="1"} 1\n'
+            'slider_demo_seconds_bucket{le="0.1"} 1\n'
+            'slider_demo_seconds_bucket{le="+Inf"} 1\n'
+            "slider_demo_seconds_sum 1\n"
+            "slider_demo_seconds_count 1\n"
+        )
+        with pytest.raises(ValueError, match="out of order"):
+            validate_exposition(text)
+
+    def test_missing_inf_bucket_rejected(self):
+        text = (
+            "# TYPE slider_demo_seconds histogram\n"
+            'slider_demo_seconds_bucket{le="0.1"} 1\n'
+            "slider_demo_seconds_sum 1\n"
+            "slider_demo_seconds_count 1\n"
+        )
+        with pytest.raises(ValueError, match=r"\+Inf"):
+            validate_exposition(text)
+
+    def test_inf_bucket_must_equal_count(self):
+        text = (
+            "# TYPE slider_demo_seconds histogram\n"
+            'slider_demo_seconds_bucket{le="+Inf"} 4\n'
+            "slider_demo_seconds_sum 1\n"
+            "slider_demo_seconds_count 5\n"
+        )
+        with pytest.raises(ValueError, match="!= _count"):
+            validate_exposition(text)
+
+    def test_missing_sum_or_count_rejected(self):
+        text = (
+            "# TYPE slider_demo_seconds histogram\n"
+            'slider_demo_seconds_bucket{le="+Inf"} 1\n'
+        )
+        with pytest.raises(ValueError, match="missing _sum or _count"):
+            validate_exposition(text)
+
+    def test_required_layer_enforced(self):
+        validate_exposition(VALID, require_layers=("demo",))
+        with pytest.raises(ValueError, match="slider_engine_"):
+            validate_exposition(VALID, require_layers=("engine",))
+
+
+class TestCli:
+    def test_main_ok_on_valid_file(self, tmp_path, capsys):
+        target = tmp_path / "metrics.txt"
+        target.write_text(VALID, encoding="utf-8")
+        assert main([str(target), "demo"]) == 0
+        assert "promcheck: ok" in capsys.readouterr().out
+
+    def test_main_fails_on_invalid_file(self, tmp_path, capsys):
+        target = tmp_path / "metrics.txt"
+        target.write_text("slider_demo_total 1\n", encoding="utf-8")
+        assert main([str(target)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_main_usage(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().err

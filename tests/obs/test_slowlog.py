@@ -1,0 +1,74 @@
+"""Slow-query log: thresholding, lazy explain, bounded retention."""
+
+from repro.obs import SlowQueryLog
+
+
+def test_fast_queries_are_not_recorded():
+    log = SlowQueryLog(threshold_seconds=0.1)
+    assert log.observe(endpoint="/select", seconds=0.05) is None
+    assert len(log) == 0
+
+
+def test_slow_query_entry_fields():
+    log = SlowQueryLog(threshold_seconds=0.1)
+    entry = log.observe(
+        endpoint="/select",
+        seconds=0.5,
+        query="?x a ex:Animal",
+        tenant="acme",
+        trace_id="abc123",
+        breakdown={"parse_ms": 1.0, "solve_ms": 499.0},
+        explain_fn=lambda: {"order": ["p0"]},
+    )
+    assert entry is not None
+    assert entry["endpoint"] == "/select"
+    assert entry["seconds"] == 0.5
+    assert entry["threshold_seconds"] == 0.1
+    assert entry["query"] == "?x a ex:Animal"
+    assert entry["tenant"] == "acme"
+    assert entry["trace_id"] == "abc123"
+    assert entry["breakdown"] == {"parse_ms": 1.0, "solve_ms": 499.0}
+    assert entry["explain"] == {"order": ["p0"]}
+    assert log.recent() == [entry]
+
+
+def test_explain_only_invoked_for_slow_queries():
+    log = SlowQueryLog(threshold_seconds=0.1)
+    calls = []
+
+    def explain():
+        calls.append(1)
+        return {}
+
+    log.observe(endpoint="/ask", seconds=0.01, explain_fn=explain)
+    assert calls == []  # fast path never pays for explain
+    log.observe(endpoint="/ask", seconds=0.2, explain_fn=explain)
+    assert calls == [1]
+
+
+def test_explain_failure_is_captured_not_raised():
+    log = SlowQueryLog(threshold_seconds=0.1)
+
+    def explain():
+        raise RuntimeError("planner exploded")
+
+    entry = log.observe(endpoint="/select", seconds=0.2, explain_fn=explain)
+    assert entry["explain"] == {"error": "planner exploded"}
+
+
+def test_nonpositive_threshold_disables():
+    log = SlowQueryLog(threshold_seconds=0.0)
+    assert not log.enabled
+    assert log.observe(endpoint="/select", seconds=99.0) is None
+    assert len(log) == 0
+
+
+def test_retention_is_bounded_and_clearable():
+    log = SlowQueryLog(threshold_seconds=0.1, capacity=3)
+    for n in range(5):
+        log.observe(endpoint="/select", seconds=0.2, query=f"q{n}")
+    assert len(log) == 3
+    assert [entry["query"] for entry in log.recent()] == ["q2", "q3", "q4"]
+    assert [entry["query"] for entry in log.recent(limit=1)] == ["q4"]
+    log.clear()
+    assert log.recent() == []

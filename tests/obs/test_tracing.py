@@ -1,0 +1,189 @@
+"""Tracer, span ring, and the shared bounded event log."""
+
+import json
+import threading
+
+from repro.obs import new_trace_id
+from repro.obs.tracing import (
+    MAX_SPAN_EVENTS,
+    BoundedEventLog,
+    SpanRing,
+    Tracer,
+)
+
+
+def make_tracer(capacity: int = 64) -> Tracer:
+    return Tracer(SpanRing(capacity=capacity))
+
+
+class TestIds:
+    def test_trace_ids_unique_and_well_formed(self):
+        ids = {new_trace_id() for _ in range(1000)}
+        assert len(ids) == 1000
+        for trace_id in ids:
+            assert len(trace_id) == 16
+            int(trace_id, 16)  # hex
+
+
+class TestSpans:
+    def test_nesting_links_parent_and_inherits_trace_id(self):
+        tracer = make_tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+                assert inner.trace_ids == outer.trace_ids
+        (inner_dict, outer_dict) = (
+            s for s in tracer.ring.snapshot()
+        )  # inner closes first
+        assert inner_dict["name"] == "inner"
+        assert inner_dict["parent_id"] == outer_dict["span_id"]
+
+    def test_root_span_mints_a_trace_id(self):
+        tracer = make_tracer()
+        with tracer.span("root") as span:
+            assert span.trace_id
+        assert tracer.current() is None
+
+    def test_explicit_trace_ids_are_deduped_in_order(self):
+        tracer = make_tracer()
+        with tracer.span("commit", trace_ids=["a", "a", "b", ""]) as span:
+            assert span.trace_ids == ("a", "b")
+            assert span.trace_id == "a"
+
+    def test_empty_trace_ids_fall_back_to_minting(self):
+        tracer = make_tracer()
+        with tracer.span("commit", trace_ids=["", None]) as span:
+            assert span.trace_id
+
+    def test_cross_thread_parenting_via_context(self):
+        """The coalescer pattern: capture on one thread, parent on another."""
+        tracer = make_tracer()
+        contexts = {}
+
+        def worker(parent_ctx) -> None:
+            with tracer.span("shard.commit", parent=parent_ctx, shard=0) as span:
+                contexts["child"] = span.context()
+
+        with tracer.span("commit", trace_ids=["abc"]) as commit:
+            thread = threading.Thread(target=worker, args=(commit.context(),))
+            thread.start()
+            thread.join()
+        child = contexts["child"]
+        assert child.trace_ids == ("abc",)
+        spans = {s["name"]: s for s in tracer.ring.snapshot()}
+        assert spans["shard.commit"]["parent_id"] == spans["commit"]["span_id"]
+
+    def test_exception_marks_error_attr(self):
+        tracer = make_tracer()
+        try:
+            with tracer.span("boom"):
+                raise RuntimeError("nope")
+        except RuntimeError:
+            pass
+        (span,) = tracer.ring.snapshot()
+        assert span["attrs"]["error"] == "RuntimeError"
+
+    def test_events_attach_to_innermost_span_and_are_bounded(self):
+        tracer = make_tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                for n in range(MAX_SPAN_EVENTS + 10):
+                    tracer.event("tick", n=n)
+        inner, outer = (s for s in tracer.ring.snapshot())
+        assert len(inner["events"]) == MAX_SPAN_EVENTS
+        assert "events" not in outer
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = make_tracer()
+        tracer.enabled = False
+        with tracer.span("invisible") as span:
+            span.set(k="v")
+            span.event("e")
+            tracer.event("e2")
+            assert span.context() is None
+        assert len(tracer.ring) == 0
+
+
+class TestSpanRing:
+    def test_bounded_eviction(self):
+        tracer = make_tracer(capacity=4)
+        for n in range(10):
+            with tracer.span(f"s{n}"):
+                pass
+        assert len(tracer.ring) == 4
+        names = [s["name"] for s in tracer.ring.snapshot()]
+        assert names == ["s6", "s7", "s8", "s9"]
+
+    def test_snapshot_filters_by_trace_id_and_limit(self):
+        tracer = make_tracer()
+        for n in range(6):
+            with tracer.span("s", trace_ids=[f"t{n % 2}"], n=n):
+                pass
+        t0 = tracer.ring.snapshot(trace_id="t0")
+        assert [s["attrs"]["n"] for s in t0] == [0, 2, 4]
+        limited = tracer.ring.snapshot(trace_id="t0", limit=2)
+        assert [s["attrs"]["n"] for s in limited] == [2, 4]
+
+    def test_filter_matches_any_coalesced_writer_id(self):
+        tracer = make_tracer()
+        with tracer.span("commit", trace_ids=["a", "b"]):
+            pass
+        assert len(tracer.ring.snapshot(trace_id="b")) == 1
+        assert tracer.ring.snapshot(trace_id="c") == []
+
+    def test_to_jsonl_round_trips(self):
+        tracer = make_tracer()
+        with tracer.span("s", endpoint="/apply"):
+            pass
+        lines = tracer.ring.to_jsonl().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["name"] == "s"
+        assert record["attrs"]["endpoint"] == "/apply"
+        assert record["duration_ms"] >= 0
+        assert record["trace_ids"] == [record["trace_id"]]
+
+    def test_clear(self):
+        tracer = make_tracer()
+        with tracer.span("s"):
+            pass
+        tracer.ring.clear()
+        assert len(tracer.ring) == 0
+
+
+class TestBoundedEventLog:
+    def test_sequencing_survives_eviction(self):
+        log = BoundedEventLog(capacity=3)
+        for n in range(5):
+            log.record("e", {"n": n})
+        assert len(log) == 3
+        assert log.dropped == 2
+        assert [seq for seq, *_ in log.snapshot()] == [2, 3, 4]
+        assert log.next_seq == 5
+
+    def test_stamp_override(self):
+        log = BoundedEventLog()
+        seq, stamp = log.record("e", {}, stamp=1.25)
+        assert (seq, stamp) == (0, 1.25)
+
+    def test_clear_keeps_seq_unless_reset(self):
+        log = BoundedEventLog()
+        log.record("e", {})
+        log.clear()
+        assert log.next_seq == 1  # truncation stays detectable
+        log.clear(reset_seq=True)
+        assert log.next_seq == 0
+
+    def test_restore_resumes_after_highest_seq(self):
+        log = BoundedEventLog(capacity=2)
+        log.restore([(4, 0.1, "a", {}), (7, 0.2, "b", {}), (9, 0.3, "c", {})])
+        assert [seq for seq, *_ in log.snapshot()] == [7, 9]  # bounded load
+        seq, _ = log.record("d", {})
+        assert seq == 10
+
+    def test_restore_empty(self):
+        log = BoundedEventLog()
+        log.record("e", {})
+        log.restore([])
+        assert len(log) == 0
+        assert log.next_seq == 0
